@@ -1,0 +1,346 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// section at laptop scale (one benchmark per table/figure; the
+// covbench command runs the same experiments at paper scale with
+// printed series). Reported custom metrics:
+//
+//	MUPs        number of maximal uncovered patterns found
+//	probes      coverage computations issued
+//	targets     hitting-set input size (uncovered patterns at λ)
+//	tuples      hitting-set output size (combinations to collect)
+package coverage_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"coverage/internal/classify"
+	"coverage/internal/datagen"
+	"coverage/internal/dataset"
+	"coverage/internal/enhance"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+)
+
+// benchN is the dataset size for the AirBnB-style sweeps: large enough
+// to exercise the inverted indices, small enough that the full bench
+// suite finishes in minutes.
+const benchN = 100000
+
+// datasets are cached per configuration so repeated benchmarks reuse
+// the generation and indexing work.
+var (
+	cacheMu sync.Mutex
+	ixCache = map[string]*index.Index{}
+)
+
+func airbnbIndex(b *testing.B, n, d int) *index.Index {
+	b.Helper()
+	key := fmt.Sprintf("airbnb/%d/%d", n, d)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if ix, ok := ixCache[key]; ok {
+		return ix
+	}
+	ix := index.Build(datagen.AirBnB(n, d, 42))
+	ixCache[key] = ix
+	return ix
+}
+
+func bluenileIndex(b *testing.B, n int) *index.Index {
+	b.Helper()
+	key := fmt.Sprintf("bluenile/%d", n)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if ix, ok := ixCache[key]; ok {
+		return ix
+	}
+	ix := index.Build(datagen.BlueNile(n, 42))
+	ixCache[key] = ix
+	return ix
+}
+
+type mupAlgo struct {
+	name string
+	run  func(*index.Index, mup.Options) (*mup.Result, error)
+}
+
+var sweepAlgos = []mupAlgo{
+	{"breaker", mup.PatternBreaker},
+	{"combiner", mup.PatternCombiner},
+	{"deepdiver", mup.DeepDiver},
+}
+
+func runMUPBench(b *testing.B, ix *index.Index, algo mupAlgo, opts mup.Options) {
+	b.Helper()
+	var res *mup.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = algo.run(ix, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.MUPs)), "MUPs")
+	b.ReportMetric(float64(res.Stats.CoverageProbes), "probes")
+}
+
+// BenchmarkFig06MUPLevelDistribution regenerates Fig 6: the MUP level
+// histogram on AirBnB-like data with n=1000, d=13, τ=50.
+func BenchmarkFig06MUPLevelDistribution(b *testing.B) {
+	ix := airbnbIndex(b, 1000, 13)
+	var res *mup.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = mup.DeepDiver(ix, mup.Options{Threshold: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hist := res.LevelHistogram(13)
+	peak := 0
+	for _, h := range hist {
+		if h > peak {
+			peak = h
+		}
+	}
+	b.ReportMetric(float64(len(res.MUPs)), "MUPs")
+	b.ReportMetric(float64(peak), "peak-level-MUPs")
+}
+
+// BenchmarkFig11ClassifierEffect regenerates Fig 11's endpoints:
+// decision-tree accuracy on the Hispanic-female test set with 0 vs 80
+// HF rows in training.
+func BenchmarkFig11ClassifierEffect(b *testing.B) {
+	ds, labels := datagen.COMPAS(6889, 42)
+	var hfIdx, restIdx []int
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[datagen.CompasSex] == datagen.CompasFemale && r[datagen.CompasRace] == datagen.CompasHispanic {
+			hfIdx = append(hfIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(hfIdx), func(i, j int) { hfIdx[i], hfIdx[j] = hfIdx[j], hfIdx[i] })
+	testDS, testL := classify.Subset(ds, labels, hfIdx[:20])
+	var acc0, acc80 float64
+	for i := 0; i < b.N; i++ {
+		for _, nHF := range []int{0, 80} {
+			trainIdx := append(append([]int(nil), restIdx...), hfIdx[20:20+nHF]...)
+			trainDS, trainL := classify.Subset(ds, labels, trainIdx)
+			tree, err := classify.TrainTree(trainDS, trainL, classify.TreeOptions{MaxDepth: 8, MinSamplesSplit: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := classify.Evaluate(tree.PredictAll(testDS), testL, tree.NumClasses())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if nHF == 0 {
+				acc0 = m.Accuracy
+			} else {
+				acc80 = m.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(acc0, "HFacc-0")
+	b.ReportMetric(acc80, "HFacc-80")
+}
+
+// BenchmarkFig12Threshold regenerates Fig 12: MUP identification on
+// AirBnB-like data (d=15) across threshold rates, per algorithm
+// (APRIORI included at the highest rate only; at low rates it is the
+// paper's ">100s" outlier).
+func BenchmarkFig12Threshold(b *testing.B) {
+	// Laptop scale: d = 13 keeps every cell under a few seconds; the
+	// covbench command runs the paper's d = 15, n = 1M sweep including
+	// the extreme τ = 1 cell.
+	ix := airbnbIndex(b, benchN, 13)
+	for _, rate := range []float64{1e-4, 1e-3, 1e-2} {
+		tau := int64(rate * benchN)
+		if tau < 1 {
+			tau = 1
+		}
+		opts := mup.Options{Threshold: tau}
+		for _, algo := range sweepAlgos {
+			b.Run(fmt.Sprintf("rate=%.0e/%s", rate, algo.name), func(b *testing.B) {
+				runMUPBench(b, ix, algo, opts)
+			})
+		}
+	}
+	b.Run("rate=1e-02/apriori", func(b *testing.B) {
+		runMUPBench(b, ix, mupAlgo{"apriori", mup.Apriori}, mup.Options{Threshold: int64(0.01 * benchN)})
+	})
+}
+
+// BenchmarkFig13BlueNile regenerates Fig 13: MUP identification on the
+// high-cardinality BlueNile-like catalog across threshold rates.
+func BenchmarkFig13BlueNile(b *testing.B) {
+	const n = 116300
+	ix := bluenileIndex(b, n)
+	for _, rate := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+		tau := int64(rate * n)
+		if tau < 1 {
+			tau = 1
+		}
+		opts := mup.Options{Threshold: tau}
+		for _, algo := range sweepAlgos {
+			b.Run(fmt.Sprintf("rate=%.0e/%s", rate, algo.name), func(b *testing.B) {
+				runMUPBench(b, ix, algo, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14DataSize regenerates Fig 14: MUP identification across
+// dataset sizes at fixed d=15, τ=0.1%.
+func BenchmarkFig14DataSize(b *testing.B) {
+	for _, n := range []int{10000, 30000, 100000} {
+		ix := airbnbIndex(b, n, 13)
+		tau := int64(0.001 * float64(n))
+		if tau < 1 {
+			tau = 1
+		}
+		opts := mup.Options{Threshold: tau}
+		for _, algo := range sweepAlgos {
+			b.Run(fmt.Sprintf("n=%d/%s", n, algo.name), func(b *testing.B) {
+				runMUPBench(b, ix, algo, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig15Dimensions regenerates Fig 15: MUP identification
+// across dimensions at fixed n, τ=0.1%.
+func BenchmarkFig15Dimensions(b *testing.B) {
+	for _, d := range []int{5, 7, 9, 11, 13} {
+		ix := airbnbIndex(b, benchN, d)
+		opts := mup.Options{Threshold: int64(0.001 * benchN)}
+		for _, algo := range sweepAlgos {
+			b.Run(fmt.Sprintf("d=%d/%s", d, algo.name), func(b *testing.B) {
+				runMUPBench(b, ix, algo, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig16LevelBounded regenerates Fig 16: level-bounded
+// DeepDiver across dimensions.
+func BenchmarkFig16LevelBounded(b *testing.B) {
+	for _, d := range []int{10, 20, 30} {
+		ix := airbnbIndex(b, benchN, d)
+		for _, l := range []int{2, 4} {
+			if l == 4 && d > 20 {
+				continue // tens of seconds per run; covbench covers it
+			}
+			b.Run(fmt.Sprintf("d=%d/maxlevel=%d", d, l), func(b *testing.B) {
+				runMUPBench(b, ix, mupAlgo{"deepdiver", mup.DeepDiver},
+					mup.Options{Threshold: int64(0.001 * benchN), MaxLevel: l})
+			})
+		}
+	}
+}
+
+func runEnhanceBench(b *testing.B, ix *index.Index, lambda int, naive bool) {
+	b.Helper()
+	res, err := mup.DeepDiver(ix, mup.Options{Threshold: int64(0.001 * benchN), MaxLevel: lambda})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cards := ix.Cards()
+	var in, out int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		targets, err := enhance.UncoveredAtLevel(res.MUPs, cards, lambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var plan *enhance.Plan
+		if naive {
+			plan, err = enhance.NaiveGreedy(targets, cards, nil)
+		} else {
+			plan, err = enhance.Greedy(targets, cards, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out = len(targets), plan.NumTuples()
+	}
+	b.ReportMetric(float64(in), "targets")
+	b.ReportMetric(float64(out), "tuples")
+}
+
+// BenchmarkFig17EnhanceThreshold regenerates Fig 17: greedy coverage
+// enhancement across thresholds and λ on AirBnB-like data (d=13),
+// with the naive baseline at λ=3 for the paper's comparison point.
+func BenchmarkFig17EnhanceThreshold(b *testing.B) {
+	ix := airbnbIndex(b, benchN, 13)
+	for _, lambda := range []int{3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("greedy/lambda=%d", lambda), func(b *testing.B) {
+			runEnhanceBench(b, ix, lambda, false)
+		})
+	}
+	b.Run("naive/lambda=3", func(b *testing.B) {
+		runEnhanceBench(b, ix, 3, true)
+	})
+}
+
+// BenchmarkFig18EnhanceDimensions regenerates Figs 18-19: greedy
+// enhancement across dimensions (runtime plus input/output sizes, the
+// latter reported as the targets/tuples metrics).
+func BenchmarkFig18EnhanceDimensions(b *testing.B) {
+	for _, d := range []int{5, 10, 15, 20} {
+		ix := airbnbIndex(b, benchN, d)
+		for _, lambda := range []int{3, 4} {
+			if lambda > d {
+				continue
+			}
+			b.Run(fmt.Sprintf("d=%d/lambda=%d", d, lambda), func(b *testing.B) {
+				runEnhanceBench(b, ix, lambda, false)
+			})
+		}
+	}
+}
+
+// BenchmarkCoverageProbe measures a single coverage computation
+// against the inverted index (the innermost hot operation of every
+// algorithm, Appendix A).
+func BenchmarkCoverageProbe(b *testing.B) {
+	ix := airbnbIndex(b, benchN, 15)
+	pr := ix.NewProber()
+	p := make([]uint8, 15)
+	for i := range p {
+		p[i] = 0xFF
+	}
+	p[3], p[7], p[11] = 1, 0, 1
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += pr.Coverage(p)
+	}
+	_ = sink
+}
+
+// BenchmarkIndexBuild measures oracle construction (dedup plus
+// inverted-index build) for the default sweep configuration.
+func BenchmarkIndexBuild(b *testing.B) {
+	ds := datagen.AirBnB(benchN, 15, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.Build(ds)
+	}
+}
+
+// BenchmarkDistinct measures dataset deduplication alone.
+func BenchmarkDistinct(b *testing.B) {
+	ds := datagen.AirBnB(benchN, 15, 42)
+	b.ResetTimer()
+	var dd *dataset.Distinct
+	for i := 0; i < b.N; i++ {
+		dd = ds.Distinct()
+	}
+	b.ReportMetric(float64(dd.NumDistinct()), "distinct")
+}

@@ -1,0 +1,495 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"coverage"
+	"coverage/internal/classify"
+	"coverage/internal/datagen"
+	"coverage/internal/enhance"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+)
+
+// timeIt runs fn and returns its wall-clock seconds.
+func timeIt(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// tauFor converts a threshold rate into an absolute τ (≥ 1).
+func tauFor(rate float64, n int) int64 {
+	tau := int64(rate * float64(n))
+	if tau < 1 {
+		tau = 1
+	}
+	return tau
+}
+
+// --- Fig 6: distribution of MUP levels -------------------------------
+
+func fig6(cfg config) {
+	ds := datagen.AirBnB(1000, 13, cfg.seed)
+	ix := index.Build(ds)
+	res, err := mup.DeepDiver(ix, mup.Options{Threshold: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   paper series (levels 0-12): 0 1 38 281 628 982 1014 562 237 100 35 2 0\n")
+	fmt.Printf("   %-6s %s\n", "level", "#MUPs")
+	for lvl, n := range res.LevelHistogram(13) {
+		fmt.Printf("   %-6d %d\n", lvl, n)
+	}
+	fmt.Printf("   total: %d MUPs (paper: several thousand, bell-shaped)\n", len(res.MUPs))
+}
+
+// --- §V-B1: COMPAS MUP audit ------------------------------------------
+
+func compasMUPs(cfg config) {
+	ds, _ := datagen.COMPAS(6889, cfg.seed)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := rep.LevelHistogram()
+	fmt.Printf("   paper: 65 MUPs = 19 @ level 2, 23 @ level 3, 23 @ level 4; all single values covered\n")
+	fmt.Printf("   measured: %d MUPs = %d @ level 2, %d @ level 3, %d @ level 4\n",
+		len(rep.MUPs), hist[2], hist[3], hist[4])
+	if hist[0] != 0 || hist[1] != 0 {
+		fmt.Printf("   WARNING: %d MUPs below level 2 (paper has none)\n", hist[0]+hist[1])
+	}
+	// The paper's anecdote: XX23 (widowed Hispanics) is a MUP with
+	// coverage 2.
+	p, err := coverage.ParsePattern("XX23", ds.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov, err := an.Coverage(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	isMUP := false
+	for _, m := range rep.MUPs {
+		if m.Equal(p) {
+			isMUP = true
+		}
+	}
+	fmt.Printf("   XX23 (widowed Hispanics): coverage %d, MUP: %v (paper: coverage 2, a MUP)\n", cov, isMUP)
+}
+
+// --- Fig 11: classifier accuracy vs subgroup coverage -----------------
+
+func fig11(cfg config) {
+	ds, labels := datagen.COMPAS(6889, cfg.seed)
+	acc, f1, err := classify.CrossValidate(ds, labels, 5, classify.TreeOptions{MaxDepth: 6, MinSamplesSplit: 8}, cfg.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   cross-validated: accuracy %.2f, F1 %.2f (paper: 0.76, 0.70)\n\n", acc, f1)
+
+	var hfIdx, restIdx []int
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[datagen.CompasSex] == datagen.CompasFemale && r[datagen.CompasRace] == datagen.CompasHispanic {
+			hfIdx = append(hfIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	rng.Shuffle(len(hfIdx), func(i, j int) { hfIdx[i], hfIdx[j] = hfIdx[j], hfIdx[i] })
+	testHF := hfIdx[:20]
+	trainHF := hfIdx[20:]
+	testDS, testL := classify.Subset(ds, labels, testHF)
+	_, ovTest := classify.TrainTestSplit(rng, len(restIdx), 0.2)
+	ovIdx := make([]int, len(ovTest))
+	for i, t := range ovTest {
+		ovIdx[i] = restIdx[t]
+	}
+	ovDS, ovL := classify.Subset(ds, labels, ovIdx)
+
+	fmt.Printf("   paper: overall flat at 0.76; subgroup accuracy < 0.50 at 0 HF rising toward ≈0.75 at 80 HF\n")
+	fmt.Printf("   %-6s %-12s %-10s %-10s\n", "#HF", "overall-acc", "HF-acc", "HF-F1")
+	for _, nHF := range []int{0, 20, 40, 60, 80} {
+		if nHF > len(trainHF) {
+			nHF = len(trainHF)
+		}
+		trainIdx := append(append([]int(nil), restIdx...), trainHF[:nHF]...)
+		trainDS, trainL := classify.Subset(ds, labels, trainIdx)
+		tree, err := classify.TrainTree(trainDS, trainL, classify.TreeOptions{MaxDepth: 8, MinSamplesSplit: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hf, err := classify.Evaluate(tree.PredictAll(testDS), testL, tree.NumClasses())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov, err := classify.Evaluate(tree.PredictAll(ovDS), ovL, tree.NumClasses())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-6d %-12.2f %-10.2f %-10.2f\n", nHF, ov.Accuracy, hf.Accuracy, hf.F1)
+	}
+
+	// The FO / MO companion experiment.
+	for _, grp := range []struct {
+		name string
+		sex  uint8
+	}{{"FO (female, other races)", datagen.CompasFemale}, {"MO (male, other races)", 0}} {
+		var gIdx, oIdx []int
+		for i := 0; i < ds.NumRows(); i++ {
+			r := ds.Row(i)
+			if r[datagen.CompasSex] == grp.sex && r[datagen.CompasRace] == datagen.CompasOther {
+				gIdx = append(gIdx, i)
+			} else {
+				oIdx = append(oIdx, i)
+			}
+		}
+		if len(gIdx) < 20 {
+			continue
+		}
+		trainDS, trainL := classify.Subset(ds, labels, oIdx)
+		tree, err := classify.TrainTree(trainDS, trainL, classify.TreeOptions{MaxDepth: 8, MinSamplesSplit: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gDS, gL := classify.Subset(ds, labels, gIdx[:20])
+		m, err := classify.Evaluate(tree.PredictAll(gDS), gL, tree.NumClasses())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   removed %-26s accuracy %.2f (paper: FO 0.39, MO 0.59)\n", grp.name+":", m.Accuracy)
+	}
+}
+
+// --- §V-B3: validated enhancement -------------------------------------
+
+func compasEnhance(cfg config) {
+	ds, _ := datagen.COMPAS(6889, cfg.seed)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := coverage.NewOracle(ds.Schema(), []coverage.Rule{
+		{Conditions: []coverage.Condition{{Attr: datagen.CompasMarital, Values: []uint8{6}}}},
+		{Conditions: []coverage.Condition{
+			{Attr: datagen.CompasAge, Values: []uint8{0}},
+			{Attr: datagen.CompasMarital, Values: []uint8{1, 2, 3, 4, 5, 6}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2, Oracle: oracle})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   paper suggests 5 collection profiles, e.g. {over 60, other races, widowed}, {20-40, Hispanic, widowed}\n")
+	fmt.Printf("   measured: %d material targets -> %d profiles:\n", len(plan.Targets), plan.NumTuples())
+	for _, s := range plan.Suggestions {
+		fmt.Printf("     collect: %s\n", ds.Schema().DescribePattern(s.Collect))
+	}
+}
+
+// --- Fig 12 / Fig 13: MUP identification vs threshold ------------------
+
+func fig12(cfg config) {
+	d := 15
+	ds := datagen.AirBnB(cfg.n, d, cfg.seed)
+	ix := index.Build(ds)
+	rates := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	fmt.Printf("   paper: PB falls and PC rises with the rate, crossing near 0.01%%; DD robust everywhere; APRIORI ≫ all\n")
+	fmt.Printf("   n=%d d=%d\n", cfg.n, d)
+	header := "   %-10s %-8s %-10s %-10s %-10s"
+	row := "   %-10.0e %-8d %-10.3f %-10.3f %-10.3f"
+	if cfg.apriori {
+		fmt.Printf(header+" %-10s %-8s\n", "rate", "tau", "breaker(s)", "combiner(s)", "deepdiver(s)", "apriori(s)", "#MUPs")
+	} else {
+		fmt.Printf(header+" %-8s\n", "rate", "tau", "breaker(s)", "combiner(s)", "deepdiver(s)", "#MUPs")
+	}
+	for _, rate := range rates {
+		tau := tauFor(rate, cfg.n)
+		opts := mup.Options{Threshold: tau}
+		var nMUPs int
+		tb := timeIt(func() { r, _ := mup.PatternBreaker(ix, opts); nMUPs = len(r.MUPs) })
+		tc := timeIt(func() { mustMUP(mup.PatternCombiner(ix, opts)) })
+		td := timeIt(func() { mustMUP(mup.DeepDiver(ix, opts)) })
+		if cfg.apriori {
+			ta := timeIt(func() { mustMUP(mup.Apriori(ix, opts)) })
+			fmt.Printf(row+" %-10.3f %-8d\n", rate, tau, tb, tc, td, ta, nMUPs)
+		} else {
+			fmt.Printf(row+" %-8d\n", rate, tau, tb, tc, td, nMUPs)
+		}
+	}
+}
+
+func fig13(cfg config) {
+	n := 116300
+	ds := datagen.BlueNile(n, cfg.seed)
+	ix := index.Build(ds)
+	fmt.Printf("   paper: DD best everywhere; PC always slowest (level-7 width is >100K nodes vs 128 for binary)\n")
+	fmt.Printf("   n=%d d=7 cards=10,4,7,8,3,3,5\n", n)
+	fmt.Printf("   %-10s %-8s %-12s %-12s %-12s %-8s\n", "rate", "tau", "breaker(s)", "combiner(s)", "deepdiver(s)", "#MUPs")
+	for _, rate := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+		tau := tauFor(rate, n)
+		opts := mup.Options{Threshold: tau}
+		var nMUPs int
+		tb := timeIt(func() { r, _ := mup.PatternBreaker(ix, opts); nMUPs = len(r.MUPs) })
+		tc := timeIt(func() { mustMUP(mup.PatternCombiner(ix, opts)) })
+		td := timeIt(func() { mustMUP(mup.DeepDiver(ix, opts)) })
+		fmt.Printf("   %-10.0e %-8d %-12.3f %-12.3f %-12.3f %-8d\n", rate, tau, tb, tc, td, nMUPs)
+	}
+}
+
+// --- Fig 14: MUP identification vs data size ---------------------------
+
+func fig14(cfg config) {
+	d := 15
+	sizes := []int{10000, 100000, 1000000}
+	if cfg.quick {
+		sizes = []int{10000, 30000, 100000}
+	}
+	fmt.Printf("   paper: runtime only slightly impacted by data size (effort tracks the pattern space, not n)\n")
+	fmt.Printf("   d=%d τ=0.1%%\n", d)
+	fmt.Printf("   %-10s %-8s %-12s %-12s %-12s %-8s\n", "n", "tau", "breaker(s)", "combiner(s)", "deepdiver(s)", "#MUPs")
+	for _, n := range sizes {
+		ds := datagen.AirBnB(n, d, cfg.seed)
+		ix := index.Build(ds)
+		tau := tauFor(0.001, n)
+		opts := mup.Options{Threshold: tau}
+		var nMUPs int
+		tb := timeIt(func() { r, _ := mup.PatternBreaker(ix, opts); nMUPs = len(r.MUPs) })
+		tc := timeIt(func() { mustMUP(mup.PatternCombiner(ix, opts)) })
+		td := timeIt(func() { mustMUP(mup.DeepDiver(ix, opts)) })
+		fmt.Printf("   %-10d %-8d %-12.3f %-12.3f %-12.3f %-8d\n", n, tau, tb, tc, td, nMUPs)
+	}
+}
+
+// --- Fig 15: MUP identification vs dimensions --------------------------
+
+func fig15(cfg config) {
+	dims := []int{5, 7, 9, 11, 13, 15, 17}
+	if cfg.quick {
+		dims = []int{5, 7, 9, 11, 13}
+	}
+	fmt.Printf("   paper: pattern space, #MUPs and runtimes all grow exponentially with d; all finish\n")
+	fmt.Printf("   n=%d τ=0.1%%\n", cfg.n)
+	fmt.Printf("   %-6s %-12s %-12s %-12s %-10s\n", "d", "breaker(s)", "combiner(s)", "deepdiver(s)", "#MUPs")
+	const budget = 150.0 // seconds; an algorithm over budget sits out larger d
+	over := map[string]bool{}
+	for _, d := range dims {
+		ds := datagen.AirBnB(cfg.n, d, cfg.seed)
+		ix := index.Build(ds)
+		opts := mup.Options{Threshold: tauFor(0.001, cfg.n)}
+		var nMUPs int
+		cell := func(name string, run func()) float64 {
+			if over[name] {
+				return -1
+			}
+			t := timeIt(run)
+			if t > budget {
+				over[name] = true
+			}
+			return t
+		}
+		tb := cell("b", func() { r, _ := mup.PatternBreaker(ix, opts); nMUPs = len(r.MUPs) })
+		tc := cell("c", func() { mustMUP(mup.PatternCombiner(ix, opts)) })
+		td := cell("d", func() {
+			r := mustMUP(mup.DeepDiver(ix, opts))
+			nMUPs = len(r.MUPs)
+		})
+		fmt.Printf("   %-6s %-12s %-12s %-12s %-10d\n",
+			fmt.Sprint(d), cellStr(tb), cellStr(tc), cellStr(td), nMUPs)
+	}
+}
+
+// cellStr renders a cell runtime, "-" for skipped cells.
+func cellStr(t float64) string {
+	if t < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", t)
+}
+
+// --- Fig 16: level-bounded DeepDiver ------------------------------------
+
+func fig16(cfg config) {
+	dims := []int{10, 15, 20, 25, 30, 35}
+	levels := []int{2, 4, 6, 8}
+	if cfg.quick {
+		dims = []int{10, 15, 20, 25}
+		levels = []int{2, 4, 6}
+	}
+	fmt.Printf("   paper: bounding the level makes DD scale to tens of attributes (level ≤ 2 at d=35 in ~10s)\n")
+	fmt.Printf("   n=%d τ=0.1%%\n", cfg.n)
+	fmt.Printf("   %-6s", "d")
+	for _, l := range levels {
+		fmt.Printf(" l<=%-d(s)   #MUPs    ", l)
+	}
+	fmt.Println()
+	const budget = 120.0 // seconds per cell before skipping deeper levels
+	for _, d := range dims {
+		ds := datagen.AirBnB(cfg.n, d, cfg.seed)
+		ix := index.Build(ds)
+		fmt.Printf("   %-6d", d)
+		skip := false
+		for _, l := range levels {
+			if skip {
+				fmt.Printf(" %-9s %-9s", "-", "-")
+				continue
+			}
+			var nMUPs int
+			t := timeIt(func() {
+				r, err := mup.DeepDiver(ix, mup.Options{Threshold: tauFor(0.001, cfg.n), MaxLevel: l})
+				if err != nil {
+					log.Fatal(err)
+				}
+				nMUPs = len(r.MUPs)
+			})
+			fmt.Printf(" %-9.3f %-9d", t, nMUPs)
+			if t > budget {
+				skip = true // deeper levels for this d exceed the budget
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// --- Fig 17: enhancement vs threshold ----------------------------------
+
+func fig17(cfg config) {
+	d := 13
+	ds := datagen.AirBnB(cfg.n, d, cfg.seed)
+	ix := index.Build(ds)
+	rates := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	levels := []int{3, 4, 5, 6}
+	fmt.Printf("   paper: GREEDY finishes in seconds everywhere; runtime grows with both rate and λ;\n")
+	fmt.Printf("   the naive planner finished only one setting (λ=3 at the smallest rate)\n")
+	fmt.Printf("   n=%d d=%d\n", cfg.n, d)
+	fmt.Printf("   %-10s %-8s", "rate", "tau")
+	for _, l := range levels {
+		fmt.Printf(" λ=%-d(s)    ", l)
+	}
+	if cfg.naive {
+		fmt.Printf(" naive λ=3(s)")
+	}
+	fmt.Println()
+	for _, rate := range rates {
+		tau := tauFor(rate, cfg.n)
+		res, err := mup.DeepDiver(ix, mup.Options{Threshold: tau})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-10.0e %-8d", rate, tau)
+		for _, l := range levels {
+			t := timeIt(func() {
+				targets, err := enhance.UncoveredAtLevel(res.MUPs, ds.Cards(), l)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if _, err := enhance.Greedy(targets, ds.Cards(), nil); err != nil {
+					log.Fatal(err)
+				}
+			})
+			fmt.Printf(" %-10.3f", t)
+		}
+		if cfg.naive && rate == rates[0] {
+			t := timeIt(func() {
+				targets, err := enhance.UncoveredAtLevel(res.MUPs, ds.Cards(), 3)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if _, err := enhance.NaiveGreedy(targets, ds.Cards(), nil); err != nil {
+					log.Fatal(err)
+				}
+			})
+			fmt.Printf(" %-10.3f", t)
+		}
+		fmt.Println()
+	}
+}
+
+// --- Fig 18 / Fig 19: enhancement vs dimensions -------------------------
+
+func fig18(cfg config) {
+	enhanceDims(cfg, false)
+}
+
+func fig19(cfg config) {
+	enhanceDims(cfg, true)
+}
+
+func enhanceDims(cfg config, sizes bool) {
+	dims := []int{5, 10, 15, 20, 25, 30, 35}
+	levels := []int{3, 4, 5, 6}
+	if cfg.quick {
+		dims = []int{5, 10, 15, 20, 25}
+		levels = []int{3, 4}
+	}
+	if sizes {
+		fmt.Printf("   paper: output (tuples to collect) is orders of magnitude below input (patterns to hit)\n")
+	} else {
+		fmt.Printf("   paper: runtime grows with d and λ but stays practical for small λ\n")
+	}
+	fmt.Printf("   n=%d τ=0.1%%\n", cfg.n)
+	fmt.Printf("   %-6s", "d")
+	for _, l := range levels {
+		if sizes {
+			fmt.Printf(" λ=%d in/out      ", l)
+		} else {
+			fmt.Printf(" λ=%-d(s)    ", l)
+		}
+	}
+	fmt.Println()
+	const budget = 120.0 // seconds per cell before skipping deeper levels
+	for _, d := range dims {
+		ds := datagen.AirBnB(cfg.n, d, cfg.seed)
+		ix := index.Build(ds)
+		fmt.Printf("   %-6d", d)
+		skip := false
+		for _, l := range levels {
+			if l > d || skip {
+				fmt.Printf(" %-15s", "-")
+				continue
+			}
+			var in, out int
+			t := timeIt(func() {
+				res, err := mup.DeepDiver(ix, mup.Options{Threshold: tauFor(0.001, cfg.n), MaxLevel: l})
+				if err != nil {
+					log.Fatal(err)
+				}
+				targets, err := enhance.UncoveredAtLevel(res.MUPs, ds.Cards(), l)
+				if err != nil {
+					log.Fatal(err)
+				}
+				plan, err := enhance.Greedy(targets, ds.Cards(), nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				in, out = len(targets), plan.NumTuples()
+			})
+			if sizes {
+				fmt.Printf(" %7d/%-7d", in, out)
+			} else {
+				fmt.Printf(" %-10.3f    ", t)
+			}
+			if t > budget {
+				skip = true
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func mustMUP(r *mup.Result, err error) *mup.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

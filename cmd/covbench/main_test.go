@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestTauFor(t *testing.T) {
+	cases := []struct {
+		rate float64
+		n    int
+		want int64
+	}{
+		{0.001, 1000000, 1000},
+		{0.01, 116300, 1163},
+		{1e-9, 1000, 1},   // never below 1
+		{1e-6, 100000, 1}, // rounds down to the floor of 1
+		{0.05, 6889, 344}, // truncation, not rounding
+	}
+	for _, tc := range cases {
+		if got := tauFor(tc.rate, tc.n); got != tc.want {
+			t.Errorf("tauFor(%v, %d) = %d, want %d", tc.rate, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestCellStr(t *testing.T) {
+	if got := cellStr(-1); got != "-" {
+		t.Errorf("cellStr(-1) = %q", got)
+	}
+	if got := cellStr(1.2345); got != "1.234" && got != "1.235" {
+		t.Errorf("cellStr(1.2345) = %q", got)
+	}
+}
+
+func TestExperimentRegistryNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Errorf("experiment %+v incomplete", e.name)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	if len(seen) != 12 {
+		t.Errorf("%d experiments registered, want 12 (one per figure/table)", len(seen))
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coverage"
+)
+
+func testSchema(t *testing.T) *coverage.Schema {
+	t.Helper()
+	s, err := coverage.NewSchema([]coverage.Attribute{
+		{Name: "age", Values: []string{"under 20", "20-39", "40-59", "60+"}},
+		{Name: "marital", Values: []string{"single", "married", "unknown"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func writeRules(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRules(t *testing.T) {
+	schema := testSchema(t)
+	path := writeRules(t, `[
+		{"conditions": [{"attr": "marital", "values": ["unknown"]}]},
+		{"conditions": [{"attr": "age", "values": ["under 20"]},
+		                {"attr": "marital", "values": ["married"]}]}
+	]`)
+	oracle, err := loadRules(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.AllowCombo([]uint8{1, 2}) {
+		t.Error("marital=unknown accepted")
+	}
+	if oracle.AllowCombo([]uint8{0, 1}) {
+		t.Error("under-20 married accepted")
+	}
+	if !oracle.AllowCombo([]uint8{1, 1}) {
+		t.Error("valid combo rejected")
+	}
+}
+
+func TestLoadRulesErrors(t *testing.T) {
+	schema := testSchema(t)
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"bad json", `{not json`},
+		{"unknown attribute", `[{"conditions": [{"attr": "height", "values": ["tall"]}]}]`},
+		{"unknown value", `[{"conditions": [{"attr": "marital", "values": ["divorced"]}]}]`},
+	}
+	for _, tc := range cases {
+		path := writeRules(t, tc.content)
+		if _, err := loadRules(path, schema); err == nil {
+			t.Errorf("%s: loadRules succeeded, want error", tc.name)
+		}
+	}
+	if _, err := loadRules(filepath.Join(t.TempDir(), "missing.json"), schema); err == nil {
+		t.Error("missing file accepted")
+	}
+}

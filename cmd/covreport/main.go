@@ -1,0 +1,91 @@
+// Command covreport audits the coverage of a CSV dataset: it finds the
+// maximal uncovered patterns under a coverage threshold and prints a
+// nutritional-label-style report (the paper's §I widget suggestion).
+//
+// Usage:
+//
+//	covreport -csv data.csv [-columns sex,age,race] [-tau 30 | -rate 0.001]
+//	          [-algo deepdiver] [-maxlevel 0] [-top 20]
+//	covreport -demo compas|airbnb|bluenile [-tau ...]
+//
+// Examples:
+//
+//	covreport -csv compas.csv -columns sex,age,race,marital -tau 10
+//	covreport -demo airbnb -tau 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coverage"
+	"coverage/internal/datagen"
+)
+
+func main() {
+	var (
+		csvPath  = flag.String("csv", "", "CSV file to audit (first row is the header)")
+		columns  = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
+		demo     = flag.String("demo", "", "audit a synthetic demo dataset instead: compas, airbnb or bluenile")
+		tau      = flag.Int64("tau", 0, "absolute coverage threshold τ")
+		rate     = flag.Float64("rate", 0, "threshold as a fraction of the dataset size (e.g. 0.001)")
+		algo     = flag.String("algo", "deepdiver", "algorithm: deepdiver, pattern-breaker, pattern-combiner, apriori, naive")
+		maxLevel = flag.Int("maxlevel", 0, "only report MUPs with at most this many attributes (0 = all)")
+		format   = flag.String("format", "text", "output format: text, markdown or json")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*csvPath, *columns, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{
+		Threshold:     *tau,
+		ThresholdRate: *rate,
+		Algorithm:     coverage.Algorithm(*algo),
+		MaxLevel:      *maxLevel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Render(os.Stdout, *format); err != nil {
+		fatal(err)
+	}
+}
+
+func loadDataset(csvPath, columns, demo string) (*coverage.Dataset, error) {
+	switch {
+	case csvPath != "" && demo != "":
+		return nil, fmt.Errorf("use either -csv or -demo, not both")
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var cols []string
+		if columns != "" {
+			cols = strings.Split(columns, ",")
+		}
+		return coverage.ReadCSV(f, coverage.CSVOptions{Columns: cols})
+	case demo == "compas":
+		ds, _ := datagen.COMPAS(6889, 42)
+		return ds, nil
+	case demo == "airbnb":
+		return datagen.AirBnB(100000, 13, 42), nil
+	case demo == "bluenile":
+		return datagen.BlueNile(116300, 42), nil
+	case demo != "":
+		return nil, fmt.Errorf("unknown demo %q; use compas, airbnb or bluenile", demo)
+	default:
+		return nil, fmt.Errorf("a -csv file or -demo dataset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDatasetFromCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,x\n2,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := loadDataset(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 2 || ds.Dim() != 2 {
+		t.Errorf("shape = (%d, %d)", ds.Dim(), ds.NumRows())
+	}
+	only, err := loadDataset(path, "b", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.Dim() != 1 {
+		t.Errorf("column selection ignored: dim = %d", only.Dim())
+	}
+}
+
+func TestLoadDatasetDemos(t *testing.T) {
+	ds, err := loadDataset("", "", "compas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim() != 4 {
+		t.Errorf("compas demo dim = %d", ds.Dim())
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := loadDataset("", "", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadDataset("x.csv", "", "compas"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadDataset("", "", "nope"); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if _, err := loadDataset(filepath.Join(t.TempDir(), "missing.csv"), "", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

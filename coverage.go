@@ -1,0 +1,394 @@
+// Package coverage assesses and remedies the coverage of a categorical
+// dataset, implementing Asudeh, Jin & Jagadish, "Assessing and
+// Remedying Coverage for a Given Dataset" (ICDE 2019).
+//
+// Coverage asks whether every combination of attribute values — every
+// demographic subgroup, every product category intersection — has
+// enough representatives in a dataset. Subgroups below a coverage
+// threshold τ are summarized by their maximal uncovered patterns
+// (MUPs): uncovered patterns all of whose generalizations are covered.
+// The package identifies MUPs with the paper's algorithms
+// (PATTERN-BREAKER, PATTERN-COMBINER, DEEPDIVER, plus the naïve and
+// apriori baselines) and computes minimum additional-data-collection
+// plans that raise the dataset's maximum covered level, via a greedy
+// hitting-set planner constrained by a semantic validation oracle.
+//
+// Basic use:
+//
+//	ds, _ := coverage.ReadCSV(file, coverage.CSVOptions{Columns: []string{"sex", "age", "race"}})
+//	an := coverage.NewAnalyzer(ds)
+//	rep, _ := an.FindMUPs(coverage.FindOptions{Threshold: 30})
+//	for i, p := range rep.MUPs {
+//		fmt.Println(p, "=", rep.Describe(i))
+//	}
+//	plan, _ := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2})
+//	for _, s := range plan.Suggestions {
+//		fmt.Println("collect:", ds.Schema().DescribePattern(s.Collect))
+//	}
+package coverage
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"coverage/internal/dataset"
+	"coverage/internal/enhance"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+	"coverage/internal/report"
+)
+
+// Re-exported core types. See the internal packages for full method
+// documentation.
+type (
+	// Dataset is a collection of rows over categorical attributes.
+	Dataset = dataset.Dataset
+	// Schema describes the attributes of interest.
+	Schema = dataset.Schema
+	// Attribute is one categorical attribute with its value labels.
+	Attribute = dataset.Attribute
+	// Buckets discretizes a continuous attribute.
+	Buckets = dataset.Buckets
+	// CSVOptions controls CSV ingestion.
+	CSVOptions = dataset.CSVOptions
+	// Pattern is a vector of value codes with Wildcard for
+	// unspecified attributes.
+	Pattern = pattern.Pattern
+	// Plan is an additional-data-collection plan.
+	Plan = enhance.Plan
+	// Suggestion is one value combination to collect.
+	Suggestion = enhance.Suggestion
+	// Rule is a validation rule describing an invalid combination.
+	Rule = enhance.Rule
+	// Condition restricts one attribute within a Rule.
+	Condition = enhance.Condition
+	// Oracle validates value combinations against a rule set.
+	Oracle = enhance.Oracle
+	// CostModel assigns additive acquisition costs to combinations.
+	CostModel = enhance.CostModel
+	// MUPStats reports the cost of a MUP search.
+	MUPStats = mup.Stats
+)
+
+// Wildcard is the pattern code for an unspecified attribute value.
+const Wildcard = pattern.Wildcard
+
+// NewSchema validates and builds a schema.
+func NewSchema(attrs []Attribute) (*Schema, error) { return dataset.NewSchema(attrs) }
+
+// NewDataset returns an empty dataset over the schema.
+func NewDataset(schema *Schema) *Dataset { return dataset.New(schema) }
+
+// ReadCSV ingests a CSV stream with a header row; see
+// dataset.ReadCSV.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) { return dataset.ReadCSV(r, opts) }
+
+// NewBuckets builds a discretizer for a continuous attribute.
+func NewBuckets(name string, bounds []float64, labels []string) (*Buckets, error) {
+	return dataset.NewBuckets(name, bounds, labels)
+}
+
+// ParsePattern parses the compact pattern notation ("X1X0", "[12]XX")
+// against the schema.
+func ParsePattern(s string, schema *Schema) (Pattern, error) {
+	return pattern.Parse(s, schema.Cards())
+}
+
+// NewOracle builds a validation oracle over the schema from rules.
+func NewOracle(schema *Schema, rules []Rule) (*Oracle, error) {
+	return enhance.NewOracle(schema.Cards(), rules)
+}
+
+// NewCostModel builds an acquisition cost model over the schema:
+// costs[i][v] is the (positive) cost contribution of attribute i
+// taking value v.
+func NewCostModel(schema *Schema, costs [][]float64) (*CostModel, error) {
+	return enhance.NewCostModel(schema.Cards(), costs)
+}
+
+// CollectRows simulates data acquisition for a plan: copies tuples per
+// suggestion, drawn uniformly from the combinations matching each
+// suggestion's generalized Collect pattern (rejecting oracle-invalid
+// draws). Append them to the dataset to realize the plan.
+func CollectRows(rng *rand.Rand, plan *Plan, schema *Schema, oracle *Oracle, copies int) ([][]uint8, error) {
+	return enhance.Collect(rng, plan, schema.Cards(), oracle, copies)
+}
+
+// Algorithm selects a MUP-identification algorithm.
+type Algorithm string
+
+// The available MUP-identification algorithms.
+const (
+	// Auto picks DeepDiver, the paper's most robust algorithm.
+	Auto Algorithm = ""
+	// PatternBreaker is the top-down traversal (§III-C), fastest when
+	// MUPs are general (high thresholds).
+	PatternBreaker Algorithm = "pattern-breaker"
+	// PatternCombiner is the bottom-up traversal (§III-D), fastest
+	// when MUPs are specific (low thresholds) and cardinalities small.
+	PatternCombiner Algorithm = "pattern-combiner"
+	// DeepDiver is the dive-and-climb search (§III-E), robust across
+	// coverage regimes.
+	DeepDiver Algorithm = "deepdiver"
+	// Apriori is the frequent-itemset baseline of §V-C.
+	Apriori Algorithm = "apriori"
+	// NaiveAlgorithm enumerates the full pattern graph (§III-A); for
+	// tiny schemas and testing only.
+	NaiveAlgorithm Algorithm = "naive"
+)
+
+// FindOptions configures FindMUPs.
+type FindOptions struct {
+	// Threshold is the absolute coverage threshold τ. Exactly one of
+	// Threshold and ThresholdRate must be set.
+	Threshold int64
+	// ThresholdRate sets τ as a fraction of the dataset size (the
+	// paper's "threshold rate", e.g. 0.001 for 0.1%).
+	ThresholdRate float64
+	// Algorithm selects the search strategy; Auto uses DeepDiver.
+	Algorithm Algorithm
+	// MaxLevel, when positive, restricts discovery to MUPs of at most
+	// that many deterministic attributes.
+	MaxLevel int
+}
+
+// Report is the result of a MUP audit: the maximal uncovered patterns
+// of the dataset under the resolved threshold.
+type Report struct {
+	// MUPs are the maximal uncovered patterns, sorted by level.
+	MUPs []Pattern
+	// Threshold is the resolved absolute τ.
+	Threshold int64
+	// Stats records the search cost.
+	Stats MUPStats
+
+	schema *Schema
+	rows   int
+}
+
+// LevelHistogram returns the number of MUPs per level (the paper's
+// Fig 6 series).
+func (r *Report) LevelHistogram() []int {
+	h := make([]int, r.schema.Dim()+1)
+	for _, p := range r.MUPs {
+		h[p.Level()]++
+	}
+	return h
+}
+
+// Describe renders MUP i with attribute and value names.
+func (r *Report) Describe(i int) string {
+	return r.schema.DescribePattern(r.MUPs[i])
+}
+
+// Render writes the report as "text", "markdown" or "json" — the
+// dataset nutritional-label widget of the paper's introduction.
+func (r *Report) Render(w io.Writer, format string) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	audit := &report.Audit{
+		Schema:    r.schema,
+		Rows:      r.rows,
+		Threshold: r.Threshold,
+		MUPs:      r.MUPs,
+		Stats:     r.Stats,
+	}
+	return audit.Write(w, f)
+}
+
+// Analyzer owns the coverage oracle for one dataset and answers MUP,
+// coverage and enhancement queries against it. Build it once per
+// dataset; it is cheap to query repeatedly.
+type Analyzer struct {
+	ds *Dataset
+	ix *index.Index
+}
+
+// NewAnalyzer indexes the dataset for coverage queries.
+func NewAnalyzer(ds *Dataset) *Analyzer {
+	return &Analyzer{ds: ds, ix: index.Build(ds)}
+}
+
+// Dataset returns the analyzed dataset.
+func (a *Analyzer) Dataset() *Dataset { return a.ds }
+
+// Coverage returns cov(P): the number of rows matching the pattern.
+func (a *Analyzer) Coverage(p Pattern) (int64, error) {
+	if err := p.Validate(a.ds.Cards()); err != nil {
+		return 0, err
+	}
+	return a.ix.Coverage(p), nil
+}
+
+// resolveThreshold turns FindOptions' threshold spec into an absolute τ.
+func (a *Analyzer) resolveThreshold(opts FindOptions) (int64, error) {
+	switch {
+	case opts.Threshold > 0 && opts.ThresholdRate > 0:
+		return 0, fmt.Errorf("coverage: set either Threshold or ThresholdRate, not both")
+	case opts.Threshold > 0:
+		return opts.Threshold, nil
+	case opts.ThresholdRate > 0:
+		if opts.ThresholdRate > 1 {
+			return 0, fmt.Errorf("coverage: ThresholdRate %v exceeds 1", opts.ThresholdRate)
+		}
+		tau := int64(opts.ThresholdRate * float64(a.ds.NumRows()))
+		if tau < 1 {
+			tau = 1
+		}
+		return tau, nil
+	default:
+		return 0, fmt.Errorf("coverage: a positive Threshold or ThresholdRate is required")
+	}
+}
+
+// FindMUPs runs a MUP search over the dataset.
+func (a *Analyzer) FindMUPs(opts FindOptions) (*Report, error) {
+	tau, err := a.resolveThreshold(opts)
+	if err != nil {
+		return nil, err
+	}
+	mopts := mup.Options{Threshold: tau, MaxLevel: opts.MaxLevel}
+	var res *mup.Result
+	switch opts.Algorithm {
+	case Auto, DeepDiver:
+		res, err = mup.DeepDiver(a.ix, mopts)
+	case PatternBreaker:
+		res, err = mup.PatternBreaker(a.ix, mopts)
+	case PatternCombiner:
+		res, err = mup.PatternCombiner(a.ix, mopts)
+	case Apriori:
+		res, err = mup.Apriori(a.ix, mopts)
+	case NaiveAlgorithm:
+		res, err = mup.Naive(a.ix, mopts)
+	default:
+		return nil, fmt.Errorf("coverage: unknown algorithm %q", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Report{MUPs: res.MUPs, Threshold: tau, Stats: res.Stats, schema: a.ds.Schema(), rows: a.ds.NumRows()}, nil
+}
+
+// ProfilePoint is one row of a coverage profile: the MUP population at
+// one threshold.
+type ProfilePoint struct {
+	ThresholdRate float64
+	Threshold     int64
+	TotalMUPs     int
+	// MinLevel is the most general (smallest) MUP level, or 0 when
+	// there are no MUPs; general gaps are the harmful ones (§IV).
+	MinLevel int
+}
+
+// Profile sweeps threshold rates and reports how the MUP population
+// responds — a compact coverage characterization of the dataset
+// suitable for its nutritional label. Rates must be in (0, 1].
+func (a *Analyzer) Profile(rates []float64) ([]ProfilePoint, error) {
+	out := make([]ProfilePoint, 0, len(rates))
+	for _, r := range rates {
+		rep, err := a.FindMUPs(coverageOptionsForRate(r))
+		if err != nil {
+			return nil, fmt.Errorf("coverage: profile at rate %v: %w", r, err)
+		}
+		pt := ProfilePoint{ThresholdRate: r, Threshold: rep.Threshold, TotalMUPs: len(rep.MUPs)}
+		for _, p := range rep.MUPs {
+			if pt.MinLevel == 0 || p.Level() < pt.MinLevel {
+				pt.MinLevel = p.Level()
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func coverageOptionsForRate(r float64) FindOptions {
+	return FindOptions{ThresholdRate: r}
+}
+
+// PlanOptions configures enhancement planning.
+type PlanOptions struct {
+	// MaxLevel is λ: after collecting the plan's suggestions, no
+	// pattern at level ≤ λ remains uncovered. Exactly one of MaxLevel
+	// and MinValueCount must be set.
+	MaxLevel int
+	// MinValueCount selects the alternative objective: cover every
+	// uncovered pattern matched by at least this many value
+	// combinations (Definition 7).
+	MinValueCount uint64
+	// Oracle, when non-nil, restricts suggestions to semantically
+	// valid combinations.
+	Oracle *Oracle
+	// Cost, when non-nil, switches to the weighted objective: each
+	// greedy selection maximizes newly covered patterns per unit
+	// acquisition cost.
+	Cost *CostModel
+	// Naive selects the unoptimized hitting-set baseline (for
+	// comparison; exponential in the number of attributes).
+	Naive bool
+}
+
+// Plan computes the additional data collection that remedies the lack
+// of coverage reported by rep (paper Problem 2). Suggestions are value
+// combinations; each Suggestion.Collect generalizes its combination to
+// the pattern a data collector can recruit from. Collecting τ rows per
+// suggestion is always sufficient to reach the target.
+func (a *Analyzer) Plan(rep *Report, opts PlanOptions) (*Plan, error) {
+	cards := a.ds.Cards()
+	var targets []Pattern
+	var err error
+	switch {
+	case opts.MaxLevel > 0 && opts.MinValueCount > 0:
+		return nil, fmt.Errorf("coverage: set either MaxLevel or MinValueCount, not both")
+	case opts.MaxLevel > 0:
+		targets, err = enhance.UncoveredAtLevel(rep.MUPs, cards, opts.MaxLevel)
+	case opts.MinValueCount > 0:
+		targets, err = enhance.UncoveredByValueCount(rep.MUPs, cards, opts.MinValueCount)
+	default:
+		return nil, fmt.Errorf("coverage: a positive MaxLevel or MinValueCount is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Patterns every match of which is semantically invalid are not
+	// material: the domain expert's oracle rules them out (§IV).
+	if opts.Oracle != nil {
+		kept := targets[:0]
+		for _, p := range targets {
+			if opts.Oracle.AllowPattern(p) {
+				kept = append(kept, p)
+			}
+		}
+		targets = kept
+	}
+	switch {
+	case opts.Naive && opts.Cost != nil:
+		return nil, fmt.Errorf("coverage: the naive baseline has no weighted variant")
+	case opts.Naive:
+		return enhance.NaiveGreedy(targets, cards, opts.Oracle)
+	case opts.Cost != nil:
+		return enhance.GreedyWeighted(targets, cards, opts.Oracle, opts.Cost)
+	default:
+		return enhance.Greedy(targets, cards, opts.Oracle)
+	}
+}
+
+// RenderPlan writes a plan as "text", "markdown" or "json". opts
+// should be the PlanOptions the plan was computed with (used for the
+// objective header).
+func (a *Analyzer) RenderPlan(w io.Writer, format string, plan *Plan, opts PlanOptions) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	pr := &report.PlanReport{
+		Schema:        a.ds.Schema(),
+		Plan:          plan,
+		Lambda:        opts.MaxLevel,
+		MinValueCount: opts.MinValueCount,
+	}
+	return pr.Write(w, f)
+}

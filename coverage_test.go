@@ -1,0 +1,355 @@
+package coverage_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coverage"
+	"coverage/internal/datagen"
+)
+
+// auditFixture builds a small dataset with a known coverage gap:
+// sex × race where no "female, other" rows exist.
+func auditFixture(t *testing.T) *coverage.Dataset {
+	t.Helper()
+	csv := strings.Join([]string{
+		"sex,race",
+		"male,white", "male,white", "male,white", "male,black",
+		"male,black", "male,other", "male,other",
+		"female,white", "female,white", "female,black",
+	}, "\n")
+	ds, err := coverage.ReadCSV(strings.NewReader(csv), coverage.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAnalyzerFindMUPs(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MUPs) != 1 {
+		t.Fatalf("MUPs = %v, want exactly the female+other gap", rep.MUPs)
+	}
+	if got := rep.Describe(0); got != "sex=female, race=other" {
+		t.Errorf("Describe = %q", got)
+	}
+	hist := rep.LevelHistogram()
+	if hist[2] != 1 {
+		t.Errorf("LevelHistogram = %v", hist)
+	}
+}
+
+func TestAnalyzerAlgorithmsAgree(t *testing.T) {
+	ds := datagen.Zipf(400, []int{2, 3, 2, 3}, 1.4, 5)
+	an := coverage.NewAnalyzer(ds)
+	algos := []coverage.Algorithm{
+		coverage.Auto, coverage.PatternBreaker, coverage.PatternCombiner,
+		coverage.DeepDiver, coverage.Apriori, coverage.NaiveAlgorithm,
+	}
+	var want []string
+	for _, alg := range algos {
+		rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 15, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%q: %v", alg, err)
+		}
+		var got []string
+		for _, p := range rep.MUPs {
+			got = append(got, p.String())
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d MUPs, want %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q: MUPs[%d] = %s, want %s", alg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestThresholdRate(t *testing.T) {
+	ds := datagen.Uniform(1000, []int{2, 2, 2}, 1)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{ThresholdRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold != 50 {
+		t.Errorf("resolved τ = %d, want 50", rep.Threshold)
+	}
+	// A tiny rate never resolves below τ = 1.
+	rep, err = an.FindMUPs(coverage.FindOptions{ThresholdRate: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold != 1 {
+		t.Errorf("resolved τ = %d, want 1", rep.Threshold)
+	}
+}
+
+func TestFindOptionErrors(t *testing.T) {
+	an := coverage.NewAnalyzer(auditFixture(t))
+	cases := []coverage.FindOptions{
+		{},                                     // no threshold
+		{Threshold: 5, ThresholdRate: 0.1},     // both
+		{ThresholdRate: 2},                     // rate > 1
+		{Threshold: 5, Algorithm: "quicksort"}, // unknown algorithm
+	}
+	for i, opts := range cases {
+		if _, err := an.FindMUPs(opts); err == nil {
+			t.Errorf("case %d: FindMUPs(%+v) succeeded, want error", i, opts)
+		}
+	}
+}
+
+func TestCoverageQuery(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	p, err := coverage.ParsePattern("0X", ds.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes are sorted labels: female=0, male=1.
+	got, err := an.Coverage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("cov(female, any race) = %d, want 3", got)
+	}
+	if _, err := an.Coverage(coverage.Pattern{9, 9}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTuples() == 0 {
+		t.Fatal("empty plan for an uncovered dataset")
+	}
+	// Applying τ copies per suggestion must leave no MUP at level ≤ 2.
+	aug := ds.Clone()
+	if err := plan.Apply(aug, int(rep.Threshold)); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := coverage.NewAnalyzer(aug).FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep2.MUPs {
+		if m.Level() <= 2 {
+			t.Errorf("MUP %v at level %d survives the plan", m, m.Level())
+		}
+	}
+}
+
+func TestPlanWithOracleAndValueCount(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value-count objective.
+	plan, err := an.Plan(rep, coverage.PlanOptions{MinValueCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Suggestions {
+		if len(s.Hits) == 0 {
+			t.Error("suggestion with no hits")
+		}
+	}
+	// Oracle filters immaterial targets instead of failing: forbid
+	// male entirely (sex code 1); plans must avoid male combos and
+	// drop male-only targets.
+	oracle, err := coverage.NewOracle(ds.Schema(), []coverage.Rule{
+		{Conditions: []coverage.Condition{{Attr: 0, Values: []uint8{1}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = an.Plan(rep, coverage.PlanOptions{MaxLevel: 2, Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Suggestions {
+		if s.Combo[0] == 1 {
+			t.Errorf("suggestion %v violates the oracle", s.Combo)
+		}
+	}
+	// Naive baseline agrees on plan size here.
+	naive, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2, Oracle: oracle, Naive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.NumTuples() != plan.NumTuples() {
+		t.Errorf("naive plan size %d, greedy %d", naive.NumTuples(), plan.NumTuples())
+	}
+}
+
+func TestPlanOptionErrors(t *testing.T) {
+	an := coverage.NewAnalyzer(auditFixture(t))
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Plan(rep, coverage.PlanOptions{}); err == nil {
+		t.Error("no objective accepted")
+	}
+	if _, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 1, MinValueCount: 2}); err == nil {
+		t.Error("both objectives accepted")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	ds := datagen.Zipf(1000, []int{2, 3, 2, 2}, 1.5, 3)
+	an := coverage.NewAnalyzer(ds)
+	pts, err := an.Profile([]float64{0.001, 0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// More demanding thresholds can only uncover more patterns at
+	// more general levels.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threshold <= pts[i-1].Threshold {
+			t.Errorf("thresholds not increasing: %+v", pts)
+		}
+		if pts[i].TotalMUPs > 0 && pts[i-1].TotalMUPs > 0 && pts[i].MinLevel > pts[i-1].MinLevel {
+			t.Errorf("min level rose with the threshold: %+v", pts)
+		}
+	}
+	if _, err := an.Profile([]float64{2}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	an := coverage.NewAnalyzer(auditFixture(t))
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"text", "markdown", "json"} {
+		var buf strings.Builder
+		if err := rep.Render(&buf, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(buf.String(), "other") {
+			t.Errorf("%s output missing the gap description:\n%s", format, buf.String())
+		}
+	}
+	if err := rep.Render(&strings.Builder{}, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestWeightedPlanThroughFacade(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make female profiles expensive: plans still cover everything and
+	// report a positive cost.
+	cost, err := coverage.NewCostModel(ds.Schema(), [][]float64{{5, 1}, {1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2, Cost: cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalCost() <= 0 {
+		t.Error("weighted plan has no cost")
+	}
+	var buf strings.Builder
+	if err := an.RenderPlan(&buf, "text", plan, coverage.PlanOptions{MaxLevel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "total cost") {
+		t.Errorf("plan rendering missing cost:\n%s", buf.String())
+	}
+	if _, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2, Cost: cost, Naive: true}); err == nil {
+		t.Error("naive+weighted combination accepted")
+	}
+}
+
+func TestCollectRowsThroughFacade(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := coverage.CollectRows(rand.New(rand.NewSource(1)), plan, ds.Schema(), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*plan.NumTuples() {
+		t.Fatalf("collected %d rows, want %d", len(rows), 2*plan.NumTuples())
+	}
+	aug := ds.Clone()
+	for _, row := range rows {
+		if err := aug.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep2, err := coverage.NewAnalyzer(aug).FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep2.MUPs {
+		if m.Level() <= 2 {
+			t.Errorf("MUP %v survives simulated collection", m)
+		}
+	}
+}
+
+func TestBucketsThroughFacade(t *testing.T) {
+	b, err := coverage.NewBuckets("age", []float64{20, 40, 60}, []string{"under 20", "20-39", "40-59", "60+"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Code(35) != 1 {
+		t.Errorf("Code(35) = %d, want 1", b.Code(35))
+	}
+	schema, err := coverage.NewSchema([]coverage.Attribute{b.Attribute(), {Name: "sex", Values: []string{"m", "f"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := coverage.NewDataset(schema)
+	if err := ds.Append([]uint8{b.Code(25), 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 1 {
+		t.Error("append through facade failed")
+	}
+}

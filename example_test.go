@@ -1,0 +1,106 @@
+package coverage_test
+
+import (
+	"fmt"
+	"strings"
+
+	"coverage"
+)
+
+// The examples audit a small hiring dataset with a missing subgroup
+// (no senior support staff) and then plan the cheapest remediation.
+const exampleCSV = `role,gender,seniority
+engineering,male,junior
+engineering,male,senior
+engineering,female,junior
+engineering,female,senior
+sales,male,junior
+sales,male,senior
+sales,female,junior
+sales,female,senior
+support,male,junior
+support,female,junior
+`
+
+func ExampleAnalyzer_FindMUPs() {
+	ds, err := coverage.ReadCSV(strings.NewReader(exampleCSV), coverage.CSVOptions{})
+	if err != nil {
+		panic(err)
+	}
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i, p := range rep.MUPs {
+		fmt.Println(p, "=", rep.Describe(i))
+	}
+	// Output:
+	// 2X1 = role=support, seniority=senior
+}
+
+func ExampleAnalyzer_Plan() {
+	ds, err := coverage.ReadCSV(strings.NewReader(exampleCSV), coverage.CSVOptions{})
+	if err != nil {
+		panic(err)
+	}
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range plan.Suggestions {
+		fmt.Println("collect:", ds.Schema().DescribePattern(s.Collect))
+	}
+	// Output:
+	// collect: role=support, seniority=senior
+}
+
+func ExampleAnalyzer_Coverage() {
+	ds, err := coverage.ReadCSV(strings.NewReader(exampleCSV), coverage.CSVOptions{})
+	if err != nil {
+		panic(err)
+	}
+	an := coverage.NewAnalyzer(ds)
+	p, err := coverage.ParsePattern("XX1", ds.Schema()) // seniority = senior
+	if err != nil {
+		panic(err)
+	}
+	cov, err := an.Coverage(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cov(%s) = %d\n", p, cov)
+	// Output:
+	// cov(XX1) = 4
+}
+
+func ExampleNewOracle() {
+	schema, err := coverage.NewSchema([]coverage.Attribute{
+		{Name: "gender", Values: []string{"male", "female"}},
+		{Name: "isPregnant", Values: []string{"no", "yes"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The paper's validation-rule example: {gender=male, isPregnant=yes}
+	// is semantically impossible.
+	oracle, err := coverage.NewOracle(schema, []coverage.Rule{
+		{Conditions: []coverage.Condition{
+			{Attr: 0, Values: []uint8{0}},
+			{Attr: 1, Values: []uint8{1}},
+		}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(oracle.AllowCombo([]uint8{0, 1}))
+	fmt.Println(oracle.AllowCombo([]uint8{1, 1}))
+	// Output:
+	// false
+	// true
+}

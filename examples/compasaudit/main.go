@@ -1,0 +1,127 @@
+// Command compasaudit reproduces the paper's §V-B study on a
+// COMPAS-like dataset (see DESIGN.md for the substitution): it audits
+// the coverage of the demographic attributes, shows the classifier's
+// blind spot on Hispanic females (Fig 11), and computes a validated
+// data-collection plan (§V-B3).
+//
+// Run it with:
+//
+//	go run ./examples/compasaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"coverage"
+	"coverage/internal/classify"
+	"coverage/internal/datagen"
+)
+
+func main() {
+	ds, labels := datagen.COMPAS(6889, 42)
+	an := coverage.NewAnalyzer(ds)
+
+	// --- §V-B1: lack of coverage in the demographic attributes ---
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := rep.LevelHistogram()
+	fmt.Printf("COMPAS-like audit (n=%d, τ=%d): %d MUPs\n", ds.NumRows(), rep.Threshold, len(rep.MUPs))
+	for lvl, n := range hist {
+		if n > 0 {
+			fmt.Printf("  level %d: %d MUPs\n", lvl, n)
+		}
+	}
+	fmt.Println("\nmost general gaps (level ≤ 2):")
+	for i, p := range rep.MUPs {
+		if p.Level() <= 2 {
+			fmt.Printf("  %-8s %s\n", p, rep.Describe(i))
+		}
+	}
+
+	// --- §V-B2 / Fig 11: effect of coverage on subgroup accuracy ---
+	fmt.Println("\nclassifier effect (Hispanic female subgroup):")
+	runFig11(ds, labels)
+
+	// --- §V-B3: validated coverage enhancement at λ = 2 ---
+	schema := ds.Schema()
+	oracle, err := coverage.NewOracle(schema, []coverage.Rule{
+		// marital status "unknown" is not collectible
+		{Conditions: []coverage.Condition{{Attr: datagen.CompasMarital, Values: []uint8{6}}}},
+		// people under 20 who are not single are ruled out
+		{Conditions: []coverage.Condition{
+			{Attr: datagen.CompasAge, Values: []uint8{0}},
+			{Attr: datagen.CompasMarital, Values: []uint8{1, 2, 3, 4, 5, 6}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2, Oracle: oracle})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidated collection plan for max covered level 2 (%d targets -> %d profiles):\n",
+		len(plan.Targets), plan.NumTuples())
+	for _, s := range plan.Suggestions {
+		fmt.Printf("  collect: %s\n", schema.DescribePattern(s.Collect))
+	}
+}
+
+// runFig11 trains the decision tree with {0, 20, 40, 60, 80} Hispanic
+// females in the training data and reports overall vs subgroup
+// accuracy on a held-out set of 20 HF, the series of Fig 11.
+func runFig11(ds *coverage.Dataset, labels []int) {
+	var hfIdx, restIdx []int
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[datagen.CompasSex] == datagen.CompasFemale && r[datagen.CompasRace] == datagen.CompasHispanic {
+			hfIdx = append(hfIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(hfIdx), func(i, j int) { hfIdx[i], hfIdx[j] = hfIdx[j], hfIdx[i] })
+	testHF := hfIdx[:20]
+	trainHF := hfIdx[20:]
+	testDS, testL := classify.Subset(ds, labels, testHF)
+
+	// Overall test set for the flat overall-accuracy line.
+	_, overallTest := classify.TrainTestSplit(rng, len(restIdx), 0.2)
+
+	fmt.Printf("  %-6s  %-16s  %-12s  %-12s\n", "#HF", "overall acc", "HF acc", "HF F1")
+	for _, nHF := range []int{0, 20, 40, 60, 80} {
+		if nHF > len(trainHF) {
+			nHF = len(trainHF)
+		}
+		trainIdx := append(append([]int(nil), restIdx...), trainHF[:nHF]...)
+		trainDS, trainL := classify.Subset(ds, labels, trainIdx)
+		tree, err := classify.TrainTree(trainDS, trainL, classify.TreeOptions{MaxDepth: 8, MinSamplesSplit: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hf, err := classify.Evaluate(tree.PredictAll(testDS), testL, tree.NumClasses())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ovDS, ovL := classify.Subset(ds, labels, overallTestIdx(restIdx, overallTest))
+		ov, err := classify.Evaluate(tree.PredictAll(ovDS), ovL, tree.NumClasses())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6d  %-16.2f  %-12.2f  %-12.2f\n", nHF, ov.Accuracy, hf.Accuracy, hf.F1)
+	}
+}
+
+// overallTestIdx maps positions within restIdx back to dataset rows.
+func overallTestIdx(restIdx, test []int) []int {
+	out := make([]int, len(test))
+	for i, t := range test {
+		out[i] = restIdx[t]
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Command quickstart is a 60-second tour of the coverage API: ingest a
+// small CSV, audit its coverage, and compute a remediation plan.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"coverage"
+)
+
+// A hiring dataset with two blind spots: no senior women in
+// engineering, and no senior support staff at all.
+const hiringCSV = `role,gender,seniority
+engineering,male,junior
+engineering,male,junior
+engineering,male,senior
+engineering,male,senior
+engineering,male,senior
+engineering,female,junior
+engineering,female,junior
+sales,male,junior
+sales,male,senior
+sales,female,junior
+sales,female,senior
+sales,female,senior
+support,male,junior
+support,female,junior
+support,male,junior
+support,female,junior
+`
+
+func main() {
+	ds, err := coverage.ReadCSV(strings.NewReader(hiringCSV), coverage.CSVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d rows, %d attributes\n\n", ds.NumRows(), ds.Dim())
+
+	// 1. Audit: which subgroups have fewer than τ = 1 representatives?
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("maximal uncovered patterns (τ = %d):\n", rep.Threshold)
+	for i, p := range rep.MUPs {
+		fmt.Printf("  %-10s  %s\n", p, rep.Describe(i))
+	}
+
+	// 2. Probe any subgroup's coverage directly.
+	p, err := coverage.ParsePattern("X1X", ds.Schema()) // gender = male
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov, err := an.Coverage(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncov(%s) = %d rows (%s)\n", p, cov, ds.Schema().DescribePattern(p))
+
+	// 3. Remedy: the fewest profiles to collect so that every
+	//    subgroup — down to full role × gender × seniority cells —
+	//    is represented.
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncollection plan (%d profiles close %d gaps):\n", plan.NumTuples(), len(plan.Targets))
+	for _, s := range plan.Suggestions {
+		fmt.Printf("  collect someone matching: %s\n", ds.Schema().DescribePattern(s.Collect))
+	}
+
+	// 4. Verify: after collecting, the audit is clean.
+	aug := ds.Clone()
+	if err := plan.Apply(aug, int(rep.Threshold)); err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := coverage.NewAnalyzer(aug).FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter collection: %d uncovered subgroups remain\n", len(rep2.MUPs))
+}

@@ -1,0 +1,302 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"coverage/internal/datagen"
+	"coverage/internal/dataset"
+)
+
+func xorDataset(t *testing.T, n int) (*dataset.Dataset, []int) {
+	t.Helper()
+	ds := dataset.New(dataset.BinarySchema("a", 2))
+	labels := make([]int, 0, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		a, b := uint8(rng.Intn(2)), uint8(rng.Intn(2))
+		ds.MustAppend([]uint8{a, b})
+		labels = append(labels, int(a^b))
+	}
+	return ds, labels
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	// XOR needs two levels of splits — a linear model cannot fit it,
+	// a depth-2 tree can, exactly.
+	ds, labels := xorDataset(t, 200)
+	tree, err := TrainTree(ds, labels, TreeOptions{MaxDepth: 2, MinSamplesSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(tree.PredictAll(ds), labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 1.0 {
+		t.Errorf("XOR training accuracy = %.3f, want 1.0", m.Accuracy)
+	}
+	if tree.Depth() != 2 {
+		t.Errorf("tree depth = %d, want 2", tree.Depth())
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	ds, labels := xorDataset(t, 200)
+	tree, err := TrainTree(ds, labels, TreeOptions{MaxDepth: 1, MinSamplesSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 1 {
+		t.Errorf("depth = %d exceeds MaxDepth 1", tree.Depth())
+	}
+	m, _ := Evaluate(tree.PredictAll(ds), labels, 2)
+	if m.Accuracy > 0.8 {
+		t.Errorf("depth-1 tree fits XOR with accuracy %.2f; it should not", m.Accuracy)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	ds, labels := xorDataset(t, 10)
+	if _, err := TrainTree(ds, labels[:5], TreeOptions{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := TrainTree(dataset.New(ds.Schema()), nil, TreeOptions{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	bad := append([]int(nil), labels...)
+	bad[0] = -1
+	if _, err := TrainTree(ds, bad, TreeOptions{}); err == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+func TestPredictDimensionPanics(t *testing.T) {
+	ds, labels := xorDataset(t, 50)
+	tree, err := TrainTree(ds, labels, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict with wrong dimension did not panic")
+		}
+	}()
+	tree.Predict([]uint8{0})
+}
+
+func TestUnseenValueFallsBackToMajority(t *testing.T) {
+	// Train with attribute 0 taking only value 0; predict value 1.
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "a", Values: []string{"x", "y", "z"}},
+		{Name: "b", Values: []string{"0", "1"}},
+	})
+	ds := dataset.New(s)
+	labels := []int{1, 1, 1, 0, 0, 1, 1, 1}
+	for i := range labels {
+		ds.MustAppend([]uint8{0, uint8(i % 2)})
+	}
+	tree, err := TrainTree(ds, labels, TreeOptions{MaxDepth: 3, MinSamplesSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic and must return some valid class.
+	got := tree.Predict([]uint8{2, 0})
+	if got != 0 && got != 1 {
+		t.Errorf("Predict on unseen value = %d", got)
+	}
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	truth := []int{1, 1, 1, 0, 0, 0, 1, 0}
+	pred := []int{1, 0, 1, 0, 1, 0, 1, 0}
+	m, err := Evaluate(pred, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP=3 FP=1 FN=1 TN=3.
+	if m.Accuracy != 0.75 {
+		t.Errorf("accuracy = %v, want 0.75", m.Accuracy)
+	}
+	if m.Precision != 0.75 {
+		t.Errorf("precision = %v, want 0.75", m.Precision)
+	}
+	if m.Recall != 0.75 {
+		t.Errorf("recall = %v, want 0.75", m.Recall)
+	}
+	if m.F1 != 0.75 {
+		t.Errorf("F1 = %v, want 0.75", m.F1)
+	}
+	if m.Confusion[1][0] != 1 || m.Confusion[0][1] != 1 || m.Confusion[1][1] != 3 || m.Confusion[0][0] != 3 {
+		t.Errorf("confusion = %v", m.Confusion)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate([]int{1}, []int{1, 0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Evaluate(nil, nil, 2); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+	if _, err := Evaluate([]int{5}, []int{0}, 2); err == nil {
+		t.Error("out-of-range prediction accepted")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train, test := TrainTestSplit(rng, 100, 0.2)
+	if len(test) != 20 || len(train) != 80 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int(nil), train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	// Clamped fractions.
+	tr, te := TrainTestSplit(rng, 10, -1)
+	if len(te) != 0 || len(tr) != 10 {
+		t.Errorf("negative fraction: %d/%d", len(tr), len(te))
+	}
+}
+
+func TestCrossValidateCompas(t *testing.T) {
+	// §V-B2: cross-validated accuracy ≈ 0.76 and F1 ≈ 0.7 on a random
+	// test set of the COMPAS-like data.
+	ds, labels := datagen.COMPAS(6889, 11)
+	acc, f1, err := CrossValidate(ds, labels, 5, TreeOptions{MaxDepth: 6, MinSamplesSplit: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.70 || acc > 0.82 {
+		t.Errorf("cross-validated accuracy = %.3f, want ≈ 0.76", acc)
+	}
+	if f1 < 0.60 || f1 > 0.85 {
+		t.Errorf("cross-validated F1 = %.3f, want ≈ 0.7", f1)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	ds, labels := xorDataset(t, 10)
+	if _, _, err := CrossValidate(ds, labels, 1, TreeOptions{}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	small, smallLabels := xorDataset(t, 3)
+	if _, _, err := CrossValidate(small, smallLabels, 5, TreeOptions{}, 1); err == nil {
+		t.Error("more folds than rows accepted")
+	}
+}
+
+func TestPureLabelsGiveLeafTree(t *testing.T) {
+	ds := dataset.New(dataset.BinarySchema("a", 3))
+	labels := make([]int, 20)
+	rng := rand.New(rand.NewSource(2))
+	for i := range labels {
+		ds.MustAppend([]uint8{uint8(rng.Intn(2)), uint8(rng.Intn(2)), uint8(rng.Intn(2))})
+		labels[i] = 1
+	}
+	tree, err := TrainTree(ds, labels, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Errorf("pure-label tree depth = %d, want 0", tree.Depth())
+	}
+	if got := tree.Predict([]uint8{0, 1, 0}); got != 1 {
+		t.Errorf("Predict = %d, want 1", got)
+	}
+	if tree.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d, want 2 (label 1 implies classes {0,1})", tree.NumClasses())
+	}
+}
+
+func TestEvaluateMulticlass(t *testing.T) {
+	truth := []int{0, 1, 2, 2, 1, 0}
+	pred := []int{0, 1, 2, 1, 1, 2}
+	m, err := Evaluate(pred, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 4.0/6.0 {
+		t.Errorf("accuracy = %v", m.Accuracy)
+	}
+	if m.Confusion[2][1] != 1 || m.Confusion[0][2] != 1 {
+		t.Errorf("confusion = %v", m.Confusion)
+	}
+	// Class-1 precision: predicted 1 three times, correct twice.
+	if m.Precision != 2.0/3.0 {
+		t.Errorf("precision = %v, want 2/3", m.Precision)
+	}
+	// Class-1 recall: two class-1 truths, both predicted 1.
+	if m.Recall != 1.0 {
+		t.Errorf("recall = %v, want 1", m.Recall)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, labels := xorDataset(t, 30)
+	sub, subL := Subset(ds, labels, []int{3, 7, 7})
+	if sub.NumRows() != 3 || len(subL) != 3 {
+		t.Fatalf("subset shape = (%d rows, %d labels)", sub.NumRows(), len(subL))
+	}
+	if string(sub.Row(1)) != string(ds.Row(7)) || string(sub.Row(2)) != string(ds.Row(7)) {
+		t.Error("subset rows do not match source indices")
+	}
+	if subL[0] != labels[3] {
+		t.Error("subset labels do not match source indices")
+	}
+}
+
+// TestSubgroupAccuracyEffect reproduces the core of Fig 11: a model
+// trained without Hispanic females performs far below its overall
+// accuracy on that subgroup, and adding HF training data improves it.
+func TestSubgroupAccuracyEffect(t *testing.T) {
+	ds, labels := datagen.COMPAS(6889, 7)
+	var hfIdx, restIdx []int
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[datagen.CompasSex] == datagen.CompasFemale && r[datagen.CompasRace] == datagen.CompasHispanic {
+			hfIdx = append(hfIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	if len(hfIdx) < 60 {
+		t.Fatalf("only %d Hispanic females generated", len(hfIdx))
+	}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(hfIdx), func(i, j int) { hfIdx[i], hfIdx[j] = hfIdx[j], hfIdx[i] })
+	testHF := hfIdx[:20]
+	trainHF := hfIdx[20:]
+
+	evalWith := func(nHF int) float64 {
+		if nHF > len(trainHF) {
+			nHF = len(trainHF)
+		}
+		trainIdx := append(append([]int(nil), restIdx...), trainHF[:nHF]...)
+		trainDS, trainL := Subset(ds, labels, trainIdx)
+		tree, err := TrainTree(trainDS, trainL, TreeOptions{MaxDepth: 8, MinSamplesSplit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testDS, testL := Subset(ds, labels, testHF)
+		m, err := Evaluate(tree.PredictAll(testDS), testL, tree.NumClasses())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Accuracy
+	}
+
+	accWithout := evalWith(0)
+	accWith := evalWith(len(trainHF))
+	if accWithout >= 0.55 {
+		t.Errorf("accuracy on HF without HF training data = %.2f, want < 0.55 (paper: < 0.50)", accWithout)
+	}
+	if accWith <= accWithout+0.10 {
+		t.Errorf("adding HF training data moved accuracy %.2f -> %.2f, want a clear improvement", accWithout, accWith)
+	}
+}

@@ -1,0 +1,109 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coverage/internal/dataset"
+)
+
+// Metrics summarizes binary-classification quality. Precision, recall
+// and F1 are computed for the positive class 1, matching the paper's
+// use of accuracy and f1-measure on the re-offense label.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	Confusion [][]int // Confusion[truth][predicted]
+	N         int
+}
+
+// Evaluate compares predictions against ground truth over numClasses
+// classes.
+func Evaluate(pred, truth []int, numClasses int) (Metrics, error) {
+	if len(pred) != len(truth) {
+		return Metrics{}, fmt.Errorf("classify: %d predictions for %d truths", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return Metrics{}, fmt.Errorf("classify: cannot evaluate zero samples")
+	}
+	m := Metrics{N: len(pred), Confusion: make([][]int, numClasses)}
+	for i := range m.Confusion {
+		m.Confusion[i] = make([]int, numClasses)
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] < 0 || pred[i] >= numClasses || truth[i] < 0 || truth[i] >= numClasses {
+			return Metrics{}, fmt.Errorf("classify: label out of range at sample %d (pred %d, truth %d)", i, pred[i], truth[i])
+		}
+		m.Confusion[truth[i]][pred[i]]++
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	m.Accuracy = float64(correct) / float64(len(pred))
+	if numClasses >= 2 {
+		tp := m.Confusion[1][1]
+		fp, fn := 0, 0
+		for c := 0; c < numClasses; c++ {
+			if c != 1 {
+				fp += m.Confusion[c][1]
+				fn += m.Confusion[1][c]
+			}
+		}
+		if tp+fp > 0 {
+			m.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = float64(tp) / float64(tp+fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+	}
+	return m, nil
+}
+
+// CrossValidate runs k-fold cross-validation and returns the mean
+// accuracy and F1 across folds — the paper's §V-B2 sanity check that
+// the model "has acceptable accuracy and f1 measures over a random
+// test set".
+func CrossValidate(ds *dataset.Dataset, labels []int, k int, opts TreeOptions, seed int64) (meanAcc, meanF1 float64, err error) {
+	if k < 2 {
+		return 0, 0, fmt.Errorf("classify: need at least 2 folds, got %d", k)
+	}
+	n := ds.NumRows()
+	if n < k {
+		return 0, 0, fmt.Errorf("classify: %d rows cannot be split into %d folds", n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	foldOf := make([]int, n)
+	for i, p := range perm {
+		foldOf[p] = i % k
+	}
+	for f := 0; f < k; f++ {
+		var trainIdx, testIdx []int
+		for i := 0; i < n; i++ {
+			if foldOf[i] == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		trainDS, trainL := Subset(ds, labels, trainIdx)
+		testDS, testL := Subset(ds, labels, testIdx)
+		tree, terr := TrainTree(trainDS, trainL, opts)
+		if terr != nil {
+			return 0, 0, terr
+		}
+		m, merr := Evaluate(tree.PredictAll(testDS), testL, tree.NumClasses())
+		if merr != nil {
+			return 0, 0, merr
+		}
+		meanAcc += m.Accuracy
+		meanF1 += m.F1
+	}
+	return meanAcc / float64(k), meanF1 / float64(k), nil
+}

@@ -1,0 +1,253 @@
+// Package classify provides the classifier substrate for the §V-B
+// experiments of Asudeh et al. (ICDE 2019): a CART-style decision tree
+// over categorical attributes (the paper used scikit-learn's decision
+// tree; see the substitution table in DESIGN.md), plus the evaluation
+// metrics (accuracy, precision, recall, F1) and split/cross-validation
+// helpers the experiments need.
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coverage/internal/dataset"
+)
+
+// TreeOptions configures decision-tree training.
+type TreeOptions struct {
+	// MaxDepth bounds the tree depth; 0 means the default of 12.
+	MaxDepth int
+	// MinSamplesSplit is the minimum number of rows a node needs to be
+	// split further; 0 means the default of 4.
+	MinSamplesSplit int
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 12
+	}
+	if o.MinSamplesSplit <= 0 {
+		o.MinSamplesSplit = 4
+	}
+	return o
+}
+
+// DecisionTree is a trained multiway decision tree over categorical
+// attributes, split by Gini impurity.
+type DecisionTree struct {
+	root       *treeNode
+	numClasses int
+	dim        int
+}
+
+type treeNode struct {
+	// leaf
+	class int
+	// split
+	attr     int
+	children []*treeNode // one per attribute value; nil child falls back to majority
+	majority int
+}
+
+func (n *treeNode) isLeaf() bool { return n.children == nil }
+
+// TrainTree fits a decision tree on the dataset's rows and the
+// parallel integer labels (classes 0..k-1).
+func TrainTree(ds *dataset.Dataset, labels []int, opts TreeOptions) (*DecisionTree, error) {
+	if ds.NumRows() == 0 {
+		return nil, fmt.Errorf("classify: cannot train on an empty dataset")
+	}
+	if len(labels) != ds.NumRows() {
+		return nil, fmt.Errorf("classify: %d labels for %d rows", len(labels), ds.NumRows())
+	}
+	numClasses := 0
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("classify: negative label %d", l)
+		}
+		if l+1 > numClasses {
+			numClasses = l + 1
+		}
+	}
+	opts = opts.withDefaults()
+	idx := make([]int, ds.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	used := make([]bool, ds.Dim())
+	tr := &trainer{ds: ds, labels: labels, numClasses: numClasses, opts: opts}
+	root := tr.build(idx, used, 0)
+	return &DecisionTree{root: root, numClasses: numClasses, dim: ds.Dim()}, nil
+}
+
+type trainer struct {
+	ds         *dataset.Dataset
+	labels     []int
+	numClasses int
+	opts       TreeOptions
+}
+
+// classCounts tallies labels over the index set.
+func (tr *trainer) classCounts(idx []int) []int {
+	counts := make([]int, tr.numClasses)
+	for _, i := range idx {
+		counts[tr.labels[i]]++
+	}
+	return counts
+}
+
+func majorityClass(counts []int) int {
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// gini returns the Gini impurity of the class counts.
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, n := range counts {
+		p := float64(n) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func (tr *trainer) build(idx []int, used []bool, depth int) *treeNode {
+	counts := tr.classCounts(idx)
+	maj := majorityClass(counts)
+	pure := counts[maj] == len(idx)
+	if pure || depth >= tr.opts.MaxDepth || len(idx) < tr.opts.MinSamplesSplit {
+		return &treeNode{class: maj}
+	}
+
+	parentGini := gini(counts, len(idx))
+	bestAttr, bestGain := -1, 0.0
+	cards := tr.ds.Cards()
+	for a := 0; a < tr.ds.Dim(); a++ {
+		if used[a] {
+			continue
+		}
+		// Weighted child impurity for a multiway split on attribute a.
+		childCounts := make([][]int, cards[a])
+		childTotals := make([]int, cards[a])
+		for v := range childCounts {
+			childCounts[v] = make([]int, tr.numClasses)
+		}
+		for _, i := range idx {
+			v := tr.ds.Row(i)[a]
+			childCounts[v][tr.labels[i]]++
+			childTotals[v]++
+		}
+		weighted := 0.0
+		for v := range childCounts {
+			if childTotals[v] == 0 {
+				continue
+			}
+			weighted += float64(childTotals[v]) / float64(len(idx)) * gini(childCounts[v], childTotals[v])
+		}
+		if gain := parentGini - weighted; gain > bestGain+1e-12 {
+			bestAttr, bestGain = a, gain
+		}
+	}
+	if bestAttr < 0 {
+		return &treeNode{class: maj}
+	}
+
+	// Partition the index set by the chosen attribute's value.
+	parts := make([][]int, cards[bestAttr])
+	for _, i := range idx {
+		v := tr.ds.Row(i)[bestAttr]
+		parts[v] = append(parts[v], i)
+	}
+	node := &treeNode{attr: bestAttr, children: make([]*treeNode, cards[bestAttr]), majority: maj}
+	used[bestAttr] = true
+	for v, part := range parts {
+		if len(part) == 0 {
+			continue // fall back to the parent's majority at predict time
+		}
+		node.children[v] = tr.build(part, used, depth+1)
+	}
+	used[bestAttr] = false
+	return node
+}
+
+// Predict returns the predicted class for one row.
+func (t *DecisionTree) Predict(row []uint8) int {
+	if len(row) != t.dim {
+		panic(fmt.Sprintf("classify: row has %d values, tree expects %d", len(row), t.dim))
+	}
+	n := t.root
+	for !n.isLeaf() {
+		child := n.children[row[n.attr]]
+		if child == nil {
+			return n.majority
+		}
+		n = child
+	}
+	return n.class
+}
+
+// PredictAll predicts every row of the dataset.
+func (t *DecisionTree) PredictAll(ds *dataset.Dataset) []int {
+	out := make([]int, ds.NumRows())
+	for i := range out {
+		out[i] = t.Predict(ds.Row(i))
+	}
+	return out
+}
+
+// NumClasses returns the number of classes the tree was trained with.
+func (t *DecisionTree) NumClasses() int { return t.numClasses }
+
+// Depth returns the depth of the trained tree (a leaf-only tree has
+// depth 0).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n.isLeaf() {
+		return 0
+	}
+	max := 0
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		if d := nodeDepth(c); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// TrainTestSplit shuffles 0..n-1 and splits it into train and test
+// index sets with the given test fraction.
+func TrainTestSplit(rng *rand.Rand, n int, testFrac float64) (train, test []int) {
+	if testFrac < 0 {
+		testFrac = 0
+	}
+	if testFrac > 1 {
+		testFrac = 1
+	}
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	return perm[nTest:], perm[:nTest]
+}
+
+// Subset copies the selected rows (and labels) into a fresh dataset.
+func Subset(ds *dataset.Dataset, labels []int, idx []int) (*dataset.Dataset, []int) {
+	out := dataset.New(ds.Schema())
+	out.Grow(len(idx))
+	outLabels := make([]int, 0, len(idx))
+	for _, i := range idx {
+		out.MustAppend(ds.Row(i))
+		outLabels = append(outLabels, labels[i])
+	}
+	return out, outLabels
+}

@@ -1,0 +1,281 @@
+package datagen
+
+import (
+	"testing"
+
+	"coverage/internal/pattern"
+)
+
+func TestDiagonalShape(t *testing.T) {
+	ds := Diagonal(5)
+	if ds.NumRows() != 5 || ds.Dim() != 5 {
+		t.Fatalf("shape = (%d, %d), want (5, 5)", ds.NumRows(), ds.Dim())
+	}
+	for i := 0; i < 5; i++ {
+		row := ds.Row(i)
+		for j, v := range row {
+			want := uint8(0)
+			if i == j {
+				want = 1
+			}
+			if v != want {
+				t.Errorf("row %d col %d = %d, want %d", i, j, v, want)
+			}
+		}
+	}
+}
+
+func TestVertexCoverReduction(t *testing.T) {
+	g := Graph{V: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	ds, err := VertexCoverReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != g.V+3 {
+		t.Fatalf("rows = %d, want %d", ds.NumRows(), g.V+3)
+	}
+	if ds.Dim() != len(g.Edges) {
+		t.Fatalf("dim = %d, want %d", ds.Dim(), len(g.Edges))
+	}
+	// Vertex 1 is incident to edges 0 and 1.
+	if got := ds.Row(1); got[0] != 1 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("vertex 1 row = %v", got)
+	}
+	// The three padding rows are all-zero.
+	for i := g.V; i < g.V+3; i++ {
+		for _, v := range ds.Row(i) {
+			if v != 0 {
+				t.Errorf("padding row %d not all-zero: %v", i, ds.Row(i))
+			}
+		}
+	}
+	// Per-edge pattern coverage must be 2 (its two endpoints).
+	p := pattern.All(3)
+	p[1] = 1
+	if got := ds.CountMatches(p); got != 2 {
+		t.Errorf("cov(edge pattern) = %d, want 2", got)
+	}
+}
+
+func TestVertexCoverReductionErrors(t *testing.T) {
+	if _, err := VertexCoverReduction(Graph{V: 3}); err == nil {
+		t.Error("no edges accepted")
+	}
+	if _, err := VertexCoverReduction(Graph{V: 2, Edges: [][2]int{{0, 5}}}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := VertexCoverReduction(Graph{V: 2, Edges: [][2]int{{1, 1}}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestAirBnBDeterministicAndSkewed(t *testing.T) {
+	a := AirBnB(2000, 13, 7)
+	b := AirBnB(2000, 13, 7)
+	if a.NumRows() != 2000 || a.Dim() != 13 {
+		t.Fatalf("shape = (%d, %d)", a.NumRows(), a.Dim())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if string(a.Row(i)) != string(b.Row(i)) {
+			t.Fatal("AirBnB not deterministic for fixed seed")
+		}
+	}
+	c := AirBnB(2000, 13, 8)
+	same := true
+	for i := 0; i < a.NumRows(); i++ {
+		if string(a.Row(i)) != string(c.Row(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+	// Skew: attribute marginals must not all be near 0.5.
+	extreme := 0
+	for j := 0; j < a.Dim(); j++ {
+		ones := 0
+		for i := 0; i < a.NumRows(); i++ {
+			if a.Row(i)[j] == 1 {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(a.NumRows())
+		if frac < 0.25 || frac > 0.75 {
+			extreme++
+		}
+	}
+	if extreme < 3 {
+		t.Errorf("only %d of %d attributes are skewed; generator looks uniform", extreme, a.Dim())
+	}
+}
+
+func TestAirBnBDimensionBounds(t *testing.T) {
+	for _, d := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AirBnB(d=%d) did not panic", d)
+				}
+			}()
+			AirBnB(10, d, 1)
+		}()
+	}
+}
+
+func TestCOMPASShapeAndMarginals(t *testing.T) {
+	ds, labels := COMPAS(6889, 1)
+	if ds.NumRows() != 6889 || ds.Dim() != 4 || len(labels) != 6889 {
+		t.Fatalf("shape = (%d, %d), %d labels", ds.NumRows(), ds.Dim(), len(labels))
+	}
+	cards := ds.Cards()
+	want := []int{2, 4, 4, 7}
+	for i, c := range cards {
+		if c != want[i] {
+			t.Errorf("cardinality %d = %d, want %d", i, c, want[i])
+		}
+	}
+	// Marginal sanity: males dominate, African-Americans are the
+	// largest race group, singles dominate marital status.
+	count := func(attr int, val uint8) int {
+		n := 0
+		for i := 0; i < ds.NumRows(); i++ {
+			if ds.Row(i)[attr] == val {
+				n++
+			}
+		}
+		return n
+	}
+	if males := count(CompasSex, 0); males < ds.NumRows()*7/10 {
+		t.Errorf("males = %d of %d, want ≥ 70%%", males, ds.NumRows())
+	}
+	if aa := count(CompasRace, 0); aa < ds.NumRows()*4/10 {
+		t.Errorf("african-american = %d of %d, want ≥ 40%%", aa, ds.NumRows())
+	}
+	if single := count(CompasMarital, 0); single < ds.NumRows()*6/10 {
+		t.Errorf("single = %d of %d, want ≥ 60%%", single, ds.NumRows())
+	}
+	// Hispanic females must be a genuine minority but present —
+	// the paper's dataset has about 100 of 6,889.
+	hf := 0
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[CompasSex] == CompasFemale && r[CompasRace] == CompasHispanic {
+			hf++
+		}
+	}
+	if hf < 40 || hf > 300 {
+		t.Errorf("hispanic females = %d, want a small but present minority", hf)
+	}
+	// Labels must be binary and mixed.
+	ones := 0
+	for _, l := range labels {
+		if l != 0 && l != 1 {
+			t.Fatalf("label %d not binary", l)
+		}
+		ones += l
+	}
+	if ones == 0 || ones == len(labels) {
+		t.Error("labels are constant")
+	}
+}
+
+func TestCOMPASSubgroupBehaviorDiffers(t *testing.T) {
+	// Hispanic females must have a different label distribution from
+	// the rest — this is the ground truth driving the Fig 11
+	// experiment.
+	// Compare the young (age < 40) conditional positive rates: the
+	// majority re-offends mostly, Hispanic females mostly do not.
+	ds, labels := COMPAS(20000, 2)
+	var hfPos, hfN, restPos, restN int
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[CompasAge] > 1 {
+			continue
+		}
+		if r[CompasSex] == CompasFemale && r[CompasRace] == CompasHispanic {
+			hfPos += labels[i]
+			hfN++
+		} else {
+			restPos += labels[i]
+			restN++
+		}
+	}
+	if hfN == 0 {
+		t.Fatal("no young Hispanic females generated")
+	}
+	hfRate := float64(hfPos) / float64(hfN)
+	restRate := float64(restPos) / float64(restN)
+	if restRate-hfRate < 0.20 {
+		t.Errorf("young HF positive rate %.2f vs rest %.2f: subgroup behavior not inverted", hfRate, restRate)
+	}
+}
+
+func TestBlueNileShapeAndSkew(t *testing.T) {
+	ds := BlueNile(5000, 3)
+	if ds.NumRows() != 5000 || ds.Dim() != 7 {
+		t.Fatalf("shape = (%d, %d)", ds.NumRows(), ds.Dim())
+	}
+	want := []int{10, 4, 7, 8, 3, 3, 5}
+	for i, c := range ds.Cards() {
+		if c != want[i] {
+			t.Errorf("cardinality %d = %d, want %d", i, c, want[i])
+		}
+	}
+	// Round (shape code 0) must dominate the catalog.
+	round := 0
+	for i := 0; i < ds.NumRows(); i++ {
+		if ds.Row(i)[0] == 0 {
+			round++
+		}
+	}
+	if frac := float64(round) / float64(ds.NumRows()); frac < 0.2 {
+		t.Errorf("round share = %.2f, want clearly dominant", frac)
+	}
+	// Correlation: cut and polish come from the same latent quality,
+	// so high-cut diamonds should have above-average polish.
+	var sumHigh, nHigh, sumLow, nLow float64
+	for i := 0; i < ds.NumRows(); i++ {
+		r := ds.Row(i)
+		if r[1] >= 2 {
+			sumHigh += float64(r[4])
+			nHigh++
+		} else {
+			sumLow += float64(r[4])
+			nLow++
+		}
+	}
+	if nHigh == 0 || nLow == 0 {
+		t.Fatal("degenerate cut distribution")
+	}
+	if sumHigh/nHigh <= sumLow/nLow {
+		t.Errorf("polish not correlated with cut: high-cut mean %.2f vs low-cut %.2f", sumHigh/nHigh, sumLow/nLow)
+	}
+}
+
+func TestUniformAndZipf(t *testing.T) {
+	cards := []int{3, 4}
+	u := Uniform(3000, cards, 5)
+	if u.NumRows() != 3000 || u.Dim() != 2 {
+		t.Fatalf("uniform shape = (%d, %d)", u.NumRows(), u.Dim())
+	}
+	// Uniform: each value of attribute 0 near 1/3.
+	counts := make([]int, 3)
+	for i := 0; i < u.NumRows(); i++ {
+		counts[u.Row(i)[0]]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / 3000
+		if frac < 0.25 || frac > 0.42 {
+			t.Errorf("uniform value %d frac = %.2f, want ≈ 0.33", v, frac)
+		}
+	}
+	z := Zipf(3000, cards, 1.5, 5)
+	zc := make([]int, 3)
+	for i := 0; i < z.NumRows(); i++ {
+		zc[z.Row(i)[0]]++
+	}
+	if !(zc[0] > zc[1] && zc[1] > zc[2]) {
+		t.Errorf("zipf counts not decreasing: %v", zc)
+	}
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Buckets discretizes a continuous attribute into ordered ranges —
+// the paper's §II "bucketization: putting similar values into the same
+// bucket" for continuous or high-cardinality attributes. A value v
+// falls into bucket i where i is the number of bounds ≤ v; with k
+// bounds there are k+1 buckets.
+type Buckets struct {
+	Name   string
+	Bounds []float64 // strictly ascending
+	Labels []string  // len(Bounds)+1 labels; empty means auto-generated
+}
+
+// NewBuckets validates the bounds (strictly ascending) and labels
+// (either empty or exactly len(bounds)+1).
+func NewBuckets(name string, bounds []float64, labels []string) (*Buckets, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("dataset: bucket bounds must be strictly ascending, got %v", bounds)
+		}
+	}
+	if len(labels) != 0 && len(labels) != len(bounds)+1 {
+		return nil, fmt.Errorf("dataset: %d bounds need %d labels, got %d", len(bounds), len(bounds)+1, len(labels))
+	}
+	if len(labels) == 0 {
+		labels = make([]string, len(bounds)+1)
+		for i := range labels {
+			switch {
+			case i == 0 && len(bounds) > 0:
+				labels[i] = fmt.Sprintf("<%g", bounds[0])
+			case i == len(bounds) && len(bounds) > 0:
+				labels[i] = fmt.Sprintf(">=%g", bounds[len(bounds)-1])
+			case len(bounds) == 0:
+				labels[i] = "all"
+			default:
+				labels[i] = fmt.Sprintf("[%g,%g)", bounds[i-1], bounds[i])
+			}
+		}
+	}
+	return &Buckets{Name: name, Bounds: append([]float64(nil), bounds...), Labels: append([]string(nil), labels...)}, nil
+}
+
+// Code returns the bucket code of v.
+func (b *Buckets) Code(v float64) uint8 {
+	// sort.SearchFloat64s returns the number of bounds < v for
+	// presence, but we want bounds ≤ v: search for the first bound > v.
+	i := sort.Search(len(b.Bounds), func(i int) bool { return b.Bounds[i] > v })
+	return uint8(i)
+}
+
+// Attribute returns the categorical attribute describing the buckets.
+func (b *Buckets) Attribute() Attribute {
+	return Attribute{Name: b.Name, Values: append([]string(nil), b.Labels...)}
+}
+
+// Apply discretizes a column of continuous values into codes.
+func (b *Buckets) Apply(values []float64) []uint8 {
+	out := make([]uint8, len(values))
+	for i, v := range values {
+		out[i] = b.Code(v)
+	}
+	return out
+}

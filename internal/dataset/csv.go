@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"coverage/internal/pattern"
+)
+
+// CSVOptions controls CSV ingestion.
+type CSVOptions struct {
+	// Columns selects the attributes of interest by header name.
+	// Empty means all columns.
+	Columns []string
+	// MaxCardinality caps the number of distinct values accepted per
+	// column; ingestion fails if exceeded. Zero means the package
+	// maximum (pattern.MaxCardinality - 1). The paper assumes
+	// low-cardinality attributes; high-cardinality columns should be
+	// bucketized first (see Buckets).
+	MaxCardinality int
+	// Comma is the field delimiter; zero means ','.
+	Comma rune
+}
+
+// ReadCSV ingests a CSV stream whose first record is a header. Value
+// dictionaries are built per column with codes assigned by sorted
+// value order, so the schema is independent of row order.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no header row")
+	}
+	header := records[0]
+	cols, err := selectColumns(header, opts.Columns)
+	if err != nil {
+		return nil, err
+	}
+	maxCard := opts.MaxCardinality
+	if maxCard <= 0 || maxCard > pattern.MaxCardinality-1 {
+		maxCard = pattern.MaxCardinality - 1
+	}
+
+	// First pass: collect distinct values per selected column.
+	sets := make([]map[string]bool, len(cols))
+	for i := range sets {
+		sets[i] = make(map[string]bool)
+	}
+	for rowNum, rec := range records[1:] {
+		for k, c := range cols {
+			if c >= len(rec) {
+				return nil, fmt.Errorf("dataset: row %d has %d fields, column %q is #%d", rowNum+2, len(rec), header[c], c+1)
+			}
+			sets[k][rec[c]] = true
+			if len(sets[k]) > maxCard {
+				return nil, fmt.Errorf("dataset: column %q exceeds max cardinality %d; bucketize it first", header[c], maxCard)
+			}
+		}
+	}
+	attrs := make([]Attribute, len(cols))
+	codeOf := make([]map[string]uint8, len(cols))
+	for k, c := range cols {
+		values := make([]string, 0, len(sets[k]))
+		for v := range sets[k] {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		attrs[k] = Attribute{Name: header[c], Values: values}
+		codeOf[k] = make(map[string]uint8, len(values))
+		for code, v := range values {
+			codeOf[k][v] = uint8(code)
+		}
+	}
+	schema, err := NewSchema(attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	ds := New(schema)
+	ds.Grow(len(records) - 1)
+	row := make([]uint8, len(cols))
+	for _, rec := range records[1:] {
+		for k, c := range cols {
+			row[k] = codeOf[k][rec[c]]
+		}
+		ds.MustAppend(row)
+	}
+	return ds, nil
+}
+
+func selectColumns(header []string, want []string) ([]int, error) {
+	if len(want) == 0 {
+		cols := make([]int, len(header))
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols, nil
+	}
+	cols := make([]int, 0, len(want))
+	for _, name := range want {
+		found := -1
+		for i, h := range header {
+			if h == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("dataset: CSV has no column %q (header: %v)", name, header)
+		}
+		cols = append(cols, found)
+	}
+	return cols, nil
+}
+
+// WriteCSV writes the dataset with a header row, rendering value
+// labels rather than codes.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, d.Dim())
+	for i := range header {
+		header[i] = d.schema.Attr(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, d.Dim())
+	for i := 0; i < d.n; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			rec[j] = d.schema.Attr(j).Values[v]
+		}
+		// encoding/csv writes a single empty field as a blank line,
+		// which its reader then skips; quote it explicitly so the
+		// row survives a round trip.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+			}
+			continue
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

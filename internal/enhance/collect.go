@@ -1,0 +1,58 @@
+package enhance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coverage/internal/pattern"
+)
+
+// Collect simulates the data-acquisition phase: for every suggestion
+// of the plan it draws copies tuples uniformly at random from the
+// value combinations matching the suggestion's generalized Collect
+// pattern (§IV-B: "It provides more freedom to the user in the data
+// collection" — any match hits the same targets). When an oracle is
+// given, draws that violate it are rejected and resampled; after too
+// many rejections the suggestion's own concrete combination, which is
+// always valid, is used instead.
+//
+// The returned rows are ready to append to the dataset; appending them
+// with copies ≥ τ per suggestion raises the maximum covered level to
+// the plan's target.
+func Collect(rng *rand.Rand, plan *Plan, cards []int, oracle *Oracle, copies int) ([][]uint8, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("enhance: copies must be positive, got %d", copies)
+	}
+	const maxRejects = 64
+	rows := make([][]uint8, 0, copies*len(plan.Suggestions))
+	for _, s := range plan.Suggestions {
+		if len(s.Collect) != len(cards) {
+			return nil, fmt.Errorf("enhance: suggestion pattern %v does not match schema dimension %d", s.Collect, len(cards))
+		}
+		for c := 0; c < copies; c++ {
+			row := drawMatch(rng, s, cards, oracle, maxRejects)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// drawMatch samples one tuple matching s.Collect, resampling on oracle
+// rejection and falling back to s.Combo.
+func drawMatch(rng *rand.Rand, s Suggestion, cards []int, oracle *Oracle, maxRejects int) []uint8 {
+	row := make([]uint8, len(cards))
+	for attempt := 0; attempt < maxRejects; attempt++ {
+		for i, v := range s.Collect {
+			if v == pattern.Wildcard {
+				row[i] = uint8(rng.Intn(cards[i]))
+			} else {
+				row[i] = v
+			}
+		}
+		if oracle.AllowCombo(row) {
+			return row
+		}
+	}
+	copy(row, s.Combo)
+	return row
+}

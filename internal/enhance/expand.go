@@ -1,0 +1,107 @@
+package enhance
+
+import (
+	"fmt"
+	"sort"
+
+	"coverage/internal/pattern"
+)
+
+// maxExpansion bounds the number of uncovered patterns an expansion is
+// willing to materialize as hitting-set targets.
+const maxExpansion = 1 << 24
+
+// UncoveredAtLevel enumerates every uncovered pattern at exactly level
+// λ — Appendix C: covering the MUPs alone is not enough, because a
+// covered MUP may still dominate uncovered descendants at level λ; the
+// complete set to hit is the union of the level-λ descendants of every
+// MUP with level ≤ λ. MUPs deeper than λ impose nothing at level λ.
+// Results are deduplicated and sorted for determinism.
+func UncoveredAtLevel(mups []pattern.Pattern, cards []int, lambda int) ([]pattern.Pattern, error) {
+	if lambda < 0 || lambda > len(cards) {
+		return nil, fmt.Errorf("enhance: level %d out of range [0, %d]", lambda, len(cards))
+	}
+	seen := make(map[string]bool)
+	var out []pattern.Pattern
+	for _, m := range mups {
+		if m.Level() > lambda {
+			continue
+		}
+		// Refuse before materializing: a single general MUP can expand
+		// to a combinatorial number of level-λ descendants.
+		if n := m.DescendantCount(cards, lambda); n > maxExpansion {
+			return nil, fmt.Errorf("enhance: MUP %v alone has %d descendants at level %d (max %d); lower λ or raise the threshold", m, n, lambda, maxExpansion)
+		}
+		for _, p := range m.DescendantsAtLevel(cards, lambda) {
+			k := p.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, p)
+			if len(out) > maxExpansion {
+				return nil, fmt.Errorf("enhance: more than %d uncovered patterns at level %d; lower λ or raise the threshold", maxExpansion, lambda)
+			}
+		}
+	}
+	sortPatterns(out)
+	return out, nil
+}
+
+// UncoveredByValueCount enumerates every uncovered pattern whose value
+// count (Definition 7: the number of value combinations matching it)
+// is at least minCount — the alternative target-selection criterion of
+// §II/§IV. The walk descends from the MUPs, pruning once the value
+// count drops below minCount (instantiating a wildcard divides the
+// count by that attribute's cardinality, so it is monotone along every
+// downward path).
+func UncoveredByValueCount(mups []pattern.Pattern, cards []int, minCount uint64) ([]pattern.Pattern, error) {
+	if minCount == 0 {
+		return nil, fmt.Errorf("enhance: minimum value count must be positive")
+	}
+	seen := make(map[string]bool)
+	var out []pattern.Pattern
+	var queue []pattern.Pattern
+	push := func(p pattern.Pattern) error {
+		k := p.Key()
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+		if p.ValueCount(cards) < minCount {
+			return nil
+		}
+		out = append(out, p)
+		if len(out) > maxExpansion {
+			return fmt.Errorf("enhance: more than %d uncovered patterns with value count ≥ %d", maxExpansion, minCount)
+		}
+		queue = append(queue, p)
+		return nil
+	}
+	for _, m := range mups {
+		if err := push(m); err != nil {
+			return nil, err
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, ch := range p.Children(cards) {
+			if err := push(ch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortPatterns(out)
+	return out, nil
+}
+
+func sortPatterns(ps []pattern.Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		li, lj := ps[i].Level(), ps[j].Level()
+		if li != lj {
+			return li < lj
+		}
+		return ps[i].Key() < ps[j].Key()
+	})
+}

@@ -1,0 +1,82 @@
+package enhance
+
+import (
+	"fmt"
+
+	"coverage/internal/bitvec"
+	"coverage/internal/pattern"
+)
+
+// maxNaiveCombos bounds the combination space the naïve planner will
+// materialize.
+const maxNaiveCombos = 1 << 22
+
+// NaiveGreedy is the direct implementation of the hitting set's greedy
+// approximation the paper compares against in Fig 17: it materializes
+// the full bipartite graph — every valid value combination with its
+// explicit hit set over the targets — and repeatedly picks the
+// combination hitting the most unhit patterns. Exponential in the
+// number of attributes; it exists as the baseline and as a correctness
+// oracle for Greedy in tests.
+func NaiveGreedy(targets []pattern.Pattern, cards []int, oracle *Oracle) (*Plan, error) {
+	if err := checkTargets(targets, cards); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Targets: targets, Stats: PlanStats{Algorithm: "naive-greedy"}}
+	if len(targets) == 0 {
+		return plan, nil
+	}
+	if total := pattern.TotalCombos(cards); total > maxNaiveCombos {
+		return nil, fmt.Errorf("enhance: naive planner refuses %d combinations; use Greedy", total)
+	}
+
+	m := len(targets)
+	var combos [][]uint8
+	var hitSets []*bitvec.Vector
+	pattern.EnumerateCombos(cards, func(combo []uint8) bool {
+		plan.Stats.NodesExplored++
+		if oracle != nil && !oracle.AllowCombo(combo) {
+			return true
+		}
+		hits := bitvec.New(m)
+		for j, p := range targets {
+			if p.Matches(combo) {
+				hits.Set(j)
+			}
+		}
+		if hits.Any() {
+			combos = append(combos, append([]uint8(nil), combo...))
+			hitSets = append(hitSets, hits)
+		}
+		return true
+	})
+
+	filter := bitvec.NewOnes(m)
+	for filter.Any() {
+		bestIdx, bestCount := -1, 0
+		for k := range combos {
+			if c := filter.CountAnd(hitSets[k]); c > bestCount {
+				bestIdx, bestCount = k, c
+			}
+		}
+		if bestIdx < 0 {
+			i := filter.NextSet(0)
+			return nil, fmt.Errorf("enhance: no valid value combination hits pattern %v; the validation oracle rules out all of its matches", targets[i])
+		}
+		newHits := filter.Clone()
+		newHits.And(hitSets[bestIdx])
+		var hits []int
+		newHits.ForEach(func(i int) { hits = append(hits, i) })
+		plan.Suggestions = append(plan.Suggestions, Suggestion{
+			Combo:   combos[bestIdx],
+			Collect: generalize(combos[bestIdx], targets, hits),
+			Hits:    hits,
+		})
+		plan.Stats.Iterations++
+		filter.AndNot(newHits)
+	}
+	if err := verifyPlanCoversAll(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,148 @@
+// Package enhance implements the coverage-enhancement machinery of
+// §IV and Appendix C of Asudeh et al. (ICDE 2019): expanding MUPs to
+// the uncovered patterns that must be hit for a target maximum covered
+// level (or minimum value count), the validation oracle that keeps
+// suggested value combinations semantically meaningful, the efficient
+// greedy hitting-set algorithm (Algorithms 4 and 5) over inverted
+// pattern indices with threshold-pruned tree search, and the naïve
+// greedy baseline the paper compares against.
+package enhance
+
+import (
+	"fmt"
+
+	"coverage/internal/pattern"
+)
+
+// Condition restricts one attribute to a set of value codes.
+type Condition struct {
+	Attr   int
+	Values []uint8
+}
+
+// Rule is a validation rule (paper Definition 10): a conjunction of
+// attribute-value conditions describing a semantically impossible
+// combination, e.g. {gender=male, isPregnant=true}. A combination
+// satisfying every condition of any rule is invalid.
+type Rule struct {
+	Conditions []Condition
+}
+
+// Oracle is the validation oracle (paper Definition 11): it accepts a
+// value combination iff the combination satisfies none of its rules.
+// The zero value accepts everything.
+type Oracle struct {
+	rules []Rule
+}
+
+// NewOracle validates the rules against the cardinality vector and
+// builds an oracle. Rules must have at least one condition; conditions
+// must reference valid attributes and values.
+func NewOracle(cards []int, rules []Rule) (*Oracle, error) {
+	for ri, r := range rules {
+		if len(r.Conditions) == 0 {
+			return nil, fmt.Errorf("enhance: rule %d has no conditions", ri)
+		}
+		seen := make(map[int]bool)
+		for _, c := range r.Conditions {
+			if c.Attr < 0 || c.Attr >= len(cards) {
+				return nil, fmt.Errorf("enhance: rule %d references attribute %d of %d", ri, c.Attr, len(cards))
+			}
+			if seen[c.Attr] {
+				return nil, fmt.Errorf("enhance: rule %d repeats attribute %d", ri, c.Attr)
+			}
+			seen[c.Attr] = true
+			if len(c.Values) == 0 {
+				return nil, fmt.Errorf("enhance: rule %d has an empty value set for attribute %d", ri, c.Attr)
+			}
+			for _, v := range c.Values {
+				if int(v) >= cards[c.Attr] {
+					return nil, fmt.Errorf("enhance: rule %d: value %d exceeds cardinality %d of attribute %d", ri, v, cards[c.Attr], c.Attr)
+				}
+			}
+		}
+	}
+	return &Oracle{rules: rules}, nil
+}
+
+// AllowCombo reports whether the full value combination is
+// semantically valid (satisfies no rule).
+func (o *Oracle) AllowCombo(combo []uint8) bool {
+	if o == nil {
+		return true
+	}
+	for _, r := range o.rules {
+		if ruleSatisfied(r, combo, len(combo)) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllowPrefix reports whether some completion of combo[:upto] could
+// be valid: it rejects only when a rule is already fully satisfied by
+// the assigned attributes. The greedy tree search consults it before
+// generating each child (§IV-B).
+func (o *Oracle) AllowPrefix(combo []uint8, upto int) bool {
+	if o == nil {
+		return true
+	}
+	for _, r := range o.rules {
+		determined := true
+		for _, c := range r.Conditions {
+			if c.Attr >= upto {
+				determined = false
+				break
+			}
+		}
+		if determined && ruleSatisfied(r, combo, upto) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllowPattern reports whether a pattern could describe at least one
+// valid combination: it rejects only patterns whose deterministic
+// elements already satisfy a rule fully (every combination matching
+// such a pattern is invalid).
+func (o *Oracle) AllowPattern(p pattern.Pattern) bool {
+	if o == nil {
+		return true
+	}
+	for _, r := range o.rules {
+		sat := true
+		for _, c := range r.Conditions {
+			v := p[c.Attr]
+			if v == pattern.Wildcard || !containsValue(c.Values, v) {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			return false
+		}
+	}
+	return true
+}
+
+func ruleSatisfied(r Rule, combo []uint8, upto int) bool {
+	for _, c := range r.Conditions {
+		if c.Attr >= upto {
+			return false
+		}
+		if !containsValue(c.Values, combo[c.Attr]) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsValue(vs []uint8, v uint8) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

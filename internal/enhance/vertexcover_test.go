@@ -1,0 +1,158 @@
+package enhance
+
+import (
+	"testing"
+
+	"coverage/internal/datagen"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+// vcMUPs runs the Theorem 2 pipeline: build the reduction dataset,
+// identify the MUPs (one per edge) and return them.
+func vcMUPs(t *testing.T, g datagen.Graph) []pattern.Pattern {
+	t.Helper()
+	ds, err := datagen.VertexCoverReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mup.DeepDiver(index.Build(ds), mup.Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MUPs) != len(g.Edges) {
+		t.Fatalf("%d MUPs, want %d (one per edge)", len(res.MUPs), len(g.Edges))
+	}
+	return res.MUPs
+}
+
+// TestVertexCoverReductionUnconstrainedIsTrivial documents a subtlety
+// in the paper's Theorem 2 proof: without further restriction, the
+// all-ones tuple matches every per-edge MUP at once, so the greedy
+// planner needs a single tuple regardless of the graph. The reduction
+// only forces vertex-shaped solutions when the tuple universe is
+// restricted (see the companion test).
+func TestVertexCoverReductionUnconstrainedIsTrivial(t *testing.T) {
+	g := datagen.Graph{V: 5, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	mups := vcMUPs(t, g)
+	cards := make([]int, len(g.Edges))
+	for i := range cards {
+		cards[i] = 2
+	}
+	plan, err := Greedy(mups, cards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTuples() != 1 {
+		t.Errorf("unconstrained plan size = %d, want 1 (the all-ones tuple)", plan.NumTuples())
+	}
+	for _, v := range plan.Suggestions[0].Combo {
+		if v != 1 {
+			t.Errorf("unconstrained suggestion %v is not all-ones", plan.Suggestions[0].Combo)
+		}
+	}
+}
+
+// vertexOracle restricts tuples to (sub-)incidence vectors of single
+// vertices: for every pair of edges that do not share a vertex, a
+// tuple may not be 1 on both. For triangle-free graphs this is exactly
+// the set of vertex incidence vectors and their sub-vectors, making
+// the greedy enhancement correspond to greedy vertex cover.
+func vertexOracle(t *testing.T, g datagen.Graph) *Oracle {
+	t.Helper()
+	cards := make([]int, len(g.Edges))
+	for i := range cards {
+		cards[i] = 2
+	}
+	var rules []Rule
+	for i := 0; i < len(g.Edges); i++ {
+		for j := i + 1; j < len(g.Edges); j++ {
+			ei, ej := g.Edges[i], g.Edges[j]
+			share := ei[0] == ej[0] || ei[0] == ej[1] || ei[1] == ej[0] || ei[1] == ej[1]
+			if !share {
+				rules = append(rules, Rule{Conditions: []Condition{
+					{Attr: i, Values: []uint8{1}},
+					{Attr: j, Values: []uint8{1}},
+				}})
+			}
+		}
+	}
+	o, err := NewOracle(cards, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestVertexCoverEquivalenceUnderOracle: with the incidence-vector
+// oracle, the greedy plan for a triangle-free graph is exactly a
+// greedy vertex cover — on a star it needs one tuple (the center), on
+// a 4-edge path two tuples (the classic optimum {v1, v3}).
+func TestVertexCoverEquivalenceUnderOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		g    datagen.Graph
+		want int // greedy vertex cover size
+	}{
+		{
+			name: "star K1,4 — center covers everything",
+			g:    datagen.Graph{V: 5, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}},
+			want: 1,
+		},
+		{
+			name: "path of 4 edges — two interior vertices",
+			g:    datagen.Graph{V: 5, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+			want: 2,
+		},
+		{
+			name: "6-cycle — three alternating vertices",
+			g:    datagen.Graph{V: 6, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}},
+			want: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mups := vcMUPs(t, tc.g)
+			cards := make([]int, len(tc.g.Edges))
+			for i := range cards {
+				cards[i] = 2
+			}
+			plan, err := Greedy(mups, cards, vertexOracle(t, tc.g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.NumTuples() != tc.want {
+				t.Errorf("plan size = %d, want %d", plan.NumTuples(), tc.want)
+			}
+			// Every suggestion must be a sub-incidence vector of one
+			// vertex: all its 1-edges share a common vertex.
+			for _, s := range plan.Suggestions {
+				var ones []int
+				for attr, v := range s.Combo {
+					if v == 1 {
+						ones = append(ones, attr)
+					}
+				}
+				if len(ones) == 0 {
+					t.Errorf("suggestion %v hits nothing", s.Combo)
+					continue
+				}
+				common := map[int]int{}
+				for _, e := range ones {
+					common[tc.g.Edges[e][0]]++
+					common[tc.g.Edges[e][1]]++
+				}
+				ok := false
+				for _, n := range common {
+					if n == len(ones) {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("suggestion %v (edges %v) is not a single vertex's incidence vector", s.Combo, ones)
+				}
+			}
+		})
+	}
+}

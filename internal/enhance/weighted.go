@@ -1,0 +1,210 @@
+package enhance
+
+import (
+	"fmt"
+	"sort"
+
+	"coverage/internal/bitvec"
+	"coverage/internal/pattern"
+)
+
+// CostModel assigns additive acquisition costs to value combinations:
+// the cost of collecting a tuple is the sum of its per-attribute-value
+// costs. It models the paper's §IV observation that acquisition has
+// real costs (collection, integration, cleaning) that differ between
+// subpopulations — e.g. recruiting respondents from a rare demographic
+// costs more than from a common one.
+type CostModel struct {
+	costs [][]float64 // [attribute][value]
+	// sufMin[i] is the cheapest possible completion of attributes
+	// i..d-1, used as the branch-and-bound lower bound.
+	sufMin []float64
+}
+
+// NewCostModel validates per-attribute-value costs (all strictly
+// positive; shape must match the cardinalities).
+func NewCostModel(cards []int, costs [][]float64) (*CostModel, error) {
+	if len(costs) != len(cards) {
+		return nil, fmt.Errorf("enhance: cost model has %d attributes, schema has %d", len(costs), len(cards))
+	}
+	m := &CostModel{costs: make([][]float64, len(cards)), sufMin: make([]float64, len(cards)+1)}
+	for i, c := range cards {
+		if len(costs[i]) != c {
+			return nil, fmt.Errorf("enhance: attribute %d has %d costs for %d values", i, len(costs[i]), c)
+		}
+		for v, x := range costs[i] {
+			if x <= 0 {
+				return nil, fmt.Errorf("enhance: cost of attribute %d value %d is %v; costs must be positive", i, v, x)
+			}
+		}
+		m.costs[i] = append([]float64(nil), costs[i]...)
+	}
+	for i := len(cards) - 1; i >= 0; i-- {
+		min := m.costs[i][0]
+		for _, x := range m.costs[i][1:] {
+			if x < min {
+				min = x
+			}
+		}
+		m.sufMin[i] = m.sufMin[i+1] + min
+	}
+	return m, nil
+}
+
+// UniformCost returns the model where every value costs 1, making
+// GreedyWeighted equivalent to the unweighted Greedy objective.
+func UniformCost(cards []int) *CostModel {
+	costs := make([][]float64, len(cards))
+	for i, c := range cards {
+		costs[i] = make([]float64, c)
+		for v := range costs[i] {
+			costs[i][v] = 1
+		}
+	}
+	m, err := NewCostModel(cards, costs)
+	if err != nil {
+		panic(err) // uniform costs are always valid
+	}
+	return m
+}
+
+// ComboCost returns the acquisition cost of one value combination.
+func (m *CostModel) ComboCost(combo []uint8) float64 {
+	var c float64
+	for i, v := range combo {
+		c += m.costs[i][v]
+	}
+	return c
+}
+
+// GreedyWeighted is the weighted-greedy variant of the hitting-set
+// planner: each iteration selects the valid value combination
+// maximizing newly-hit-patterns per unit cost (the classic weighted
+// set-cover greedy, still logarithmically approximate). The tree
+// search prunes with the bound hits/(cost-so-far + cheapest
+// completion), which dominates every leaf ratio in the subtree.
+func GreedyWeighted(targets []pattern.Pattern, cards []int, oracle *Oracle, cost *CostModel) (*Plan, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("enhance: GreedyWeighted requires a cost model; use Greedy for the unweighted objective")
+	}
+	if len(cost.costs) != len(cards) {
+		return nil, fmt.Errorf("enhance: cost model dimension %d does not match schema dimension %d", len(cost.costs), len(cards))
+	}
+	if err := checkTargets(targets, cards); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Targets: targets, Stats: PlanStats{Algorithm: "greedy-weighted"}}
+	if len(targets) == 0 {
+		return plan, nil
+	}
+	g := &weightedSearcher{
+		cards:  cards,
+		oracle: oracle,
+		cost:   cost,
+		inv:    buildInverted(targets, cards),
+		combo:  make([]uint8, len(cards)),
+		best:   make([]uint8, len(cards)),
+		levels: make([]*bitvec.Vector, len(cards)+1),
+	}
+	m := len(targets)
+	for i := range g.levels {
+		g.levels[i] = bitvec.New(m)
+	}
+	filter := bitvec.NewOnes(m)
+
+	for filter.Any() {
+		g.bestRatio = 0
+		g.bestHits = 0
+		g.levels[0].CopyFrom(filter)
+		g.search(0, 0)
+		plan.Stats.NodesExplored += g.nodes
+		g.nodes = 0
+		if g.bestHits == 0 {
+			i := filter.NextSet(0)
+			return nil, fmt.Errorf("enhance: no valid value combination hits pattern %v; the validation oracle rules out all of its matches", targets[i])
+		}
+		combo := append([]uint8(nil), g.best...)
+		hitsVec := hitVector(combo, g.inv, filter)
+		var hits []int
+		hitsVec.ForEach(func(i int) { hits = append(hits, i) })
+		plan.Suggestions = append(plan.Suggestions, Suggestion{
+			Combo:   combo,
+			Collect: generalize(combo, targets, hits),
+			Hits:    hits,
+			Cost:    cost.ComboCost(combo),
+		})
+		plan.Stats.Iterations++
+		filter.AndNot(hitsVec)
+	}
+	if err := verifyPlanCoversAll(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+type weightedSearcher struct {
+	cards  []int
+	oracle *Oracle
+	cost   *CostModel
+	inv    [][]*bitvec.Vector
+	levels []*bitvec.Vector
+
+	combo     []uint8
+	best      []uint8
+	bestRatio float64
+	bestHits  int
+	nodes     int64
+}
+
+type weightedChild struct {
+	value uint8
+	count int
+	bound float64 // count / (cost so far incl. this value + cheapest completion)
+}
+
+// search explores attribute i with accumulated cost costSoFar over
+// attributes < i.
+func (g *weightedSearcher) search(i int, costSoFar float64) {
+	cur := g.levels[i]
+	d := len(g.cards)
+	order := make([]weightedChild, 0, g.cards[i])
+	for v := 0; v < g.cards[i]; v++ {
+		g.combo[i] = uint8(v)
+		if g.oracle != nil && !g.oracle.AllowPrefix(g.combo, i+1) {
+			continue
+		}
+		g.nodes++
+		cnt := cur.CountAnd(g.inv[i][uint8(v)])
+		if cnt == 0 {
+			continue
+		}
+		c := costSoFar + g.cost.costs[i][v]
+		order = append(order, weightedChild{uint8(v), cnt, float64(cnt) / (c + g.cost.sufMin[i+1])})
+	}
+	if i == d-1 {
+		for _, ch := range order {
+			// The bound at a leaf is the exact ratio.
+			if ch.bound > g.bestRatio {
+				g.bestRatio = ch.bound
+				g.bestHits = ch.count
+				g.combo[i] = ch.value
+				copy(g.best, g.combo)
+			}
+		}
+		return
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].bound != order[b].bound {
+			return order[a].bound > order[b].bound
+		}
+		return order[a].value < order[b].value
+	})
+	for _, ch := range order {
+		if ch.bound <= g.bestRatio {
+			break // no leaf below can beat the incumbent
+		}
+		g.combo[i] = ch.value
+		cur.AndInto(g.inv[i][ch.value], g.levels[i+1])
+		g.search(i+1, costSoFar+g.cost.costs[i][ch.value])
+	}
+}

@@ -1,0 +1,180 @@
+// Package index implements the coverage oracle of Appendix A of
+// Asudeh et al. (ICDE 2019): inverted indices over the distinct value
+// combinations of a dataset, one bit vector per attribute value, with
+// cov(P) computed as a word-wise AND of the vectors of P's
+// deterministic elements followed by a dot product with the
+// per-combination multiplicity vector.
+package index
+
+import (
+	"fmt"
+
+	"coverage/internal/bitvec"
+	"coverage/internal/dataset"
+	"coverage/internal/pattern"
+)
+
+// Index is the immutable coverage oracle for one dataset. Build it
+// once; probe it any number of times. Concurrent probes must use
+// separate Probers.
+type Index struct {
+	schema  *dataset.Schema
+	cards   []int
+	vecs    [][]*bitvec.Vector // [attribute][value] → bits over distinct combos
+	density [][]int            // [attribute][value] → set-bit count of the vector
+	counts  []int64            // multiplicity per distinct combo
+	combos  map[string]int64   // full combo → multiplicity
+	total   int64
+	nDist   int
+}
+
+// Build constructs the oracle for d (deduplicating internally).
+func Build(d *dataset.Dataset) *Index {
+	return BuildFromDistinct(d.Distinct())
+}
+
+// BuildFromDistinct constructs the oracle from an already
+// deduplicated dataset.
+func BuildFromDistinct(dd *dataset.Distinct) *Index {
+	cards := dd.Schema.Cards()
+	ix := &Index{
+		schema: dd.Schema,
+		cards:  cards,
+		vecs:   make([][]*bitvec.Vector, len(cards)),
+		counts: dd.Counts,
+		combos: make(map[string]int64, len(dd.Combos)),
+		nDist:  len(dd.Combos),
+	}
+	for i, c := range cards {
+		ix.vecs[i] = make([]*bitvec.Vector, c)
+		for v := 0; v < c; v++ {
+			ix.vecs[i][v] = bitvec.New(ix.nDist)
+		}
+	}
+	for k, combo := range dd.Combos {
+		for i, v := range combo {
+			ix.vecs[i][v].Set(k)
+		}
+		ix.combos[string(combo)] = dd.Counts[k]
+		ix.total += dd.Counts[k]
+	}
+	ix.density = make([][]int, len(cards))
+	for i, c := range cards {
+		ix.density[i] = make([]int, c)
+		for v := 0; v < c; v++ {
+			ix.density[i][v] = ix.vecs[i][v].Count()
+		}
+	}
+	return ix
+}
+
+// Schema returns the schema the oracle was built over.
+func (ix *Index) Schema() *dataset.Schema { return ix.schema }
+
+// Cards returns the cardinality vector.
+func (ix *Index) Cards() []int { return ix.cards }
+
+// Total returns the number of rows of the underlying dataset —
+// the coverage of the all-wildcard root pattern.
+func (ix *Index) Total() int64 { return ix.total }
+
+// NumDistinct returns the number of distinct value combinations.
+func (ix *Index) NumDistinct() int { return ix.nDist }
+
+// ComboCount returns the multiplicity of one full value combination
+// (zero if absent). This is the level-d fast path used by the
+// bottom-up algorithm.
+func (ix *Index) ComboCount(combo []uint8) int64 {
+	return ix.combos[string(combo)]
+}
+
+// Coverage returns cov(P). It allocates a probe buffer per call; hot
+// loops should hold a Prober instead.
+func (ix *Index) Coverage(p pattern.Pattern) int64 {
+	return ix.NewProber().Coverage(p)
+}
+
+// Prober performs allocation-free repeated coverage probes against an
+// Index. A Prober is not safe for concurrent use; create one per
+// goroutine.
+type Prober struct {
+	ix     *Index
+	buf    *bitvec.Vector
+	det    []int // scratch: deterministic attribute positions
+	probes int64 // number of coverage computations performed
+}
+
+// NewProber returns a fresh Prober for the index.
+func (ix *Index) NewProber() *Prober {
+	return &Prober{ix: ix, buf: bitvec.New(ix.nDist), det: make([]int, 0, len(ix.cards))}
+}
+
+// Probes returns how many coverage computations this Prober has
+// performed — the cost metric the paper's experiments track alongside
+// wall-clock time.
+func (pr *Prober) Probes() int64 { return pr.probes }
+
+// Coverage returns cov(P) for the prober's index. The deterministic
+// attributes are intersected sparsest-first so the running match set
+// collapses as early as possible, the AND chain touches only the
+// shrinking nonzero word window, and the probe exits as soon as the
+// window empties.
+func (pr *Prober) Coverage(p pattern.Pattern) int64 {
+	ix := pr.ix
+	if len(p) != len(ix.cards) {
+		panic(fmt.Sprintf("index: pattern dimension %d does not match schema dimension %d", len(p), len(ix.cards)))
+	}
+	pr.probes++
+	pr.det = pr.det[:0]
+	for i, v := range p {
+		if v != pattern.Wildcard {
+			pr.det = append(pr.det, i)
+		}
+	}
+	switch len(pr.det) {
+	case 0:
+		return ix.total // root pattern matches everything
+	case len(p):
+		return ix.combos[string(p)]
+	}
+	// Sparsest vector first (insertion sort; the list is tiny).
+	for a := 1; a < len(pr.det); a++ {
+		i := pr.det[a]
+		di := ix.density[i][p[i]]
+		b := a - 1
+		for b >= 0 && ix.density[pr.det[b]][p[pr.det[b]]] > di {
+			pr.det[b+1] = pr.det[b]
+			b--
+		}
+		pr.det[b+1] = i
+	}
+	first := pr.det[0]
+	pr.buf.CopyFrom(ix.vecs[first][p[first]])
+	lo, hi := pr.buf.Bounds()
+	for _, i := range pr.det[1:] {
+		if lo >= hi {
+			return 0
+		}
+		lo, hi = pr.buf.AndWindow(ix.vecs[i][p[i]], lo, hi)
+	}
+	if lo >= hi {
+		return 0
+	}
+	return pr.buf.DotCountsRange(ix.counts, lo, hi)
+}
+
+// MatchVector writes into dst the bit vector of distinct combinations
+// matching P (one bit per distinct combo). dst must have length
+// NumDistinct. Used by callers that need the matching set itself
+// rather than its cardinality.
+func (ix *Index) MatchVector(p pattern.Pattern, dst *bitvec.Vector) {
+	if len(p) != len(ix.cards) {
+		panic(fmt.Sprintf("index: pattern dimension %d does not match schema dimension %d", len(p), len(ix.cards)))
+	}
+	dst.SetAll()
+	for i, v := range p {
+		if v != pattern.Wildcard {
+			dst.And(ix.vecs[i][v])
+		}
+	}
+}

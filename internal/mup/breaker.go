@@ -1,0 +1,85 @@
+package mup
+
+import (
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// PatternBreaker implements the top-down algorithm of §III-C
+// (Algorithm 1). It walks the pattern graph level by level from the
+// all-wildcard root, generating each candidate exactly once through
+// Rule 1, probing coverage only for candidates all of whose parents
+// are covered, and never descending below an uncovered pattern.
+//
+// PatternBreaker is fastest when the MUPs sit high in the graph
+// (large thresholds); its cost is proportional to the covered region
+// it must cross.
+func PatternBreaker(ix *index.Index, opts Options) (*Result, error) {
+	codec := pattern.NewCodec(ix.Cards())
+	if codec.Packable() {
+		return breakerKeyed(ix, opts, codec.PackedKey)
+	}
+	return breakerKeyed(ix, opts, func(p pattern.Pattern) string { return string(p) })
+}
+
+// breakerKeyed is the algorithm body, generic over the map-key
+// representation: two-word packed keys for schemas that fit 128 bits,
+// byte strings otherwise.
+func breakerKeyed[K comparable](ix *index.Index, opts Options, key func(pattern.Pattern) K) (*Result, error) {
+	cards := ix.Cards()
+	d := len(cards)
+	res := &Result{Stats: Stats{Algorithm: "pattern-breaker"}}
+	pr := ix.NewProber()
+	bound := opts.levelBound(d)
+
+	queue := []pattern.Pattern{pattern.All(d)}
+	// covered holds the keys of the covered candidates of the previous
+	// level. A candidate is processed only if every parent is in it:
+	// candidates are generated exclusively by covered Rule-1 parents,
+	// and all covered patterns of a level are guaranteed to have been
+	// generated (every ancestor of a covered pattern is covered), so
+	// membership in covered is exactly "parent covered".
+	covered := make(map[K]struct{})
+
+	for level := 0; level <= bound && len(queue) > 0; level++ {
+		var next []pattern.Pattern
+		coveredNow := make(map[K]struct{})
+		for _, p := range queue {
+			res.Stats.NodesVisited++
+			// Check every parent by flipping one deterministic element
+			// to a wildcard in place.
+			allParentsCovered := true
+			for i, v := range p {
+				if v == pattern.Wildcard {
+					continue
+				}
+				p[i] = pattern.Wildcard
+				_, ok := covered[key(p)]
+				p[i] = v
+				if !ok {
+					allParentsCovered = false
+					break
+				}
+			}
+			if !allParentsCovered {
+				// p is dominated by an uncovered pattern: it is
+				// uncovered but not maximal, and its subtree holds no
+				// MUPs either.
+				continue
+			}
+			if pr.Coverage(p) < opts.Threshold {
+				res.MUPs = append(res.MUPs, p)
+				continue
+			}
+			coveredNow[key(p)] = struct{}{}
+			if level < bound {
+				next = p.AppendRule1Children(next, cards)
+			}
+		}
+		covered = coveredNow
+		queue = next
+	}
+	res.Stats.CoverageProbes = pr.Probes()
+	sortPatterns(res.MUPs)
+	return res, nil
+}

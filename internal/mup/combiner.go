@@ -1,0 +1,121 @@
+package mup
+
+import (
+	"fmt"
+
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// maxCombinerCombos bounds the full-combination space the bottom-up
+// algorithm is willing to materialize (its level-d frontier).
+const maxCombinerCombos = 1 << 26
+
+// PatternCombiner implements the bottom-up algorithm of §III-D
+// (Algorithm 2). It seeds the traversal with the coverage of every
+// fully deterministic value combination, then repeatedly combines the
+// uncovered patterns of level ℓ into their Rule-2 parents at level
+// ℓ-1, computing each parent's coverage as the sum of the disjoint
+// children along the parent's right-most wildcard — no dataset access
+// beyond the initial pass. A level-ℓ pattern is reported as a MUP when
+// none of its parents remains uncovered.
+//
+// PatternCombiner is fastest when the MUPs sit low in the graph
+// (small thresholds) and degrades when attribute cardinalities widen
+// the bottom of the graph (the paper's BlueNile observation); its
+// level-d frontier has Π ci entries, so it refuses schemas whose
+// combination space exceeds an internal bound.
+func PatternCombiner(ix *index.Index, opts Options) (*Result, error) {
+	cards := ix.Cards()
+	d := len(cards)
+	if total := pattern.TotalCombos(cards); total > maxCombinerCombos {
+		return nil, fmt.Errorf("mup: pattern-combiner needs the %d-combination space materialized (max %d); use PatternBreaker or DeepDiver", total, maxCombinerCombos)
+	}
+	res := &Result{Stats: Stats{Algorithm: "pattern-combiner"}}
+	bound := opts.levelBound(d)
+
+	// Level-d seed: coverage of every full combination. Only uncovered
+	// combinations are kept; covered ones are represented implicitly
+	// (a missing child contributes ≥ τ to any parent sum, which is
+	// enough to classify the parent as covered).
+	count := make(map[string]int64)
+	pattern.EnumerateCombos(cards, func(combo []uint8) bool {
+		res.Stats.NodesVisited++
+		if c := ix.ComboCount(combo); c < opts.Threshold {
+			count[string(combo)] = c
+		}
+		return true
+	})
+	// One conceptual probe per combination (resolved via the dedup
+	// map rather than the bit vectors).
+	res.Stats.CoverageProbes = int64(pattern.TotalCombos(cards))
+
+	for level := d; level >= 0 && len(count) > 0; level-- {
+		next := make(map[string]int64)
+		if level > 0 {
+			for key := range count {
+				p := pattern.FromKey(key)
+				for _, parent := range p.Rule2Parents() {
+					res.Stats.NodesVisited++
+					if cov, uncovered := combineChildren(parent, cards, count, opts.Threshold); uncovered {
+						next[parent.Key()] = cov
+					}
+				}
+			}
+		}
+		// A level-ℓ uncovered pattern is a MUP iff no parent is
+		// uncovered; all uncovered level-(ℓ-1) patterns are in next.
+		for key := range count {
+			p := pattern.FromKey(key)
+			if p.Level() > bound {
+				continue
+			}
+			isMUP := true
+			for _, parent := range p.Parents() {
+				if _, ok := next[parent.Key()]; ok {
+					isMUP = false
+					break
+				}
+			}
+			if isMUP {
+				res.MUPs = append(res.MUPs, p)
+			}
+		}
+		count = next
+	}
+	sortPatterns(res.MUPs)
+	return res, nil
+}
+
+// combineChildren computes the coverage of parent by summing the
+// disjoint children obtained by instantiating the parent's right-most
+// wildcard (§III-D: these children partition the parent's matches).
+// Children absent from count are covered and contribute at least τ,
+// so the sum is exact whenever it stays below τ; the scan stops early
+// once the partial sum proves the parent covered.
+func combineChildren(parent pattern.Pattern, cards []int, count map[string]int64, tau int64) (cov int64, uncovered bool) {
+	i := rightmostWildcard(parent)
+	child := parent.Clone()
+	for v := 0; v < cards[i]; v++ {
+		child[i] = uint8(v)
+		// The inline string conversion in the lookup does not allocate.
+		if c, ok := count[string(child)]; ok {
+			cov += c
+		} else {
+			cov += tau
+		}
+		if cov >= tau {
+			return cov, false
+		}
+	}
+	return cov, true
+}
+
+func rightmostWildcard(p pattern.Pattern) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == pattern.Wildcard {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,146 @@
+// Package mup implements the MUP-identification algorithms of Asudeh
+// et al. (ICDE 2019): the naïve enumerator (§III-A), PATTERN-BREAKER
+// (§III-C, top-down), PATTERN-COMBINER (§III-D, bottom-up), DEEPDIVER
+// (§III-E, dive-and-climb with dominance pruning), and the APRIORI
+// adaptation used as a baseline in §V-C.
+//
+// All algorithms take a prebuilt coverage oracle (see package index)
+// and produce the identical set of maximal uncovered patterns; they
+// differ only in traversal order and therefore cost, exactly as the
+// paper's evaluation studies.
+package mup
+
+import (
+	"fmt"
+	"sort"
+
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// Options configures a MUP search.
+type Options struct {
+	// Threshold is the coverage threshold τ: a pattern P is covered
+	// iff cov(P) ≥ Threshold. Thresholds ≤ 0 make every pattern
+	// covered, so the MUP set is empty.
+	Threshold int64
+
+	// MaxLevel, when positive, bounds the search to MUPs of level ≤
+	// MaxLevel (the level-bounded discovery of Fig 16: "the MUPs that
+	// are the combinations of one or two attributes"). Zero means
+	// unbounded. Deeper MUPs are not reported.
+	MaxLevel int
+}
+
+// levelBound returns the effective deepest level to explore.
+func (o Options) levelBound(d int) int {
+	if o.MaxLevel <= 0 || o.MaxLevel > d {
+		return d
+	}
+	return o.MaxLevel
+}
+
+// Stats records the work an algorithm performed.
+type Stats struct {
+	// Algorithm is the name of the algorithm that produced the result.
+	Algorithm string
+	// CoverageProbes is the number of coverage computations issued
+	// against the oracle.
+	CoverageProbes int64
+	// NodesVisited is the number of pattern-graph nodes the traversal
+	// popped or materialized.
+	NodesVisited int64
+}
+
+// Result is the outcome of a MUP search: the maximal uncovered
+// patterns, sorted by (level, pattern key) for determinism, plus cost
+// statistics.
+type Result struct {
+	MUPs  []pattern.Pattern
+	Stats Stats
+}
+
+// sortPatterns orders patterns by level, then lexicographically by
+// key, giving deterministic output across algorithms.
+func sortPatterns(ps []pattern.Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		li, lj := ps[i].Level(), ps[j].Level()
+		if li != lj {
+			return li < lj
+		}
+		return ps[i].Key() < ps[j].Key()
+	})
+}
+
+// LevelHistogram returns the number of MUPs per level, indexed by
+// level 0..d — the series of the paper's Fig 6.
+func (r *Result) LevelHistogram(d int) []int {
+	h := make([]int, d+1)
+	for _, p := range r.MUPs {
+		h[p.Level()]++
+	}
+	return h
+}
+
+// Verify checks that every pattern in mups is a genuine MUP of the
+// indexed dataset under threshold τ (uncovered, with every parent
+// covered) and that mups contains no duplicates. It does not check
+// completeness; use the naïve algorithm as the completeness oracle in
+// tests.
+func Verify(ix *index.Index, tau int64, mups []pattern.Pattern) error {
+	pr := ix.NewProber()
+	seen := make(map[string]bool, len(mups))
+	for _, p := range mups {
+		if err := p.Validate(ix.Cards()); err != nil {
+			return fmt.Errorf("mup: invalid pattern %v: %w", p, err)
+		}
+		if seen[p.Key()] {
+			return fmt.Errorf("mup: duplicate MUP %v", p)
+		}
+		seen[p.Key()] = true
+		if c := pr.Coverage(p); c >= tau {
+			return fmt.Errorf("mup: %v has coverage %d ≥ τ=%d, not uncovered", p, c, tau)
+		}
+		for _, par := range p.Parents() {
+			if c := pr.Coverage(par); c < tau {
+				return fmt.Errorf("mup: %v is not maximal: parent %v has coverage %d < τ=%d", p, par, c, tau)
+			}
+		}
+	}
+	return nil
+}
+
+// Naive implements §III-A: enumerate every pattern of the graph,
+// probe its coverage, and keep the uncovered patterns all of whose
+// parents are covered. Exponential in d; intended as the correctness
+// oracle for tests and tiny datasets.
+func Naive(ix *index.Index, opts Options) (*Result, error) {
+	cards := ix.Cards()
+	if total := pattern.TotalPatterns(cards); total > 1<<22 {
+		return nil, fmt.Errorf("mup: naive enumeration over %d patterns refused; use PatternBreaker/PatternCombiner/DeepDiver", total)
+	}
+	res := &Result{Stats: Stats{Algorithm: "naive"}}
+	pr := ix.NewProber()
+	bound := opts.levelBound(len(cards))
+	cov := make(map[string]int64)
+	pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
+		res.Stats.NodesVisited++
+		cov[p.Key()] = pr.Coverage(p)
+		return true
+	})
+	pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
+		if p.Level() > bound || cov[p.Key()] >= opts.Threshold {
+			return true
+		}
+		for _, par := range p.Parents() {
+			if cov[par.Key()] < opts.Threshold {
+				return true
+			}
+		}
+		res.MUPs = append(res.MUPs, p.Clone())
+		return true
+	})
+	res.Stats.CoverageProbes = pr.Probes()
+	sortPatterns(res.MUPs)
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package mup
+
+import (
+	"runtime"
+	"sync"
+
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// ParallelOptions extends Options with a worker count for the
+// multi-core variants.
+type ParallelOptions struct {
+	Options
+	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// ParallelPatternBreaker is a multi-core PATTERN-BREAKER. The
+// traversal is level-synchronous, which makes it embarrassingly
+// parallel within a level: each candidate's parent check and coverage
+// probe are independent given the previous level's covered set, and
+// every worker owns a private Prober (the coverage oracle itself is
+// immutable). The output is identical to PatternBreaker.
+func ParallelPatternBreaker(ix *index.Index, popts ParallelOptions) (*Result, error) {
+	codec := pattern.NewCodec(ix.Cards())
+	if codec.Packable() {
+		return parallelBreakerKeyed(ix, popts, codec.PackedKey)
+	}
+	return parallelBreakerKeyed(ix, popts, func(p pattern.Pattern) string { return string(p) })
+}
+
+func parallelBreakerKeyed[K comparable](ix *index.Index, popts ParallelOptions, key func(pattern.Pattern) K) (*Result, error) {
+	opts := popts.Options
+	workers := popts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cards := ix.Cards()
+	d := len(cards)
+	res := &Result{Stats: Stats{Algorithm: "parallel-pattern-breaker"}}
+	bound := opts.levelBound(d)
+
+	queue := []pattern.Pattern{pattern.All(d)}
+	covered := make(map[K]struct{})
+
+	// Per-worker state, merged after each level.
+	type shard struct {
+		mups    []pattern.Pattern
+		covered []K
+		next    []pattern.Pattern
+		probes  int64
+		nodes   int64
+	}
+	probers := make([]*index.Prober, workers)
+	for w := range probers {
+		probers[w] = ix.NewProber()
+	}
+
+	for level := 0; level <= bound && len(queue) > 0; level++ {
+		shards := make([]shard, workers)
+		var wg sync.WaitGroup
+		chunk := (len(queue) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(queue) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(queue) {
+				hi = len(queue)
+			}
+			wg.Add(1)
+			go func(w int, part []pattern.Pattern) {
+				defer wg.Done()
+				sh := &shards[w]
+				pr := probers[w]
+				for _, p := range part {
+					sh.nodes++
+					allParentsCovered := true
+					for i, v := range p {
+						if v == pattern.Wildcard {
+							continue
+						}
+						p[i] = pattern.Wildcard
+						_, ok := covered[key(p)]
+						p[i] = v
+						if !ok {
+							allParentsCovered = false
+							break
+						}
+					}
+					if !allParentsCovered {
+						continue
+					}
+					if pr.Coverage(p) < opts.Threshold {
+						sh.mups = append(sh.mups, p)
+						continue
+					}
+					sh.covered = append(sh.covered, key(p))
+					if level < bound {
+						sh.next = p.AppendRule1Children(sh.next, cards)
+					}
+				}
+			}(w, queue[lo:hi])
+		}
+		wg.Wait()
+
+		coveredNow := make(map[K]struct{})
+		var next []pattern.Pattern
+		for w := range shards {
+			sh := &shards[w]
+			res.MUPs = append(res.MUPs, sh.mups...)
+			for _, k := range sh.covered {
+				coveredNow[k] = struct{}{}
+			}
+			next = append(next, sh.next...)
+			res.Stats.NodesVisited += sh.nodes
+		}
+		covered = coveredNow
+		queue = next
+	}
+	for _, pr := range probers {
+		res.Stats.CoverageProbes += pr.Probes()
+	}
+	sortPatterns(res.MUPs)
+	return res, nil
+}

@@ -1,0 +1,119 @@
+// Package mupindex implements the MUP dominance index of Appendix B
+// of Asudeh et al. (ICDE 2019): a grow-as-you-discover inverted index
+// over the set of maximal uncovered patterns found so far, answering
+// "does pattern P dominate any discovered MUP?" and "is P dominated by
+// any discovered MUP?" with word-wise AND/OR operations and early exit
+// instead of a linear scan over the MUP set.
+package mupindex
+
+import (
+	"fmt"
+
+	"coverage/internal/bitvec"
+	"coverage/internal/pattern"
+)
+
+// Index is the dominance index. One bit is appended to every vector
+// per added MUP, keeping all vectors in lock-step.
+type Index struct {
+	cards []int
+	vals  [][]*bitvec.Grower // [attribute][value]: MUPs with that value
+	wild  []*bitvec.Grower   // [attribute]: MUPs with a wildcard there
+	pats  []pattern.Pattern
+
+	// scratch buffers reused across probes
+	andBuf []*bitvec.Grower
+	orA    []*bitvec.Grower
+	orB    []*bitvec.Grower
+}
+
+// New returns an empty index over the given attribute cardinalities.
+func New(cards []int) *Index {
+	ix := &Index{
+		cards:  cards,
+		vals:   make([][]*bitvec.Grower, len(cards)),
+		wild:   make([]*bitvec.Grower, len(cards)),
+		andBuf: make([]*bitvec.Grower, 0, len(cards)),
+		orA:    make([]*bitvec.Grower, len(cards)),
+		orB:    make([]*bitvec.Grower, len(cards)),
+	}
+	for i, c := range cards {
+		ix.vals[i] = make([]*bitvec.Grower, c)
+		for v := 0; v < c; v++ {
+			ix.vals[i][v] = &bitvec.Grower{}
+		}
+		ix.wild[i] = &bitvec.Grower{}
+	}
+	return ix
+}
+
+// Len returns the number of MUPs added so far.
+func (ix *Index) Len() int { return len(ix.pats) }
+
+// Patterns returns the added MUPs in insertion order. The caller must
+// not modify the returned slice or its patterns.
+func (ix *Index) Patterns() []pattern.Pattern { return ix.pats }
+
+// Add registers a newly discovered MUP.
+func (ix *Index) Add(p pattern.Pattern) {
+	if len(p) != len(ix.cards) {
+		panic(fmt.Sprintf("mupindex: pattern dimension %d does not match schema dimension %d", len(p), len(ix.cards)))
+	}
+	for i, v := range p {
+		if v == pattern.Wildcard {
+			ix.wild[i].Append(true)
+			for _, g := range ix.vals[i] {
+				g.Append(false)
+			}
+			continue
+		}
+		ix.wild[i].Append(false)
+		for val, g := range ix.vals[i] {
+			g.Append(uint8(val) == v)
+		}
+	}
+	ix.pats = append(ix.pats, p.Clone())
+}
+
+// Dominates reports whether p dominates at least one added MUP
+// (including p itself if it was added): there is a MUP agreeing with
+// every deterministic element of p. A node for which this holds is a
+// strict ancestor (or duplicate) of a MUP, hence covered, and can be
+// expanded without a coverage probe.
+func (ix *Index) Dominates(p pattern.Pattern) bool {
+	if len(ix.pats) == 0 {
+		return false
+	}
+	ix.andBuf = ix.andBuf[:0]
+	for i, v := range p {
+		if v != pattern.Wildcard {
+			ix.andBuf = append(ix.andBuf, ix.vals[i][v])
+		}
+	}
+	if len(ix.andBuf) == 0 {
+		return true // the root dominates every pattern
+	}
+	return bitvec.AnyAndAll(ix.andBuf)
+}
+
+// DominatedBy reports whether p is dominated by at least one added
+// MUP (including p itself if it was added): there is a MUP that has,
+// at every position, either a wildcard or p's deterministic value.
+// Such a node cannot be a MUP and its subtree is pruned.
+func (ix *Index) DominatedBy(p pattern.Pattern) bool {
+	if len(ix.pats) == 0 {
+		return false
+	}
+	if len(p) == 0 {
+		return true // zero-dimensional pattern equals the zero-dimensional MUP
+	}
+	for i, v := range p {
+		ix.orA[i] = ix.wild[i]
+		if v == pattern.Wildcard {
+			ix.orB[i] = nil
+		} else {
+			ix.orB[i] = ix.vals[i][v]
+		}
+	}
+	return bitvec.AnyAndAllOr(ix.orA, ix.orB)
+}

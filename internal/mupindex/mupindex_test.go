@@ -1,0 +1,166 @@
+package mupindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coverage/internal/pattern"
+)
+
+func parse(t *testing.T, s string, cards []int) pattern.Pattern {
+	t.Helper()
+	p, err := pattern.Parse(s, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New([]int{2, 2, 2})
+	p := pattern.All(3)
+	if ix.Dominates(p) || ix.DominatedBy(p) {
+		t.Error("empty index reported dominance")
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestDominanceBasics(t *testing.T) {
+	cards := []int{2, 2, 2}
+	ix := New(cards)
+	ix.Add(parse(t, "1XX", cards)) // the MUP of Example 1
+
+	tests := []struct {
+		p           string
+		dominates   bool // p dominates the MUP set
+		dominatedBy bool // p is dominated by the MUP set
+	}{
+		{"XXX", true, false},  // root is an ancestor of every MUP
+		{"1XX", true, true},   // the MUP itself (reflexive both ways)
+		{"10X", false, true},  // descendant of the MUP
+		{"111", false, true},  // deeper descendant
+		{"0XX", false, false}, // unrelated
+		{"X1X", false, false}, // neither ancestor nor descendant
+	}
+	for _, tc := range tests {
+		p := parse(t, tc.p, cards)
+		if got := ix.Dominates(p); got != tc.dominates {
+			t.Errorf("Dominates(%s) = %v, want %v", tc.p, got, tc.dominates)
+		}
+		if got := ix.DominatedBy(p); got != tc.dominatedBy {
+			t.Errorf("DominatedBy(%s) = %v, want %v", tc.p, got, tc.dominatedBy)
+		}
+	}
+}
+
+func TestMultipleMUPs(t *testing.T) {
+	// The MUPs of the paper's Figure 5: XX1, 0XX, 20X over ternary
+	// attributes.
+	cards := []int{3, 3, 3}
+	ix := New(cards)
+	for _, s := range []string{"XX1", "0XX", "20X"} {
+		ix.Add(parse(t, s, cards))
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	if !ix.DominatedBy(parse(t, "201", cards)) {
+		t.Error("201 should be dominated (by XX1 and 20X)")
+	}
+	if !ix.DominatedBy(parse(t, "0X2", cards)) {
+		t.Error("0X2 should be dominated by 0XX")
+	}
+	if ix.DominatedBy(parse(t, "1X0", cards)) {
+		t.Error("1X0 should not be dominated")
+	}
+	if !ix.Dominates(parse(t, "XXX", cards)) {
+		t.Error("root should dominate the MUP set")
+	}
+	if !ix.Dominates(parse(t, "X0X", cards)) {
+		t.Error("X0X should dominate 20X")
+	}
+	if ix.Dominates(parse(t, "X2X", cards)) {
+		t.Error("X2X should not dominate any MUP")
+	}
+}
+
+func TestAddDimensionMismatchPanics(t *testing.T) {
+	ix := New([]int{2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with wrong dimension did not panic")
+		}
+	}()
+	ix.Add(pattern.All(3))
+}
+
+func TestPatternsReturnsCopies(t *testing.T) {
+	cards := []int{2, 2}
+	ix := New(cards)
+	p := parse(t, "1X", cards)
+	ix.Add(p)
+	p[0] = 0 // mutate the original after Add
+	if got := ix.Patterns()[0].String(); got != "1X" {
+		t.Errorf("stored pattern mutated externally: %s", got)
+	}
+}
+
+// naiveDominates and naiveDominatedBy are the linear-scan reference.
+func naiveDominates(p pattern.Pattern, mups []pattern.Pattern) bool {
+	for _, m := range mups {
+		if p.Dominates(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func naiveDominatedBy(p pattern.Pattern, mups []pattern.Pattern) bool {
+	for _, m := range mups {
+		if m.Dominates(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickAgainstNaiveScan(t *testing.T) {
+	cards := []int{2, 3, 2, 3}
+	randomPattern := func(r *rand.Rand) pattern.Pattern {
+		p := make(pattern.Pattern, len(cards))
+		for i := range p {
+			if r.Intn(3) == 0 {
+				p[i] = pattern.Wildcard
+			} else {
+				p[i] = uint8(r.Intn(cards[i]))
+			}
+		}
+		return p
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := New(cards)
+		var mups []pattern.Pattern
+		for i := 0; i < 1+r.Intn(80); i++ {
+			m := randomPattern(r)
+			ix.Add(m)
+			mups = append(mups, m)
+		}
+		for trial := 0; trial < 50; trial++ {
+			p := randomPattern(r)
+			if ix.Dominates(p) != naiveDominates(p, mups) {
+				return false
+			}
+			if ix.DominatedBy(p) != naiveDominatedBy(p, mups) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

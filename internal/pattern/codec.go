@@ -1,0 +1,67 @@
+package pattern
+
+import "math/bits"
+
+// PackedKey is a compact, comparable map key for patterns: two machine
+// words that hash and compare in a handful of instructions, versus the
+// variable-length byte string of Pattern.Key. Produced by a Codec for
+// schemas whose total field width fits 128 bits.
+type PackedKey [2]uint64
+
+// Codec packs patterns over a fixed cardinality vector into PackedKeys.
+// Each attribute occupies ⌈log2(ci+1)⌉ bits (its values plus the
+// wildcard, encoded as the value ci); fields never straddle the two
+// words. Schemas needing more than 128 bits are not packable and
+// callers fall back to string keys. The zero Codec is not valid; use
+// NewCodec.
+type Codec struct {
+	shift    []uint
+	word     []uint8
+	xcode    []uint8
+	packable bool
+}
+
+// NewCodec builds a codec for the cardinality vector.
+func NewCodec(cards []int) *Codec {
+	c := &Codec{
+		shift: make([]uint, len(cards)),
+		word:  make([]uint8, len(cards)),
+		xcode: make([]uint8, len(cards)),
+	}
+	var used [2]uint
+	c.packable = true
+	for i, card := range cards {
+		c.xcode[i] = uint8(card)
+		w := uint(bits.Len(uint(card))) // values 0..card need this many bits
+		switch {
+		case used[0]+w <= 64:
+			c.shift[i], c.word[i] = used[0], 0
+			used[0] += w
+		case used[1]+w <= 64:
+			c.shift[i], c.word[i] = used[1], 1
+			used[1] += w
+		default:
+			c.packable = false
+			return c
+		}
+	}
+	return c
+}
+
+// Packable reports whether PackedKey may be used for this schema.
+func (c *Codec) Packable() bool { return c.packable }
+
+// PackedKey returns the packed key of p without allocating. It must
+// only be called on packable codecs; p must use the codec's
+// cardinality vector.
+func (c *Codec) PackedKey(p Pattern) PackedKey {
+	var k PackedKey
+	for i, v := range p {
+		code := uint64(v)
+		if v == Wildcard {
+			code = uint64(c.xcode[i])
+		}
+		k[c.word[i]] |= code << c.shift[i]
+	}
+	return k
+}

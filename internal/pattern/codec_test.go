@@ -1,0 +1,77 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecPackableKeysAreInjective(t *testing.T) {
+	for _, cards := range [][]int{{2, 2, 2}, {10, 4, 7, 8, 3, 3, 5}, {2, 3, 2, 4, 2}} {
+		c := NewCodec(cards)
+		if !c.Packable() {
+			t.Fatalf("cards %v should be packable", cards)
+		}
+		seen := make(map[PackedKey]string)
+		EnumerateAll(cards, func(p Pattern) bool {
+			k := c.PackedKey(p)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("cards %v: patterns %v and %v share key %v", cards, FromKey(prev), p, k)
+			}
+			seen[k] = p.Key()
+			return true
+		})
+		if want := int(TotalPatterns(cards)); len(seen) != want {
+			t.Fatalf("cards %v: %d distinct keys, want %d", cards, len(seen), want)
+		}
+	}
+}
+
+func TestCodecWideBinarySchemaStaysPackable(t *testing.T) {
+	// 35 binary attributes need 2 bits each = 70 bits: the Fig 16
+	// configuration must use the packed representation.
+	cards := make([]int, 35)
+	for i := range cards {
+		cards[i] = 2
+	}
+	c := NewCodec(cards)
+	if !c.Packable() {
+		t.Fatal("35 binary attributes should be packable into 128 bits")
+	}
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		_ = seed
+		a := quickPattern(r, cards)
+		b := quickPattern(r, cards)
+		// Keys agree exactly when patterns agree.
+		return (c.PackedKey(a) == c.PackedKey(b)) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecUnpackableSchema(t *testing.T) {
+	// 70 binary attributes need 140 bits: the codec must report
+	// unpackable so callers fall back to string keys.
+	cards := make([]int, 70)
+	for i := range cards {
+		cards[i] = 2
+	}
+	if NewCodec(cards).Packable() {
+		t.Fatal("70 binary attributes cannot pack into 128 bits")
+	}
+}
+
+func BenchmarkCodecPackedKey(b *testing.B) {
+	cards := make([]int, 15)
+	for i := range cards {
+		cards[i] = 2
+	}
+	c := NewCodec(cards)
+	p := All(15)
+	p[3], p[7] = 1, 0
+	for i := 0; i < b.N; i++ {
+		_ = c.PackedKey(p)
+	}
+}

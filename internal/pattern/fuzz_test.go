@@ -1,0 +1,40 @@
+package pattern
+
+import "testing"
+
+// FuzzParse feeds arbitrary strings to the pattern parser: it must
+// never panic, and anything it accepts must round-trip through String.
+func FuzzParse(f *testing.F) {
+	cards := []int{2, 3, 12, 2}
+	for _, seed := range []string{"X1X0", "xxxx", "01[11]1", "****", "[999]XXX", "1?", "[", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s, cards)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(cards); err != nil {
+			t.Fatalf("Parse(%q) accepted invalid pattern %v: %v", s, p, err)
+		}
+		back, err := Parse(p.String(), cards)
+		if err != nil {
+			t.Fatalf("Parse(String(Parse(%q))) failed: %v", s, err)
+		}
+		if !p.Equal(back) {
+			t.Fatalf("round trip changed %q: %v vs %v", s, p, back)
+		}
+	})
+}
+
+// FuzzKeyRoundTrip checks that Key/FromKey is the identity for
+// arbitrary byte payloads of the right dimension.
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 255})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p := Pattern(b)
+		if !FromKey(p.Key()).Equal(p) {
+			t.Fatalf("Key round trip changed %v", p)
+		}
+	})
+}

@@ -1,0 +1,602 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string, cards []int) Pattern {
+	t.Helper()
+	p, err := Parse(s, cards)
+	if err != nil {
+		t.Fatalf("Parse(%q) = %v", s, err)
+	}
+	return p
+}
+
+func TestAllAndLevel(t *testing.T) {
+	p := All(4)
+	if got := p.Level(); got != 0 {
+		t.Errorf("All(4).Level() = %d, want 0", got)
+	}
+	if p.IsFull() {
+		t.Error("All(4).IsFull() = true, want false")
+	}
+	q := FromValues([]uint8{1, 0, 2, 1})
+	if got := q.Level(); got != 4 {
+		t.Errorf("full pattern level = %d, want 4", got)
+	}
+	if !q.IsFull() {
+		t.Error("full pattern IsFull() = false, want true")
+	}
+}
+
+func TestMatchesPaperExample(t *testing.T) {
+	// §II: P = X1X0 on four binary attributes; t1=1100 and t2=0110
+	// match; t3=1010 does not.
+	cards := []int{2, 2, 2, 2}
+	p := mustParse(t, "X1X0", cards)
+	tests := []struct {
+		tuple []uint8
+		want  bool
+	}{
+		{[]uint8{1, 1, 0, 0}, true},
+		{[]uint8{0, 1, 1, 0}, true},
+		{[]uint8{1, 0, 1, 0}, false},
+		{[]uint8{1, 1, 0, 1}, false},
+	}
+	for _, tc := range tests {
+		if got := p.Matches(tc.tuple); got != tc.want {
+			t.Errorf("P=%v Matches(%v) = %v, want %v", p, tc.tuple, got, tc.want)
+		}
+	}
+}
+
+func TestMatchesDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Matches with mismatched dimension did not panic")
+		}
+	}()
+	All(3).Matches([]uint8{0, 1})
+}
+
+func TestDominates(t *testing.T) {
+	cards := []int{2, 2, 2, 2}
+	tests := []struct {
+		p, q string
+		want bool
+	}{
+		{"1XXX", "10X1", true},  // paper §II example
+		{"10X1", "1XXX", false}, // dominance is not symmetric
+		{"XXXX", "1010", true},
+		{"1010", "1010", true}, // reflexive
+		{"X1X0", "X1X1", false},
+		{"0XXX", "1XXX", false},
+	}
+	for _, tc := range tests {
+		p := mustParse(t, tc.p, cards)
+		q := mustParse(t, tc.q, cards)
+		if got := p.Dominates(q); got != tc.want {
+			t.Errorf("%s.Dominates(%s) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestDominanceMatchesSetContainment(t *testing.T) {
+	// p.Dominates(q) must hold exactly when matches(q) ⊆ matches(p).
+	cards := []int{2, 3, 2}
+	var all []Pattern
+	EnumerateAll(cards, func(p Pattern) bool {
+		all = append(all, p.Clone())
+		return true
+	})
+	matchSet := func(p Pattern) map[string]bool {
+		s := map[string]bool{}
+		EnumerateCombos(cards, func(combo []uint8) bool {
+			if p.Matches(combo) {
+				s[string(combo)] = true
+			}
+			return true
+		})
+		return s
+	}
+	for _, p := range all {
+		mp := matchSet(p)
+		for _, q := range all {
+			mq := matchSet(q)
+			subset := true
+			for k := range mq {
+				if !mp[k] {
+					subset = false
+					break
+				}
+			}
+			if got := p.Dominates(q); got != subset {
+				t.Fatalf("%v.Dominates(%v) = %v, want %v (set containment)", p, q, got, subset)
+			}
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cards := []int{2, 3, 7, 12}
+	tests := []string{"XXXX", "01X[11]", "1X6[10]", "0000"}
+	for _, s := range tests {
+		p, err := Parse(s, cards)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v", s, err)
+		}
+		back, err := Parse(p.String(), cards)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %v", s, err)
+		}
+		if !p.Equal(back) {
+			t.Errorf("round trip %q -> %v -> %v", s, p, back)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cards := []int{2, 2}
+	bad := []struct {
+		s    string
+		desc string
+	}{
+		{"1", "wrong dimension"},
+		{"111", "wrong dimension"},
+		{"12", "value exceeds cardinality"},
+		{"1?", "bad character"},
+		{"1[", "unterminated bracket"},
+		{"[999]X", "value out of byte range"},
+	}
+	for _, tc := range bad {
+		if _, err := Parse(tc.s, cards); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error (%s)", tc.s, tc.desc)
+		}
+	}
+}
+
+func TestParseWildcardForms(t *testing.T) {
+	for _, s := range []string{"XX", "xx", "**", "xX"} {
+		p, err := Parse(s, []int{2, 2})
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v", s, err)
+		}
+		if p.Level() != 0 {
+			t.Errorf("Parse(%q).Level() = %d, want 0", s, p.Level())
+		}
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	p := FromValues([]uint8{1, Wildcard, 3})
+	p[1] = Wildcard
+	q := FromKey(p.Key())
+	if !p.Equal(q) {
+		t.Errorf("FromKey(Key(%v)) = %v", p, q)
+	}
+}
+
+func TestValueCount(t *testing.T) {
+	cards := []int{2, 2, 2, 2}
+	// Paper §II: P = X1X0 has A_P = {A1, A3}, value count 2×2 = 4.
+	p := mustParse(t, "X1X0", cards)
+	if got := p.ValueCount(cards); got != 4 {
+		t.Errorf("ValueCount(X1X0) = %d, want 4", got)
+	}
+	tern := []int{3, 3, 3}
+	q := mustParse(t, "XX1", tern)
+	if got := q.ValueCount(tern); got != 9 {
+		t.Errorf("ValueCount(XX1) = %d, want 9", got)
+	}
+	full := mustParse(t, "012", tern)
+	if got := full.ValueCount(tern); got != 1 {
+		t.Errorf("ValueCount(full) = %d, want 1", got)
+	}
+}
+
+func TestParentsChildrenInverse(t *testing.T) {
+	cards := []int{2, 3, 2}
+	EnumerateAll(cards, func(p Pattern) bool {
+		for _, par := range p.Parents() {
+			if par.Level() != p.Level()-1 {
+				t.Fatalf("parent %v of %v has level %d, want %d", par, p, par.Level(), p.Level()-1)
+			}
+			found := false
+			for _, ch := range par.Children(cards) {
+				if ch.Equal(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%v not among children of its parent %v", p, par)
+			}
+		}
+		return true
+	})
+}
+
+func TestRule1GeneratesEachPatternExactlyOnce(t *testing.T) {
+	// BFS from the root using Rule 1 must generate each non-root
+	// pattern exactly once (paper Theorem 3).
+	for _, cards := range [][]int{{2, 2, 2}, {3, 2, 4}, {2, 3, 2, 2}} {
+		seen := map[string]int{}
+		queue := []Pattern{All(len(cards))}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, ch := range p.Rule1Children(cards) {
+				seen[ch.Key()]++
+				queue = append(queue, ch)
+			}
+		}
+		want := int(TotalPatterns(cards)) - 1 // all but the root
+		if len(seen) != want {
+			t.Errorf("cards %v: Rule 1 generated %d distinct patterns, want %d", cards, len(seen), want)
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Errorf("cards %v: pattern %v generated %d times", cards, FromKey(k), n)
+			}
+		}
+	}
+}
+
+func TestAppendRule1ChildrenMatchesRule1Children(t *testing.T) {
+	cards := []int{2, 3, 2, 4}
+	EnumerateAll(cards, func(p Pattern) bool {
+		want := p.Rule1Children(cards)
+		got := p.AppendRule1Children(nil, cards)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d children, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%v: child %d = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+		// Appending to a non-empty slice preserves the prefix.
+		pre := []Pattern{All(4)}
+		ext := p.AppendRule1Children(pre, cards)
+		if len(ext) != 1+len(want) || !ext[0].Equal(All(4)) {
+			t.Fatalf("%v: prefix not preserved", p)
+		}
+		return true
+	})
+}
+
+func TestRule1ParentIsGenerator(t *testing.T) {
+	cards := []int{2, 3, 2}
+	EnumerateAll(cards, func(p Pattern) bool {
+		gen, ok := p.Rule1Parent()
+		if p.Level() == 0 {
+			if ok {
+				t.Fatalf("root has Rule1Parent %v", gen)
+			}
+			return true
+		}
+		if !ok {
+			t.Fatalf("%v has no Rule1Parent", p)
+		}
+		found := false
+		for _, ch := range gen.Rule1Children(cards) {
+			if ch.Equal(p) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Rule1Parent(%v) = %v does not regenerate it", p, gen)
+		}
+		return true
+	})
+}
+
+func TestRule2GeneratesEachNonFullPatternExactlyOnce(t *testing.T) {
+	// Starting from all fully deterministic patterns and applying
+	// Rule 2 upward must generate each non-full pattern exactly once
+	// (paper Theorem 4).
+	for _, cards := range [][]int{{2, 2, 2}, {3, 2, 4}, {2, 3, 2, 2}} {
+		seen := map[string]int{}
+		var queue []Pattern
+		EnumerateCombos(cards, func(combo []uint8) bool {
+			queue = append(queue, FromValues(combo))
+			return true
+		})
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, par := range p.Rule2Parents() {
+				seen[par.Key()]++
+				queue = append(queue, par)
+			}
+		}
+		want := int(TotalPatterns(cards) - TotalCombos(cards))
+		if len(seen) != want {
+			t.Errorf("cards %v: Rule 2 generated %d distinct patterns, want %d", cards, len(seen), want)
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Errorf("cards %v: pattern %v generated %d times", cards, FromKey(k), n)
+			}
+		}
+	}
+}
+
+func TestRule2PaperExamples(t *testing.T) {
+	cards := []int{2, 2, 2}
+	// §III-D: X01 generates XX1 only.
+	p := mustParse(t, "X01", cards)
+	got := p.Rule2Parents()
+	if len(got) != 1 || got[0].String() != "XX1" {
+		t.Errorf("Rule2Parents(X01) = %v, want [XX1]", got)
+	}
+	// §III-D: 000 generates 00X, 0X0 and X00.
+	p = mustParse(t, "000", cards)
+	var strs []string
+	for _, q := range p.Rule2Parents() {
+		strs = append(strs, q.String())
+	}
+	sort.Strings(strs)
+	want := []string{"00X", "0X0", "X00"}
+	if !reflect.DeepEqual(strs, want) {
+		t.Errorf("Rule2Parents(000) = %v, want %v", strs, want)
+	}
+}
+
+func TestRule1PaperExamples(t *testing.T) {
+	cards := []int{2, 2, 2}
+	// §III-C: 0XX generates 0X0, 0X1, 00X, 01X; X1X generates X10, X11.
+	p := mustParse(t, "0XX", cards)
+	var strs []string
+	for _, q := range p.Rule1Children(cards) {
+		strs = append(strs, q.String())
+	}
+	sort.Strings(strs)
+	if want := []string{"00X", "01X", "0X0", "0X1"}; !reflect.DeepEqual(strs, want) {
+		t.Errorf("Rule1Children(0XX) = %v, want %v", strs, want)
+	}
+	p = mustParse(t, "X1X", cards)
+	strs = nil
+	for _, q := range p.Rule1Children(cards) {
+		strs = append(strs, q.String())
+	}
+	sort.Strings(strs)
+	if want := []string{"X10", "X11"}; !reflect.DeepEqual(strs, want) {
+		t.Errorf("Rule1Children(X1X) = %v, want %v", strs, want)
+	}
+}
+
+func TestRule2ChildIsGenerator(t *testing.T) {
+	cards := []int{2, 3, 2}
+	EnumerateAll(cards, func(p Pattern) bool {
+		gen, ok := p.Rule2Child()
+		if p.IsFull() {
+			if ok {
+				t.Fatalf("full pattern %v has Rule2Child %v", p, gen)
+			}
+			return true
+		}
+		if !ok {
+			t.Fatalf("%v has no Rule2Child", p)
+		}
+		found := false
+		for _, par := range gen.Rule2Parents() {
+			if par.Equal(p) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Rule2Child(%v) = %v does not regenerate it", p, gen)
+		}
+		return true
+	})
+}
+
+func TestDescendantsAtLevel(t *testing.T) {
+	cards := []int{2, 3, 2, 2}
+	p := mustParse(t, "X0XX", cards)
+	// Appendix C example shape: descendants at level 2 instantiate one
+	// of the three wildcards: 2 + 2 + 2 = 6 patterns.
+	desc := p.DescendantsAtLevel(cards, 2)
+	if len(desc) != 6 {
+		t.Fatalf("got %d descendants, want 6: %v", len(desc), desc)
+	}
+	for _, q := range desc {
+		if q.Level() != 2 {
+			t.Errorf("descendant %v has level %d, want 2", q, q.Level())
+		}
+		if !p.Dominates(q) {
+			t.Errorf("descendant %v not dominated by %v", q, p)
+		}
+	}
+	if got := p.DescendantsAtLevel(cards, 0); got != nil {
+		t.Errorf("DescendantsAtLevel below own level = %v, want nil", got)
+	}
+	self := p.DescendantsAtLevel(cards, 1)
+	if len(self) != 1 || !self[0].Equal(p) {
+		t.Errorf("DescendantsAtLevel at own level = %v, want [%v]", self, p)
+	}
+}
+
+func TestDescendantsAtLevelAppendixCExample(t *testing.T) {
+	// Appendix C: subset patterns of P1=XX01X at level 3 are 0X01X,
+	// 1X01X, X001X, X101X, X201X, XX010, XX011 (A2, A3 ternary).
+	cards := []int{2, 3, 3, 2, 2}
+	p := mustParse(t, "XX01X", cards)
+	var strs []string
+	for _, q := range p.DescendantsAtLevel(cards, 3) {
+		strs = append(strs, q.String())
+	}
+	sort.Strings(strs)
+	want := []string{"0X01X", "1X01X", "X001X", "X101X", "X201X", "XX010", "XX011"}
+	if !reflect.DeepEqual(strs, want) {
+		t.Errorf("descendants = %v, want %v", strs, want)
+	}
+}
+
+func TestDescendantsAtLevelCountProperty(t *testing.T) {
+	// Number of descendants of the root at level ℓ must be
+	// C(d, ℓ)·c^ℓ for uniform cardinality c (§III-B).
+	cards := []int{2, 2, 2, 2}
+	root := All(4)
+	wantCounts := []int{1, 8, 24, 32, 16} // C(4,ℓ)·2^ℓ
+	for lvl, want := range wantCounts {
+		if got := len(root.DescendantsAtLevel(cards, lvl)); got != want {
+			t.Errorf("level %d: %d descendants, want %d", lvl, got, want)
+		}
+	}
+}
+
+func TestDescendantCountMatchesEnumeration(t *testing.T) {
+	cards := []int{2, 3, 2, 4}
+	EnumerateAll(cards, func(p Pattern) bool {
+		for target := 0; target <= len(cards); target++ {
+			want := uint64(len(p.DescendantsAtLevel(cards, target)))
+			if got := p.DescendantCount(cards, target); got != want {
+				t.Fatalf("%v target %d: DescendantCount = %d, enumeration = %d", p, target, got, want)
+			}
+		}
+		return true
+	})
+}
+
+func TestDescendantCountSaturatesOnOverflow(t *testing.T) {
+	// The root of a 70-attribute schema with cardinality 255 has far
+	// more than 2^64 level-35 descendants.
+	cards := make([]int, 70)
+	for i := range cards {
+		cards[i] = 255
+	}
+	if got := All(70).DescendantCount(cards, 35); got != ^uint64(0) {
+		t.Errorf("DescendantCount = %d, want saturation", got)
+	}
+}
+
+func TestTotalPatternsAndCombos(t *testing.T) {
+	if got := TotalPatterns([]int{2, 2, 2}); got != 27 {
+		t.Errorf("TotalPatterns(2,2,2) = %d, want 27 (paper Fig 2)", got)
+	}
+	if got := TotalCombos([]int{10, 4, 7, 8, 3, 3, 5}); got != 100800 {
+		t.Errorf("TotalCombos(BlueNile cards) = %d, want 100800", got)
+	}
+	if got := TotalCombos([]int{2, 0, 2}); got != 0 {
+		t.Errorf("TotalCombos with zero cardinality = %d, want 0", got)
+	}
+	// Saturation on overflow rather than wraparound.
+	big := make([]int, 80)
+	for i := range big {
+		big[i] = 7
+	}
+	if got := TotalPatterns(big); got != ^uint64(0) {
+		t.Errorf("TotalPatterns(overflow) = %d, want saturation", got)
+	}
+	if got := TotalCombos(big); got != ^uint64(0) {
+		t.Errorf("TotalCombos(overflow) = %d, want saturation", got)
+	}
+}
+
+func TestEnumerateAllCountsAndEarlyStop(t *testing.T) {
+	cards := []int{2, 3, 2}
+	n := 0
+	EnumerateAll(cards, func(Pattern) bool { n++; return true })
+	if want := int(TotalPatterns(cards)); n != want {
+		t.Errorf("EnumerateAll visited %d patterns, want %d", n, want)
+	}
+	n = 0
+	EnumerateAll(cards, func(Pattern) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop after %d patterns, want 5", n)
+	}
+	n = 0
+	EnumerateCombos(cards, func([]uint8) bool { n++; return true })
+	if want := int(TotalCombos(cards)); n != want {
+		t.Errorf("EnumerateCombos visited %d combos, want %d", n, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cards := []int{2, 3}
+	ok := Pattern{1, 2}
+	if err := ok.Validate(cards); err != nil {
+		t.Errorf("Validate(%v) = %v, want nil", ok, err)
+	}
+	bad := Pattern{2, 0}
+	if err := bad.Validate(cards); err == nil {
+		t.Error("Validate with out-of-range value succeeded")
+	}
+	short := Pattern{1}
+	if err := short.Validate(cards); err == nil {
+		t.Error("Validate with wrong dimension succeeded")
+	}
+}
+
+// quickPattern generates a random pattern over cards.
+func quickPattern(r *rand.Rand, cards []int) Pattern {
+	p := make(Pattern, len(cards))
+	for i := range p {
+		if r.Intn(3) == 0 {
+			p[i] = Wildcard
+		} else {
+			p[i] = uint8(r.Intn(cards[i]))
+		}
+	}
+	return p
+}
+
+func TestQuickDominanceTransitive(t *testing.T) {
+	cards := []int{2, 3, 2, 4}
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := quickPattern(r, cards), quickPattern(r, cards), quickPattern(r, cards)
+		if a.Dominates(b) && b.Dominates(c) && !a.Dominates(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParentDominatesChild(t *testing.T) {
+	cards := []int{2, 3, 2, 4}
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := quickPattern(r, cards)
+		for _, par := range p.Parents() {
+			if !par.Dominates(p) {
+				return false
+			}
+		}
+		for _, ch := range p.Children(cards) {
+			if !p.Dominates(ch) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	cards := []int{2, 12, 3, 11}
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := quickPattern(r, cards)
+		q, err := Parse(p.String(), cards)
+		return err == nil && p.Equal(q)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package report renders coverage audits and enhancement plans as
+// text, Markdown or JSON — the "widget in the nutritional label of a
+// dataset" the paper's introduction proposes. It is consumed by the
+// covreport and covfix commands and re-exported through the facade.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"coverage/internal/dataset"
+	"coverage/internal/enhance"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+// Format selects an output rendering.
+type Format string
+
+// The supported output formats.
+const (
+	Text     Format = "text"
+	Markdown Format = "markdown"
+	JSON     Format = "json"
+)
+
+// ParseFormat validates a user-supplied format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case Text, "":
+		return Text, nil
+	case Markdown, "md":
+		return Markdown, nil
+	case JSON:
+		return JSON, nil
+	default:
+		return "", fmt.Errorf("report: unknown format %q (want text, markdown or json)", s)
+	}
+}
+
+// Audit is the renderable form of a MUP audit.
+type Audit struct {
+	Schema    *dataset.Schema
+	Rows      int
+	Threshold int64
+	MUPs      []pattern.Pattern
+	Stats     mup.Stats
+	// TopK bounds the number of MUPs listed individually (0 = 20).
+	TopK int
+}
+
+type auditJSON struct {
+	Rows       int            `json:"rows"`
+	Attributes []string       `json:"attributes"`
+	Threshold  int64          `json:"threshold"`
+	Algorithm  string         `json:"algorithm"`
+	TotalMUPs  int            `json:"total_mups"`
+	Histogram  map[string]int `json:"mups_per_level"`
+	MUPs       []mupJSON      `json:"mups"`
+	Probes     int64          `json:"coverage_probes"`
+}
+
+type mupJSON struct {
+	Pattern     string `json:"pattern"`
+	Level       int    `json:"level"`
+	Description string `json:"description"`
+}
+
+// Write renders the audit in the requested format.
+func (a *Audit) Write(w io.Writer, f Format) error {
+	switch f {
+	case Text, Markdown:
+		return a.writeHuman(w, f == Markdown)
+	case JSON:
+		return a.writeJSON(w)
+	default:
+		return fmt.Errorf("report: unknown format %q", f)
+	}
+}
+
+func (a *Audit) topK() int {
+	if a.TopK > 0 {
+		return a.TopK
+	}
+	return 20
+}
+
+func (a *Audit) histogram() []int {
+	h := make([]int, a.Schema.Dim()+1)
+	for _, p := range a.MUPs {
+		h[p.Level()]++
+	}
+	return h
+}
+
+func (a *Audit) writeHuman(w io.Writer, md bool) error {
+	h1, pre, preEnd := "", "", ""
+	if md {
+		h1, pre, preEnd = "## ", "```\n", "```\n"
+	}
+	if _, err := fmt.Fprintf(w, "%scoverage report\n", h1); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rows: %d   attributes: %d   threshold: %d   algorithm: %s\n",
+		a.Rows, a.Schema.Dim(), a.Threshold, a.Stats.Algorithm)
+	fmt.Fprintf(w, "maximal uncovered patterns: %d\n\n", len(a.MUPs))
+
+	fmt.Fprintf(w, "%sMUPs per level\n%s", h1, pre)
+	hist := a.histogram()
+	max := 0
+	for _, n := range hist {
+		if n > max {
+			max = n
+		}
+	}
+	for lvl, n := range hist {
+		if n == 0 {
+			continue
+		}
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", 1+n*39/max)
+		}
+		fmt.Fprintf(w, "level %2d %8d  %s\n", lvl, n, bar)
+	}
+	fmt.Fprint(w, preEnd)
+
+	fmt.Fprintf(w, "\n%smost general gaps\n%s", h1, pre)
+	for i, p := range a.MUPs {
+		if i >= a.topK() {
+			fmt.Fprintf(w, "... and %d more\n", len(a.MUPs)-a.topK())
+			break
+		}
+		fmt.Fprintf(w, "%-24s %s\n", p, a.Schema.DescribePattern(p))
+	}
+	fmt.Fprint(w, preEnd)
+	_, err := fmt.Fprintf(w, "\nsearch cost: %d coverage probes, %d nodes visited\n",
+		a.Stats.CoverageProbes, a.Stats.NodesVisited)
+	return err
+}
+
+func (a *Audit) writeJSON(w io.Writer) error {
+	out := auditJSON{
+		Rows:      a.Rows,
+		Threshold: a.Threshold,
+		Algorithm: a.Stats.Algorithm,
+		TotalMUPs: len(a.MUPs),
+		Histogram: map[string]int{},
+		Probes:    a.Stats.CoverageProbes,
+	}
+	for i := 0; i < a.Schema.Dim(); i++ {
+		out.Attributes = append(out.Attributes, a.Schema.Attr(i).Name)
+	}
+	for lvl, n := range a.histogram() {
+		if n > 0 {
+			out.Histogram[fmt.Sprintf("%d", lvl)] = n
+		}
+	}
+	for _, p := range a.MUPs {
+		out.MUPs = append(out.MUPs, mupJSON{
+			Pattern:     p.String(),
+			Level:       p.Level(),
+			Description: a.Schema.DescribePattern(p),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// PlanReport is the renderable form of an enhancement plan.
+type PlanReport struct {
+	Schema *dataset.Schema
+	Plan   *enhance.Plan
+	// Lambda or MinValueCount describe the objective for the header
+	// (either may be zero).
+	Lambda        int
+	MinValueCount uint64
+}
+
+type planJSON struct {
+	Objective   string           `json:"objective"`
+	Algorithm   string           `json:"algorithm"`
+	Targets     int              `json:"targets"`
+	Tuples      int              `json:"tuples_to_collect"`
+	TotalCost   float64          `json:"total_cost,omitempty"`
+	Suggestions []suggestionJSON `json:"suggestions"`
+}
+
+type suggestionJSON struct {
+	Collect     string  `json:"collect"`
+	Description string  `json:"description"`
+	Combo       string  `json:"example_combination"`
+	Gaps        int     `json:"gaps_closed"`
+	Cost        float64 `json:"cost,omitempty"`
+}
+
+func (pr *PlanReport) objective() string {
+	switch {
+	case pr.Lambda > 0:
+		return fmt.Sprintf("maximum covered level ≥ %d", pr.Lambda)
+	case pr.MinValueCount > 0:
+		return fmt.Sprintf("cover patterns with value count ≥ %d", pr.MinValueCount)
+	default:
+		return "cover all targets"
+	}
+}
+
+// Write renders the plan in the requested format.
+func (pr *PlanReport) Write(w io.Writer, f Format) error {
+	switch f {
+	case Text, Markdown:
+		return pr.writeHuman(w, f == Markdown)
+	case JSON:
+		return pr.writeJSON(w)
+	default:
+		return fmt.Errorf("report: unknown format %q", f)
+	}
+}
+
+func (pr *PlanReport) writeHuman(w io.Writer, md bool) error {
+	h1, pre, preEnd := "", "", ""
+	if md {
+		h1, pre, preEnd = "## ", "```\n", "```\n"
+	}
+	fmt.Fprintf(w, "%scollection plan — %s\n", h1, pr.objective())
+	fmt.Fprintf(w, "targets to hit: %d   combinations to collect: %d",
+		len(pr.Plan.Targets), pr.Plan.NumTuples())
+	if c := pr.Plan.TotalCost(); c > 0 {
+		fmt.Fprintf(w, "   total cost: %.2f", c)
+	}
+	fmt.Fprintf(w, "\n\n%s", pre)
+	for i, s := range pr.Plan.Suggestions {
+		fmt.Fprintf(w, "%3d. %-20s %s  (closes %d gaps", i+1, s.Collect, pr.Schema.DescribePattern(s.Collect), len(s.Hits))
+		if s.Cost > 0 {
+			fmt.Fprintf(w, ", cost %.2f", s.Cost)
+		}
+		fmt.Fprintln(w, ")")
+	}
+	_, err := fmt.Fprint(w, preEnd)
+	return err
+}
+
+func (pr *PlanReport) writeJSON(w io.Writer) error {
+	out := planJSON{
+		Objective: pr.objective(),
+		Algorithm: pr.Plan.Stats.Algorithm,
+		Targets:   len(pr.Plan.Targets),
+		Tuples:    pr.Plan.NumTuples(),
+		TotalCost: pr.Plan.TotalCost(),
+	}
+	for _, s := range pr.Plan.Suggestions {
+		out.Suggestions = append(out.Suggestions, suggestionJSON{
+			Collect:     s.Collect.String(),
+			Description: pr.Schema.DescribePattern(s.Collect),
+			Combo:       pattern.FromValues(s.Combo).String(),
+			Gaps:        len(s.Hits),
+			Cost:        s.Cost,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,216 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"coverage/internal/dataset"
+	"coverage/internal/enhance"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+func fixtureAudit(t *testing.T) *Audit {
+	t.Helper()
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "sex", Values: []string{"male", "female"}},
+		{Name: "race", Values: []string{"white", "black", "other"}},
+	})
+	p1, _ := pattern.Parse("1X", schema.Cards())
+	p2, _ := pattern.Parse("02", schema.Cards())
+	return &Audit{
+		Schema:    schema,
+		Rows:      100,
+		Threshold: 5,
+		MUPs:      []pattern.Pattern{p1, p2},
+		Stats:     mup.Stats{Algorithm: "deepdiver", CoverageProbes: 42, NodesVisited: 17},
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"", Text, true},
+		{"text", Text, true},
+		{"TEXT", Text, true},
+		{"markdown", Markdown, true},
+		{"md", Markdown, true},
+		{"json", JSON, true},
+		{"yaml", "", false},
+	}
+	for _, tc := range cases {
+		got, err := ParseFormat(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseFormat(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseFormat(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAuditTextContainsKeyFacts(t *testing.T) {
+	a := fixtureAudit(t)
+	var buf strings.Builder
+	if err := a.Write(&buf, Text); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"rows: 100", "threshold: 5", "deepdiver",
+		"maximal uncovered patterns: 2",
+		"sex=female", "sex=male, race=other",
+		"level  1", "level  2",
+		"42 coverage probes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditMarkdownHasHeadings(t *testing.T) {
+	a := fixtureAudit(t)
+	var buf strings.Builder
+	if err := a.Write(&buf, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## coverage report") || !strings.Contains(out, "```") {
+		t.Errorf("markdown output lacks headings/fences:\n%s", out)
+	}
+}
+
+func TestAuditJSONRoundTrips(t *testing.T) {
+	a := fixtureAudit(t)
+	var buf strings.Builder
+	if err := a.Write(&buf, JSON); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Rows      int            `json:"rows"`
+		Threshold int64          `json:"threshold"`
+		TotalMUPs int            `json:"total_mups"`
+		Histogram map[string]int `json:"mups_per_level"`
+		MUPs      []struct {
+			Pattern     string `json:"pattern"`
+			Level       int    `json:"level"`
+			Description string `json:"description"`
+		} `json:"mups"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed.Rows != 100 || parsed.Threshold != 5 || parsed.TotalMUPs != 2 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+	if parsed.Histogram["1"] != 1 || parsed.Histogram["2"] != 1 {
+		t.Errorf("histogram = %v", parsed.Histogram)
+	}
+	if parsed.MUPs[0].Pattern != "1X" || parsed.MUPs[0].Description != "sex=female" {
+		t.Errorf("mups[0] = %+v", parsed.MUPs[0])
+	}
+}
+
+func TestAuditTopKTruncation(t *testing.T) {
+	a := fixtureAudit(t)
+	a.TopK = 1
+	var buf strings.Builder
+	if err := a.Write(&buf, Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "and 1 more") {
+		t.Errorf("truncation note missing:\n%s", buf.String())
+	}
+}
+
+func TestUnknownFormatErrors(t *testing.T) {
+	a := fixtureAudit(t)
+	if err := a.Write(&strings.Builder{}, Format("yaml")); err == nil {
+		t.Error("Audit.Write accepted unknown format")
+	}
+	pr := fixturePlan(t)
+	if err := pr.Write(&strings.Builder{}, Format("yaml")); err == nil {
+		t.Error("PlanReport.Write accepted unknown format")
+	}
+}
+
+func fixturePlan(t *testing.T) *PlanReport {
+	t.Helper()
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "sex", Values: []string{"male", "female"}},
+		{Name: "race", Values: []string{"white", "black", "other"}},
+	})
+	tgt, _ := pattern.Parse("1X", schema.Cards())
+	plan, err := enhance.Greedy([]pattern.Pattern{tgt}, schema.Cards(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &PlanReport{Schema: schema, Plan: plan, Lambda: 1}
+}
+
+func TestPlanReportText(t *testing.T) {
+	pr := fixturePlan(t)
+	var buf strings.Builder
+	if err := pr.Write(&buf, Text); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"maximum covered level ≥ 1", "targets to hit: 1", "sex=female", "closes 1 gaps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanReportJSON(t *testing.T) {
+	pr := fixturePlan(t)
+	pr.Lambda = 0
+	pr.MinValueCount = 9
+	var buf strings.Builder
+	if err := pr.Write(&buf, JSON); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Objective   string `json:"objective"`
+		Tuples      int    `json:"tuples_to_collect"`
+		Suggestions []struct {
+			Collect string `json:"collect"`
+			Gaps    int    `json:"gaps_closed"`
+		} `json:"suggestions"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !strings.Contains(parsed.Objective, "value count ≥ 9") {
+		t.Errorf("objective = %q", parsed.Objective)
+	}
+	if parsed.Tuples != 1 || len(parsed.Suggestions) != 1 || parsed.Suggestions[0].Gaps != 1 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestPlanReportWithCosts(t *testing.T) {
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "a", Values: []string{"x", "y"}},
+	})
+	tgt, _ := pattern.Parse("1", schema.Cards())
+	plan, err := enhance.GreedyWeighted([]pattern.Pattern{tgt}, schema.Cards(), nil,
+		enhance.UniformCost(schema.Cards()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &PlanReport{Schema: schema, Plan: plan, Lambda: 1}
+	var buf strings.Builder
+	if err := pr.Write(&buf, Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "total cost: 1.00") {
+		t.Errorf("cost missing:\n%s", buf.String())
+	}
+}
