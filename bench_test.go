@@ -18,9 +18,11 @@ import (
 	"coverage/internal/classify"
 	"coverage/internal/datagen"
 	"coverage/internal/dataset"
+	"coverage/internal/engine"
 	"coverage/internal/enhance"
 	"coverage/internal/index"
 	"coverage/internal/mup"
+	"coverage/internal/pattern"
 )
 
 // benchN is the dataset size for the AirBnB-style sweeps: large enough
@@ -332,6 +334,100 @@ func BenchmarkIndexBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		index.Build(ds)
 	}
+}
+
+// datasetRows returns the dataset's rows as a batch for engine
+// appends.
+func datasetRows(ds *dataset.Dataset) [][]uint8 {
+	rows := make([][]uint8, ds.NumRows())
+	for i := range rows {
+		rows[i] = ds.Row(i)
+	}
+	return rows
+}
+
+// BenchmarkEngineAppend measures incremental batch ingestion: sharded
+// parallel counting merged into the delta, no base rebuild.
+func BenchmarkEngineAppend(b *testing.B) {
+	eng := engine.NewFromDataset(datagen.AirBnB(benchN, 13, 42), engine.Options{})
+	batch := datasetRows(datagen.AirBnB(1000, 13, 7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(batch)), "rows/op")
+}
+
+// BenchmarkEngineIncrementalMUPs compares the engine's append-then-
+// repair path against the full rebuild it replaces: per iteration,
+// ingest a 1000-row batch and re-answer the same MUP query.
+func BenchmarkEngineIncrementalMUPs(b *testing.B) {
+	const tau = int64(0.001 * benchN)
+	batch := datasetRows(datagen.AirBnB(1000, 13, 7))
+	b.Run("incremental-repair", func(b *testing.B) {
+		eng := engine.NewFromDataset(datagen.AirBnB(benchN, 13, 42), engine.Options{})
+		if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var res *mup.Result
+		for i := 0; i < b.N; i++ {
+			if err := eng.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+			r, err := eng.MUPs(mup.Options{Threshold: tau})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(len(res.MUPs)), "MUPs")
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		full := datagen.AirBnB(benchN, 13, 42)
+		b.ResetTimer()
+		var res *mup.Result
+		for i := 0; i < b.N; i++ {
+			for _, row := range batch {
+				full.MustAppend(row)
+			}
+			ix := index.Build(full)
+			r, err := mup.ParallelPatternBreaker(ix, mup.ParallelOptions{Options: mup.Options{Threshold: tau}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(len(res.MUPs)), "MUPs")
+	})
+}
+
+// BenchmarkEngineConcurrentCoverage measures point coverage probes
+// under GOMAXPROCS-way concurrency with a non-empty delta, the
+// covserve serving hot path (pooled probers + merge-on-read).
+func BenchmarkEngineConcurrentCoverage(b *testing.B) {
+	eng := engine.NewFromDataset(datagen.AirBnB(benchN, 15, 42), engine.Options{})
+	if err := eng.Append(datasetRows(datagen.AirBnB(500, 15, 9))); err != nil {
+		b.Fatal(err)
+	}
+	probe := pattern.All(15)
+	probe[3], probe[7], probe[11] = 1, 0, 1
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := probe.Clone()
+		var sink int64
+		for pb.Next() {
+			c, err := eng.Coverage(p)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			sink += c
+		}
+		_ = sink
+	})
 }
 
 // BenchmarkDistinct measures dataset deduplication alone.

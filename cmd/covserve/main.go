@@ -1,0 +1,97 @@
+// Command covserve serves coverage queries over a growing dataset —
+// the interactive counterpart to the one-shot covreport/covfix
+// commands. It loads a dataset once, then answers pattern coverage
+// probes, MUP audits and remediation-plan requests over HTTP while
+// accepting row appends, repairing its cached MUP sets incrementally
+// instead of rebuilding the index per request.
+//
+// Usage:
+//
+//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080]
+//	covserve -demo compas|airbnb|bluenile [-addr :8080]
+//
+// Endpoints:
+//
+//	GET  /healthz                          liveness + row count
+//	GET  /stats                            engine counters (compactions, repairs, cache hits)
+//	POST /coverage {"patterns":["X1X"]}    batch coverage probes
+//	GET  /mups?tau=30|rate=0.001           maximal uncovered patterns
+//	POST /append {"rows":[["male","white"]]} add rows (labels or raw codes)
+//	POST /plan {"tau":30,"max_level":2}    remediation plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"coverage"
+	"coverage/internal/datagen"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		csvPath = flag.String("csv", "", "CSV file to serve (first row is the header)")
+		columns = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
+		demo    = flag.String("demo", "", "serve a synthetic demo dataset instead: compas, airbnb or bluenile")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*csvPath, *columns, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	an := coverage.NewAnalyzer(ds)
+	log.Printf("covserve: serving %d rows × %d attributes on %s", ds.NumRows(), ds.Dim(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(an),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: a first full MUP search on a paper-scale
+		// dataset can legitimately run for minutes.
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func loadDataset(csvPath, columns, demo string) (*coverage.Dataset, error) {
+	switch {
+	case csvPath != "" && demo != "":
+		return nil, fmt.Errorf("use either -csv or -demo, not both")
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var cols []string
+		if columns != "" {
+			cols = strings.Split(columns, ",")
+		}
+		return coverage.ReadCSV(f, coverage.CSVOptions{Columns: cols})
+	case demo == "compas":
+		ds, _ := datagen.COMPAS(6889, 42)
+		return ds, nil
+	case demo == "airbnb":
+		return datagen.AirBnB(100000, 13, 42), nil
+	case demo == "bluenile":
+		return datagen.BlueNile(116300, 42), nil
+	case demo != "":
+		return nil, fmt.Errorf("unknown demo %q; use compas, airbnb or bluenile", demo)
+	default:
+		return nil, fmt.Errorf("a -csv file or -demo dataset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"coverage"
+)
+
+// serveFixture builds a server over the audit fixture of the root
+// package tests: sex × race with no "female, other" rows.
+func serveFixture(t *testing.T) *server {
+	t.Helper()
+	csv := strings.Join([]string{
+		"sex,race",
+		"male,white", "male,white", "male,white", "male,black",
+		"male,black", "male,other", "male,other",
+		"female,white", "female,white", "female,black",
+	}, "\n")
+	ds, err := coverage.ReadCSV(strings.NewReader(csv), coverage.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(coverage.NewAnalyzer(ds))
+}
+
+func do(t *testing.T, s *server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	s := serveFixture(t)
+	w := do(t, s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	resp := decode[healthResponse](t, w)
+	if resp.Status != "ok" || resp.Rows != 10 {
+		t.Errorf("health = %+v", resp)
+	}
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	w := do(t, s, "POST", "/coverage", `{"patterns": ["0X", "1X", "02"], "threshold": 2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[coverageResponse](t, w)
+	if resp.Rows != 10 || len(resp.Results) != 3 {
+		t.Fatalf("response = %+v", resp)
+	}
+	// Codes are sorted labels: female=0, male=1; black=0, other=1, white=2.
+	if resp.Results[0].Coverage != 3 || resp.Results[1].Coverage != 7 {
+		t.Errorf("coverages = %d, %d, want 3, 7", resp.Results[0].Coverage, resp.Results[1].Coverage)
+	}
+	if resp.Results[2].Coverage != 2 {
+		t.Errorf("cov(female, white) = %d, want 2", resp.Results[2].Coverage)
+	}
+	if resp.Results[0].Covered == nil || !*resp.Results[0].Covered {
+		t.Error("female (3 rows) not marked covered at τ=2")
+	}
+	if !strings.Contains(resp.Results[0].Description, "sex=female") {
+		t.Errorf("description = %q", resp.Results[0].Description)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty patterns", `{"patterns": []}`},
+		{"bad pattern", `{"patterns": ["0X9"]}`},
+		{"bad json", `{`},
+		{"unknown field", `{"pattern": ["0X"]}`},
+	} {
+		if w := do(t, s, "POST", "/coverage", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, w.Code)
+		} else if decode[errorResponse](t, w).Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+	if w := do(t, s, "GET", "/coverage", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /coverage: status %d, want 405", w.Code)
+	}
+}
+
+func TestMUPsEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	w := do(t, s, "GET", "/mups?tau=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[mupsResponse](t, w)
+	if resp.TotalMUPs != 1 || resp.Threshold != 1 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.MUPs[0].Description != "sex=female, race=other" {
+		t.Errorf("MUP description = %q", resp.MUPs[0].Description)
+	}
+	if resp.MUPs[0].Level != 2 {
+		t.Errorf("MUP level = %d", resp.MUPs[0].Level)
+	}
+
+	// Rate-based threshold resolves against the current row count.
+	w = do(t, s, "GET", "/mups?rate=0.2", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("rate status %d: %s", w.Code, w.Body)
+	}
+	if resp := decode[mupsResponse](t, w); resp.Threshold != 2 {
+		t.Errorf("rate 0.2 of 10 rows resolved to τ=%d, want 2", resp.Threshold)
+	}
+
+	for _, target := range []string{"/mups", "/mups?tau=abc", "/mups?tau=1&rate=0.5", "/mups?rate=2", "/mups?tau=1&maxlevel=x"} {
+		if w := do(t, s, "GET", target, ""); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", target, w.Code)
+		}
+	}
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	// The fixture's gap: no female+other rows. Close it by labels and
+	// codes in one request, then watch the MUP disappear.
+	w := do(t, s, "POST", "/append", `{"rows": [["female", "other"]], "codes": [[0, 1]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[appendResponse](t, w)
+	if resp.Appended != 2 || resp.TotalRows != 12 {
+		t.Errorf("append = %+v", resp)
+	}
+	if resp.Generation == 0 {
+		t.Error("generation not advanced")
+	}
+
+	w = do(t, s, "GET", "/mups?tau=1", "")
+	if got := decode[mupsResponse](t, w); got.TotalMUPs != 0 {
+		t.Errorf("MUPs after closing the gap = %+v", got.MUPs)
+	}
+	// τ=2 is exactly met by the two appended rows.
+	w = do(t, s, "GET", "/mups?tau=2", "")
+	for _, m := range decode[mupsResponse](t, w).MUPs {
+		if m.Description == "sex=female, race=other" {
+			t.Error("closed gap still reported at τ=2")
+		}
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{}`},
+		{"unknown label", `{"rows": [["female", "martian"]]}`},
+		{"short row", `{"rows": [["female"]]}`},
+		{"bad code", `{"codes": [[0, 9]]}`},
+		{"bad json", `]`},
+	} {
+		if w := do(t, s, "POST", "/append", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, w.Code)
+		}
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	w := do(t, s, "POST", "/plan", `{"tau": 1, "max_level": 2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[planResponse](t, w)
+	if resp.Threshold != 1 || resp.Tuples == 0 || len(resp.Suggestions) != resp.Tuples {
+		t.Fatalf("plan = %+v", resp)
+	}
+	if resp.Suggestions[0].Description != "sex=female, race=other" {
+		t.Errorf("suggestion = %+v", resp.Suggestions[0])
+	}
+	if resp.Suggestions[0].GapsClosed == 0 {
+		t.Error("suggestion closes no gaps")
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"no threshold", `{"max_level": 2}`},
+		{"no objective", `{"tau": 1}`},
+		{"both objectives", `{"tau": 1, "max_level": 1, "min_value_count": 2}`},
+		{"bad json", `nope`},
+	} {
+		if w := do(t, s, "POST", "/plan", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, w.Code)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	do(t, s, "GET", "/mups?tau=1", "")
+	do(t, s, "GET", "/mups?tau=1", "")
+	do(t, s, "POST", "/append", `{"codes": [[0, 1]]}`)
+	w := do(t, s, "GET", "/stats", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	st := decode[statsResponse](t, w)
+	if st.Rows != 11 || st.Appends != 1 || st.FullSearches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CacheHits == 0 {
+		t.Error("repeated /mups query did not hit the cache")
+	}
+}
+
+// TestConcurrentTraffic races /coverage and /mups readers against
+// /append writers through the full HTTP stack; meaningful under -race.
+func TestConcurrentTraffic(t *testing.T) {
+	s := serveFixture(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Post(srv.URL+"/coverage", "application/json",
+					strings.NewReader(`{"patterns": ["0X", "XX"]}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				resp, err = http.Get(srv.URL + "/mups?tau=2")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Post(srv.URL+"/append", "application/json",
+					strings.NewReader(`{"codes": [[0, 1], [1, 2]]}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("append status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	w := do(t, s, "GET", "/healthz", "")
+	if resp := decode[healthResponse](t, w); resp.Rows != 10+2*20*2 {
+		t.Errorf("final rows = %d, want %d", resp.Rows, 10+2*20*2)
+	}
+}

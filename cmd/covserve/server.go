@@ -1,0 +1,335 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"coverage"
+)
+
+// server wires the coverage analyzer's engine into HTTP handlers. All
+// endpoints are safe for concurrent use: reads take the engine's read
+// lock and appends its write lock.
+type server struct {
+	an  *coverage.Analyzer
+	mux *http.ServeMux
+}
+
+func newServer(an *coverage.Analyzer) *server {
+	s := &server{an: an, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /coverage", s.handleCoverage)
+	s.mux.HandleFunc("GET /mups", s.handleMUPs)
+	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("POST /plan", s.handlePlan)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// maxRequestBytes caps JSON request bodies; oversized appends should
+// be split into batches, not buffered wholesale.
+const maxRequestBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Rows   int64  `json:"rows"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Rows: s.an.NumRows()})
+}
+
+type statsResponse struct {
+	Rows          int64  `json:"rows"`
+	Distinct      int    `json:"distinct_combinations"`
+	DeltaDistinct int    `json:"delta_combinations"`
+	Generation    uint64 `json:"generation"`
+	Appends       int64  `json:"appends"`
+	Compactions   int64  `json:"compactions"`
+	FullSearches  int64  `json:"full_searches"`
+	Repairs        int64 `json:"incremental_repairs"`
+	CacheHits      int64 `json:"cache_hits"`
+	CachedSearches int   `json:"cached_searches"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.an.Engine().Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Rows:          st.Rows,
+		Distinct:      st.Distinct,
+		DeltaDistinct: st.DeltaDistinct,
+		Generation:    st.Generation,
+		Appends:       st.Appends,
+		Compactions:   st.Compactions,
+		FullSearches:  st.FullSearches,
+		Repairs:        st.Repairs,
+		CacheHits:      st.CacheHits,
+		CachedSearches: st.CachedSearches,
+	})
+}
+
+// coverageRequest is a batch of pattern probes in the compact notation
+// ("X1X0", "[12]XX"). Threshold, when positive, additionally reports
+// whether each pattern is covered.
+type coverageRequest struct {
+	Patterns  []string `json:"patterns"`
+	Threshold int64    `json:"threshold,omitempty"`
+}
+
+type patternCoverage struct {
+	Pattern     string `json:"pattern"`
+	Description string `json:"description"`
+	Coverage    int64  `json:"coverage"`
+	Covered     *bool  `json:"covered,omitempty"`
+}
+
+type coverageResponse struct {
+	Rows    int64             `json:"rows"`
+	Results []patternCoverage `json:"results"`
+}
+
+func (s *server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	var req coverageRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Patterns) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("patterns must be non-empty"))
+		return
+	}
+	schema := s.an.Dataset().Schema()
+	ps := make([]coverage.Pattern, len(req.Patterns))
+	for i, raw := range req.Patterns {
+		p, err := coverage.ParsePattern(raw, schema)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ps[i] = p
+	}
+	covs, err := s.an.Engine().CoverageBatch(ps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := coverageResponse{Rows: s.an.NumRows(), Results: make([]patternCoverage, len(ps))}
+	for i, p := range ps {
+		pc := patternCoverage{Pattern: p.String(), Description: schema.DescribePattern(p), Coverage: covs[i]}
+		if req.Threshold > 0 {
+			covered := covs[i] >= req.Threshold
+			pc.Covered = &covered
+		}
+		resp.Results[i] = pc
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type mupJSON struct {
+	Pattern     string `json:"pattern"`
+	Level       int    `json:"level"`
+	Description string `json:"description"`
+}
+
+type mupsResponse struct {
+	Rows      int64     `json:"rows"`
+	Threshold int64     `json:"threshold"`
+	TotalMUPs int       `json:"total_mups"`
+	MUPs      []mupJSON `json:"mups"`
+	Algorithm string    `json:"algorithm"`
+	Probes    int64     `json:"coverage_probes"`
+}
+
+// queryFindOptions parses tau= / rate= / maxlevel= query parameters.
+func queryFindOptions(r *http.Request) (coverage.FindOptions, error) {
+	var opts coverage.FindOptions
+	q := r.URL.Query()
+	if v := q.Get("tau"); v != "" {
+		tau, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad tau %q: %w", v, err)
+		}
+		opts.Threshold = tau
+	}
+	if v := q.Get("rate"); v != "" {
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad rate %q: %w", v, err)
+		}
+		opts.ThresholdRate = rate
+	}
+	if v := q.Get("maxlevel"); v != "" {
+		l, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad maxlevel %q: %w", v, err)
+		}
+		opts.MaxLevel = l
+	}
+	return opts, nil
+}
+
+func (s *server) handleMUPs(w http.ResponseWriter, r *http.Request) {
+	opts, err := queryFindOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := s.an.FindMUPs(opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := mupsResponse{
+		Rows:      s.an.NumRows(),
+		Threshold: rep.Threshold,
+		TotalMUPs: len(rep.MUPs),
+		MUPs:      make([]mupJSON, 0, len(rep.MUPs)),
+		Algorithm: rep.Stats.Algorithm,
+		Probes:    rep.Stats.CoverageProbes,
+	}
+	for i, p := range rep.MUPs {
+		resp.MUPs = append(resp.MUPs, mupJSON{Pattern: p.String(), Level: p.Level(), Description: rep.Describe(i)})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// appendRequest carries new rows either as value labels resolved
+// against the schema ("rows") or as raw value codes ("codes"). The two
+// forms may be mixed in one request.
+type appendRequest struct {
+	Rows  [][]string `json:"rows,omitempty"`
+	Codes [][]uint8  `json:"codes,omitempty"`
+}
+
+type appendResponse struct {
+	Appended   int    `json:"appended"`
+	TotalRows  int64  `json:"total_rows"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	schema := s.an.Dataset().Schema()
+	batch := make([][]uint8, 0, len(req.Rows)+len(req.Codes))
+	for n, labels := range req.Rows {
+		if len(labels) != schema.Dim() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("row %d has %d values, schema has %d attributes", n, len(labels), schema.Dim()))
+			return
+		}
+		row := make([]uint8, len(labels))
+		for i, label := range labels {
+			code, ok := schema.ValueCode(i, label)
+			if !ok {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("row %d: unknown value %q for attribute %q", n, label, schema.Attr(i).Name))
+				return
+			}
+			row[i] = code
+		}
+		batch = append(batch, row)
+	}
+	batch = append(batch, req.Codes...)
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs rows or codes"))
+		return
+	}
+	if err := s.an.Append(batch); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{
+		Appended:   len(batch),
+		TotalRows:  s.an.NumRows(),
+		Generation: s.an.Engine().Generation(),
+	})
+}
+
+// planRequest configures a remediation plan: a threshold spec (tau or
+// rate) plus one objective (max_level λ or min_value_count).
+type planRequest struct {
+	Tau           int64   `json:"tau,omitempty"`
+	Rate          float64 `json:"rate,omitempty"`
+	MaxLevel      int     `json:"max_level,omitempty"`
+	MinValueCount uint64  `json:"min_value_count,omitempty"`
+}
+
+type suggestionJSON struct {
+	Collect     string `json:"collect"`
+	Description string `json:"description"`
+	Combo       string `json:"example_combination"`
+	GapsClosed  int    `json:"gaps_closed"`
+}
+
+type planResponse struct {
+	Threshold   int64            `json:"threshold"`
+	Targets     int              `json:"targets"`
+	Tuples      int              `json:"tuples_to_collect"`
+	Suggestions []suggestionJSON `json:"suggestions"`
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rep, err := s.an.FindMUPs(coverage.FindOptions{Threshold: req.Tau, ThresholdRate: req.Rate})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.an.Plan(rep, coverage.PlanOptions{MaxLevel: req.MaxLevel, MinValueCount: req.MinValueCount})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	schema := s.an.Dataset().Schema()
+	resp := planResponse{
+		Threshold:   rep.Threshold,
+		Targets:     len(plan.Targets),
+		Tuples:      plan.NumTuples(),
+		Suggestions: make([]suggestionJSON, 0, len(plan.Suggestions)),
+	}
+	for _, sg := range plan.Suggestions {
+		resp.Suggestions = append(resp.Suggestions, suggestionJSON{
+			Collect:     sg.Collect.String(),
+			Description: schema.DescribePattern(sg.Collect),
+			Combo:       coverage.Pattern(sg.Combo).String(),
+			GapsClosed:  len(sg.Hits),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -33,8 +33,8 @@ import (
 	"math/rand"
 
 	"coverage/internal/dataset"
+	"coverage/internal/engine"
 	"coverage/internal/enhance"
-	"coverage/internal/index"
 	"coverage/internal/mup"
 	"coverage/internal/pattern"
 	"coverage/internal/report"
@@ -121,7 +121,9 @@ type Algorithm string
 
 // The available MUP-identification algorithms.
 const (
-	// Auto picks DeepDiver, the paper's most robust algorithm.
+	// Auto uses the analyzer's incremental engine: results are cached
+	// per threshold and repaired in place after appends. Explicit
+	// algorithm choices below always run a fresh search.
 	Auto Algorithm = ""
 	// PatternBreaker is the top-down traversal (§III-C), fastest when
 	// MUPs are general (high thresholds).
@@ -200,28 +202,41 @@ func (r *Report) Render(w io.Writer, format string) error {
 	return audit.Write(w, f)
 }
 
-// Analyzer owns the coverage oracle for one dataset and answers MUP,
+// Analyzer owns the coverage engine for one dataset and answers MUP,
 // coverage and enhancement queries against it. Build it once per
-// dataset; it is cheap to query repeatedly.
+// dataset; it is cheap to query repeatedly and safe for concurrent
+// use. New rows are fed through Append; queries always reflect all
+// appended data, with MUP sets repaired incrementally rather than
+// recomputed.
 type Analyzer struct {
-	ds *Dataset
-	ix *index.Index
+	ds  *Dataset
+	eng *engine.Engine
 }
 
 // NewAnalyzer indexes the dataset for coverage queries.
 func NewAnalyzer(ds *Dataset) *Analyzer {
-	return &Analyzer{ds: ds, ix: index.Build(ds)}
+	return &Analyzer{ds: ds, eng: engine.NewFromDataset(ds, engine.Options{})}
 }
 
-// Dataset returns the analyzed dataset.
+// Dataset returns the dataset the analyzer was built from. It is not
+// updated by Append; the engine is the source of truth for row counts
+// and coverage after appends.
 func (a *Analyzer) Dataset() *Dataset { return a.ds }
+
+// Engine returns the underlying incremental coverage engine.
+func (a *Analyzer) Engine() *engine.Engine { return a.eng }
+
+// Append validates and adds a batch of rows to the analyzed data.
+// Subsequent Coverage, FindMUPs, Profile and Plan calls reflect the
+// appended rows without rebuilding the index from scratch.
+func (a *Analyzer) Append(rows [][]uint8) error { return a.eng.Append(rows) }
+
+// NumRows returns the current row count, including appended batches.
+func (a *Analyzer) NumRows() int64 { return a.eng.Rows() }
 
 // Coverage returns cov(P): the number of rows matching the pattern.
 func (a *Analyzer) Coverage(p Pattern) (int64, error) {
-	if err := p.Validate(a.ds.Cards()); err != nil {
-		return 0, err
-	}
-	return a.ix.Coverage(p), nil
+	return a.eng.Coverage(p)
 }
 
 // resolveThreshold turns FindOptions' threshold spec into an absolute τ.
@@ -235,7 +250,7 @@ func (a *Analyzer) resolveThreshold(opts FindOptions) (int64, error) {
 		if opts.ThresholdRate > 1 {
 			return 0, fmt.Errorf("coverage: ThresholdRate %v exceeds 1", opts.ThresholdRate)
 		}
-		tau := int64(opts.ThresholdRate * float64(a.ds.NumRows()))
+		tau := int64(opts.ThresholdRate * float64(a.eng.Rows()))
 		if tau < 1 {
 			tau = 1
 		}
@@ -254,23 +269,27 @@ func (a *Analyzer) FindMUPs(opts FindOptions) (*Report, error) {
 	mopts := mup.Options{Threshold: tau, MaxLevel: opts.MaxLevel}
 	var res *mup.Result
 	switch opts.Algorithm {
-	case Auto, DeepDiver:
-		res, err = mup.DeepDiver(a.ix, mopts)
+	case Auto:
+		// The engine caches the result per (τ, MaxLevel) and repairs it
+		// incrementally after appends.
+		res, err = a.eng.MUPs(mopts)
+	case DeepDiver:
+		res, err = mup.DeepDiver(a.eng.Index(), mopts)
 	case PatternBreaker:
-		res, err = mup.PatternBreaker(a.ix, mopts)
+		res, err = mup.PatternBreaker(a.eng.Index(), mopts)
 	case PatternCombiner:
-		res, err = mup.PatternCombiner(a.ix, mopts)
+		res, err = mup.PatternCombiner(a.eng.Index(), mopts)
 	case Apriori:
-		res, err = mup.Apriori(a.ix, mopts)
+		res, err = mup.Apriori(a.eng.Index(), mopts)
 	case NaiveAlgorithm:
-		res, err = mup.Naive(a.ix, mopts)
+		res, err = mup.Naive(a.eng.Index(), mopts)
 	default:
 		return nil, fmt.Errorf("coverage: unknown algorithm %q", opts.Algorithm)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Report{MUPs: res.MUPs, Threshold: tau, Stats: res.Stats, schema: a.ds.Schema(), rows: a.ds.NumRows()}, nil
+	return &Report{MUPs: res.MUPs, Threshold: tau, Stats: res.Stats, schema: a.ds.Schema(), rows: int(a.eng.Rows())}, nil
 }
 
 // ProfilePoint is one row of a coverage profile: the MUP population at

@@ -333,6 +333,54 @@ func TestCollectRowsThroughFacade(t *testing.T) {
 	}
 }
 
+func TestAnalyzerAppend(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MUPs) != 1 {
+		t.Fatalf("MUPs = %v", rep.MUPs)
+	}
+	// Close the female+other gap (codes: female=0, other=1) through the
+	// facade; the cached MUP set must be repaired, not recomputed.
+	if err := an.Append([][]uint8{{0, 1}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if an.NumRows() != 12 {
+		t.Errorf("NumRows = %d, want 12", an.NumRows())
+	}
+	cov, err := an.Coverage(coverage.Pattern{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 2 {
+		t.Errorf("cov(female, other) = %d, want 2", cov)
+	}
+	rep, err = an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MUPs) != 0 {
+		t.Errorf("MUPs after closing the gap = %v", rep.MUPs)
+	}
+	if rep.Stats.Algorithm != "incremental-repair" {
+		t.Errorf("algorithm = %q, want the incremental repair path", rep.Stats.Algorithm)
+	}
+	// ThresholdRate resolves against the grown row count.
+	rep, err = an.FindMUPs(coverage.FindOptions{ThresholdRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold != 3 {
+		t.Errorf("resolved τ = %d, want 3 (25%% of 12)", rep.Threshold)
+	}
+	if err := an.Append([][]uint8{{9, 9}}); err == nil {
+		t.Error("invalid row accepted")
+	}
+}
+
 func TestBucketsThroughFacade(t *testing.T) {
 	b, err := coverage.NewBuckets("age", []float64{20, 40, 60}, []string{"under 20", "20-39", "40-59", "60+"})
 	if err != nil {

@@ -1,0 +1,3 @@
+module coverage
+
+go 1.24

@@ -1,0 +1,462 @@
+// Package engine provides a thread-safe, incrementally updatable
+// coverage engine over a growing dataset — the serving-side companion
+// to the one-shot algorithms of packages index and mup.
+//
+// The engine maintains an immutable base oracle (an index.Index over
+// the distinct value combinations) plus a small delta of combinations
+// appended since the base was built. Appends shard the incoming batch
+// across workers for parallel per-value-combination counting and never
+// rebuild the base; point coverage queries merge base and delta on
+// read. When the delta grows past a fraction of the base, or when a
+// lattice search needs the windowed bit-vector probes of the base
+// oracle, the engine compacts: it rebuilds the base directly from its
+// combo→count map, skipping row storage and re-deduplication.
+//
+// MUP searches are cached per (threshold, level bound). After appends,
+// a cached set is repaired incrementally with mup.Repair — coverage is
+// monotone under insertion, so only the subtrees of newly covered MUPs
+// are re-expanded — instead of re-running a full search.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the goroutine count for parallel shard construction
+	// and full MUP searches; 0 means GOMAXPROCS.
+	Workers int
+	// CompactFraction triggers a base rebuild when the delta holds more
+	// than this fraction of the base's distinct combinations; 0 means
+	// 0.25.
+	CompactFraction float64
+	// CompactMinDistinct is the delta size below which the fraction
+	// trigger is ignored (tiny deltas are cheap to merge on read);
+	// 0 means 1024.
+	CompactMinDistinct int
+	// MaxCachedSearches bounds the per-(threshold, level) MUP cache;
+	// the least recently used entry is evicted beyond it. Rate-based
+	// thresholds over a growing dataset mint a new threshold per
+	// append, so the cache must not grow with query history. 0 means
+	// 64.
+	MaxCachedSearches int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) compactFraction() float64 {
+	if o.CompactFraction > 0 {
+		return o.CompactFraction
+	}
+	return 0.25
+}
+
+func (o Options) compactMinDistinct() int {
+	if o.CompactMinDistinct > 0 {
+		return o.CompactMinDistinct
+	}
+	return 1024
+}
+
+func (o Options) maxCachedSearches() int {
+	if o.MaxCachedSearches > 0 {
+		return o.MaxCachedSearches
+	}
+	return 64
+}
+
+// Stats is a snapshot of the engine's internal counters.
+type Stats struct {
+	// Rows is the total row count (base + delta).
+	Rows int64
+	// Distinct is the number of distinct combinations in the base
+	// oracle; DeltaDistinct counts combinations appended since the
+	// last compaction (a combination already in the base still gets a
+	// delta entry for its additional multiplicity).
+	Distinct      int
+	DeltaDistinct int
+	// Generation increments on every append batch; cached MUP sets are
+	// tagged with it.
+	Generation uint64
+	// Appends, Compactions, FullSearches, Repairs and CacheHits count
+	// engine operations since construction.
+	Appends      int64
+	Compactions  int64
+	FullSearches int64
+	Repairs      int64
+	CacheHits    int64
+	// CachedSearches is the number of MUP configurations currently
+	// cached (bounded by Options.MaxCachedSearches).
+	CachedSearches int
+}
+
+// deltaEntry is one distinct combination appended since the last
+// compaction, with the multiplicity added since then.
+type deltaEntry struct {
+	combo pattern.Pattern
+	count int64
+}
+
+// searchKey identifies one cached MUP search configuration.
+type searchKey struct {
+	tau      int64
+	maxLevel int
+}
+
+// cachedSearch is a cached MUP result tagged with the data generation
+// it reflects. lastUsed orders entries for LRU eviction; it is atomic
+// so cache hits under the read lock can touch it.
+type cachedSearch struct {
+	gen      uint64
+	res      *mup.Result
+	lastUsed atomic.Uint64
+}
+
+// Engine is the incremental coverage engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	schema *dataset.Schema
+	cards  []int
+	opts   Options
+
+	mu       sync.RWMutex
+	base     *index.Index
+	pool     *index.Pool
+	counts   map[string]int64 // full combo→multiplicity (base + delta)
+	delta    []deltaEntry
+	deltaPos map[string]int // combo → position in delta
+	rows     int64
+	gen      uint64
+	cache    map[searchKey]*cachedSearch
+
+	appends      int64
+	compactions  int64
+	fullSearches int64
+	repairs      int64
+	cacheHits    atomic.Int64
+	useClock     atomic.Uint64 // LRU clock for cache entries
+}
+
+// New returns an empty engine over the schema.
+func New(schema *dataset.Schema, opts Options) *Engine {
+	e := &Engine{
+		schema:   schema,
+		cards:    schema.Cards(),
+		opts:     opts,
+		counts:   make(map[string]int64),
+		deltaPos: make(map[string]int),
+		cache:    make(map[searchKey]*cachedSearch),
+	}
+	e.rebuildLocked()
+	e.compactions = 0 // the initial empty build is not a compaction
+	return e
+}
+
+// NewFromDataset returns an engine pre-loaded with the dataset's rows.
+func NewFromDataset(ds *dataset.Dataset, opts Options) *Engine {
+	e := &Engine{
+		schema:   ds.Schema(),
+		cards:    ds.Cards(),
+		opts:     opts,
+		counts:   make(map[string]int64),
+		deltaPos: make(map[string]int),
+		cache:    make(map[searchKey]*cachedSearch),
+	}
+	dd := ds.Distinct()
+	for k, combo := range dd.Combos {
+		e.counts[string(combo)] = dd.Counts[k]
+		e.rows += dd.Counts[k]
+	}
+	e.base = index.BuildFromDistinct(dd)
+	e.pool = e.base.NewPool()
+	return e
+}
+
+// Schema returns the engine's schema.
+func (e *Engine) Schema() *dataset.Schema { return e.schema }
+
+// Cards returns the cardinality vector. The caller must not modify it.
+func (e *Engine) Cards() []int { return e.cards }
+
+// Rows returns the total number of rows appended so far.
+func (e *Engine) Rows() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rows
+}
+
+// Generation returns the current data generation; it increments on
+// every append batch.
+func (e *Engine) Generation() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return Stats{
+		Rows:          e.rows,
+		Distinct:      e.base.NumDistinct(),
+		DeltaDistinct: len(e.delta),
+		Generation:    e.gen,
+		Appends:       e.appends,
+		Compactions:   e.compactions,
+		FullSearches:   e.fullSearches,
+		Repairs:        e.repairs,
+		CacheHits:      e.cacheHits.Load(),
+		CachedSearches: len(e.cache),
+	}
+}
+
+// Append validates and adds a batch of rows. The batch is sharded
+// across workers for parallel per-combination counting (the same
+// level-chunking idiom as mup.ParallelPatternBreaker), then the shard
+// counts are merged into the engine under the write lock. The base
+// oracle is not rebuilt unless the accumulated delta crosses the
+// compaction threshold.
+func (e *Engine) Append(rows [][]uint8) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for n, row := range rows {
+		if len(row) != len(e.cards) {
+			return fmt.Errorf("engine: row %d has %d values, schema has %d attributes", n, len(row), len(e.cards))
+		}
+		for i, v := range row {
+			if int(v) >= e.cards[i] {
+				return fmt.Errorf("engine: row %d: value %d for attribute %q exceeds cardinality %d",
+					n, v, e.schema.Attr(i).Name, e.cards[i])
+			}
+		}
+	}
+	shards := shardCounts(rows, e.opts.workers())
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, shard := range shards {
+		for k, c := range shard {
+			e.counts[k] += c
+			if pos, ok := e.deltaPos[k]; ok {
+				e.delta[pos].count += c
+				continue
+			}
+			e.deltaPos[k] = len(e.delta)
+			e.delta = append(e.delta, deltaEntry{combo: pattern.Pattern(k), count: c})
+		}
+	}
+	e.rows += int64(len(rows))
+	e.gen++
+	e.appends++
+	if len(e.delta) >= e.opts.compactMinDistinct() &&
+		float64(len(e.delta)) >= e.opts.compactFraction()*float64(e.base.NumDistinct()) {
+		e.rebuildLocked()
+	}
+	return nil
+}
+
+// shardCounts partitions rows into contiguous chunks, one per worker,
+// and counts each chunk's combinations into a private map.
+func shardCounts(rows [][]uint8, workers int) []map[string]int64 {
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	shards := make([]map[string]int64, workers)
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(rows) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w int, part [][]uint8) {
+			defer wg.Done()
+			m := make(map[string]int64, len(part)/4+16)
+			for _, row := range part {
+				m[string(row)]++
+			}
+			shards[w] = m
+		}(w, rows[lo:hi])
+	}
+	wg.Wait()
+	return shards
+}
+
+// rebuildLocked rebuilds the base oracle from the full count map and
+// clears the delta. Caller holds the write lock (or has exclusive
+// access during construction).
+func (e *Engine) rebuildLocked() {
+	e.base = index.BuildFromCounts(e.schema, e.counts)
+	e.pool = e.base.NewPool()
+	e.delta = nil
+	e.deltaPos = make(map[string]int)
+	e.compactions++
+}
+
+// Coverage returns cov(P) over all appended data: the base oracle's
+// windowed bit-vector probe plus a scan of the (small) delta.
+func (e *Engine) Coverage(p pattern.Pattern) (int64, error) {
+	if err := p.Validate(e.cards); err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coverageLocked(p), nil
+}
+
+// CoverageBatch answers many coverage queries under one lock
+// acquisition. It fails on the first invalid pattern.
+func (e *Engine) CoverageBatch(ps []pattern.Pattern) ([]int64, error) {
+	for _, p := range ps {
+		if err := p.Validate(e.cards); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]int64, len(ps))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, p := range ps {
+		out[i] = e.coverageLocked(p)
+	}
+	return out, nil
+}
+
+func (e *Engine) coverageLocked(p pattern.Pattern) int64 {
+	c := e.pool.Coverage(p)
+	for i := range e.delta {
+		if p.Matches(e.delta[i].combo) {
+			c += e.delta[i].count
+		}
+	}
+	return c
+}
+
+// Index compacts any pending delta and returns the base oracle
+// reflecting all appended data. The returned index is immutable and
+// remains valid (but stale) after further appends.
+func (e *Engine) Index() *index.Index {
+	e.mu.RLock()
+	if len(e.delta) == 0 {
+		ix := e.base
+		e.mu.RUnlock()
+		return ix
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.delta) > 0 {
+		e.rebuildLocked()
+	}
+	return e.base
+}
+
+// MUPs returns the maximal uncovered patterns under opts. Results are
+// cached per (Threshold, MaxLevel), with the least recently used
+// configuration evicted beyond Options.MaxCachedSearches: a query at
+// the current generation is answered from cache; after appends, the
+// stale cached set is repaired incrementally via mup.Repair; a
+// configuration seen for the first time runs a full parallel search.
+//
+// The search itself runs on an immutable base snapshot outside the
+// engine lock, so long lattice searches never stall concurrent
+// readers or appends; the result is linearized to the generation
+// sampled when the search started. Concurrent first queries for the
+// same configuration may duplicate work (last store wins). The caller
+// must not modify the returned result.
+func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
+	key := searchKey{tau: opts.Threshold, maxLevel: opts.MaxLevel}
+	e.mu.RLock()
+	if c, ok := e.cache[key]; ok && c.gen == e.gen {
+		res := c.res
+		c.lastUsed.Store(e.useClock.Add(1))
+		e.mu.RUnlock()
+		e.cacheHits.Add(1)
+		return res, nil
+	}
+	e.mu.RUnlock()
+
+	// Fold any pending delta (the lattice searches need the base
+	// oracle's windowed probes) and snapshot the immutable base plus
+	// the stale cached set to repair from.
+	e.mu.Lock()
+	if c, ok := e.cache[key]; ok && c.gen == e.gen {
+		c.lastUsed.Store(e.useClock.Add(1))
+		e.mu.Unlock()
+		e.cacheHits.Add(1)
+		return c.res, nil
+	}
+	if len(e.delta) > 0 {
+		e.rebuildLocked()
+	}
+	base, gen := e.base, e.gen
+	var seed *mup.Result
+	if c, ok := e.cache[key]; ok {
+		seed = c.res
+	}
+	e.mu.Unlock()
+
+	var res *mup.Result
+	var err error
+	if seed != nil {
+		res, err = mup.Repair(base, seed.MUPs, opts)
+	} else {
+		res, err = mup.ParallelPatternBreaker(base, mup.ParallelOptions{Options: opts, Workers: e.opts.Workers})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seed != nil {
+		e.repairs++
+	} else {
+		e.fullSearches++
+	}
+	// A racing append may have advanced the generation; the stale
+	// result is still stored (tagged with its own generation) so the
+	// next query repairs from it instead of searching from scratch.
+	if c, ok := e.cache[key]; !ok || c.gen <= gen {
+		e.storeLocked(key, &cachedSearch{gen: gen, res: res})
+	}
+	return res, nil
+}
+
+// storeLocked inserts a cache entry, evicting the least recently used
+// one when the cache is full. Caller holds the write lock.
+func (e *Engine) storeLocked(key searchKey, c *cachedSearch) {
+	if _, ok := e.cache[key]; !ok && len(e.cache) >= e.opts.maxCachedSearches() {
+		var victim searchKey
+		first := true
+		var oldest uint64
+		for k, v := range e.cache {
+			if u := v.lastUsed.Load(); first || u < oldest {
+				first, oldest, victim = false, u, k
+			}
+		}
+		delete(e.cache, victim)
+	}
+	c.lastUsed.Store(e.useClock.Add(1))
+	e.cache[key] = c
+}

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+func testSchema(t testing.TB, cards []int) *dataset.Schema {
+	t.Helper()
+	attrs := make([]dataset.Attribute, len(cards))
+	for i, c := range cards {
+		vals := make([]string, c)
+		for v := range vals {
+			vals[v] = fmt.Sprintf("v%d", v)
+		}
+		attrs[i] = dataset.Attribute{Name: fmt.Sprintf("a%d", i), Values: vals}
+	}
+	return dataset.MustSchema(attrs)
+}
+
+func randomRows(rng *rand.Rand, cards []int, n int) [][]uint8 {
+	rows := make([][]uint8, n)
+	for i := range rows {
+		row := make([]uint8, len(cards))
+		for j, c := range cards {
+			row[j] = uint8(rng.Intn(c))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// fullDataset collects all rows appended so far into a fresh Dataset,
+// the from-scratch reference the engine must agree with.
+func fullDataset(t testing.TB, schema *dataset.Schema, batches [][][]uint8) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New(schema)
+	for _, batch := range batches {
+		for _, row := range batch {
+			if err := ds.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ds
+}
+
+func TestAppendValidation(t *testing.T) {
+	e := New(testSchema(t, []int{2, 3}), Options{})
+	if err := e.Append([][]uint8{{0}}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := e.Append([][]uint8{{0, 3}}); err == nil {
+		t.Error("out-of-cardinality value accepted")
+	}
+	if err := e.Append(nil); err != nil {
+		t.Errorf("empty batch rejected: %v", err)
+	}
+	if got := e.Rows(); got != 0 {
+		t.Errorf("rows = %d after rejected appends, want 0", got)
+	}
+}
+
+func TestCoverageMatchesScan(t *testing.T) {
+	cards := []int{2, 3, 2, 4}
+	schema := testSchema(t, cards)
+	rng := rand.New(rand.NewSource(7))
+	e := New(schema, Options{})
+	var batches [][][]uint8
+	for step := 0; step < 6; step++ {
+		batch := randomRows(rng, cards, 30+rng.Intn(50))
+		batches = append(batches, batch)
+		if err := e.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		ds := fullDataset(t, schema, batches)
+		// Every pattern of this small lattice must agree with the
+		// literal row scan of Definition 2.
+		pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
+			got, err := e.Coverage(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ds.CountMatches(p); got != want {
+				t.Fatalf("step %d: cov(%v) = %d, want %d", step, p, got, want)
+			}
+			return true
+		})
+	}
+	if err := func() error { _, err := e.Coverage(pattern.Pattern{9, 9, 9, 9}); return err }(); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+// TestIncrementalEquivalence is the core tentpole property: after any
+// sequence of appends, the engine's cached-and-repaired MUP set must
+// equal a from-scratch naive run, and mup.Verify must accept it.
+func TestIncrementalEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"tiny-compaction", Options{CompactMinDistinct: 1, CompactFraction: 0.01}},
+		{"single-worker", Options{Workers: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cards := []int{2, 3, 2, 3}
+			schema := testSchema(t, cards)
+			rng := rand.New(rand.NewSource(11))
+			e := New(schema, tc.opts)
+			var batches [][][]uint8
+			const tau = 8
+			for step := 0; step < 8; step++ {
+				batch := randomRows(rng, cards, 10+rng.Intn(60))
+				batches = append(batches, batch)
+				if err := e.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.MUPs(mup.Options{Threshold: tau})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds := fullDataset(t, schema, batches)
+				ix := index.Build(ds)
+				want, err := mup.Naive(ix, mup.Options{Threshold: tau})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.MUPs) != len(want.MUPs) {
+					t.Fatalf("step %d: %d MUPs, want %d\ngot:  %v\nwant: %v",
+						step, len(got.MUPs), len(want.MUPs), got.MUPs, want.MUPs)
+				}
+				for i := range got.MUPs {
+					if !got.MUPs[i].Equal(want.MUPs[i]) {
+						t.Fatalf("step %d: MUPs[%d] = %v, want %v", step, i, got.MUPs[i], want.MUPs[i])
+					}
+				}
+				if err := mup.Verify(ix, tau, got.MUPs); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			st := e.Stats()
+			if st.FullSearches != 1 {
+				t.Errorf("full searches = %d, want exactly 1 (the rest must be repairs)", st.FullSearches)
+			}
+			if st.Repairs != 7 {
+				t.Errorf("repairs = %d, want 7", st.Repairs)
+			}
+			if st.Rows != e.Rows() || st.Rows == 0 {
+				t.Errorf("stats rows = %d, engine rows = %d", st.Rows, e.Rows())
+			}
+		})
+	}
+}
+
+// TestMaxLevelEquivalence checks the level-bounded cache entries are
+// repaired correctly too.
+func TestMaxLevelEquivalence(t *testing.T) {
+	cards := []int{2, 2, 3, 2}
+	schema := testSchema(t, cards)
+	rng := rand.New(rand.NewSource(3))
+	e := New(schema, Options{})
+	var batches [][][]uint8
+	const tau, maxLevel = 5, 2
+	for step := 0; step < 5; step++ {
+		batch := randomRows(rng, cards, 20+rng.Intn(30))
+		batches = append(batches, batch)
+		if err := e.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.MUPs(mup.Options{Threshold: tau, MaxLevel: maxLevel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := index.Build(fullDataset(t, schema, batches))
+		want, err := mup.Naive(ix, mup.Options{Threshold: tau, MaxLevel: maxLevel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.MUPs) != len(want.MUPs) {
+			t.Fatalf("step %d: %d MUPs, want %d", step, len(got.MUPs), len(want.MUPs))
+		}
+		for i := range got.MUPs {
+			if !got.MUPs[i].Equal(want.MUPs[i]) {
+				t.Fatalf("step %d: MUPs[%d] = %v, want %v", step, i, got.MUPs[i], want.MUPs[i])
+			}
+		}
+	}
+}
+
+// TestEmptyEngineGrows starts from zero rows (root itself uncovered)
+// and appends until the dataset is fully covered.
+func TestEmptyEngineGrows(t *testing.T) {
+	cards := []int{2, 2}
+	schema := testSchema(t, cards)
+	e := New(schema, Options{})
+	res, err := e.MUPs(mup.Options{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MUPs) != 1 || res.MUPs[0].Level() != 0 {
+		t.Fatalf("empty data MUPs = %v, want the root", res.MUPs)
+	}
+	// One row of every combination covers everything at τ=1.
+	var rows [][]uint8
+	pattern.EnumerateCombos(cards, func(c []uint8) bool {
+		rows = append(rows, append([]uint8(nil), c...))
+		return true
+	})
+	if err := e.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.MUPs(mup.Options{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MUPs) != 0 {
+		t.Fatalf("fully covered data has MUPs %v", res.MUPs)
+	}
+}
+
+func TestCacheHitsAndGeneration(t *testing.T) {
+	cards := []int{2, 2, 2}
+	schema := testSchema(t, cards)
+	e := NewFromDataset(datasetOf(t, schema, randomRows(rand.New(rand.NewSource(1)), cards, 100)), Options{})
+	gen0 := e.Generation()
+	if _, err := e.MUPs(mup.Options{Threshold: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MUPs(mup.Options{Threshold: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CacheHits == 0 {
+		t.Error("repeated identical query did not hit the cache")
+	}
+	if err := e.Append(randomRows(rand.New(rand.NewSource(2)), cards, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation() == gen0 {
+		t.Error("generation did not advance on append")
+	}
+}
+
+// TestCacheEviction bounds the per-threshold cache: querying more
+// configurations than the cap must evict the least recently used
+// entries instead of growing without limit (rate-based thresholds
+// mint a new τ per append).
+func TestCacheEviction(t *testing.T) {
+	cards := []int{2, 2, 2}
+	schema := testSchema(t, cards)
+	rng := rand.New(rand.NewSource(9))
+	e := NewFromDataset(datasetOf(t, schema, randomRows(rng, cards, 200)), Options{MaxCachedSearches: 3})
+	for tau := int64(1); tau <= 10; tau++ {
+		if _, err := e.MUPs(mup.Options{Threshold: tau}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CachedSearches > 3 {
+		t.Errorf("cached searches = %d, want ≤ 3", st.CachedSearches)
+	}
+	if st.FullSearches != 10 {
+		t.Errorf("full searches = %d, want 10", st.FullSearches)
+	}
+	// The most recent configuration survives: re-querying it is a hit.
+	hits := st.CacheHits
+	if _, err := e.MUPs(mup.Options{Threshold: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().CacheHits; got != hits+1 {
+		t.Errorf("cache hits = %d, want %d", got, hits+1)
+	}
+}
+
+func datasetOf(t testing.TB, schema *dataset.Schema, rows [][]uint8) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New(schema)
+	for _, r := range rows {
+		if err := ds.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestConcurrentQueriesAndAppends races readers (point probes, batch
+// probes, MUP queries at two thresholds) against a writer appending
+// batches. Run under -race this validates the locking discipline; the
+// final state is checked for equivalence afterwards.
+func TestConcurrentQueriesAndAppends(t *testing.T) {
+	cards := []int{2, 3, 2}
+	schema := testSchema(t, cards)
+	rng := rand.New(rand.NewSource(42))
+	seedRows := randomRows(rng, cards, 200)
+	e := NewFromDataset(datasetOf(t, schema, seedRows), Options{CompactMinDistinct: 4, CompactFraction: 0.1})
+
+	// A single writer keeps the reference dataset well-defined while
+	// the readers race it.
+	var allBatches [][][]uint8
+	const readers = 8
+	const batches = 25
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			probe := make(pattern.Pattern, len(cards))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j, c := range cards {
+					if rng.Intn(2) == 0 {
+						probe[j] = pattern.Wildcard
+					} else {
+						probe[j] = uint8(rng.Intn(c))
+					}
+				}
+				if _, err := e.Coverage(probe); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.CoverageBatch([]pattern.Pattern{probe, pattern.All(len(cards))}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.MUPs(mup.Options{Threshold: int64(5 + rng.Intn(2)*10)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	wrng := rand.New(rand.NewSource(99))
+	for b := 0; b < batches; b++ {
+		batch := randomRows(wrng, cards, 20)
+		allBatches = append(allBatches, batch)
+		if err := e.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles the engine must agree with a from-scratch
+	// build over seed + all batches.
+	ref := datasetOf(t, schema, seedRows)
+	for _, batch := range allBatches {
+		for _, r := range batch {
+			if err := ref.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e.Rows() != int64(ref.NumRows()) {
+		t.Fatalf("engine rows = %d, reference = %d", e.Rows(), ref.NumRows())
+	}
+	ix := index.Build(ref)
+	for _, tau := range []int64{5, 15} {
+		got, err := e.MUPs(mup.Options{Threshold: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mup.Naive(ix, mup.Options{Threshold: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.MUPs) != len(want.MUPs) {
+			t.Fatalf("τ=%d: %d MUPs, want %d", tau, len(got.MUPs), len(want.MUPs))
+		}
+		for i := range got.MUPs {
+			if !got.MUPs[i].Equal(want.MUPs[i]) {
+				t.Fatalf("τ=%d: MUPs[%d] = %v, want %v", tau, i, got.MUPs[i], want.MUPs[i])
+			}
+		}
+		if err := mup.Verify(ix, tau, got.MUPs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Compactions == 0 {
+		t.Error("aggressive compaction options never compacted")
+	}
+}
+
+// TestIndexSnapshot checks Index() folds the delta in and yields an
+// oracle equivalent to a fresh build.
+func TestIndexSnapshot(t *testing.T) {
+	cards := []int{2, 2, 3}
+	schema := testSchema(t, cards)
+	rng := rand.New(rand.NewSource(5))
+	e := New(schema, Options{})
+	rows := randomRows(rng, cards, 150)
+	if err := e.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	ix := e.Index()
+	ref := index.Build(datasetOf(t, schema, rows))
+	if ix.Total() != ref.Total() || ix.NumDistinct() != ref.NumDistinct() {
+		t.Fatalf("snapshot total/distinct = %d/%d, want %d/%d",
+			ix.Total(), ix.NumDistinct(), ref.Total(), ref.NumDistinct())
+	}
+	pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
+		if got, want := ix.Coverage(p), ref.Coverage(p); got != want {
+			t.Fatalf("snapshot cov(%v) = %d, want %d", p, got, want)
+		}
+		return true
+	})
+	if st := e.Stats(); st.DeltaDistinct != 0 {
+		t.Errorf("delta not folded by Index(): %d entries", st.DeltaDistinct)
+	}
+}

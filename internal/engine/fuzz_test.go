@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+)
+
+// FuzzAppendEquivalence drives the engine with an arbitrary byte
+// stream interpreted as a sequence of row batches and asserts, after
+// every batch, that the incrementally repaired MUP set matches a
+// from-scratch naive search over the accumulated rows (the
+// completeness oracle) and passes mup.Verify (the soundness oracle).
+func FuzzAppendEquivalence(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 0, 0, 1, 1, 255, 0, 1, 2}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 0, 0, 0, 1, 2, 1}, uint8(3))
+	f.Add([]byte{7, 3, 9, 200, 41, 5, 0, 0, 255, 17, 2, 2, 2, 80}, uint8(1))
+
+	cards := []int{2, 3, 2}
+	f.Fuzz(func(t *testing.T, data []byte, tauByte uint8) {
+		tau := int64(tauByte%8) + 1
+		schema := testSchema(t, cards)
+		e := New(schema, Options{CompactMinDistinct: 2, CompactFraction: 0.2})
+		ref := dataset.New(schema)
+
+		// Consume the stream: 0xFF is a batch separator; otherwise
+		// groups of len(cards) bytes become one row, each value reduced
+		// modulo its cardinality so every row is valid.
+		var batch [][]uint8
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if err := e.Append(batch); err != nil {
+				t.Fatalf("append rejected valid batch: %v", err)
+			}
+			for _, r := range batch {
+				ref.MustAppend(r)
+			}
+			batch = nil
+
+			got, err := e.MUPs(mup.Options{Threshold: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix := index.Build(ref)
+			want, err := mup.Naive(ix, mup.Options{Threshold: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.MUPs) != len(want.MUPs) {
+				t.Fatalf("τ=%d after %d rows: %d MUPs, want %d\ngot:  %v\nwant: %v",
+					tau, ref.NumRows(), len(got.MUPs), len(want.MUPs), got.MUPs, want.MUPs)
+			}
+			for i := range got.MUPs {
+				if !got.MUPs[i].Equal(want.MUPs[i]) {
+					t.Fatalf("τ=%d: MUPs[%d] = %v, want %v", tau, i, got.MUPs[i], want.MUPs[i])
+				}
+			}
+			if err := mup.Verify(ix, tau, got.MUPs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		row := make([]uint8, 0, len(cards))
+		for _, b := range data {
+			if b == 0xFF {
+				row = row[:0] // discard a partial row at the separator
+				flush()
+				continue
+			}
+			row = append(row, b)
+			if len(row) == len(cards) {
+				r := make([]uint8, len(cards))
+				for i, v := range row {
+					r[i] = v % uint8(cards[i])
+				}
+				batch = append(batch, r)
+				row = row[:0]
+			}
+		}
+		flush()
+	})
+}

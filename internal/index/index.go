@@ -8,6 +8,8 @@ package index
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"coverage/internal/bitvec"
 	"coverage/internal/dataset"
@@ -66,6 +68,30 @@ func BuildFromDistinct(dd *dataset.Distinct) *Index {
 		}
 	}
 	return ix
+}
+
+// BuildFromCounts constructs the oracle from a combo→multiplicity map
+// (keys are raw value-code strings, as produced by pattern.Key on a
+// fully deterministic pattern). Combination order is the sorted key
+// order, making the result deterministic for a fixed map. This is the
+// rebuild path of the incremental engine: it skips row storage and
+// re-deduplication entirely.
+func BuildFromCounts(schema *dataset.Schema, counts map[string]int64) *Index {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dd := &dataset.Distinct{
+		Schema: schema,
+		Combos: make([][]uint8, len(keys)),
+		Counts: make([]int64, len(keys)),
+	}
+	for i, k := range keys {
+		dd.Combos[i] = []uint8(k)
+		dd.Counts[i] = counts[k]
+	}
+	return BuildFromDistinct(dd)
 }
 
 // Schema returns the schema the oracle was built over.
@@ -161,6 +187,30 @@ func (pr *Prober) Coverage(p pattern.Pattern) int64 {
 		return 0
 	}
 	return pr.buf.DotCountsRange(ix.counts, lo, hi)
+}
+
+// Pool is a concurrency-safe front end to repeated coverage probes: it
+// keeps a free list of Probers so concurrent readers neither share a
+// probe buffer nor allocate one per call. Deliberately no shared
+// counters — the concurrent hot path must not contend on a cache
+// line. The zero Pool is not usable; obtain one from Index.NewPool.
+type Pool struct {
+	probers sync.Pool
+}
+
+// NewPool returns a Pool of Probers for the index.
+func (ix *Index) NewPool() *Pool {
+	pl := &Pool{}
+	pl.probers.New = func() any { return ix.NewProber() }
+	return pl
+}
+
+// Coverage returns cov(P). It is safe for concurrent use.
+func (pl *Pool) Coverage(p pattern.Pattern) int64 {
+	pr := pl.probers.Get().(*Prober)
+	c := pr.Coverage(p)
+	pl.probers.Put(pr)
+	return c
 }
 
 // MatchVector writes into dst the bit vector of distinct combinations

@@ -1,0 +1,98 @@
+package mup
+
+import (
+	"fmt"
+
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// Repair updates a previously computed MUP set after rows have been
+// appended to the indexed dataset. It exploits the monotonicity of
+// coverage under insertion: appends only increase cov(P), so the
+// uncovered region of the lattice can only shrink, and every new MUP
+// is a descendant (or survivor) of an old MUP. Instead of re-running a
+// full search, Repair probes each old MUP and re-expands only the
+// subtrees of those that became covered, walking downward until the
+// new maximal frontier is found.
+//
+// old must be the complete MUP set of the same dataset at an earlier
+// (smaller or equal) state under the same Options; ix must reflect the
+// current state. The result is identical to a from-scratch search.
+func Repair(ix *index.Index, old []pattern.Pattern, opts Options) (*Result, error) {
+	cards := ix.Cards()
+	res := &Result{Stats: Stats{Algorithm: "incremental-repair"}}
+	bound := opts.levelBound(len(cards))
+	pr := ix.NewProber()
+
+	// cov memoizes probes: maximality checks revisit parents shared
+	// across many candidates.
+	cov := make(map[string]int64)
+	coverage := func(p pattern.Pattern) int64 {
+		k := p.Key()
+		if c, ok := cov[k]; ok {
+			return c
+		}
+		c := pr.Coverage(p)
+		cov[k] = c
+		return c
+	}
+
+	visited := make(map[string]bool, len(old))
+	queue := make([]pattern.Pattern, 0, len(old))
+	for _, p := range old {
+		if err := p.Validate(cards); err != nil {
+			return nil, fmt.Errorf("mup: repair seed %v: %w", p, err)
+		}
+		if k := p.Key(); !visited[k] {
+			visited[k] = true
+			queue = append(queue, p)
+		}
+	}
+	// The first seeds entries are old MUPs: if still uncovered they
+	// remain MUPs (their parents were covered and coverage only grew),
+	// so their maximality check is skipped.
+	seeds := len(queue)
+
+	for i := 0; i < len(queue); i++ {
+		p := queue[i]
+		res.Stats.NodesVisited++
+		lvl := p.Level()
+		if lvl > bound {
+			continue
+		}
+		if coverage(p) < opts.Threshold {
+			if i < seeds {
+				res.MUPs = append(res.MUPs, p.Clone())
+				continue
+			}
+			maximal := true
+			for _, par := range p.Parents() {
+				if coverage(par) < opts.Threshold {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				res.MUPs = append(res.MUPs, p.Clone())
+			}
+			continue
+		}
+		// p became covered: any new MUP it dominated sits strictly
+		// below it. Rule 1 cannot generate these candidates (seeds sit
+		// mid-lattice with arbitrary deterministic positions), so
+		// expand all children and deduplicate through visited.
+		if lvl >= bound {
+			continue
+		}
+		for _, c := range p.Children(cards) {
+			if k := c.Key(); !visited[k] {
+				visited[k] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	res.Stats.CoverageProbes = pr.Probes()
+	sortPatterns(res.MUPs)
+	return res, nil
+}

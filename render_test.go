@@ -1,0 +1,141 @@
+package coverage_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"coverage"
+)
+
+// renderFixture returns a report and plan over the audit fixture (the
+// female+other gap) for rendering tests.
+func renderFixture(t *testing.T) (*coverage.Analyzer, *coverage.Report, *coverage.Plan) {
+	t.Helper()
+	an := coverage.NewAnalyzer(auditFixture(t))
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := an.Plan(rep, coverage.PlanOptions{MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an, rep, plan
+}
+
+func TestReportRenderFormats(t *testing.T) {
+	_, rep, _ := renderFixture(t)
+	cases := []struct {
+		format   string
+		contains []string
+		isJSON   bool
+		markdown bool
+	}{
+		{format: "text", contains: []string{"coverage report", "race=other", "MUPs per level", "search cost"}},
+		{format: "", contains: []string{"coverage report", "race=other"}}, // empty means text
+		{format: "markdown", contains: []string{"## coverage report", "```", "race=other"}, markdown: true},
+		{format: "md", contains: []string{"## coverage report", "race=other"}, markdown: true},
+		{format: "MARKDOWN", contains: []string{"## coverage report"}, markdown: true}, // case-insensitive
+		{format: "json", contains: []string{`"threshold": 2`, "race=other"}, isJSON: true},
+		{format: "JSON", contains: []string{`"total_mups"`}, isJSON: true},
+	}
+	for _, tc := range cases {
+		t.Run("format="+tc.format, func(t *testing.T) {
+			var buf strings.Builder
+			if err := rep.Render(&buf, tc.format); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range tc.contains {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			if tc.isJSON && !json.Valid([]byte(out)) {
+				t.Errorf("output is not valid JSON:\n%s", out)
+			}
+			if got := strings.HasPrefix(out, "## "); got != tc.markdown {
+				t.Errorf("markdown heading prefix = %v, want %v:\n%s", got, tc.markdown, out)
+			}
+		})
+	}
+}
+
+func TestReportRenderUnknownFormat(t *testing.T) {
+	_, rep, _ := renderFixture(t)
+	for _, format := range []string{"yaml", "xml", "texts", " text"} {
+		var buf strings.Builder
+		err := rep.Render(&buf, format)
+		if err == nil {
+			t.Errorf("format %q accepted", format)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown format") {
+			t.Errorf("format %q: unexpected error %v", format, err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("format %q: output written despite error: %q", format, buf.String())
+		}
+	}
+}
+
+func TestRenderPlanFormats(t *testing.T) {
+	an, _, plan := renderFixture(t)
+	opts := coverage.PlanOptions{MaxLevel: 2}
+	cases := []struct {
+		format   string
+		contains []string
+		isJSON   bool
+	}{
+		{format: "text", contains: []string{"collection plan", "maximum covered level ≥ 2", "race=other"}},
+		{format: "", contains: []string{"collection plan"}},
+		{format: "markdown", contains: []string{"## collection plan", "```"}},
+		{format: "md", contains: []string{"## collection plan"}},
+		{format: "json", contains: []string{`"objective"`, `"suggestions"`, "race=other"}, isJSON: true},
+	}
+	for _, tc := range cases {
+		t.Run("format="+tc.format, func(t *testing.T) {
+			var buf strings.Builder
+			if err := an.RenderPlan(&buf, tc.format, plan, opts); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range tc.contains {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			if tc.isJSON && !json.Valid([]byte(out)) {
+				t.Errorf("output is not valid JSON:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRenderPlanUnknownFormat(t *testing.T) {
+	an, _, plan := renderFixture(t)
+	for _, format := range []string{"yaml", "html"} {
+		var buf strings.Builder
+		if err := an.RenderPlan(&buf, format, plan, coverage.PlanOptions{MaxLevel: 2}); err == nil {
+			t.Errorf("format %q accepted", format)
+		}
+	}
+}
+
+// TestRenderPlanValueCountObjective checks the alternative objective
+// header renders through the facade.
+func TestRenderPlanValueCountObjective(t *testing.T) {
+	an, rep, _ := renderFixture(t)
+	plan, err := an.Plan(rep, coverage.PlanOptions{MinValueCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := an.RenderPlan(&buf, "text", plan, coverage.PlanOptions{MinValueCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "value count ≥ 2") {
+		t.Errorf("objective header missing:\n%s", buf.String())
+	}
+}
