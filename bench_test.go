@@ -404,6 +404,124 @@ func BenchmarkEngineIncrementalMUPs(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineDelete measures signed batch retraction: parallel
+// shard counting, atomic multiplicity validation, and the negative
+// delta merge. The deleted rows are re-appended outside the timer so
+// every iteration retracts from the same steady state.
+func BenchmarkEngineDelete(b *testing.B) {
+	full := datagen.AirBnB(benchN, 13, 42)
+	eng := engine.NewFromDataset(full, engine.Options{})
+	batch := make([][]uint8, 1000)
+	for i := range batch {
+		batch[i] = full.Row(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Delete(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := eng.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(batch)), "rows/op")
+}
+
+// BenchmarkEngineWindowAppend measures steady-state sliding-window
+// ingest: every appended batch evicts an equally sized batch of the
+// oldest rows through the tombstone-aware ring.
+func BenchmarkEngineWindowAppend(b *testing.B) {
+	eng := engine.NewFromDataset(datagen.AirBnB(benchN, 13, 42), engine.Options{})
+	eng.SetWindow(benchN)
+	batch := datasetRows(datagen.AirBnB(1000, 13, 7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(batch)), "rows/op")
+}
+
+// BenchmarkEngineDeleteRepairMUPs compares the engine's delete-then-
+// bidirectional-repair path against the from-scratch recomputation it
+// replaces: per iteration, retract a batch and re-answer the same MUP
+// query. Repair cost scales with the removal-touched cone of the
+// lattice, so the small batch (the streaming steady state) must be
+// measurably faster than full recomputation, while the bulk batch —
+// 1% of all rows, touching most shallow patterns — shows where the
+// advantage erodes (past Options.FullSearchRemovedFraction the engine
+// falls back to the full search on its own).
+func BenchmarkEngineDeleteRepairMUPs(b *testing.B) {
+	const tau = int64(0.001 * benchN)
+	full := datagen.AirBnB(benchN, 13, 42)
+	for _, batchRows := range []int{100, 1000} {
+		batch := make([][]uint8, batchRows)
+		for i := range batch {
+			batch[i] = full.Row(i)
+		}
+		b.Run(fmt.Sprintf("batch=%d/bidirectional-repair", batchRows), func(b *testing.B) {
+			// The cutoff is lifted so the repair path is measured even
+			// for the bulk batch.
+			eng := engine.NewFromDataset(full, engine.Options{FullSearchRemovedFraction: 1})
+			if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var res *mup.Result
+			for i := 0; i < b.N; i++ {
+				if err := eng.Delete(batch); err != nil {
+					b.Fatal(err)
+				}
+				r, err := eng.MUPs(mup.Options{Threshold: tau})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				// Restore the steady state and re-sync the cache outside
+				// the timer so each iteration repairs a pure deletion.
+				b.StopTimer()
+				if err := eng.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(res.MUPs)), "MUPs")
+		})
+		b.Run(fmt.Sprintf("batch=%d/full-rebuild", batchRows), func(b *testing.B) {
+			counts := make(map[string]int64)
+			dd := full.Distinct()
+			for k, combo := range dd.Combos {
+				counts[string(combo)] = dd.Counts[k]
+			}
+			b.ResetTimer()
+			var res *mup.Result
+			for i := 0; i < b.N; i++ {
+				for _, row := range batch {
+					counts[string(row)]--
+				}
+				ix := index.BuildFromCounts(full.Schema(), counts)
+				r, err := mup.ParallelPatternBreaker(ix, mup.ParallelOptions{Options: mup.Options{Threshold: tau}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				b.StopTimer()
+				for _, row := range batch {
+					counts[string(row)]++
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(res.MUPs)), "MUPs")
+		})
+	}
+}
+
 // BenchmarkEngineConcurrentCoverage measures point coverage probes
 // under GOMAXPROCS-way concurrency with a non-empty delta, the
 // covserve serving hot path (pooled probers + merge-on-read).

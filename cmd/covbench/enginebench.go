@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"coverage/internal/datagen"
+	"coverage/internal/engine"
+	"coverage/internal/mup"
+)
+
+// engineBenchResult is one measured operation in BENCH_engine.json.
+type engineBenchResult struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iterations int     `json:"iterations"`
+	RowsPerOp  int     `json:"rows_per_op,omitempty"`
+	MUPs       int     `json:"mups,omitempty"`
+}
+
+// engineBenchReport is the machine-readable benchmark file tracking
+// the engine's perf trajectory across PRs: append/delete ingest and
+// the cached-MUP repair paths, measured with testing.Benchmark so the
+// numbers match `go test -bench` methodology.
+type engineBenchReport struct {
+	DatasetRows int                 `json:"dataset_rows"`
+	Dimensions  int                 `json:"dimensions"`
+	Threshold   int64               `json:"threshold"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	GoVersion   string              `json:"go_version"`
+	Results     []engineBenchResult `json:"results"`
+}
+
+// engineBench regenerates BENCH_engine.json. The dataset is the
+// AirBnB-style generator at quick scale (n is capped so the file can
+// be produced in CI in seconds-to-minutes, not hours).
+func engineBench(cfg config) {
+	n := cfg.n
+	if n > 100000 {
+		n = 100000
+	}
+	const d = 13
+	// τ tracks the paper's 0.1% rate with a floor of 2: τ=1 on a small
+	// dataset pushes the MUP frontier to the deepest lattice levels and
+	// turns a micro-benchmark into a full enumeration.
+	tau := int64(0.001 * float64(n))
+	if tau < 2 {
+		tau = 2
+	}
+	full := datagen.AirBnB(n, d, cfg.seed)
+	rows := make([][]uint8, full.NumRows())
+	for i := range rows {
+		rows[i] = full.Row(i)
+	}
+	report := engineBenchReport{
+		DatasetRows: n,
+		Dimensions:  d,
+		Threshold:   tau,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+	add := func(name string, rowsPerOp, mups int, r testing.BenchmarkResult) {
+		res := engineBenchResult{
+			Name:       name,
+			NsPerOp:    float64(r.NsPerOp()),
+			Iterations: r.N,
+			RowsPerOp:  rowsPerOp,
+			MUPs:       mups,
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-40s %14.0f ns/op  (%d iterations)\n", name, res.NsPerOp, r.N)
+	}
+
+	batchRows := 1000
+	if batchRows > n {
+		batchRows = n
+	}
+	smallRows := 100
+	if smallRows > n {
+		smallRows = n
+	}
+	batch := rows[:batchRows]
+	{
+		eng := engine.NewFromDataset(full, engine.Options{})
+		add(fmt.Sprintf("append/batch=%d", batchRows), len(batch), 0, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := eng.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	{
+		eng := engine.NewFromDataset(full, engine.Options{})
+		add(fmt.Sprintf("delete/batch=%d", batchRows), len(batch), 0, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := eng.Delete(batch); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := eng.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}))
+	}
+	{
+		eng := engine.NewFromDataset(full, engine.Options{})
+		eng.SetWindow(n)
+		add(fmt.Sprintf("window-append/batch=%d", batchRows), len(batch), 0, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := eng.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	for _, nb := range []int{smallRows, batchRows} {
+		if nb == smallRows && smallRows == batchRows {
+			continue // toy scale: the two batch sizes coincide
+		}
+		small := rows[:nb]
+		eng := engine.NewFromDataset(full, engine.Options{FullSearchRemovedFraction: 1})
+		if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+			fatal(err)
+		}
+		var mups int
+		add(fmt.Sprintf("mup-repair-delete/batch=%d", nb), nb, mups, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := eng.Delete(small); err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.MUPs(mup.Options{Threshold: tau})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mups = len(res.MUPs)
+				b.StopTimer()
+				if err := eng.Append(small); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}))
+		report.Results[len(report.Results)-1].MUPs = mups
+	}
+	{
+		eng := engine.NewFromDataset(full, engine.Options{})
+		if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+			fatal(err)
+		}
+		var mups int
+		add(fmt.Sprintf("mup-repair-append/batch=%d", batchRows), len(batch), 0, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := eng.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.MUPs(mup.Options{Threshold: tau})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mups = len(res.MUPs)
+			}
+		}))
+		report.Results[len(report.Results)-1].MUPs = mups
+	}
+
+	f, err := os.Create(cfg.benchOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", cfg.benchOut)
+}

@@ -6,15 +6,21 @@
 //
 // Usage:
 //
-//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|all
+//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|all
 //
 // Flags:
 //
-//	-n int      dataset size for the AirBnB sweeps (default 1000000)
-//	-quick      laptop-scale parameters (n=100000, narrower sweeps)
-//	-apriori    include the APRIORI baseline in fig12 (can take minutes)
-//	-naive      include the naive hitting-set baseline in fig17 (slow)
-//	-seed int   generator seed (default 42)
+//	-n int        dataset size for the AirBnB sweeps (default 1000000)
+//	-quick        laptop-scale parameters (n=100000, narrower sweeps)
+//	-apriori      include the APRIORI baseline in fig12 (can take minutes)
+//	-naive        include the naive hitting-set baseline in fig17 (slow)
+//	-seed int     generator seed (default 42)
+//	-benchout s   JSON output file for the engine experiment (default BENCH_engine.json)
+//
+// The engine experiment measures the incremental engine's hot paths
+// (append, delete, window eviction, cached-MUP repair) with
+// testing.Benchmark and writes machine-readable ns/op to -benchout, so
+// the perf trajectory can be tracked across commits.
 //
 // Absolute runtimes differ from the paper's Java/Xeon testbed; the
 // reproduced quantities are the shapes: who wins where, crossovers,
@@ -28,11 +34,17 @@ import (
 )
 
 type config struct {
-	n       int
-	quick   bool
-	apriori bool
-	naive   bool
-	seed    int64
+	n        int
+	quick    bool
+	apriori  bool
+	naive    bool
+	seed     int64
+	benchOut string
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covbench:", err)
+	os.Exit(1)
 }
 
 var experiments = []struct {
@@ -52,6 +64,7 @@ var experiments = []struct {
 	{"fig17", "coverage enhancement vs threshold (AirBnB, d=13)", fig17},
 	{"fig18", "coverage enhancement vs dimensions (AirBnB, τ=0.1%)", fig18},
 	{"fig19", "enhancement input/output sizes vs dimensions (AirBnB, τ=0.1%)", fig19},
+	{"engine", "incremental-engine micro-benchmarks (append/delete/window/MUP repair) → JSON", engineBench},
 }
 
 func main() {
@@ -61,6 +74,7 @@ func main() {
 	flag.BoolVar(&cfg.apriori, "apriori", false, "include the APRIORI baseline in fig12")
 	flag.BoolVar(&cfg.naive, "naive", false, "include the naive hitting-set baseline in fig17")
 	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
+	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_engine.json", "output file for the engine experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestTauFor(t *testing.T) {
 	cases := []struct {
@@ -41,7 +46,37 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 12 {
-		t.Errorf("%d experiments registered, want 12 (one per figure/table)", len(seen))
+	if len(seen) != 13 {
+		t.Errorf("%d experiments registered, want 13 (one per figure/table, plus engine)", len(seen))
+	}
+}
+
+// TestEngineBenchWritesJSON smokes the machine-readable benchmark
+// runner at toy scale: the report must decode and hold one result per
+// measured operation, each with a positive ns/op.
+func TestEngineBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	engineBench(config{n: 5000, seed: 42, benchOut: out})
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep engineBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if rep.DatasetRows != 5000 || rep.Dimensions != 13 || rep.Threshold != 5 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("%d results, want 6", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("result %q has ns/op %v over %d iterations", r.Name, r.NsPerOp, r.Iterations)
+		}
 	}
 }

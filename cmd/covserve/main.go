@@ -7,16 +7,20 @@
 //
 // Usage:
 //
-//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080]
+//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000]
 //	covserve -demo compas|airbnb|bluenile [-addr :8080]
 //
 // Endpoints:
 //
 //	GET  /healthz                          liveness + row count
-//	GET  /stats                            engine counters (compactions, repairs, cache hits)
+//	GET  /stats                            engine counters (compactions, repairs, window state)
 //	POST /coverage {"patterns":["X1X"]}    batch coverage probes
 //	GET  /mups?tau=30|rate=0.001           maximal uncovered patterns
 //	POST /append {"rows":[["male","white"]]} add rows (labels or raw codes)
+//	POST /append (application/x-ndjson)    streaming bulk ingest, one JSON array per line
+//	POST /delete {"rows":[["male","white"]]} retract rows (409 if not present)
+//	GET  /window                           sliding-window configuration
+//	POST /window {"max_rows":100000}       bound the dataset to the newest rows
 //	POST /plan {"tau":30,"max_level":2}    remediation plan
 package main
 
@@ -39,6 +43,7 @@ func main() {
 		csvPath = flag.String("csv", "", "CSV file to serve (first row is the header)")
 		columns = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
 		demo    = flag.String("demo", "", "serve a synthetic demo dataset instead: compas, airbnb or bluenile")
+		window  = flag.Int("window", 0, "sliding window: keep only the newest N rows (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -47,7 +52,11 @@ func main() {
 		fatal(err)
 	}
 	an := coverage.NewAnalyzer(ds)
-	log.Printf("covserve: serving %d rows × %d attributes on %s", ds.NumRows(), ds.Dim(), *addr)
+	if *window > 0 {
+		an.SetWindow(*window)
+		log.Printf("covserve: sliding window of %d rows", *window)
+	}
+	log.Printf("covserve: serving %d rows × %d attributes on %s", an.NumRows(), ds.Dim(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(an),

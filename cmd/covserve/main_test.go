@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"coverage"
@@ -146,7 +147,7 @@ func TestAppendEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	resp := decode[appendResponse](t, w)
+	resp := decode[mutateResponse](t, w)
 	if resp.Appended != 2 || resp.TotalRows != 12 {
 		t.Errorf("append = %+v", resp)
 	}
@@ -178,6 +179,178 @@ func TestAppendEndpoint(t *testing.T) {
 		if w := do(t, s, "POST", "/append", tc.body); w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", tc.name, w.Code)
 		}
+	}
+}
+
+func TestDeleteEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	// Retract one of the two (female, white) rows by labels and one
+	// (male, black) by codes: male=1, black=0.
+	w := do(t, s, "POST", "/delete", `{"rows": [["female", "white"]], "codes": [[1, 0]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[mutateResponse](t, w)
+	if resp.Deleted != 2 || resp.TotalRows != 8 {
+		t.Errorf("delete = %+v", resp)
+	}
+	if resp.Generation == 0 {
+		t.Error("generation not advanced")
+	}
+	w = do(t, s, "POST", "/coverage", `{"patterns": ["02", "10"]}`)
+	cov := decode[coverageResponse](t, w)
+	if cov.Results[0].Coverage != 1 || cov.Results[1].Coverage != 1 {
+		t.Errorf("coverages after delete = %d, %d, want 1, 1", cov.Results[0].Coverage, cov.Results[1].Coverage)
+	}
+
+	// Deleting the gap's rows makes a new MUP appear — the regime
+	// downward-only repair cannot serve.
+	do(t, s, "GET", "/mups?tau=1", "")
+	w = do(t, s, "POST", "/delete", `{"rows": [["female", "white"]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	w = do(t, s, "GET", "/mups?tau=1", "")
+	found := false
+	for _, m := range decode[mupsResponse](t, w).MUPs {
+		if m.Description == "sex=female, race=white" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("deleting all (female, white) rows did not surface the new MUP")
+	}
+
+	// Absent rows are a state conflict, atomically rejected.
+	w = do(t, s, "POST", "/delete", `{"rows": [["female", "white"]]}`)
+	if w.Code != http.StatusConflict {
+		t.Errorf("delete of absent combination: status %d, want 409", w.Code)
+	}
+	w = do(t, s, "POST", "/delete", `{"codes": [[0, 0], [0, 0]]}`)
+	if w.Code != http.StatusConflict {
+		t.Errorf("over-delete: status %d, want 409", w.Code)
+	}
+	if w := do(t, s, "GET", "/healthz", ""); decode[healthResponse](t, w).Rows != 7 {
+		t.Error("rejected deletes mutated the dataset")
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{}`},
+		{"unknown label", `{"rows": [["female", "martian"]]}`},
+		{"short row", `{"rows": [["female"]]}`},
+		{"bad code", `{"codes": [[0, 9]]}`},
+		{"short code row", `{"codes": [[0]]}`},
+		{"bad json", `]`},
+	} {
+		// Malformed requests are 400s; only genuine multiplicity
+		// conflicts earn the 409 above.
+		if w := do(t, s, "POST", "/delete", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, w.Code)
+		}
+	}
+}
+
+func TestAppendNDJSON(t *testing.T) {
+	s := serveFixture(t)
+	body := strings.Join([]string{
+		`["female", "other"]`,
+		``, // blank lines are skipped
+		`[0, 1]`,
+		`["male", "other"]`,
+	}, "\n")
+	req := httptest.NewRequest("POST", "/append", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[mutateResponse](t, w)
+	if resp.Appended != 3 || resp.TotalRows != 13 {
+		t.Errorf("ndjson append = %+v", resp)
+	}
+	// Both label and code forms landed on (female, other).
+	wc := do(t, s, "POST", "/coverage", `{"patterns": ["01"]}`)
+	if cov := decode[coverageResponse](t, wc); cov.Results[0].Coverage != 2 {
+		t.Errorf("cov(female, other) = %d, want 2", cov.Results[0].Coverage)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty body", ""},
+		{"not an array", `{"rows": []}`},
+		{"unknown label", `["female", "martian"]`},
+		{"mixed types", `["female", 2]`},
+		{"bad code", `[0, 9]`},
+	} {
+		req := httptest.NewRequest("POST", "/append", strings.NewReader(tc.body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, w.Code)
+		}
+	}
+}
+
+// TestAppendNDJSONBatching streams more rows than one engine batch to
+// exercise the flush loop.
+func TestAppendNDJSONBatching(t *testing.T) {
+	s := serveFixture(t)
+	var sb strings.Builder
+	const n = ndjsonBatchRows + 100
+	for i := 0; i < n; i++ {
+		sb.WriteString(`[0, 1]` + "\n")
+	}
+	req := httptest.NewRequest("POST", "/append", strings.NewReader(sb.String()))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if resp := decode[mutateResponse](t, w); resp.Appended != n || resp.TotalRows != int64(10+n) {
+		t.Errorf("bulk append = %+v, want %d rows appended", resp, n)
+	}
+}
+
+func TestWindowEndpoint(t *testing.T) {
+	s := serveFixture(t)
+	w := do(t, s, "GET", "/window", "")
+	if resp := decode[windowResponse](t, w); resp.MaxRows != 0 || resp.Rows != 10 {
+		t.Errorf("initial window = %+v", resp)
+	}
+	w = do(t, s, "POST", "/window", `{"max_rows": 6}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if resp := decode[windowResponse](t, w); resp.MaxRows != 6 || resp.Rows != 6 {
+		t.Errorf("window after truncation = %+v", resp)
+	}
+	// Appends now evict the oldest rows.
+	do(t, s, "POST", "/append", `{"codes": [[0, 1], [0, 1], [0, 1]]}`)
+	if resp := decode[healthResponse](t, do(t, s, "GET", "/healthz", "")); resp.Rows != 6 {
+		t.Errorf("rows = %d with window 6, want 6", resp.Rows)
+	}
+	st := decode[statsResponse](t, do(t, s, "GET", "/stats", ""))
+	if st.Window != 6 || st.Evictions == 0 {
+		t.Errorf("stats window = %d, evictions = %d", st.Window, st.Evictions)
+	}
+	// Disable and verify unbounded growth resumes.
+	do(t, s, "POST", "/window", `{"max_rows": 0}`)
+	do(t, s, "POST", "/append", `{"codes": [[0, 1]]}`)
+	if resp := decode[healthResponse](t, do(t, s, "GET", "/healthz", "")); resp.Rows != 7 {
+		t.Errorf("rows = %d after disabling the window, want 7", resp.Rows)
+	}
+
+	if w := do(t, s, "POST", "/window", `{"max_rows": -1}`); w.Code != http.StatusBadRequest {
+		t.Errorf("negative window: status %d, want 400", w.Code)
+	}
+	if w := do(t, s, "POST", "/window", `{`); w.Code != http.StatusBadRequest {
+		t.Errorf("bad json: status %d, want 400", w.Code)
 	}
 }
 
@@ -277,10 +450,51 @@ func TestConcurrentTraffic(t *testing.T) {
 			}
 		}()
 	}
+	// One NDJSON ingester and one deleter race the JSON writers. A
+	// delete may legitimately hit 409 when retractions outpace the
+	// appends; successful retractions are counted for the final check.
+	var deleted atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			resp, err := http.Post(srv.URL+"/append", "application/x-ndjson",
+				strings.NewReader("[0, 1]\n[1, 2]\n"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("ndjson append status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			resp, err := http.Post(srv.URL+"/delete", "application/json",
+				strings.NewReader(`{"codes": [[0, 1]]}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				deleted.Add(1)
+			case http.StatusConflict:
+			default:
+				t.Errorf("delete status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}()
 	wg.Wait()
 
 	w := do(t, s, "GET", "/healthz", "")
-	if resp := decode[healthResponse](t, w); resp.Rows != 10+2*20*2 {
-		t.Errorf("final rows = %d, want %d", resp.Rows, 10+2*20*2)
+	want := int64(10 + 2*20*2 + 20*2 - deleted.Load())
+	if resp := decode[healthResponse](t, w); resp.Rows != want {
+		t.Errorf("final rows = %d, want %d", resp.Rows, want)
 	}
 }

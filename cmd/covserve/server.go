@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"coverage"
 )
@@ -24,6 +26,9 @@ func newServer(an *coverage.Analyzer) *server {
 	s.mux.HandleFunc("POST /coverage", s.handleCoverage)
 	s.mux.HandleFunc("GET /mups", s.handleMUPs)
 	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("POST /delete", s.handleDelete)
+	s.mux.HandleFunc("GET /window", s.handleWindowGet)
+	s.mux.HandleFunc("POST /window", s.handleWindowSet)
 	s.mux.HandleFunc("POST /plan", s.handlePlan)
 	return s
 }
@@ -76,11 +81,19 @@ type statsResponse struct {
 	DeltaDistinct int    `json:"delta_combinations"`
 	Generation    uint64 `json:"generation"`
 	Appends       int64  `json:"appends"`
+	Deletes       int64  `json:"deletes"`
+	Evictions     int64  `json:"window_evictions"`
 	Compactions   int64  `json:"compactions"`
 	FullSearches  int64  `json:"full_searches"`
-	Repairs        int64 `json:"incremental_repairs"`
-	CacheHits      int64 `json:"cache_hits"`
+	Repairs       int64  `json:"incremental_repairs"`
+	BidirRepairs  int64  `json:"bidirectional_repairs"`
+	CacheHits     int64  `json:"cache_hits"`
 	CachedSearches int   `json:"cached_searches"`
+	// Window is the sliding-window configuration: the maximum number
+	// of live rows (0 = unbounded) and the count of deleted rows whose
+	// window-log entries are still awaiting reconciliation.
+	Window     int   `json:"window_max_rows"`
+	Tombstones int64 `json:"window_tombstones"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -91,11 +104,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeltaDistinct: st.DeltaDistinct,
 		Generation:    st.Generation,
 		Appends:       st.Appends,
+		Deletes:       st.Deletes,
+		Evictions:     st.Evictions,
 		Compactions:   st.Compactions,
 		FullSearches:  st.FullSearches,
-		Repairs:        st.Repairs,
-		CacheHits:      st.CacheHits,
+		Repairs:       st.Repairs,
+		BidirRepairs:  st.BidirectionalRepairs,
+		CacheHits:     st.CacheHits,
 		CachedSearches: st.CachedSearches,
+		Window:         st.Window,
+		Tombstones:     st.Tombstones,
 	})
 }
 
@@ -223,57 +241,236 @@ func (s *server) handleMUPs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// appendRequest carries new rows either as value labels resolved
-// against the schema ("rows") or as raw value codes ("codes"). The two
-// forms may be mixed in one request.
-type appendRequest struct {
+// mutateRequest carries rows to append or delete, either as value
+// labels resolved against the schema ("rows") or as raw value codes
+// ("codes"). The two forms may be mixed in one request.
+type mutateRequest struct {
 	Rows  [][]string `json:"rows,omitempty"`
 	Codes [][]uint8  `json:"codes,omitempty"`
 }
 
-type appendResponse struct {
-	Appended   int    `json:"appended"`
+type mutateResponse struct {
+	Appended   int    `json:"appended,omitempty"`
+	Deleted    int    `json:"deleted,omitempty"`
 	TotalRows  int64  `json:"total_rows"`
 	Generation uint64 `json:"generation"`
 }
 
-func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	var req appendRequest
+// rowFromLabels resolves one row of value labels to codes.
+func (s *server) rowFromLabels(n int, labels []string) ([]uint8, error) {
+	schema := s.an.Dataset().Schema()
+	if len(labels) != schema.Dim() {
+		return nil, fmt.Errorf("row %d has %d values, schema has %d attributes", n, len(labels), schema.Dim())
+	}
+	row := make([]uint8, len(labels))
+	for i, label := range labels {
+		code, ok := schema.ValueCode(i, label)
+		if !ok {
+			return nil, fmt.Errorf("row %d: unknown value %q for attribute %q", n, label, schema.Attr(i).Name)
+		}
+		row[i] = code
+	}
+	return row, nil
+}
+
+// decodeMutateBatch parses a JSON mutate request into a code batch.
+// Both label and code rows are validated against the schema here, so
+// a malformed request is always a 400 and handlers can reserve other
+// statuses for genuine state conflicts.
+func (s *server) decodeMutateBatch(w http.ResponseWriter, r *http.Request, verb string) ([][]uint8, bool) {
+	var req mutateRequest
 	if !decodeBody(w, r, &req) {
-		return
+		return nil, false
 	}
 	schema := s.an.Dataset().Schema()
 	batch := make([][]uint8, 0, len(req.Rows)+len(req.Codes))
 	for n, labels := range req.Rows {
-		if len(labels) != schema.Dim() {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("row %d has %d values, schema has %d attributes", n, len(labels), schema.Dim()))
-			return
-		}
-		row := make([]uint8, len(labels))
-		for i, label := range labels {
-			code, ok := schema.ValueCode(i, label)
-			if !ok {
-				writeError(w, http.StatusBadRequest,
-					fmt.Errorf("row %d: unknown value %q for attribute %q", n, label, schema.Attr(i).Name))
-				return
-			}
-			row[i] = code
+		row, err := s.rowFromLabels(n, labels)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, false
 		}
 		batch = append(batch, row)
 	}
-	batch = append(batch, req.Codes...)
+	cards := schema.Cards()
+	for n, row := range req.Codes {
+		if len(row) != len(cards) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("codes row %d has %d values, schema has %d attributes", n, len(row), len(cards)))
+			return nil, false
+		}
+		for i, v := range row {
+			if int(v) >= cards[i] {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("codes row %d: value %d for attribute %q exceeds cardinality %d",
+						n, v, schema.Attr(i).Name, cards[i]))
+				return nil, false
+			}
+		}
+		batch = append(batch, row)
+	}
 	if len(batch) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs rows or codes"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%s needs rows or codes", verb))
+		return nil, false
+	}
+	return batch, true
+}
+
+// ndjsonBatchRows is how many streamed NDJSON rows are buffered before
+// each engine feed: large enough to amortize the engine's per-batch
+// lock and shard work over heavy ingest, small enough to bound memory.
+const ndjsonBatchRows = 4096
+
+// maxStreamBytes caps streamed NDJSON bodies. Streaming exists for
+// bulk ingest, so the cap is far above the JSON body cap.
+const maxStreamBytes = 1 << 30
+
+// appendNDJSON consumes an application/x-ndjson body: one JSON array
+// per line, either value labels (["male","white"]) or raw codes
+// ([1,2]), fed to the engine in batches. Rows accepted before a
+// malformed line remain appended; the error response reports how many.
+func (s *server) appendNDJSON(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxStreamBytes))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	batch := make([][]uint8, 0, ndjsonBatchRows)
+	appended := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.an.Append(batch); err != nil {
+			return err
+		}
+		appended += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	fail := func(err error) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w (%d rows appended before the error)", err, appended))
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var labels []string
+		if err := json.Unmarshal([]byte(raw), &labels); err == nil {
+			row, err := s.rowFromLabels(line, labels)
+			if err != nil {
+				fail(err)
+				return
+			}
+			batch = append(batch, row)
+		} else {
+			var codes []uint8
+			if err := json.Unmarshal([]byte(raw), &codes); err != nil {
+				fail(fmt.Errorf("line %d: not a JSON array of labels or codes: %q", line, raw))
+				return
+			}
+			batch = append(batch, codes)
+		}
+		if len(batch) >= ndjsonBatchRows {
+			if err := flush(); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if err := flush(); err != nil {
+		fail(err)
+		return
+	}
+	if appended == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs at least one NDJSON row"))
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Appended:   appended,
+		TotalRows:  s.an.NumRows(),
+		Generation: s.an.Engine().Generation(),
+	})
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/x-ndjson") {
+		s.appendNDJSON(w, r)
+		return
+	}
+	batch, ok := s.decodeMutateBatch(w, r, "append")
+	if !ok {
 		return
 	}
 	if err := s.an.Append(batch); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, appendResponse{
+	writeJSON(w, http.StatusOK, mutateResponse{
 		Appended:   len(batch),
 		TotalRows:  s.an.NumRows(),
+		Generation: s.an.Engine().Generation(),
+	})
+}
+
+// handleDelete retracts rows. Deleting rows whose combination is not
+// present (in sufficient multiplicity) is a state conflict, not a
+// malformed request: the whole batch is rejected with 409 and the
+// dataset is left untouched.
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	batch, ok := s.decodeMutateBatch(w, r, "delete")
+	if !ok {
+		return
+	}
+	if err := s.an.Delete(batch); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Deleted:    len(batch),
+		TotalRows:  s.an.NumRows(),
+		Generation: s.an.Engine().Generation(),
+	})
+}
+
+// windowResponse reports the sliding-window configuration alongside
+// the live row count it currently bounds.
+type windowResponse struct {
+	MaxRows    int    `json:"max_rows"`
+	Rows       int64  `json:"rows"`
+	Generation uint64 `json:"generation"`
+}
+
+type windowRequest struct {
+	MaxRows int `json:"max_rows"`
+}
+
+func (s *server) handleWindowGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, windowResponse{
+		MaxRows:    s.an.Window(),
+		Rows:       s.an.NumRows(),
+		Generation: s.an.Engine().Generation(),
+	})
+}
+
+func (s *server) handleWindowSet(w http.ResponseWriter, r *http.Request) {
+	var req windowRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.MaxRows < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("max_rows must be >= 0 (0 disables the window)"))
+		return
+	}
+	s.an.SetWindow(req.MaxRows)
+	writeJSON(w, http.StatusOK, windowResponse{
+		MaxRows:    s.an.Window(),
+		Rows:       s.an.NumRows(),
 		Generation: s.an.Engine().Generation(),
 	})
 }

@@ -231,6 +231,24 @@ func (a *Analyzer) Engine() *engine.Engine { return a.eng }
 // appended rows without rebuilding the index from scratch.
 func (a *Analyzer) Append(rows [][]uint8) error { return a.eng.Append(rows) }
 
+// Delete validates and retracts a batch of rows. The batch is atomic:
+// if any row's value combination lacks the multiplicity to delete, no
+// row is removed and an error is returned. Deletions break the
+// monotonicity appends enjoy — previously covered patterns can fall
+// back below τ — so cached MUP sets are repaired bidirectionally
+// (climbing to the newly uncovered frontier) rather than recomputed.
+func (a *Analyzer) Delete(rows [][]uint8) error { return a.eng.Delete(rows) }
+
+// SetWindow bounds the analyzed data to a sliding window of the most
+// recent maxRows rows: once full, every append evicts the oldest rows.
+// maxRows <= 0 removes the window. Rows already present when the
+// window is first enabled have no recorded arrival order and evict
+// before any later append, in sorted combination order.
+func (a *Analyzer) SetWindow(maxRows int) { a.eng.SetWindow(maxRows) }
+
+// Window returns the configured sliding-window bound (0 = unbounded).
+func (a *Analyzer) Window() int { return a.eng.Window() }
+
 // NumRows returns the current row count, including appended batches.
 func (a *Analyzer) NumRows() int64 { return a.eng.Rows() }
 

@@ -381,6 +381,68 @@ func TestAnalyzerAppend(t *testing.T) {
 	}
 }
 
+func TestAnalyzerDeleteAndWindow(t *testing.T) {
+	ds := auditFixture(t)
+	an := coverage.NewAnalyzer(ds)
+	// Codes: sex female=0/male=1; race black=0/other=1/white=2.
+	// Retract both (female, white) rows: the MUP audit must surface
+	// the new gap via bidirectional repair of the cached set.
+	rep, err := an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MUPs) != 1 {
+		t.Fatalf("MUPs = %v", rep.MUPs)
+	}
+	if err := an.Delete([][]uint8{{0, 2}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if an.NumRows() != 8 {
+		t.Errorf("NumRows = %d after delete, want 8", an.NumRows())
+	}
+	rep, err = an.FindMUPs(coverage.FindOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Algorithm != "bidirectional-repair" {
+		t.Errorf("algorithm = %q, want bidirectional-repair", rep.Stats.Algorithm)
+	}
+	found := false
+	for i := range rep.MUPs {
+		if rep.Describe(i) == "sex=female, race=white" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MUPs = %v, missing the reopened (female, white) gap", rep.MUPs)
+	}
+	if err := an.Delete([][]uint8{{0, 2}}); err == nil {
+		t.Error("delete of absent combination accepted")
+	}
+
+	// A sliding window bounds the analyzed data to the newest rows.
+	if an.Window() != 0 {
+		t.Errorf("Window = %d before configuration, want 0", an.Window())
+	}
+	an.SetWindow(5)
+	if an.Window() != 5 || an.NumRows() != 5 {
+		t.Errorf("Window = %d, NumRows = %d, want 5, 5", an.Window(), an.NumRows())
+	}
+	if err := an.Append([][]uint8{{0, 1}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if an.NumRows() != 5 {
+		t.Errorf("NumRows = %d with window 5, want 5", an.NumRows())
+	}
+	an.SetWindow(0)
+	if err := an.Append([][]uint8{{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if an.NumRows() != 6 {
+		t.Errorf("NumRows = %d after removing the window, want 6", an.NumRows())
+	}
+}
+
 func TestBucketsThroughFacade(t *testing.T) {
 	b, err := coverage.NewBuckets("age", []float64{20, 40, 60}, []string{"under 20", "20-39", "40-59", "60+"})
 	if err != nil {

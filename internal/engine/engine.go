@@ -16,11 +16,25 @@
 // a cached set is repaired incrementally with mup.Repair — coverage is
 // monotone under insertion, so only the subtrees of newly covered MUPs
 // are re-expanded — instead of re-running a full search.
+//
+// The mutation path is signed: Delete retracts rows and SetWindow
+// bounds the engine to the most recent rows, evicting the oldest on
+// overflow. Both directions flow through the same delta entries, whose
+// multiplicities may be negative, and prune a combination from the
+// count map the moment it reaches zero so compaction never rebuilds
+// ghosts. Deletions break insertion monotonicity — coverage can fall
+// back below τ — so every retracted combination is recorded in a
+// bounded removed-combination log; a cached MUP set older than a
+// deletion is repaired with mup.RepairBidirectional (climbing to the
+// newly uncovered frontier as well as re-expanding covered subtrees),
+// falling back to a full search only when the log's horizon has passed
+// the cached generation.
 package engine
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +63,20 @@ type Options struct {
 	// append, so the cache must not grow with query history. 0 means
 	// 64.
 	MaxCachedSearches int
+	// RemovedLogSize bounds the log of retracted combinations kept for
+	// bidirectional cache repair. A cached MUP set older than the
+	// log's horizon cannot be repaired and falls back to a full
+	// search, so larger logs tolerate longer gaps between queries on
+	// delete-heavy streams. 0 means 8192.
+	RemovedLogSize int
+	// FullSearchRemovedFraction is the bulk-retraction cutoff: when
+	// the distinct combinations removed since a cached MUP set exceed
+	// this fraction of the base's distinct combinations, the repair
+	// would have to re-probe most of the lattice anyway (every
+	// ancestor of a removed combination is suspect), so the engine
+	// runs a fresh parallel search instead. 0 means 0.05; values ≥ 1
+	// never fall back.
+	FullSearchRemovedFraction float64
 }
 
 func (o Options) workers() int {
@@ -79,6 +107,20 @@ func (o Options) maxCachedSearches() int {
 	return 64
 }
 
+func (o Options) removedLogSize() int {
+	if o.RemovedLogSize > 0 {
+		return o.RemovedLogSize
+	}
+	return 8192
+}
+
+func (o Options) fullSearchRemovedFraction() float64 {
+	if o.FullSearchRemovedFraction > 0 {
+		return o.FullSearchRemovedFraction
+	}
+	return 0.05
+}
+
 // Stats is a snapshot of the engine's internal counters.
 type Stats struct {
 	// Rows is the total row count (base + delta).
@@ -89,23 +131,35 @@ type Stats struct {
 	// delta entry for its additional multiplicity).
 	Distinct      int
 	DeltaDistinct int
-	// Generation increments on every append batch; cached MUP sets are
-	// tagged with it.
+	// Generation increments on every mutation batch (append, delete or
+	// window eviction); cached MUP sets are tagged with it.
 	Generation uint64
-	// Appends, Compactions, FullSearches, Repairs and CacheHits count
-	// engine operations since construction.
-	Appends      int64
-	Compactions  int64
-	FullSearches int64
-	Repairs      int64
-	CacheHits    int64
+	// Appends, Deletes, Evictions, Compactions, FullSearches, Repairs,
+	// BidirectionalRepairs and CacheHits count engine operations since
+	// construction. Repairs are the downward (append-only) cache
+	// repairs; BidirectionalRepairs additionally climbed to newly
+	// uncovered patterns after deletions.
+	Appends              int64
+	Deletes              int64
+	Evictions            int64
+	Compactions          int64
+	FullSearches         int64
+	Repairs              int64
+	BidirectionalRepairs int64
+	CacheHits            int64
 	// CachedSearches is the number of MUP configurations currently
 	// cached (bounded by Options.MaxCachedSearches).
 	CachedSearches int
+	// Window is the configured sliding-window bound in rows; 0 means
+	// unbounded. Tombstones counts deleted rows whose window-log
+	// entries have not yet been reconciled by eviction.
+	Window     int
+	Tombstones int64
 }
 
-// deltaEntry is one distinct combination appended since the last
-// compaction, with the multiplicity added since then.
+// deltaEntry is one distinct combination mutated since the last
+// compaction, with the signed multiplicity change since then (negative
+// when deletions or window evictions outweigh appends).
 type deltaEntry struct {
 	combo pattern.Pattern
 	count int64
@@ -143,13 +197,107 @@ type Engine struct {
 	gen      uint64
 	cache    map[searchKey]*cachedSearch
 
+	// Sliding-window state. log records live rows in arrival order
+	// (only while window > 0); pendingDeletes holds tombstones for rows
+	// deleted by value whose log entries are reconciled lazily on
+	// eviction.
+	window         int
+	log            *rowLog
+	pendingDeletes map[string]int64
+	tombstones     int64
+
+	// removed records combinations whose multiplicity decreased (by
+	// delete or eviction) and added those whose multiplicity grew, so
+	// cached MUP sets can be repaired bidirectionally with probes
+	// confined to the mutated cone of the lattice. A cache older than
+	// the removed log's horizon must run a full search; an added log
+	// past its horizon only costs extra probes.
+	removed mutLog
+	added   mutLog
+
 	appends      int64
+	deletes      int64
+	evictions    int64
 	compactions  int64
 	fullSearches int64
 	repairs      int64
+	bidirRepairs int64
 	cacheHits    atomic.Int64
 	useClock     atomic.Uint64 // LRU clock for cache entries
 }
+
+// mutRec is one mutated combination at one generation.
+type mutRec struct {
+	gen uint64
+	key string
+}
+
+// mutLog is a bounded log of combination mutations in nondecreasing
+// generation order. horizon is the generation up to which entries have
+// been trimmed away; questions about older generations are
+// unanswerable.
+type mutLog struct {
+	recs    []mutRec
+	horizon uint64
+}
+
+// record appends one mutation at gen, trimming the oldest half (on
+// whole-generation boundaries, so the horizon stays exact) when the
+// log outgrows max.
+func (l *mutLog) record(gen uint64, k string, max int) {
+	l.recs = append(l.recs, mutRec{gen: gen, key: k})
+	if len(l.recs) <= max {
+		return
+	}
+	cut := len(l.recs) - max/2
+	for cut < len(l.recs) && l.recs[cut].gen == l.recs[cut-1].gen {
+		cut++
+	}
+	l.horizon = l.recs[cut-1].gen
+	l.recs = append([]mutRec(nil), l.recs[cut:]...)
+}
+
+// since returns the distinct combinations mutated after generation
+// gen, and whether the log still reaches back that far. The slice is
+// non-nil whenever ok, so "provably none" and "unknown" stay distinct.
+func (l *mutLog) since(gen uint64) ([]pattern.Pattern, bool) {
+	if gen < l.horizon {
+		return nil, false
+	}
+	out := []pattern.Pattern{}
+	seen := make(map[string]bool)
+	for i := len(l.recs) - 1; i >= 0 && l.recs[i].gen > gen; i-- {
+		if k := l.recs[i].key; !seen[k] {
+			seen[k] = true
+			out = append(out, pattern.Pattern(k))
+		}
+	}
+	return out, true
+}
+
+// rowLog is a FIFO of row combination keys in arrival order, backing
+// the sliding window. Popped slots are compacted away once the dead
+// prefix dominates the backing array, keeping amortized O(1) pops
+// without unbounded growth.
+type rowLog struct {
+	keys []string
+	head int
+}
+
+func (l *rowLog) push(k string) { l.keys = append(l.keys, k) }
+
+func (l *rowLog) pop() string {
+	k := l.keys[l.head]
+	l.keys[l.head] = ""
+	l.head++
+	if l.head > 1024 && l.head > len(l.keys)/2 {
+		l.keys = append(l.keys[:0], l.keys[l.head:]...)
+		l.head = 0
+	}
+	return k
+}
+
+func (l *rowLog) len() int { return len(l.keys) - l.head }
 
 // New returns an empty engine over the schema.
 func New(schema *dataset.Schema, opts Options) *Engine {
@@ -212,29 +360,27 @@ func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return Stats{
-		Rows:          e.rows,
-		Distinct:      e.base.NumDistinct(),
-		DeltaDistinct: len(e.delta),
-		Generation:    e.gen,
-		Appends:       e.appends,
-		Compactions:   e.compactions,
-		FullSearches:   e.fullSearches,
-		Repairs:        e.repairs,
-		CacheHits:      e.cacheHits.Load(),
-		CachedSearches: len(e.cache),
+		Rows:                 e.rows,
+		Distinct:             e.base.NumDistinct(),
+		DeltaDistinct:        len(e.delta),
+		Generation:           e.gen,
+		Appends:              e.appends,
+		Deletes:              e.deletes,
+		Evictions:            e.evictions,
+		Compactions:          e.compactions,
+		FullSearches:         e.fullSearches,
+		Repairs:              e.repairs,
+		BidirectionalRepairs: e.bidirRepairs,
+		CacheHits:            e.cacheHits.Load(),
+		CachedSearches:       len(e.cache),
+		Window:               e.window,
+		Tombstones:           e.tombstones,
 	}
 }
 
-// Append validates and adds a batch of rows. The batch is sharded
-// across workers for parallel per-combination counting (the same
-// level-chunking idiom as mup.ParallelPatternBreaker), then the shard
-// counts are merged into the engine under the write lock. The base
-// oracle is not rebuilt unless the accumulated delta crosses the
-// compaction threshold.
-func (e *Engine) Append(rows [][]uint8) error {
-	if len(rows) == 0 {
-		return nil
-	}
+// validateRows checks every row against the schema before any
+// mutation, so a rejected batch leaves the engine untouched.
+func (e *Engine) validateRows(rows [][]uint8) error {
 	for n, row := range rows {
 		if len(row) != len(e.cards) {
 			return fmt.Errorf("engine: row %d has %d values, schema has %d attributes", n, len(row), len(e.cards))
@@ -246,29 +392,185 @@ func (e *Engine) Append(rows [][]uint8) error {
 			}
 		}
 	}
+	return nil
+}
+
+// Append validates and adds a batch of rows. The batch is sharded
+// across workers for parallel per-combination counting (the same
+// level-chunking idiom as mup.ParallelPatternBreaker), then the shard
+// counts are merged into the engine under the write lock. The base
+// oracle is not rebuilt unless the accumulated delta crosses the
+// compaction threshold. With a sliding window configured, rows beyond
+// the bound are evicted oldest-first in the same mutation.
+func (e *Engine) Append(rows [][]uint8) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := e.validateRows(rows); err != nil {
+		return err
+	}
 	shards := shardCounts(rows, e.opts.workers())
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.gen++
+	e.appends++
 	for _, shard := range shards {
 		for k, c := range shard {
-			e.counts[k] += c
-			if pos, ok := e.deltaPos[k]; ok {
-				e.delta[pos].count += c
-				continue
-			}
-			e.deltaPos[k] = len(e.delta)
-			e.delta = append(e.delta, deltaEntry{combo: pattern.Pattern(k), count: c})
+			e.applySignedLocked(k, c)
+			e.added.record(e.gen, k, e.opts.removedLogSize())
+		}
+	}
+	if e.log != nil {
+		for _, row := range rows {
+			e.log.push(string(row))
 		}
 	}
 	e.rows += int64(len(rows))
+	e.evictLocked()
+	e.maybeCompactLocked()
+	return nil
+}
+
+// Delete validates and retracts a batch of rows. The whole batch is
+// atomic: if any row's combination lacks the multiplicity to delete,
+// the engine is left untouched and an error returned. Rows with equal
+// value combinations are indistinguishable, so under a sliding window
+// a delete retracts the oldest matching occurrences (the log entries
+// are tombstoned and reconciled lazily when eviction reaches them).
+func (e *Engine) Delete(rows [][]uint8) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := e.validateRows(rows); err != nil {
+		return err
+	}
+	need := make(map[string]int64, len(rows))
+	for _, shard := range shardCounts(rows, e.opts.workers()) {
+		for k, c := range shard {
+			need[k] += c
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, c := range need {
+		if have := e.counts[k]; have < c {
+			return fmt.Errorf("engine: cannot delete %d row(s) of combination %v: only %d present",
+				c, pattern.Pattern(k), have)
+		}
+	}
 	e.gen++
-	e.appends++
+	e.deletes++
+	for k, c := range need {
+		e.applySignedLocked(k, -c)
+		e.removed.record(e.gen, k, e.opts.removedLogSize())
+		if e.log != nil {
+			e.pendingDeletes[k] += c
+			e.tombstones += c
+		}
+	}
+	e.rows -= int64(len(rows))
+	e.maybeCompactLocked()
+	return nil
+}
+
+// SetWindow configures a sliding window of at most maxRows live rows;
+// rows beyond it are evicted oldest-first on every subsequent append.
+// maxRows <= 0 removes the window (and drops the row log). Rows already
+// present when the window is first enabled have no recorded arrival
+// order; they are treated as oldest, evicted in sorted combination
+// order, before any row appended afterwards.
+func (e *Engine) SetWindow(maxRows int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if maxRows <= 0 {
+		e.window = 0
+		e.log = nil
+		e.pendingDeletes = nil
+		e.tombstones = 0
+		return
+	}
+	e.window = maxRows
+	if e.log == nil {
+		e.log = &rowLog{}
+		e.pendingDeletes = make(map[string]int64)
+		keys := make([]string, 0, len(e.counts))
+		for k := range e.counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for i := int64(0); i < e.counts[k]; i++ {
+				e.log.push(k)
+			}
+		}
+	}
+	if e.rows > int64(e.window) {
+		e.gen++
+		e.evictLocked()
+		e.maybeCompactLocked()
+	}
+}
+
+// Window returns the configured sliding-window bound (0 = unbounded).
+func (e *Engine) Window() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.window
+}
+
+// applySignedLocked merges one signed multiplicity change into the
+// count map and the delta, pruning the combination from the counts the
+// moment it reaches zero so compaction never rebuilds ghosts. Caller
+// holds the write lock.
+func (e *Engine) applySignedLocked(k string, c int64) {
+	if n := e.counts[k] + c; n == 0 {
+		delete(e.counts, k)
+	} else {
+		e.counts[k] = n
+	}
+	if pos, ok := e.deltaPos[k]; ok {
+		e.delta[pos].count += c
+		return
+	}
+	e.deltaPos[k] = len(e.delta)
+	e.delta = append(e.delta, deltaEntry{combo: pattern.Pattern(k), count: c})
+}
+
+// evictLocked pops the oldest log entries until the live row count fits
+// the window, consuming tombstones (rows already deleted by value) as
+// it goes. Caller holds the write lock with the generation already
+// advanced for this mutation.
+func (e *Engine) evictLocked() {
+	if e.window <= 0 || e.log == nil {
+		return
+	}
+	for e.rows > int64(e.window) {
+		k := e.log.pop()
+		if n := e.pendingDeletes[k]; n > 0 {
+			if n == 1 {
+				delete(e.pendingDeletes, k)
+			} else {
+				e.pendingDeletes[k] = n - 1
+			}
+			e.tombstones--
+			continue
+		}
+		e.applySignedLocked(k, -1)
+		e.removed.record(e.gen, k, e.opts.removedLogSize())
+		e.rows--
+		e.evictions++
+	}
+}
+
+// maybeCompactLocked rebuilds the base when the accumulated delta
+// crosses the compaction threshold. Caller holds the write lock.
+func (e *Engine) maybeCompactLocked() {
 	if len(e.delta) >= e.opts.compactMinDistinct() &&
 		float64(len(e.delta)) >= e.opts.compactFraction()*float64(e.base.NumDistinct()) {
 		e.rebuildLocked()
 	}
-	return nil
 }
 
 // shardCounts partitions rows into contiguous chunks, one per worker,
@@ -375,7 +677,10 @@ func (e *Engine) Index() *index.Index {
 // cached per (Threshold, MaxLevel), with the least recently used
 // configuration evicted beyond Options.MaxCachedSearches: a query at
 // the current generation is answered from cache; after appends, the
-// stale cached set is repaired incrementally via mup.Repair; a
+// stale cached set is repaired incrementally via mup.Repair; after
+// deletions or window evictions, via mup.RepairBidirectional seeded
+// with the retracted combinations (falling back to a full search once
+// the removed log's horizon has passed the cached generation); a
 // configuration seen for the first time runs a full parallel search.
 //
 // The search itself runs on an immutable base snapshot outside the
@@ -411,17 +716,45 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 	}
 	base, gen := e.base, e.gen
 	var seed *mup.Result
+	var removed, added []pattern.Pattern
 	if c, ok := e.cache[key]; ok {
-		seed = c.res
+		// A stale cached set can seed a repair only if every
+		// combination retracted since it was computed is still in the
+		// removed log; past the log's horizon the set may be missing
+		// newly uncovered regions and a full search is required. The
+		// added log is an optimization only — when it has overflowed,
+		// nil tells the repair to assume any coverage may have risen.
+		if rm, ok := e.removed.since(c.gen); ok {
+			seed, removed = c.res, rm
+			if ad, ok := e.added.since(c.gen); ok {
+				added = ad
+			}
+		}
 	}
 	e.mu.Unlock()
 
+	// Bulk retraction: when the removed set covers a large fraction of
+	// the distinct combinations, every shallow pattern is suspect and
+	// the repair degenerates into a full re-search with extra
+	// bookkeeping — run the parallel search directly instead. The
+	// floor keeps small absolute batches on the repair path no matter
+	// how small the dataset: repairing a handful of combinations is
+	// always cheaper than a search.
+	const bulkRemovedFloor = 64
+	if frac := e.opts.fullSearchRemovedFraction(); frac < 1 && len(removed) >= bulkRemovedFloor &&
+		float64(len(removed)) > frac*float64(base.NumDistinct()) {
+		seed, removed, added = nil, nil, nil
+	}
+
 	var res *mup.Result
 	var err error
-	if seed != nil {
-		res, err = mup.Repair(base, seed.MUPs, opts)
-	} else {
+	switch {
+	case seed == nil:
 		res, err = mup.ParallelPatternBreaker(base, mup.ParallelOptions{Options: opts, Workers: e.opts.Workers})
+	case len(removed) == 0:
+		res, err = mup.Repair(base, seed.MUPs, opts)
+	default:
+		res, err = mup.RepairBidirectional(base, seed.MUPs, removed, added, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -429,10 +762,13 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if seed != nil {
-		e.repairs++
-	} else {
+	switch {
+	case seed == nil:
 		e.fullSearches++
+	case len(removed) == 0:
+		e.repairs++
+	default:
+		e.bidirRepairs++
 	}
 	// A racing append may have advanced the generation; the stale
 	// result is still stored (tagged with its own generation) so the

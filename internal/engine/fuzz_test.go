@@ -84,3 +84,108 @@ func FuzzAppendEquivalence(f *testing.F) {
 		flush()
 	})
 }
+
+// FuzzMutateEquivalence extends FuzzAppendEquivalence to the signed
+// mutation path: the byte stream interleaves append batches (0xFF
+// separator) and delete batches (0xFE separator), and after every
+// batch the engine's repaired MUP set must match a from-scratch naive
+// search over the surviving rows. Deletes of rows that are not present
+// must be rejected atomically without corrupting the engine.
+func FuzzMutateEquivalence(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 0, 0, 255, 1, 0, 1, 254, 0, 1, 2}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 255, 0, 0, 0, 254, 0, 0, 0, 254}, uint8(1))
+	f.Add([]byte{254, 1, 1, 1, 255, 1, 1, 1, 254}, uint8(3))
+	f.Add([]byte{7, 3, 9, 200, 41, 5, 255, 7, 3, 9, 254, 17, 2, 2, 254, 80, 0, 1}, uint8(5))
+
+	cards := []int{2, 3, 2}
+	f.Fuzz(func(t *testing.T, data []byte, tauByte uint8) {
+		tau := int64(tauByte%8) + 1
+		schema := testSchema(t, cards)
+		e := New(schema, Options{CompactMinDistinct: 2, CompactFraction: 0.2, RemovedLogSize: 8})
+		ref := make(map[string]int64)
+
+		check := func() {
+			got, err := e.MUPs(mup.Options{Threshold: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix := index.BuildFromCounts(schema, ref)
+			want, err := mup.Naive(ix, mup.Options{Threshold: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.MUPs) != len(want.MUPs) {
+				t.Fatalf("τ=%d over %d rows: %d MUPs, want %d\ngot:  %v\nwant: %v",
+					tau, ix.Total(), len(got.MUPs), len(want.MUPs), got.MUPs, want.MUPs)
+			}
+			for i := range got.MUPs {
+				if !got.MUPs[i].Equal(want.MUPs[i]) {
+					t.Fatalf("τ=%d: MUPs[%d] = %v, want %v", tau, i, got.MUPs[i], want.MUPs[i])
+				}
+			}
+			if err := mup.Verify(ix, tau, got.MUPs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var batch [][]uint8
+		flush := func(deleteBatch bool) {
+			if len(batch) == 0 {
+				return
+			}
+			if deleteBatch {
+				// The batch is legal iff every combination has enough
+				// live multiplicity; the engine must agree with the
+				// reference on acceptance and apply atomically.
+				need := make(map[string]int64)
+				legal := true
+				for _, r := range batch {
+					need[string(r)]++
+					if need[string(r)] > ref[string(r)] {
+						legal = false
+					}
+				}
+				err := e.Delete(batch)
+				if legal && err != nil {
+					t.Fatalf("delete rejected legal batch: %v", err)
+				}
+				if !legal && err == nil {
+					t.Fatal("delete accepted batch exceeding live multiplicity")
+				}
+				if legal {
+					for _, r := range batch {
+						if ref[string(r)]--; ref[string(r)] == 0 {
+							delete(ref, string(r))
+						}
+					}
+				}
+			} else {
+				if err := e.Append(batch); err != nil {
+					t.Fatalf("append rejected valid batch: %v", err)
+				}
+				for _, r := range batch {
+					ref[string(r)]++
+				}
+			}
+			batch = nil
+			check()
+		}
+		row := make([]uint8, 0, len(cards))
+		for _, b := range data {
+			if b == 0xFF || b == 0xFE {
+				row = row[:0] // discard a partial row at the separator
+				flush(b == 0xFE)
+				continue
+			}
+			row = append(row, b)
+			if len(row) == len(cards) {
+				r := make([]uint8, len(cards))
+				for i, v := range row {
+					r[i] = v % uint8(cards[i])
+				}
+				batch = append(batch, r)
+				row = row[:0]
+			}
+		}
+		flush(false)
+	})
+}

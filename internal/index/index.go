@@ -76,9 +76,17 @@ func BuildFromDistinct(dd *dataset.Distinct) *Index {
 // order, making the result deterministic for a fixed map. This is the
 // rebuild path of the incremental engine: it skips row storage and
 // re-deduplication entirely.
+//
+// Combinations whose count has decremented to zero (or below) are
+// pruned rather than kept as ghosts: a combo with no live rows must not
+// occupy a bit-vector column, or NumDistinct and the probe windows
+// would keep paying for rows that no longer exist.
 func BuildFromCounts(schema *dataset.Schema, counts map[string]int64) *Index {
 	keys := make([]string, 0, len(counts))
-	for k := range counts {
+	for k, c := range counts {
+		if c <= 0 {
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

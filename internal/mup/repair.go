@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coverage/internal/index"
+	"coverage/internal/mupindex"
 	"coverage/internal/pattern"
 )
 
@@ -90,6 +91,263 @@ func Repair(ix *index.Index, old []pattern.Pattern, opts Options) (*Result, erro
 				visited[k] = true
 				queue = append(queue, c)
 			}
+		}
+	}
+	res.Stats.CoverageProbes = pr.Probes()
+	sortPatterns(res.MUPs)
+	return res, nil
+}
+
+// miniOracle builds a matching oracle over a small set of full value
+// combinations: the returned func reports whether any of them matches
+// p. It reuses the inverted-index machinery, so each test is a probe
+// against a tiny oracle instead of a scan. A nil func means "empty
+// set" and every test is false.
+func miniOracle(ix *index.Index, combos []pattern.Pattern, role string) (func(pattern.Pattern) bool, error) {
+	if len(combos) == 0 {
+		return nil, nil
+	}
+	cards := ix.Cards()
+	counts := make(map[string]int64, len(combos))
+	for _, c := range combos {
+		if err := c.Validate(cards); err != nil {
+			return nil, fmt.Errorf("mup: bidirectional repair %s seed %v: %w", role, c, err)
+		}
+		if !c.IsFull() {
+			return nil, fmt.Errorf("mup: bidirectional repair %s seed %v is not a full value combination", role, c)
+		}
+		counts[c.Key()] = 1
+	}
+	mini := index.BuildFromCounts(ix.Schema(), counts)
+	pr := mini.NewProber()
+	return func(p pattern.Pattern) bool { return pr.Coverage(p) > 0 }, nil
+}
+
+// RepairBidirectional updates a previously computed MUP set after the
+// indexed dataset has been mutated in both directions: rows appended
+// and rows deleted. Deletions break the monotonicity Repair relies on —
+// coverage can drop, so previously covered patterns may become
+// uncovered and previously maximal patterns may stop being maximal
+// (an ancestor fell below τ). The uncovered region can therefore grow
+// upward as well as shrink downward.
+//
+// removed must contain every full value combination whose multiplicity
+// decreased since old was computed; added, when non-nil, every one
+// whose multiplicity increased (nil means unknown; extras and
+// duplicates in either are harmless). old must be the complete MUP set
+// of the earlier state under the same Options; ix must reflect the
+// current state. The result is identical to a from-scratch search.
+//
+// The repair runs in two phases, each confined to the part of the
+// lattice a mutation could have changed:
+//
+//   - The seed pass revisits the old MUPs. An old MUP untouched by the
+//     added set is still uncovered without a probe; its parents were
+//     covered, so only removal-touched parents need one. A seed that
+//     became covered re-expands its subtree downward (Repair's walk);
+//     one that lost maximality is dropped — its new dominator is found
+//     by the frontier pass.
+//
+//   - The frontier pass discovers newly uncovered MUPs: patterns that
+//     were covered and fell below τ. Such a pattern is an ancestor of a
+//     removed combination, and so are all its ancestors, so a top-down
+//     PATTERN-BREAKER restricted to the removal-touched sub-lattice
+//     (which is closed under parents and Rule 1 generation) finds every
+//     one, probing only removal-touched candidates and stopping at the
+//     uncovered frontier like any breaker descent.
+//
+// Probes against the (large) current oracle are issued only where a
+// mutation could have changed the old verdict: two mini-oracles over
+// the removed/added combinations decide whether a pattern's coverage
+// could have dropped or risen, and the Appendix-B dominance index over
+// the old MUPs answers old-state questions in the seed pass for free.
+// Repair cost therefore scales with the mutated cone of the lattice,
+// not with the dataset or the size of the surviving MUP set.
+func RepairBidirectional(ix *index.Index, old, removed, added []pattern.Pattern, opts Options) (*Result, error) {
+	codec := pattern.NewCodec(ix.Cards())
+	if codec.Packable() {
+		return repairBidirectionalKeyed(ix, old, removed, added, opts, codec.PackedKey)
+	}
+	return repairBidirectionalKeyed(ix, old, removed, added, opts, func(p pattern.Pattern) string { return string(p) })
+}
+
+// repairBidirectionalKeyed is the algorithm body, generic over the
+// coverage-cache key representation (packed keys avoid string hashing
+// in the hot maps, exactly as in the breaker variants).
+func repairBidirectionalKeyed[K comparable](ix *index.Index, old, removed, added []pattern.Pattern, opts Options, key func(pattern.Pattern) K) (*Result, error) {
+	cards := ix.Cards()
+	res := &Result{Stats: Stats{Algorithm: "bidirectional-repair"}}
+	if opts.Threshold <= 0 {
+		return res, nil // every pattern is covered
+	}
+	bound := opts.levelBound(len(cards))
+	pr := ix.NewProber()
+
+	// touchedDown(p): some removed combination matches p, so cov(p)
+	// may have dropped. touchedUp(p): cov(p) may have risen (always
+	// true when the added set is unknown).
+	removedMatch, err := miniOracle(ix, removed, "removed")
+	if err != nil {
+		return nil, err
+	}
+	addedMatch, err := miniOracle(ix, added, "added")
+	if err != nil {
+		return nil, err
+	}
+	touchedDown := func(p pattern.Pattern) bool { return removedMatch != nil && removedMatch(p) }
+	touchedUp := func(p pattern.Pattern) bool { return added == nil || (addedMatch != nil && addedMatch(p)) }
+
+	// The Appendix-B dominance index over the old MUPs: DominatedBy
+	// proves a pattern was uncovered in the old state; for patterns at
+	// level ≤ bound the converse holds too (the old set is complete up
+	// to its level bound).
+	oldDom := mupindex.New(cards)
+	for _, m := range old {
+		if err := m.Validate(cards); err != nil {
+			return nil, fmt.Errorf("mup: bidirectional repair seed %v: %w", m, err)
+		}
+		oldDom.Add(m)
+	}
+
+	cov := make(map[K]int64)
+	coverage := func(p pattern.Pattern) int64 {
+		k := key(p)
+		if c, ok := cov[k]; ok {
+			return c
+		}
+		c := pr.Coverage(p)
+		cov[k] = c
+		return c
+	}
+	emitted := make(map[K]bool)
+	emit := func(p pattern.Pattern) {
+		if k := key(p); !emitted[k] {
+			emitted[k] = true
+			res.MUPs = append(res.MUPs, p.Clone())
+		}
+	}
+
+	// Seed pass. The expansion queue holds nodes known to be uncovered
+	// in the old state (old MUPs and, transitively, their descendants —
+	// a child of a formerly uncovered node was uncovered too).
+	visited := make(map[K]bool, len(old))
+	queue := make([]pattern.Pattern, 0, len(old))
+	push := func(p pattern.Pattern) {
+		if k := key(p); !visited[k] {
+			visited[k] = true
+			queue = append(queue, p)
+		}
+	}
+	for _, m := range old {
+		push(m)
+	}
+	seeds := len(queue)
+	// q is the scratch parent: p with one deterministic element
+	// wildcarded in place, restored after each use.
+	for i := 0; i < len(queue); i++ {
+		p := queue[i]
+		res.Stats.NodesVisited++
+		lvl := p.Level()
+		uncNow := true
+		if touchedUp(p) {
+			uncNow = coverage(p) < opts.Threshold
+		}
+		if !uncNow {
+			// Became covered: new MUPs under it sit strictly below.
+			if lvl < bound {
+				for _, c := range p.Children(cards) {
+					push(c)
+				}
+			}
+			continue
+		}
+		// Still (or again) uncovered: re-check maximality. An old
+		// MUP's parents were all covered, so only removal-touched ones
+		// can have dropped; an expansion node's parents carry no such
+		// guarantee and fall back to the dominance index.
+		maximal := true
+		for j, v := range p {
+			if v == pattern.Wildcard {
+				continue
+			}
+			p[j] = pattern.Wildcard
+			var qUnc bool
+			switch {
+			case i >= seeds && oldDom.DominatedBy(p):
+				// Uncovered in the old state: still uncovered unless
+				// an append could have lifted it.
+				qUnc = !touchedUp(p) || coverage(p) < opts.Threshold
+			case !touchedDown(p):
+				qUnc = false // was covered, could not have dropped
+			default:
+				qUnc = coverage(p) < opts.Threshold
+			}
+			p[j] = v
+			if qUnc {
+				// Not maximal. The new dominator is either inside the
+				// old uncovered region (found from its own old-MUP
+				// seed) or newly uncovered (found by the frontier
+				// pass) — no climb needed.
+				maximal = false
+				break
+			}
+		}
+		if maximal && lvl <= bound {
+			emit(p)
+		}
+	}
+
+	// Frontier pass: a PATTERN-BREAKER over the removal-touched
+	// sub-lattice. Untouched subtrees cannot hold newly uncovered
+	// patterns, and the descent stops at the uncovered frontier, so
+	// the probe set is the touched slice of a full breaker's.
+	if len(removed) > 0 {
+		level := []pattern.Pattern{pattern.All(len(cards))}
+		covered := make(map[K]struct{})
+		var childBuf []pattern.Pattern
+		for lvl := 0; lvl <= bound && len(level) > 0; lvl++ {
+			coveredNow := make(map[K]struct{}, len(level))
+			var next []pattern.Pattern
+			for _, p := range level {
+				res.Stats.NodesVisited++
+				// Maximality pre-check: every parent is touched (the
+				// touched region is closed under parents), so each was
+				// a candidate in the previous round.
+				ok := true
+				for j, v := range p {
+					if v == pattern.Wildcard {
+						continue
+					}
+					p[j] = pattern.Wildcard
+					_, in := covered[key(p)]
+					p[j] = v
+					if !in {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// The candidate is probed directly: each reaches this
+				// point once, so the seed pass's memo map would only
+				// add hash traffic.
+				if pr.Coverage(p) < opts.Threshold {
+					emit(p) // uncovered with all parents covered: a MUP
+					continue
+				}
+				coveredNow[key(p)] = struct{}{}
+				if lvl < bound {
+					childBuf = p.AppendRule1Children(childBuf[:0], cards)
+					for _, c := range childBuf {
+						if touchedDown(c) {
+							next = append(next, c)
+						}
+					}
+				}
+			}
+			covered = coveredNow
+			level = next
 		}
 	}
 	res.Stats.CoverageProbes = pr.Probes()

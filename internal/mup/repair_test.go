@@ -1,0 +1,262 @@
+package mup
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// multiset is a from-scratch reference state for the repair tests: a
+// combo→multiplicity map mutated alongside the repaired MUP set.
+type multiset struct {
+	schema *dataset.Schema
+	counts map[string]int64
+}
+
+func newMultiset(schema *dataset.Schema) *multiset {
+	return &multiset{schema: schema, counts: make(map[string]int64)}
+}
+
+func (m *multiset) add(combo []uint8, n int64) {
+	m.counts[string(combo)] += n
+	if m.counts[string(combo)] == 0 {
+		delete(m.counts, string(combo))
+	}
+}
+
+func (m *multiset) index() *index.Index {
+	return index.BuildFromCounts(m.schema, m.counts)
+}
+
+func mustEqualMUPs(t *testing.T, got, want *Result, ctx string) {
+	t.Helper()
+	if len(got.MUPs) != len(want.MUPs) {
+		t.Fatalf("%s: %d MUPs, want %d\ngot:  %v\nwant: %v",
+			ctx, len(got.MUPs), len(want.MUPs), got.MUPs, want.MUPs)
+	}
+	for i := range got.MUPs {
+		if !got.MUPs[i].Equal(want.MUPs[i]) {
+			t.Fatalf("%s: MUPs[%d] = %v, want %v", ctx, i, got.MUPs[i], want.MUPs[i])
+		}
+	}
+}
+
+// TestRepairBidirectionalFromEmptyOld covers the regime downward-only
+// repair cannot handle at all: a fully covered dataset (no MUPs) loses
+// rows, so new MUPs must be discovered by climbing from the removed
+// combinations alone.
+func TestRepairBidirectionalFromEmptyOld(t *testing.T) {
+	cards := []int{2, 2}
+	schema := dataset.BinarySchema("a", 2)
+	ms := newMultiset(schema)
+	pattern.EnumerateCombos(cards, func(c []uint8) bool {
+		ms.add(c, 2)
+		return true
+	})
+	opts := Options{Threshold: 2}
+	old, err := Naive(ms.index(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.MUPs) != 0 {
+		t.Fatalf("precondition: fully covered dataset has MUPs %v", old.MUPs)
+	}
+
+	// Delete one row of combo 01: cov(01)=1 < 2 while both parents 0X
+	// (3) and X1 (3) stay covered, so 01 itself is the new MUP.
+	ms.add([]uint8{0, 1}, -1)
+	got, err := RepairBidirectional(ms.index(), old.MUPs, []pattern.Pattern{{0, 1}}, []pattern.Pattern{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Naive(ms.index(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualMUPs(t, got, want, "after single delete")
+	if len(got.MUPs) == 0 {
+		t.Fatal("deletion produced no MUPs; the test lost its point")
+	}
+	if err := Verify(ms.index(), opts.Threshold, got.MUPs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairBidirectionalClimbsPastSeeds deletes every row matching a
+// general pattern so the new MUP sits strictly above the removed
+// combinations — the upward walk must pass through multiple uncovered
+// intermediate levels.
+func TestRepairBidirectionalClimbsPastSeeds(t *testing.T) {
+	cards := []int{2, 2, 2}
+	schema := dataset.BinarySchema("a", 3)
+	ms := newMultiset(schema)
+	pattern.EnumerateCombos(cards, func(c []uint8) bool {
+		ms.add(c, 1)
+		return true
+	})
+	opts := Options{Threshold: 1}
+	old, err := Naive(ms.index(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove all four rows with a0=1: the MUP becomes 1XX (level 1),
+	// three levels above the removed level-3 combos.
+	var removed []pattern.Pattern
+	pattern.EnumerateCombos(cards, func(c []uint8) bool {
+		if c[0] == 1 {
+			ms.add(c, -1)
+			removed = append(removed, pattern.FromValues(c))
+		}
+		return true
+	})
+	got, err := RepairBidirectional(ms.index(), old.MUPs, removed, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := keys(got.MUPs); len(k) != 1 || k[0] != "1XX" {
+		t.Fatalf("MUPs = %v, want [1XX]", k)
+	}
+	if err := Verify(ms.index(), opts.Threshold, got.MUPs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairBidirectionalStaleMaximality covers old MUPs that stay
+// uncovered but stop being maximal because an ancestor dropped below τ:
+// the repaired set must replace them with the ancestor.
+func TestRepairBidirectionalStaleMaximality(t *testing.T) {
+	schema := dataset.BinarySchema("a", 2)
+	ms := newMultiset(schema)
+	// cov(00)=2, cov(01)=1, cov(10)=2, cov(11)=0. τ=2: MUPs are 01
+	// and 11 (X1 has cov 1 < 2... check parents) — derive via Naive.
+	ms.add([]uint8{0, 0}, 2)
+	ms.add([]uint8{0, 1}, 1)
+	ms.add([]uint8{1, 0}, 2)
+	opts := Options{Threshold: 2}
+	old, err := Naive(ms.index(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete one 00 row: cov(0X) drops to 2, cov(X0) to 3, cov(00) to
+	// 1 — new uncovered patterns appear above the old MUPs.
+	ms.add([]uint8{0, 0}, -1)
+	got, err := RepairBidirectional(ms.index(), old.MUPs, []pattern.Pattern{{0, 0}}, []pattern.Pattern{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Naive(ms.index(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualMUPs(t, got, want, "after maximality-breaking delete")
+	if err := Verify(ms.index(), opts.Threshold, got.MUPs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairBidirectionalRandomized is the equivalence property at the
+// mup layer: arbitrary interleavings of appends and deletes, repaired
+// step by step, must match a from-scratch naive search at every step —
+// including level-bounded searches.
+func TestRepairBidirectionalRandomized(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cards []int
+		tau   int64
+		maxL  int
+	}{
+		{"binary-d4", []int{2, 2, 2, 2}, 3, 0},
+		{"mixed-cards", []int{2, 3, 2}, 4, 0},
+		{"level-bounded", []int{2, 3, 2, 2}, 3, 2},
+		{"tau-1", []int{3, 2, 2}, 1, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			attrs := make([]dataset.Attribute, len(tc.cards))
+			for i, c := range tc.cards {
+				vals := make([]string, c)
+				for v := range vals {
+					vals[v] = fmt.Sprintf("v%d", v)
+				}
+				attrs[i] = dataset.Attribute{Name: fmt.Sprintf("a%d", i), Values: vals}
+			}
+			schema := dataset.MustSchema(attrs)
+			ms := newMultiset(schema)
+			rng := rand.New(rand.NewSource(17))
+			opts := Options{Threshold: tc.tau, MaxLevel: tc.maxL}
+
+			cur, err := Naive(ms.index(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			randCombo := func() []uint8 {
+				c := make([]uint8, len(tc.cards))
+				for i, card := range tc.cards {
+					c[i] = uint8(rng.Intn(card))
+				}
+				return c
+			}
+			for step := 0; step < 40; step++ {
+				removed := []pattern.Pattern{}
+				added := []pattern.Pattern{}
+				nMut := 1 + rng.Intn(8)
+				for m := 0; m < nMut; m++ {
+					c := randCombo()
+					if rng.Intn(2) == 0 || ms.counts[string(c)] == 0 {
+						ms.add(c, int64(1+rng.Intn(3)))
+						added = append(added, pattern.FromValues(c))
+					} else {
+						ms.add(c, -1)
+						removed = append(removed, pattern.FromValues(c))
+					}
+				}
+				ix := ms.index()
+				// Alternate between an exact added set and an unknown
+				// one (nil): both must repair to the same result.
+				addedArg := added
+				if step%2 == 1 {
+					addedArg = nil
+				}
+				got, err := RepairBidirectional(ix, cur.MUPs, removed, addedArg, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Naive(ix, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualMUPs(t, got, want, fmt.Sprintf("step %d", step))
+				cur = got
+			}
+		})
+	}
+}
+
+// TestRepairBidirectionalRejectsBadSeeds mirrors Repair's validation:
+// seeds from another schema must fail loudly, not corrupt the search.
+func TestRepairBidirectionalRejectsBadSeeds(t *testing.T) {
+	ix := example1(t)
+	if _, err := RepairBidirectional(ix, []pattern.Pattern{{9, 9, 9}}, nil, nil, Options{Threshold: 1}); err == nil {
+		t.Error("invalid old seed accepted")
+	}
+	if _, err := RepairBidirectional(ix, nil, []pattern.Pattern{{0, 0}}, nil, Options{Threshold: 1}); err == nil {
+		t.Error("wrong-dimension removed seed accepted")
+	}
+}
+
+// TestRepairBidirectionalThresholdZero: non-positive thresholds cover
+// everything; the repaired set must be empty regardless of seeds.
+func TestRepairBidirectionalThresholdZero(t *testing.T) {
+	ix := example1(t)
+	res, err := RepairBidirectional(ix, []pattern.Pattern{pattern.All(3)}, nil, nil, Options{Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MUPs) != 0 {
+		t.Errorf("MUPs = %v, want none at τ=0", res.MUPs)
+	}
+}
