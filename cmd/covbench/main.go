@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|all
+//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|all
 //
 // Flags:
 //
@@ -16,11 +16,16 @@
 //	-naive        include the naive hitting-set baseline in fig17 (slow)
 //	-seed int     generator seed (default 42)
 //	-benchout s   JSON output file for the engine experiment (default BENCH_engine.json)
+//	-persistout s JSON output file for the persist experiment (default BENCH_persist.json)
 //
 // The engine experiment measures the incremental engine's hot paths
 // (append, delete, window eviction, cached-MUP repair) with
 // testing.Benchmark and writes machine-readable ns/op to -benchout, so
-// the perf trajectory can be tracked across commits.
+// the perf trajectory can be tracked across commits. The persist
+// experiment does the same for the durability layer: snapshot
+// write/restore cost and size versus rows, the WAL's per-batch
+// overhead, and warm boot (snapshot + WAL tail) against a
+// from-scratch rebuild.
 //
 // Absolute runtimes differ from the paper's Java/Xeon testbed; the
 // reproduced quantities are the shapes: who wins where, crossovers,
@@ -34,12 +39,13 @@ import (
 )
 
 type config struct {
-	n        int
-	quick    bool
-	apriori  bool
-	naive    bool
-	seed     int64
-	benchOut string
+	n          int
+	quick      bool
+	apriori    bool
+	naive      bool
+	seed       int64
+	benchOut   string
+	persistOut string
 }
 
 func fatal(err error) {
@@ -65,6 +71,7 @@ var experiments = []struct {
 	{"fig18", "coverage enhancement vs dimensions (AirBnB, τ=0.1%)", fig18},
 	{"fig19", "enhancement input/output sizes vs dimensions (AirBnB, τ=0.1%)", fig19},
 	{"engine", "incremental-engine micro-benchmarks (append/delete/window/MUP repair) → JSON", engineBench},
+	{"persist", "persistence micro-benchmarks (snapshot write/restore, WAL, warm boot vs rebuild) → JSON", persistBench},
 }
 
 func main() {
@@ -75,6 +82,7 @@ func main() {
 	flag.BoolVar(&cfg.naive, "naive", false, "include the naive hitting-set baseline in fig17")
 	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_engine.json", "output file for the engine experiment's JSON results")
+	flag.StringVar(&cfg.persistOut, "persistout", "BENCH_persist.json", "output file for the persist experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

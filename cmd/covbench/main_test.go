@@ -46,8 +46,43 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 13 {
-		t.Errorf("%d experiments registered, want 13 (one per figure/table, plus engine)", len(seen))
+	if len(seen) != 14 {
+		t.Errorf("%d experiments registered, want 14 (one per figure/table, plus engine and persist)", len(seen))
+	}
+}
+
+// TestPersistBenchWritesJSON smokes the persistence benchmark at toy
+// scale: the report must decode, hold one series point, and show the
+// headline property — restoring a snapshot is faster than rebuilding
+// the engine from raw rows.
+func TestPersistBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	rep := persistBenchSmoke(t.TempDir())
+	if len(rep.Series) != 2 {
+		t.Fatalf("%d series points, want 2 (quick sizes)", len(rep.Series))
+	}
+	for _, pt := range rep.Series {
+		if pt.Rows <= 0 || pt.Distinct <= 0 || pt.SnapshotBytes <= 0 {
+			t.Errorf("series point = %+v", pt)
+		}
+		if pt.SnapshotWriteNs <= 0 || pt.RestoreNs <= 0 || pt.RebuildNs <= 0 || pt.WarmBootNs <= 0 || pt.WALAppendNs <= 0 {
+			t.Errorf("non-positive timings: %+v", pt)
+		}
+	}
+	// The warm-restart property: once distinct combinations are well
+	// below the row count (the larger quick size), restoring the
+	// snapshot beats deduplicating and re-indexing the raw rows. The
+	// race detector skews the two paths differently, so the timing
+	// claim is only checked on uninstrumented builds.
+	if raceEnabled {
+		return
+	}
+	last := rep.Series[len(rep.Series)-1]
+	if last.RestoreNs >= last.RebuildNs {
+		t.Errorf("n=%d: snapshot restore (%.0f ns) is not faster than a from-scratch rebuild (%.0f ns)",
+			last.Rows, last.RestoreNs, last.RebuildNs)
 	}
 }
 

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"coverage/internal/datagen"
+	"coverage/internal/engine"
+	"coverage/internal/mup"
+	"coverage/internal/persist"
+)
+
+// persistBenchPoint is one row-count sample of BENCH_persist.json.
+type persistBenchPoint struct {
+	Rows     int `json:"rows"`
+	Distinct int `json:"distinct_combinations"`
+	// SnapshotWriteNs covers state capture + encode + checksum (no
+	// disk); SnapshotBytes is the encoded size.
+	SnapshotWriteNs float64 `json:"snapshot_write_ns"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	// RestoreNs decodes the snapshot and rebuilds a query-ready
+	// engine; RebuildNs is the from-scratch alternative (dedup the raw
+	// rows and build the oracle). Their ratio is the warm-restart win.
+	RestoreNs      float64 `json:"restore_ns"`
+	RebuildNs      float64 `json:"rebuild_from_rows_ns"`
+	RestoreSpeedup float64 `json:"restore_speedup"`
+	// WALAppendNs is the durable-mutation overhead per acknowledged
+	// batch (engine apply + record encode + write, no fsync);
+	// WALRecords is the batch size in rows.
+	WALAppendNs  float64 `json:"wal_append_ns_per_batch"`
+	WALBatchRows int     `json:"wal_batch_rows"`
+	// WarmBootNs is a full Store.Recover (newest snapshot + replay of
+	// WALTailRecords records) against on-disk state.
+	WarmBootNs     float64 `json:"warm_boot_ns"`
+	WALTailRecords int     `json:"wal_tail_records"`
+}
+
+// persistBenchReport is the machine-readable persistence benchmark,
+// uploaded per push so the durability layer's perf trajectory is
+// trackable alongside BENCH_engine.json.
+type persistBenchReport struct {
+	Dimensions int                 `json:"dimensions"`
+	Threshold  int64               `json:"threshold"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoVersion  string              `json:"go_version"`
+	Series     []persistBenchPoint `json:"series"`
+}
+
+// persistBench regenerates BENCH_persist.json: snapshot encode/decode
+// cost and size as the dataset grows, the WAL's per-batch overhead,
+// and warm boot (snapshot + WAL tail) against a from-scratch rebuild.
+func persistBench(cfg config) {
+	sizes := []int{10000, 50000, 100000}
+	if cfg.quick {
+		sizes = []int{5000, 20000}
+	}
+	// Honor -n as a ceiling so CI and tests can bound the sweep.
+	kept := sizes[:0]
+	for _, n := range sizes {
+		if n <= cfg.n {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == 0 {
+		kept = []int{cfg.n}
+	}
+	sizes = kept
+	const d = 13
+	report := persistBenchReport{
+		Dimensions: d,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	for _, n := range sizes {
+		tau := int64(0.001 * float64(n))
+		if tau < 2 {
+			tau = 2
+		}
+		report.Threshold = tau
+		ds := datagen.AirBnB(n, d, cfg.seed)
+		eng := engine.NewFromDataset(ds, engine.Options{})
+		// Warm one MUP cache so snapshots carry a realistic payload.
+		if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+			fatal(err)
+		}
+		pt := persistBenchPoint{Rows: n, Distinct: eng.Stats().Distinct}
+
+		wr := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := persist.WriteSnapshot(io.Discard, eng.ExportState()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pt.SnapshotWriteNs = float64(wr.NsPerOp())
+
+		var buf bytes.Buffer
+		if _, err := persist.WriteSnapshot(&buf, eng.ExportState()); err != nil {
+			fatal(err)
+		}
+		pt.SnapshotBytes = int64(buf.Len())
+		data := buf.Bytes()
+
+		rs := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := persist.ReadSnapshotBytes(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.NewFromState(st, engine.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pt.RestoreNs = float64(rs.NsPerOp())
+
+		rb := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.NewFromDataset(ds, engine.Options{})
+			}
+		})
+		pt.RebuildNs = float64(rb.NsPerOp())
+		if pt.RestoreNs > 0 {
+			pt.RestoreSpeedup = pt.RebuildNs / pt.RestoreNs
+		}
+
+		// Durable ingest: engine apply + WAL record per batch.
+		const batchRows = 100
+		rows := make([][]uint8, batchRows)
+		for i := range rows {
+			rows[i] = ds.Row(i % ds.NumRows())
+		}
+		walDir, err := os.MkdirTemp("", "covbench-persist-*")
+		if err != nil {
+			fatal(err)
+		}
+		store, err := persist.Open(walDir, persist.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Attach(eng); err != nil {
+			fatal(err)
+		}
+		wa := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := store.Append(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pt.WALAppendNs = float64(wa.NsPerOp())
+		pt.WALBatchRows = batchRows
+
+		// Warm boot: snapshot plus a fixed WAL tail, recovered whole.
+		if _, err := store.Snapshot(); err != nil {
+			fatal(err)
+		}
+		const tail = 50
+		for i := 0; i < tail; i++ {
+			if err := store.Append(rows); err != nil {
+				fatal(err)
+			}
+		}
+		store.Close()
+		wb := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := persist.Open(walDir, persist.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := s.Recover(); err != nil {
+					b.Fatal(err)
+				}
+				s.Close()
+			}
+		})
+		pt.WarmBootNs = float64(wb.NsPerOp())
+		pt.WALTailRecords = tail
+		os.RemoveAll(walDir)
+
+		report.Series = append(report.Series, pt)
+		fmt.Printf("rows=%-7d snapshot %8.0f µs / %7d bytes   restore %8.0f µs   rebuild %8.0f µs (%.1fx)   warm boot %8.0f µs\n",
+			n, pt.SnapshotWriteNs/1e3, pt.SnapshotBytes, pt.RestoreNs/1e3, pt.RebuildNs/1e3, pt.RestoreSpeedup, pt.WarmBootNs/1e3)
+	}
+
+	out := cfg.persistOut
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// persistBenchSmoke is a reduced-scale run used by the tests: the two
+// quick sizes, the larger of which is big enough for the
+// restore-beats-rebuild property to hold.
+func persistBenchSmoke(dir string) persistBenchReport {
+	out := filepath.Join(dir, "BENCH_persist.json")
+	persistBench(config{n: 20000, quick: true, seed: 42, persistOut: out})
+	var rep persistBenchReport
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(err)
+	}
+	return rep
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector instruments this
+// build; timing assertions are skipped under it.
+const raceEnabled = false

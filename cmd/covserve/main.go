@@ -5,15 +5,26 @@
 // accepting row appends, repairing its cached MUP sets incrementally
 // instead of rebuilding the index per request.
 //
+// With -data-dir the engine state is durable: every mutation is
+// written to a write-ahead log before it is acknowledged, snapshots
+// of the full engine state are taken in the background (and on
+// demand via POST /snapshot), and a restarted covserve recovers by
+// loading the newest snapshot and replaying only the WAL tail — warm
+// in milliseconds instead of recomputing from raw rows.
+//
 // Usage:
 //
 //	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000]
 //	covserve -demo compas|airbnb|bluenile [-addr :8080]
+//	covserve -data-dir /var/lib/covserve [-csv data.csv] [-snapshot-interval 5m] [-wal-sync=true]
+//
+// On a data dir that already holds state, -csv/-demo are ignored and
+// the dataset is recovered from disk.
 //
 // Endpoints:
 //
 //	GET  /healthz                          liveness + row count
-//	GET  /stats                            engine counters (compactions, repairs, window state)
+//	GET  /stats                            engine counters (compactions, repairs, window, persistence)
 //	POST /coverage {"patterns":["X1X"]}    batch coverage probes
 //	GET  /mups?tau=30|rate=0.001           maximal uncovered patterns
 //	POST /append {"rows":[["male","white"]]} add rows (labels or raw codes)
@@ -21,13 +32,16 @@
 //	POST /delete {"rows":[["male","white"]]} retract rows (409 if not present)
 //	GET  /window                           sliding-window configuration
 //	POST /window {"max_rows":100000}       bound the dataset to the newest rows
+//	POST /snapshot                         write a snapshot now (requires -data-dir)
 //	POST /plan {"tau":30,"max_level":2}    remediation plan
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -35,6 +49,7 @@ import (
 
 	"coverage"
 	"coverage/internal/datagen"
+	"coverage/internal/persist"
 )
 
 func main() {
@@ -44,30 +59,116 @@ func main() {
 		columns = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
 		demo    = flag.String("demo", "", "serve a synthetic demo dataset instead: compas, airbnb or bluenile")
 		window  = flag.Int("window", 0, "sliding window: keep only the newest N rows (0 = unbounded)")
+
+		dataDir      = flag.String("data-dir", "", "directory for durable state (snapshots + WAL); empty serves in-memory only")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute,
+			"background snapshot cadence with -data-dir (0 disables; POST /snapshot still works)")
+		walSync = flag.Bool("wal-sync", true,
+			"fsync the WAL after every acknowledged mutation (survives power loss, not just process death)")
 	)
 	flag.Parse()
 
-	ds, err := loadDataset(*csvPath, *columns, *demo)
+	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync)
 	if err != nil {
 		fatal(err)
 	}
-	an := coverage.NewAnalyzer(ds)
 	if *window > 0 {
-		an.SetWindow(*window)
+		if store != nil {
+			if err := store.SetWindow(*window); err != nil {
+				fatal(err)
+			}
+		} else {
+			an.SetWindow(*window)
+		}
 		log.Printf("covserve: sliding window of %d rows", *window)
 	}
-	log.Printf("covserve: serving %d rows × %d attributes on %s", an.NumRows(), ds.Dim(), *addr)
+	if store != nil && *snapInterval > 0 {
+		go snapshotLoop(store, *snapInterval)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("covserve: serving %d rows × %d attributes", an.NumRows(), an.Dataset().Dim())
+	log.Printf("covserve: listening on %s", ln.Addr())
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(an),
+		Handler:           newServer(an, store),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 		// No WriteTimeout: a first full MUP search on a paper-scale
 		// dataset can legitimately run for minutes.
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	if err := srv.Serve(ln); err != nil {
 		fatal(err)
+	}
+}
+
+// buildAnalyzer resolves the three boot paths: recover durable state
+// from the data dir, start fresh-and-durable from a dataset, or serve
+// purely in memory.
+func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool) (*coverage.Analyzer, *persist.Store, error) {
+	if dataDir == "" {
+		ds, err := loadDataset(csvPath, columns, demo)
+		if err != nil {
+			return nil, nil, err
+		}
+		return coverage.NewAnalyzer(ds), nil, nil
+	}
+
+	store, err := persist.Open(dataDir, persist.Options{SyncWAL: walSync})
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, info, err := store.Recover()
+	switch {
+	case err == nil:
+		if csvPath != "" || demo != "" {
+			log.Printf("covserve: ignoring -csv/-demo: recovering existing state from %s", dataDir)
+		}
+		log.Printf("covserve: recovered snapshot generation %d + %d WAL record(s) in %s",
+			info.SnapshotGeneration, info.Replayed, info.Duration.Round(time.Millisecond))
+		for _, skipped := range info.SkippedSnapshots {
+			log.Printf("covserve: WARNING: skipped unreadable snapshot %s", skipped)
+		}
+		if info.TornTailDropped {
+			log.Printf("covserve: WARNING: dropped a torn WAL tail (mutation unacknowledged at crash)")
+		}
+		return coverage.NewAnalyzerFromEngine(eng), store, nil
+	case errors.Is(err, persist.ErrNoState):
+		ds, err := loadDataset(csvPath, columns, demo)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w (the data dir %s is empty, so a dataset is required)", err, dataDir)
+		}
+		an := coverage.NewAnalyzer(ds)
+		if err := store.Attach(an.Engine()); err != nil {
+			return nil, nil, err
+		}
+		log.Printf("covserve: initialized data dir %s (snapshot at generation %d)", dataDir, an.Engine().Generation())
+		return an, store, nil
+	default:
+		return nil, nil, fmt.Errorf("recovering %s: %w", dataDir, err)
+	}
+}
+
+// snapshotLoop takes a snapshot every interval while mutations keep
+// arriving; idle ticks are skipped without touching the disk.
+func snapshotLoop(store *persist.Store, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		if !store.Dirty() {
+			continue
+		}
+		res, err := store.Snapshot()
+		switch {
+		case err != nil:
+			log.Printf("covserve: background snapshot failed: %v", err)
+		case !res.Skipped:
+			log.Printf("covserve: snapshot generation %d (%d bytes in %s)",
+				res.Generation, res.Bytes, res.Duration.Round(time.Millisecond))
+		}
 	}
 }
 

@@ -26,7 +26,7 @@ func serveFixture(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(coverage.NewAnalyzer(ds))
+	return newServer(coverage.NewAnalyzer(ds), nil)
 }
 
 func do(t *testing.T, s *server, method, target, body string) *httptest.ResponseRecorder {

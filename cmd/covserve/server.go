@@ -3,24 +3,29 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"coverage"
+	"coverage/internal/persist"
 )
 
 // server wires the coverage analyzer's engine into HTTP handlers. All
 // endpoints are safe for concurrent use: reads take the engine's read
-// lock and appends its write lock.
+// lock and appends its write lock. With a persist.Store attached,
+// every mutation is written to the write-ahead log before it is
+// acknowledged, and POST /snapshot is exposed.
 type server struct {
-	an  *coverage.Analyzer
-	mux *http.ServeMux
+	an    *coverage.Analyzer
+	store *persist.Store // nil when running without -data-dir
+	mux   *http.ServeMux
 }
 
-func newServer(an *coverage.Analyzer) *server {
-	s := &server{an: an, mux: http.NewServeMux()}
+func newServer(an *coverage.Analyzer, store *persist.Store) *server {
+	s := &server{an: an, store: store, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /coverage", s.handleCoverage)
@@ -30,7 +35,48 @@ func newServer(an *coverage.Analyzer) *server {
 	s.mux.HandleFunc("GET /window", s.handleWindowGet)
 	s.mux.HandleFunc("POST /window", s.handleWindowSet)
 	s.mux.HandleFunc("POST /plan", s.handlePlan)
+	if store != nil {
+		// The endpoint exists only when the server is durable; without
+		// -data-dir there is nothing to snapshot and the route 404s.
+		s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	}
 	return s
+}
+
+// appendRows, deleteRows and setWindow route mutations through the
+// durable store when one is attached, so the WAL sees every mutation
+// in apply order; otherwise they hit the engine directly.
+func (s *server) appendRows(rows [][]uint8) error {
+	if s.store != nil {
+		return s.store.Append(rows)
+	}
+	return s.an.Append(rows)
+}
+
+func (s *server) deleteRows(rows [][]uint8) error {
+	if s.store != nil {
+		return s.store.Delete(rows)
+	}
+	return s.an.Delete(rows)
+}
+
+func (s *server) setWindow(maxRows int) error {
+	if s.store != nil {
+		return s.store.SetWindow(maxRows)
+	}
+	s.an.SetWindow(maxRows)
+	return nil
+}
+
+// mutationStatus maps a mutation error to its HTTP status: a durable
+// store that cannot log (disk full, tripped fail-stop) is the
+// server's fault — 503, retryable — never the client's; any other
+// error keeps the handler's own client-fault status.
+func mutationStatus(err error, clientStatus int) int {
+	if errors.Is(err, persist.ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return clientStatus
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -76,44 +122,103 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Rows          int64  `json:"rows"`
-	Distinct      int    `json:"distinct_combinations"`
-	DeltaDistinct int    `json:"delta_combinations"`
-	Generation    uint64 `json:"generation"`
-	Appends       int64  `json:"appends"`
-	Deletes       int64  `json:"deletes"`
-	Evictions     int64  `json:"window_evictions"`
-	Compactions   int64  `json:"compactions"`
-	FullSearches  int64  `json:"full_searches"`
-	Repairs       int64  `json:"incremental_repairs"`
-	BidirRepairs  int64  `json:"bidirectional_repairs"`
-	CacheHits     int64  `json:"cache_hits"`
-	CachedSearches int   `json:"cached_searches"`
+	Rows           int64  `json:"rows"`
+	Distinct       int    `json:"distinct_combinations"`
+	DeltaDistinct  int    `json:"delta_combinations"`
+	Generation     uint64 `json:"generation"`
+	Appends        int64  `json:"appends"`
+	Deletes        int64  `json:"deletes"`
+	Evictions      int64  `json:"window_evictions"`
+	Compactions    int64  `json:"compactions"`
+	FullSearches   int64  `json:"full_searches"`
+	Repairs        int64  `json:"incremental_repairs"`
+	BidirRepairs   int64  `json:"bidirectional_repairs"`
+	CacheHits      int64  `json:"cache_hits"`
+	CachedSearches int    `json:"cached_searches"`
 	// Window is the sliding-window configuration: the maximum number
 	// of live rows (0 = unbounded) and the count of deleted rows whose
 	// window-log entries are still awaiting reconciliation.
 	Window     int   `json:"window_max_rows"`
 	Tombstones int64 `json:"window_tombstones"`
+	// Persist reports the durability layer; absent without -data-dir.
+	Persist *persistStats `json:"persist,omitempty"`
+}
+
+// persistStats is the durability section of /stats.
+type persistStats struct {
+	DataDir                string `json:"data_dir"`
+	Snapshots              int64  `json:"snapshots"`
+	LastSnapshotGeneration uint64 `json:"last_snapshot_generation"`
+	LastSnapshotBytes      int64  `json:"last_snapshot_bytes"`
+	WALRecords             int64  `json:"wal_records"`
+	WALBytes               int64  `json:"wal_bytes"`
+	// RecoveredSnapshotGeneration and ReplayedWALRecords describe this
+	// process's boot; TornWALTailDropped reports whether a torn record
+	// from the previous crash was truncated away.
+	RecoveredSnapshotGeneration uint64 `json:"recovered_snapshot_generation"`
+	ReplayedWALRecords          int64  `json:"replayed_wal_records"`
+	TornWALTailDropped          bool   `json:"torn_wal_tail_dropped"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.an.Engine().Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Rows:          st.Rows,
-		Distinct:      st.Distinct,
-		DeltaDistinct: st.DeltaDistinct,
-		Generation:    st.Generation,
-		Appends:       st.Appends,
-		Deletes:       st.Deletes,
-		Evictions:     st.Evictions,
-		Compactions:   st.Compactions,
-		FullSearches:  st.FullSearches,
-		Repairs:       st.Repairs,
-		BidirRepairs:  st.BidirectionalRepairs,
-		CacheHits:     st.CacheHits,
+	resp := statsResponse{
+		Rows:           st.Rows,
+		Distinct:       st.Distinct,
+		DeltaDistinct:  st.DeltaDistinct,
+		Generation:     st.Generation,
+		Appends:        st.Appends,
+		Deletes:        st.Deletes,
+		Evictions:      st.Evictions,
+		Compactions:    st.Compactions,
+		FullSearches:   st.FullSearches,
+		Repairs:        st.Repairs,
+		BidirRepairs:   st.BidirectionalRepairs,
+		CacheHits:      st.CacheHits,
 		CachedSearches: st.CachedSearches,
 		Window:         st.Window,
 		Tombstones:     st.Tombstones,
+	}
+	if s.store != nil {
+		ps := s.store.Stats()
+		resp.Persist = &persistStats{
+			DataDir:                     ps.Dir,
+			Snapshots:                   ps.Snapshots,
+			LastSnapshotGeneration:      ps.LastSnapshotGeneration,
+			LastSnapshotBytes:           ps.LastSnapshotBytes,
+			WALRecords:                  ps.WALRecords,
+			WALBytes:                    ps.WALBytes,
+			RecoveredSnapshotGeneration: ps.RecoveredSnapshotGeneration,
+			ReplayedWALRecords:          ps.ReplayedRecords,
+			TornWALTailDropped:          ps.TornTailDropped,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// snapshotResponse reports the outcome of an on-demand snapshot.
+type snapshotResponse struct {
+	// Skipped is true when the engine has not mutated since the last
+	// snapshot, so none was written.
+	Skipped    bool    `json:"skipped,omitempty"`
+	Generation uint64  `json:"generation"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	DurationMs float64 `json:"duration_ms,omitempty"`
+}
+
+// handleSnapshot triggers an immediate snapshot + WAL rotation. It is
+// registered only when the server runs with -data-dir.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	res, err := s.store.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Skipped:    res.Skipped,
+		Generation: res.Generation,
+		Bytes:      res.Bytes,
+		DurationMs: float64(res.Duration.Microseconds()) / 1000,
 	})
 }
 
@@ -338,7 +443,7 @@ func (s *server) appendNDJSON(w http.ResponseWriter, r *http.Request) {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := s.an.Append(batch); err != nil {
+		if err := s.appendRows(batch); err != nil {
 			return err
 		}
 		appended += len(batch)
@@ -346,7 +451,7 @@ func (s *server) appendNDJSON(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}
 	fail := func(err error) {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, mutationStatus(err, http.StatusBadRequest),
 			fmt.Errorf("%w (%d rows appended before the error)", err, appended))
 	}
 	line := 0
@@ -407,8 +512,8 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.an.Append(batch); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.appendRows(batch); err != nil {
+		writeError(w, mutationStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, mutateResponse{
@@ -427,8 +532,8 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.an.Delete(batch); err != nil {
-		writeError(w, http.StatusConflict, err)
+	if err := s.deleteRows(batch); err != nil {
+		writeError(w, mutationStatus(err, http.StatusConflict), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, mutateResponse{
@@ -467,7 +572,10 @@ func (s *server) handleWindowSet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("max_rows must be >= 0 (0 disables the window)"))
 		return
 	}
-	s.an.SetWindow(req.MaxRows)
+	if err := s.setWindow(req.MaxRows); err != nil {
+		writeError(w, mutationStatus(err, http.StatusInternalServerError), err)
+		return
+	}
 	writeJSON(w, http.StatusOK, windowResponse{
 		MaxRows:    s.an.Window(),
 		Rows:       s.an.NumRows(),

@@ -37,6 +37,7 @@ import (
 	"coverage/internal/enhance"
 	"coverage/internal/mup"
 	"coverage/internal/pattern"
+	"coverage/internal/persist"
 	"coverage/internal/report"
 )
 
@@ -216,6 +217,42 @@ type Analyzer struct {
 // NewAnalyzer indexes the dataset for coverage queries.
 func NewAnalyzer(ds *Dataset) *Analyzer {
 	return &Analyzer{ds: ds, eng: engine.NewFromDataset(ds, engine.Options{})}
+}
+
+// NewAnalyzerFromEngine wraps an existing engine — typically one
+// recovered from a snapshot — in an Analyzer. The analyzer's Dataset
+// is an empty dataset over the engine's schema: after a restore the
+// engine is the sole source of truth for rows and coverage, and the
+// dataset serves only schema lookups (pattern parsing, descriptions).
+func NewAnalyzerFromEngine(eng *engine.Engine) *Analyzer {
+	return &Analyzer{ds: dataset.New(eng.Schema()), eng: eng}
+}
+
+// SnapshotTo writes the analyzer's complete engine state to w in the
+// durable snapshot format (versioned, checksummed; see
+// internal/persist). The capture shares the engine's immutable base
+// by reference, so concurrent queries are not blocked. It returns the
+// number of bytes written.
+func (a *Analyzer) SnapshotTo(w io.Writer) (int64, error) {
+	return persist.WriteSnapshot(w, a.eng.ExportState())
+}
+
+// RestoreAnalyzer rebuilds an analyzer from a snapshot stream written
+// by SnapshotTo. The restored analyzer answers every coverage and MUP
+// query identically to the one that wrote the snapshot, including its
+// incrementally repairable MUP caches. Damaged input fails whole —
+// with persist.ErrChecksum, persist.ErrVersion or a validation error
+// — never with a partially restored analyzer.
+func RestoreAnalyzer(r io.Reader) (*Analyzer, error) {
+	st, err := persist.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewFromState(st, engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return NewAnalyzerFromEngine(eng), nil
 }
 
 // Dataset returns the dataset the analyzer was built from. It is not

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+// State is the complete serializable state of an Engine: everything
+// needed to rebuild an engine that answers every coverage and MUP
+// query identically to the original and keeps repairing its caches
+// across the restart. It is the unit of persistence — package persist
+// encodes it to the snapshot format and back.
+//
+// The pending delta is deliberately absent: Counts is the merged
+// combo→multiplicity map (base + delta), so a restored engine starts
+// compacted. Coverage answers are unaffected; only the DeltaDistinct
+// statistic resets.
+type State struct {
+	// Attrs is the schema: attribute names and value dictionaries.
+	Attrs []dataset.Attribute
+	// Counts maps every distinct value combination (raw value-code
+	// string) to its positive multiplicity.
+	Counts map[string]int64
+	// CountKeys, when non-nil, lists the keys of Counts in strictly
+	// increasing order — the order the snapshot codec stores them in.
+	// Restores use it to rebuild the base oracle without re-sorting;
+	// nil (e.g. on a State handed straight from ExportState) falls
+	// back to sorting. NewFromState validates the invariant.
+	CountKeys []string
+	// Rows is the live row count; it must equal the sum of Counts.
+	Rows int64
+	// Generation is the mutation-batch counter the cached searches and
+	// mutation logs are tagged against.
+	Generation uint64
+
+	// Window is the sliding-window bound (0 = unbounded). WindowLog
+	// lists the window's row combination keys in arrival order (live
+	// rows plus Tombstones pending-delete entries); PendingDeletes
+	// holds the tombstone multiplicities awaiting eviction.
+	Window         int
+	WindowLog      []string
+	PendingDeletes map[string]int64
+	Tombstones     int64
+
+	// Removed and Added are the bounded mutation logs that seed
+	// bidirectional MUP-cache repair after a restart.
+	Removed MutationLog
+	Added   MutationLog
+
+	// Cache holds the per-(τ, level) MUP search results, sorted by
+	// (Tau, MaxLevel) for deterministic serialization.
+	Cache []CachedSearch
+
+	// Counters are the monotonic operation counters reported by Stats,
+	// preserved so /stats stays continuous across restarts.
+	Counters Counters
+}
+
+// MutationLog is the serializable form of one bounded mutation log.
+type MutationLog struct {
+	// Horizon is the generation up to which entries have been trimmed.
+	Horizon uint64
+	// Recs lists the mutated combinations in nondecreasing generation
+	// order.
+	Recs []MutationRec
+}
+
+// MutationRec is one mutated combination at one generation.
+type MutationRec struct {
+	Gen uint64
+	Key string
+}
+
+// CachedSearch is one cached MUP search configuration and its result.
+type CachedSearch struct {
+	Tau      int64
+	MaxLevel int
+	// Gen is the data generation the result reflects (≤ the engine's
+	// generation; stale entries are repaired on the next query).
+	Gen   uint64
+	MUPs  []pattern.Pattern
+	Stats mup.Stats
+}
+
+// Counters mirrors the monotonic fields of Stats.
+type Counters struct {
+	Appends              int64
+	Deletes              int64
+	Evictions            int64
+	Compactions          int64
+	FullSearches         int64
+	Repairs              int64
+	BidirectionalRepairs int64
+	CacheHits            int64
+}
+
+// Capture is a point-in-time capture of the engine's state, taken
+// cheaply under the read lock: the immutable base oracle is shared by
+// reference and only the small mutable residue is copied. Call State
+// to complete it into a serializable State (the O(distinct) merge of
+// base and delta), outside whatever lock gated the capture.
+type Capture struct {
+	st    *State
+	base  *index.Index
+	delta []deltaEntry
+}
+
+// ExportState captures and materializes the engine's full state for
+// serialization. Callers that must not stall while the combo→count
+// map is merged (e.g. a store holding its mutation lock) should use
+// CaptureState and materialize later.
+func (e *Engine) ExportState() *State {
+	return e.CaptureState().State()
+}
+
+// CaptureState snapshots the engine's state. The bulk of the state —
+// the base oracle's combo→count map — is immutable and shared by
+// reference, so the engine's read lock is held only long enough to
+// copy the small mutable residue (the pending delta, window log,
+// mutation logs and cache headers). Concurrent queries, which also
+// take the read lock, are never blocked.
+func (e *Engine) CaptureState() *Capture {
+	e.mu.RLock()
+	base := e.base
+	delta := append([]deltaEntry(nil), e.delta...)
+	st := &State{
+		Rows:       e.rows,
+		Generation: e.gen,
+		Window:     e.window,
+		Tombstones: e.tombstones,
+		Removed: MutationLog{
+			Horizon: e.removed.horizon,
+			Recs:    exportRecs(e.removed.recs),
+		},
+		Added: MutationLog{
+			Horizon: e.added.horizon,
+			Recs:    exportRecs(e.added.recs),
+		},
+		Counters: Counters{
+			Appends:              e.appends,
+			Deletes:              e.deletes,
+			Evictions:            e.evictions,
+			Compactions:          e.compactions,
+			FullSearches:         e.fullSearches,
+			Repairs:              e.repairs,
+			BidirectionalRepairs: e.bidirRepairs,
+			CacheHits:            e.cacheHits.Load(),
+		},
+	}
+	if e.log != nil {
+		st.WindowLog = make([]string, 0, e.log.len())
+		st.WindowLog = append(st.WindowLog, e.log.keys[e.log.head:]...)
+		st.PendingDeletes = make(map[string]int64, len(e.pendingDeletes))
+		for k, c := range e.pendingDeletes {
+			st.PendingDeletes[k] = c
+		}
+	}
+	st.Cache = make([]CachedSearch, 0, len(e.cache))
+	for key, c := range e.cache {
+		// Cached results are immutable once stored, so the MUP slices
+		// are shared, not copied.
+		st.Cache = append(st.Cache, CachedSearch{
+			Tau:      key.tau,
+			MaxLevel: key.maxLevel,
+			Gen:      c.gen,
+			MUPs:     c.res.MUPs,
+			Stats:    c.res.Stats,
+		})
+	}
+	e.mu.RUnlock()
+
+	sort.Slice(st.Cache, func(i, j int) bool {
+		if st.Cache[i].Tau != st.Cache[j].Tau {
+			return st.Cache[i].Tau < st.Cache[j].Tau
+		}
+		return st.Cache[i].MaxLevel < st.Cache[j].MaxLevel
+	})
+
+	attrs := make([]dataset.Attribute, e.schema.Dim())
+	for i := range attrs {
+		attrs[i] = e.schema.Attr(i)
+	}
+	st.Attrs = attrs
+	return &Capture{st: st, base: base, delta: delta}
+}
+
+// State completes the capture: the base and delta are merged into the
+// State's combo→count map against the immutable base snapshot, with
+// no engine lock involved. Idempotent; the same State is returned on
+// repeated calls.
+func (c *Capture) State() *State {
+	if c.st.Counts != nil {
+		return c.st
+	}
+	counts := make(map[string]int64, c.base.NumDistinct()+len(c.delta))
+	c.base.Range(func(combo string, cnt int64) {
+		counts[combo] = cnt
+	})
+	for _, d := range c.delta {
+		if n := counts[string(d.combo)] + d.count; n == 0 {
+			delete(counts, string(d.combo))
+		} else {
+			counts[string(d.combo)] = n
+		}
+	}
+	c.st.Counts = counts
+	return c.st
+}
+
+func exportRecs(recs []mutRec) []MutationRec {
+	out := make([]MutationRec, len(recs))
+	for i, r := range recs {
+		out[i] = MutationRec{Gen: r.gen, Key: r.key}
+	}
+	return out
+}
+
+// NewFromState rebuilds an engine from a captured State. The state is
+// validated before any construction — combination keys against the
+// schema, the row count against the multiplicity sum, window and
+// tombstone accounting, log ordering and cache generations — so a
+// corrupted or hand-edited state is rejected whole rather than
+// restored partially. The returned engine answers every coverage and
+// MUP query identically to the engine the state was exported from.
+func NewFromState(st *State, opts Options) (*Engine, error) {
+	schema, err := dataset.NewSchema(st.Attrs)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restoring schema: %w", err)
+	}
+	cards := schema.Cards()
+	validKey := func(what, k string) error {
+		if len(k) != len(cards) {
+			return fmt.Errorf("engine: %s combination has %d values, schema has %d attributes", what, len(k), len(cards))
+		}
+		for i := 0; i < len(k); i++ {
+			if int(k[i]) >= cards[i] {
+				return fmt.Errorf("engine: %s combination %v: value %d exceeds cardinality %d of attribute %q",
+					what, pattern.Pattern(k), k[i], cards[i], schema.Attr(i).Name)
+			}
+		}
+		return nil
+	}
+
+	var sum int64
+	if st.CountKeys != nil {
+		// Validate through the pre-sorted key list: every key valid,
+		// present, strictly increasing; equal lengths then make it a
+		// bijection with the map.
+		if len(st.CountKeys) != len(st.Counts) {
+			return nil, fmt.Errorf("engine: %d sorted count keys for %d count entries", len(st.CountKeys), len(st.Counts))
+		}
+		for i, k := range st.CountKeys {
+			if err := validKey("count", k); err != nil {
+				return nil, err
+			}
+			if i > 0 && st.CountKeys[i-1] >= k {
+				return nil, fmt.Errorf("engine: count keys not strictly increasing at entry %d", i)
+			}
+			c, ok := st.Counts[k]
+			if !ok {
+				return nil, fmt.Errorf("engine: sorted key %v missing from the count map", pattern.Pattern(k))
+			}
+			if c <= 0 {
+				return nil, fmt.Errorf("engine: combination %v has non-positive multiplicity %d", pattern.Pattern(k), c)
+			}
+			sum += c
+		}
+	} else {
+		for k, c := range st.Counts {
+			if err := validKey("count", k); err != nil {
+				return nil, err
+			}
+			if c <= 0 {
+				return nil, fmt.Errorf("engine: combination %v has non-positive multiplicity %d", pattern.Pattern(k), c)
+			}
+			sum += c
+		}
+	}
+	if sum != st.Rows {
+		return nil, fmt.Errorf("engine: state claims %d rows but multiplicities sum to %d", st.Rows, sum)
+	}
+	if st.Window < 0 {
+		return nil, fmt.Errorf("engine: negative window %d", st.Window)
+	}
+	var pendingSum int64
+	for k, c := range st.PendingDeletes {
+		if err := validKey("pending-delete", k); err != nil {
+			return nil, err
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("engine: pending delete of %v has non-positive multiplicity %d", pattern.Pattern(k), c)
+		}
+		pendingSum += c
+	}
+	if pendingSum != st.Tombstones {
+		return nil, fmt.Errorf("engine: state claims %d tombstones but pending deletes sum to %d", st.Tombstones, pendingSum)
+	}
+	if st.Window > 0 {
+		if int64(len(st.WindowLog)) != st.Rows+st.Tombstones {
+			return nil, fmt.Errorf("engine: window log has %d entries, want %d rows + %d tombstones",
+				len(st.WindowLog), st.Rows, st.Tombstones)
+		}
+		for _, k := range st.WindowLog {
+			if err := validKey("window-log", k); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, l := range []struct {
+		name string
+		log  MutationLog
+	}{{"removed", st.Removed}, {"added", st.Added}} {
+		var prev uint64
+		for i, r := range l.log.Recs {
+			if err := validKey(l.name+"-log", r.Key); err != nil {
+				return nil, err
+			}
+			if i > 0 && r.Gen < prev {
+				return nil, fmt.Errorf("engine: %s log generations decrease at entry %d", l.name, i)
+			}
+			if r.Gen > st.Generation {
+				return nil, fmt.Errorf("engine: %s log entry %d has generation %d beyond state generation %d",
+					l.name, i, r.Gen, st.Generation)
+			}
+			prev = r.Gen
+		}
+	}
+	for _, c := range st.Cache {
+		if c.Gen > st.Generation {
+			return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d) has generation %d beyond state generation %d",
+				c.Tau, c.MaxLevel, c.Gen, st.Generation)
+		}
+		for _, p := range c.MUPs {
+			if err := p.Validate(cards); err != nil {
+				return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d): %w", c.Tau, c.MaxLevel, err)
+			}
+		}
+	}
+
+	e := &Engine{
+		schema:   schema,
+		cards:    cards,
+		opts:     opts,
+		counts:   make(map[string]int64, len(st.Counts)),
+		deltaPos: make(map[string]int),
+		cache:    make(map[searchKey]*cachedSearch, len(st.Cache)),
+		rows:     st.Rows,
+		gen:      st.Generation,
+		window:   st.Window,
+		removed: mutLog{
+			horizon: st.Removed.Horizon,
+			recs:    importRecs(st.Removed.Recs),
+		},
+		added: mutLog{
+			horizon: st.Added.Horizon,
+			recs:    importRecs(st.Added.Recs),
+		},
+		appends:      st.Counters.Appends,
+		deletes:      st.Counters.Deletes,
+		evictions:    st.Counters.Evictions,
+		compactions:  st.Counters.Compactions,
+		fullSearches: st.Counters.FullSearches,
+		repairs:      st.Counters.Repairs,
+		bidirRepairs: st.Counters.BidirectionalRepairs,
+	}
+	e.cacheHits.Store(st.Counters.CacheHits)
+	for k, c := range st.Counts {
+		e.counts[k] = c
+	}
+	if st.CountKeys != nil {
+		// The snapshot codec stores keys sorted, which is exactly the
+		// deterministic order BuildFromCounts would sort into — build
+		// the oracle directly and skip the O(n log n) re-sort.
+		dd := &dataset.Distinct{
+			Schema: schema,
+			Combos: make([][]uint8, len(st.CountKeys)),
+			Counts: make([]int64, len(st.CountKeys)),
+		}
+		for i, k := range st.CountKeys {
+			dd.Combos[i] = []uint8(k)
+			dd.Counts[i] = st.Counts[k]
+		}
+		e.base = index.BuildFromDistinct(dd)
+	} else {
+		e.base = index.BuildFromCounts(schema, e.counts)
+	}
+	e.pool = e.base.NewPool()
+	if st.Window > 0 {
+		e.log = &rowLog{keys: append([]string(nil), st.WindowLog...)}
+		e.pendingDeletes = make(map[string]int64, len(st.PendingDeletes))
+		for k, c := range st.PendingDeletes {
+			e.pendingDeletes[k] = c
+		}
+		e.tombstones = st.Tombstones
+	}
+	// Restored cache entries get fresh LRU stamps in slice order; the
+	// pre-restart recency ordering is not preserved.
+	for _, c := range st.Cache {
+		if len(e.cache) >= opts.maxCachedSearches() {
+			break
+		}
+		entry := &cachedSearch{
+			gen: c.Gen,
+			res: &mup.Result{MUPs: c.MUPs, Stats: c.Stats},
+		}
+		entry.lastUsed.Store(e.useClock.Add(1))
+		e.cache[searchKey{tau: c.Tau, maxLevel: c.MaxLevel}] = entry
+	}
+	return e, nil
+}
+
+func importRecs(recs []MutationRec) []mutRec {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]mutRec, len(recs))
+	for i, r := range recs {
+		out[i] = mutRec{gen: r.Gen, key: r.Key}
+	}
+	return out
+}

@@ -128,6 +128,18 @@ func (ix *Index) Coverage(p pattern.Pattern) int64 {
 	return ix.NewProber().Coverage(p)
 }
 
+// Range calls fn for every distinct value combination with its
+// multiplicity, in unspecified order. The combo string is the raw
+// value-code key (as produced by pattern.Key on a fully deterministic
+// pattern). Because the index is immutable, Range is safe to call
+// concurrently with probes — this is how the engine snapshots its bulk
+// state without copying the combo map under a lock.
+func (ix *Index) Range(fn func(combo string, count int64)) {
+	for k, c := range ix.combos {
+		fn(k, c)
+	}
+}
+
 // Prober performs allocation-free repeated coverage probes against an
 // Index. A Prober is not safe for concurrent use; create one per
 // goroutine.

@@ -1,0 +1,311 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"coverage/internal/dataset"
+	"coverage/internal/engine"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+// encoder builds the snapshot payload. All integers are varints; raw
+// combination keys are fixed at the schema dimension, so no per-key
+// length prefix is needed.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64)   { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)     { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) raw(b []byte)       { e.buf = append(e.buf, b...) }
+func (e *encoder) rawString(s string) { e.buf = append(e.buf, s...) }
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// decoder consumes a snapshot payload. Errors are sticky: after the
+// first failure every accessor returns zero values, and the caller
+// checks err once at the end.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// length reads a collection length and sanity-bounds it against the
+// remaining payload so corrupted counts cannot trigger huge
+// allocations.
+func (d *decoder) length(elemSize int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if v > uint64((len(d.b)-d.off)/elemSize) {
+		d.fail("length %d exceeds remaining payload at offset %d", v, d.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("raw read of %d bytes at offset %d overruns payload", n, d.off)
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) rawString(n int) string { return string(d.raw(n)) }
+
+func (d *decoder) str() string {
+	n := d.length(1)
+	return string(d.raw(n))
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// encodeState serializes an engine.State deterministically: map
+// entries are emitted in sorted key order, so equivalent states encode
+// to identical bytes and snapshot→restore→snapshot is a fixed point.
+func encodeState(st *engine.State) []byte {
+	e := &encoder{buf: make([]byte, 0, 64+len(st.Counts)*(len(st.Attrs)+2))}
+	dim := len(st.Attrs)
+	e.uvarint(uint64(dim))
+	for _, a := range st.Attrs {
+		e.str(a.Name)
+		e.uvarint(uint64(len(a.Values)))
+		for _, v := range a.Values {
+			e.str(v)
+		}
+	}
+
+	keys := make([]string, 0, len(st.Counts))
+	for k := range st.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.rawString(k)
+		e.varint(st.Counts[k])
+	}
+
+	e.varint(st.Rows)
+	e.uvarint(st.Generation)
+
+	e.uvarint(uint64(st.Window))
+	e.varint(st.Tombstones)
+	e.uvarint(uint64(len(st.WindowLog)))
+	for _, k := range st.WindowLog {
+		e.rawString(k)
+	}
+	pdKeys := make([]string, 0, len(st.PendingDeletes))
+	for k := range st.PendingDeletes {
+		pdKeys = append(pdKeys, k)
+	}
+	sort.Strings(pdKeys)
+	e.uvarint(uint64(len(pdKeys)))
+	for _, k := range pdKeys {
+		e.rawString(k)
+		e.varint(st.PendingDeletes[k])
+	}
+
+	for _, l := range []engine.MutationLog{st.Removed, st.Added} {
+		e.uvarint(l.Horizon)
+		e.uvarint(uint64(len(l.Recs)))
+		for _, r := range l.Recs {
+			e.uvarint(r.Gen)
+			e.rawString(r.Key)
+		}
+	}
+
+	e.uvarint(uint64(len(st.Cache)))
+	for _, c := range st.Cache {
+		e.varint(c.Tau)
+		e.uvarint(uint64(c.MaxLevel))
+		e.uvarint(c.Gen)
+		e.uvarint(uint64(len(c.MUPs)))
+		for _, p := range c.MUPs {
+			e.raw(p)
+		}
+		e.str(c.Stats.Algorithm)
+		e.varint(c.Stats.CoverageProbes)
+		e.varint(c.Stats.NodesVisited)
+	}
+
+	for _, c := range []int64{
+		st.Counters.Appends, st.Counters.Deletes, st.Counters.Evictions,
+		st.Counters.Compactions, st.Counters.FullSearches, st.Counters.Repairs,
+		st.Counters.BidirectionalRepairs, st.Counters.CacheHits,
+	} {
+		e.varint(c)
+	}
+	return e.buf
+}
+
+// decodeState parses a snapshot payload back into an engine.State.
+// Structural validity (offsets, lengths) is enforced here; semantic
+// validity (cardinalities, row sums, log ordering) is enforced by
+// engine.NewFromState.
+func decodeState(payload []byte) (*engine.State, error) {
+	d := &decoder{b: payload}
+	st := &engine.State{}
+
+	dim64 := d.uvarint()
+	if d.err == nil && dim64 > uint64(len(d.b)) {
+		d.fail("dimension %d exceeds payload", dim64)
+	}
+	dim := int(dim64)
+	if d.err == nil {
+		st.Attrs = make([]dataset.Attribute, dim)
+		for i := 0; i < dim && d.err == nil; i++ {
+			st.Attrs[i].Name = d.str()
+			nv := d.length(1)
+			st.Attrs[i].Values = make([]string, nv)
+			for j := 0; j < nv && d.err == nil; j++ {
+				st.Attrs[i].Values[j] = d.str()
+			}
+		}
+	}
+
+	nCounts := d.length(dim + 1)
+	st.Counts = make(map[string]int64, nCounts)
+	st.CountKeys = make([]string, 0, nCounts)
+	for i := 0; i < nCounts && d.err == nil; i++ {
+		k := d.rawString(dim)
+		st.Counts[k] = d.varint()
+		st.CountKeys = append(st.CountKeys, k)
+	}
+
+	st.Rows = d.varint()
+	st.Generation = d.uvarint()
+
+	window := d.uvarint()
+	if window > math.MaxInt32 {
+		d.fail("window %d out of range", window)
+	}
+	st.Window = int(window)
+	st.Tombstones = d.varint()
+	nLog := d.length(dim)
+	if nLog > 0 {
+		st.WindowLog = make([]string, nLog)
+		for i := 0; i < nLog && d.err == nil; i++ {
+			st.WindowLog[i] = d.rawString(dim)
+		}
+	}
+	nPD := d.length(dim + 1)
+	if nPD > 0 {
+		st.PendingDeletes = make(map[string]int64, nPD)
+		for i := 0; i < nPD && d.err == nil; i++ {
+			k := d.rawString(dim)
+			st.PendingDeletes[k] = d.varint()
+		}
+	}
+
+	for _, l := range []*engine.MutationLog{&st.Removed, &st.Added} {
+		l.Horizon = d.uvarint()
+		n := d.length(dim + 1)
+		if n > 0 {
+			l.Recs = make([]engine.MutationRec, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				l.Recs[i].Gen = d.uvarint()
+				l.Recs[i].Key = d.rawString(dim)
+			}
+		}
+	}
+
+	nCache := d.length(1)
+	st.Cache = make([]engine.CachedSearch, 0, nCache)
+	for i := 0; i < nCache && d.err == nil; i++ {
+		c := engine.CachedSearch{Tau: d.varint()}
+		ml := d.uvarint()
+		if ml > math.MaxInt32 {
+			d.fail("cache entry %d: max level %d out of range", i, ml)
+		}
+		c.MaxLevel = int(ml)
+		c.Gen = d.uvarint()
+		nm := d.length(dim)
+		// One backing array for the whole entry: cached sets can hold
+		// thousands of MUPs and per-pattern allocations dominate
+		// decode time.
+		backing := make([]uint8, nm*dim)
+		c.MUPs = make([]pattern.Pattern, nm)
+		for j := 0; j < nm && d.err == nil; j++ {
+			p := backing[j*dim : (j+1)*dim : (j+1)*dim]
+			copy(p, d.raw(dim))
+			c.MUPs[j] = pattern.Pattern(p)
+		}
+		c.Stats = mup.Stats{
+			Algorithm:      d.str(),
+			CoverageProbes: d.varint(),
+			NodesVisited:   d.varint(),
+		}
+		st.Cache = append(st.Cache, c)
+	}
+
+	for _, p := range []*int64{
+		&st.Counters.Appends, &st.Counters.Deletes, &st.Counters.Evictions,
+		&st.Counters.Compactions, &st.Counters.FullSearches, &st.Counters.Repairs,
+		&st.Counters.BidirectionalRepairs, &st.Counters.CacheHits,
+	} {
+		*p = d.varint()
+	}
+
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

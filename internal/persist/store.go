@@ -1,0 +1,551 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"coverage/internal/engine"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncWAL fsyncs the WAL after every record, making acknowledged
+	// mutations survive power loss, not just process death. Off, the
+	// data still reaches the kernel per record (a killed process loses
+	// nothing) but an OS crash can drop the un-synced tail.
+	SyncWAL bool
+	// Engine configures engines built by Recover.
+	Engine engine.Options
+}
+
+// Stats is a snapshot of the store's persistence counters.
+type Stats struct {
+	// Dir is the data directory.
+	Dir string
+	// Snapshots counts snapshots written since the store was opened;
+	// LastSnapshotGeneration / LastSnapshotBytes describe the newest.
+	Snapshots              int64
+	LastSnapshotGeneration uint64
+	LastSnapshotBytes      int64
+	LastSnapshotDurationNs int64
+	// WALRecords / WALBytes count records appended to the current
+	// segment since the last rotation.
+	WALRecords int64
+	WALBytes   int64
+	// RecoveredSnapshotGeneration and ReplayedRecords describe the
+	// boot: the snapshot generation restored from (0 for a fresh
+	// start) and how many WAL records were replayed on top of it.
+	RecoveredSnapshotGeneration uint64
+	ReplayedRecords             int64
+	// TornTailDropped reports whether recovery truncated a torn WAL
+	// tail.
+	TornTailDropped bool
+}
+
+// RecoverInfo describes one recovery.
+type RecoverInfo struct {
+	// SnapshotPath and SnapshotGeneration identify the restored
+	// snapshot.
+	SnapshotPath       string
+	SnapshotGeneration uint64
+	// SkippedSnapshots lists snapshot files that failed to load
+	// (checksum, version, corruption) and were passed over for an
+	// older one.
+	SkippedSnapshots []string
+	// Segments is the number of WAL segments replayed; Replayed and
+	// Skipped count their records (skipped records were already
+	// reflected in the snapshot).
+	Segments int
+	Replayed int
+	Skipped  int
+	// TornTailDropped reports whether the final segment had a torn
+	// tail that was truncated away.
+	TornTailDropped bool
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// SnapshotResult describes one snapshot attempt.
+type SnapshotResult struct {
+	// Skipped is true when the engine generation has not advanced
+	// since the last snapshot, so no file was written.
+	Skipped    bool
+	Path       string
+	Generation uint64
+	Bytes      int64
+	Duration   time.Duration
+}
+
+// Store owns a data directory holding snapshots and WAL segments for
+// one engine. All methods are safe for concurrent use; mutations are
+// serialized so the WAL order equals the engine's mutation order.
+type Store struct {
+	dir  string
+	opts Options
+
+	// snapMu serializes snapshot attempts; mu guards the engine/WAL
+	// pairing and is held only for the capture-and-rotate step, never
+	// across snapshot encoding or disk writes.
+	snapMu sync.Mutex
+	mu     sync.Mutex
+	eng    *engine.Engine
+	wal    *walWriter
+
+	snapshots        int64
+	lastSnapGen      uint64
+	lastSnapBytes    int64
+	lastSnapDuration time.Duration
+	recoveredGen     uint64
+	replayed         int64
+	tornDropped      bool
+
+	// broken is the sticky failure set when a WAL append fails after
+	// the engine already accepted the mutation: the in-memory state is
+	// now ahead of the log, and logging any further mutation would
+	// leave a generation gap that poisons every future recovery. All
+	// mutations are refused until a successful snapshot captures the
+	// full engine state (making the log's gap irrelevant) and clears
+	// the condition.
+	broken error
+}
+
+// Open prepares the data directory (creating it if needed) and
+// removes leftover temporary files from interrupted snapshots. It
+// does not touch snapshots or WAL segments; call Recover or Attach
+// next.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.tmp"))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// genFiles lists dir entries matching prefix-<16 hex digits>suffix,
+// sorted by embedded generation ascending.
+func (s *Store) genFiles(prefix, suffix string) ([]string, []uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type genFile struct {
+		name string
+		gen  uint64
+	}
+	var files []genFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		if len(hex) != 16 {
+			continue
+		}
+		gen, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		files = append(files, genFile{name: name, gen: gen})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].gen < files[j].gen })
+	names := make([]string, len(files))
+	gens := make([]uint64, len(files))
+	for i, f := range files {
+		names[i] = filepath.Join(s.dir, f.name)
+		gens[i] = f.gen
+	}
+	return names, gens, nil
+}
+
+// Recover restores the engine from the newest readable snapshot and
+// replays the WAL tail. It returns ErrNoState when the directory
+// holds no snapshot (fresh start: build an engine and call Attach).
+// After a successful recovery the store is attached to the returned
+// engine and ready for mutations.
+func (s *Store) Recover() (*engine.Engine, *RecoverInfo, error) {
+	start := time.Now()
+	snaps, snapGens, err := s.genFiles("snap-", ".snap")
+	if err != nil {
+		return nil, nil, err
+	}
+	wals, walGens, err := s.genFiles("wal-", ".wal")
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(snaps) == 0 {
+		if len(wals) > 0 {
+			return nil, nil, fmt.Errorf("%w: %d WAL segment(s) but no snapshot to replay them onto", ErrCorrupt, len(wals))
+		}
+		return nil, nil, ErrNoState
+	}
+
+	info := &RecoverInfo{}
+	var st *engine.State
+	var snapGen uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		st, err = readSnapshotFile(snaps[i])
+		if err == nil {
+			info.SnapshotPath = snaps[i]
+			snapGen = snapGens[i]
+			break
+		}
+		info.SkippedSnapshots = append(info.SkippedSnapshots, fmt.Sprintf("%s: %v", filepath.Base(snaps[i]), err))
+		// Quarantine the damaged file: renamed out of the snap-*
+		// namespace it can neither be retried on the next boot nor
+		// counted by the retention policy as one of the two kept
+		// snapshots (which would evict the readable fallback). A
+		// snapshot from a newer format version is healthy, not
+		// damaged — it is left for the binary that can read it.
+		if !errors.Is(err, ErrVersion) {
+			os.Rename(snaps[i], snaps[i]+".corrupt")
+		}
+	}
+	if st == nil {
+		return nil, nil, fmt.Errorf("persist: no readable snapshot in %s (%s)", s.dir, strings.Join(info.SkippedSnapshots, "; "))
+	}
+	if st.Generation != snapGen {
+		return nil, nil, fmt.Errorf("%w: snapshot %s holds generation %d", ErrCorrupt, info.SnapshotPath, st.Generation)
+	}
+	info.SnapshotGeneration = snapGen
+
+	eng, err := engine.NewFromState(st, s.opts.Engine)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: restoring %s: %w", info.SnapshotPath, err)
+	}
+	dim := len(st.Attrs)
+
+	// Replay every segment at or after the restored snapshot, oldest
+	// first. Only the newest segment may legitimately carry a torn
+	// tail; a torn or missing-header segment earlier in the chain
+	// means later mutations would replay onto a hole, so recovery
+	// refuses.
+	var lastPath string
+	var lastGen uint64
+	var lastGoodSize int64
+	lastTorn := false
+	for i, path := range wals {
+		if walGens[i] < snapGen {
+			continue
+		}
+		recs, goodSize, torn, err := readWALSegment(path, dim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: reading %s: %w", path, err)
+		}
+		if torn && i != len(wals)-1 {
+			return nil, nil, fmt.Errorf("%w: segment %s has a torn tail but is not the newest segment", ErrCorrupt, path)
+		}
+		applied, skipped, err := replaySegment(eng, recs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: replaying %s: %w", path, err)
+		}
+		info.Segments++
+		info.Replayed += applied
+		info.Skipped += skipped
+		lastPath, lastGen, lastGoodSize, lastTorn = path, walGens[i], goodSize, torn
+	}
+
+	// Continue appending to the newest segment, truncating a torn
+	// tail first so fresh records never follow garbage.
+	var wal *walWriter
+	if lastPath != "" {
+		if lastTorn {
+			if err := os.Truncate(lastPath, lastGoodSize); err != nil {
+				return nil, nil, fmt.Errorf("persist: truncating torn WAL tail of %s: %w", lastPath, err)
+			}
+			info.TornTailDropped = true
+			// A sub-header stump (crash during segment creation) is
+			// rewritten from scratch.
+			if lastGoodSize < walHeaderSize {
+				if err := os.Remove(lastPath); err != nil {
+					return nil, nil, err
+				}
+				lastPath = ""
+			}
+		}
+	}
+	if lastPath != "" {
+		wal, err = openWALSegment(lastPath, lastGen, dim, max(lastGoodSize, walHeaderSize), s.opts.SyncWAL)
+	} else {
+		// No usable segment for the restored snapshot: open the next
+		// one at the current (replayed) generation. O_EXCL collision
+		// is impossible — a segment at that generation would have
+		// been in the replay list.
+		wal, err = createWALSegment(s.dir, eng.Generation(), dim, s.opts.SyncWAL)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	info.Duration = time.Since(start)
+	s.mu.Lock()
+	s.eng = eng
+	s.wal = wal
+	s.lastSnapGen = snapGen
+	s.recoveredGen = snapGen
+	s.replayed = int64(info.Replayed)
+	s.tornDropped = info.TornTailDropped
+	s.mu.Unlock()
+	return eng, info, nil
+}
+
+// Attach starts persistence for a freshly built engine: it writes the
+// initial snapshot and opens the first WAL segment. The directory
+// must not already hold persisted state — recovering and attaching
+// over it would silently fork histories, so that is an error.
+func (s *Store) Attach(eng *engine.Engine) error {
+	snaps, _, err := s.genFiles("snap-", ".snap")
+	if err != nil {
+		return err
+	}
+	wals, _, err := s.genFiles("wal-", ".wal")
+	if err != nil {
+		return err
+	}
+	if len(snaps) > 0 || len(wals) > 0 {
+		return fmt.Errorf("persist: data dir %s already holds state; use Recover", s.dir)
+	}
+	start := time.Now()
+	st := eng.ExportState()
+	_, bytes, err := writeSnapshotFile(s.dir, st)
+	if err != nil {
+		return err
+	}
+	wal, err := createWALSegment(s.dir, st.Generation, len(st.Attrs), s.opts.SyncWAL)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.eng = eng
+	s.wal = wal
+	s.snapshots = 1
+	s.lastSnapGen = st.Generation
+	s.lastSnapBytes = bytes
+	s.lastSnapDuration = time.Since(start)
+	s.mu.Unlock()
+	return nil
+}
+
+// Engine returns the attached engine (nil before Recover/Attach).
+func (s *Store) Engine() *engine.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+// Append applies an append batch to the engine and logs it. The WAL
+// record is written only after the engine accepts the batch, so a
+// rejected batch leaves no trace; mutations are serialized so the log
+// order is the apply order.
+func (s *Store) Append(rows [][]uint8) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.failedErr()
+	}
+	if err := s.eng.Append(rows); err != nil {
+		return err
+	}
+	return s.logLocked(opAppend, rows, 0)
+}
+
+// Delete applies a delete batch to the engine and logs it.
+func (s *Store) Delete(rows [][]uint8) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.failedErr()
+	}
+	if err := s.eng.Delete(rows); err != nil {
+		return err
+	}
+	return s.logLocked(opDelete, rows, 0)
+}
+
+// SetWindow reconfigures the sliding window and logs it.
+func (s *Store) SetWindow(maxRows int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.failedErr()
+	}
+	s.eng.SetWindow(maxRows)
+	return s.logLocked(opWindow, nil, maxRows)
+}
+
+// logLocked writes one mutation record. A write failure after the
+// engine mutation already applied trips the sticky broken state: the
+// WAL must not advance past the gap, so the store fails stop until a
+// snapshot re-establishes a durable root. Caller holds s.mu.
+func (s *Store) logLocked(op byte, rows [][]uint8, maxRows int) error {
+	if err := s.wal.appendRecord(op, s.eng.Generation(), rows, maxRows); err != nil {
+		s.broken = err
+		return fmt.Errorf("%w: %w (mutation applied in memory but not logged; store refuses further mutations until a snapshot succeeds)", ErrUnavailable, err)
+	}
+	return nil
+}
+
+func (s *Store) failedErr() error {
+	return fmt.Errorf("%w: disabled after a WAL write failure (%w); take a snapshot to re-enable", ErrUnavailable, s.broken)
+}
+
+// Snapshot writes a new snapshot and rotates the WAL. The engine's
+// read lock is held only while the mutable state residue is copied
+// (queries keep flowing); the store's mutation lock is held only for
+// that capture plus the segment rotation, so mutations stall for the
+// capture, not for the disk writes. When the generation has not
+// advanced since the last snapshot the call is a no-op.
+func (s *Store) Snapshot() (*SnapshotResult, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+
+	s.mu.Lock()
+	if s.eng == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("persist: store not attached to an engine")
+	}
+	// The capture shares the immutable base by reference, so holding
+	// the mutation lock here costs O(residue), not O(distinct).
+	capture := s.eng.CaptureState()
+	gen := s.eng.Generation()
+	if gen == s.lastSnapGen && s.broken == nil {
+		s.mu.Unlock()
+		return &SnapshotResult{Skipped: true, Generation: gen}, nil
+	}
+	// Rotate unless the current segment already starts at this
+	// generation (recovery can leave it that way); its records, if
+	// any, replay idempotently on top of the new snapshot.
+	var oldWal *walWriter
+	wasBroken := s.broken != nil
+	if s.wal.gen != gen {
+		newWal, err := createWALSegment(s.dir, gen, len(s.eng.Schema().Cards()), s.opts.SyncWAL)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("persist: rotating WAL: %w", err)
+		}
+		oldWal = s.wal
+		s.wal = newWal
+	}
+	s.mu.Unlock()
+
+	if oldWal != nil {
+		if err := oldWal.close(); err != nil && !wasBroken {
+			// On a broken store the old segment's handle is the thing
+			// that failed; the snapshot being written supersedes its
+			// contents, so its close error cannot block the rescue.
+			return nil, fmt.Errorf("persist: closing rotated WAL: %w", err)
+		}
+	}
+	st := capture.State()
+	path, bytes, err := writeSnapshotFile(s.dir, st)
+	if err != nil {
+		// The snapshot failed but the rotated segment is already
+		// taking writes; recovery still works from the previous
+		// snapshot across both segments.
+		return nil, fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	dur := time.Since(start)
+
+	s.mu.Lock()
+	s.snapshots++
+	s.lastSnapGen = st.Generation
+	s.lastSnapBytes = bytes
+	s.lastSnapDuration = dur
+	// A durable full-state snapshot supersedes whatever the WAL
+	// failed to log; the store can accept mutations again.
+	s.broken = nil
+	s.mu.Unlock()
+
+	s.cleanup(st.Generation)
+	return &SnapshotResult{Path: path, Generation: st.Generation, Bytes: bytes, Duration: dur}, nil
+}
+
+// cleanup prunes old files after a successful snapshot at gen: the
+// two newest snapshots are kept (the older as a fallback against
+// at-rest damage of the newer), plus every WAL segment at or after
+// the oldest kept snapshot.
+func (s *Store) cleanup(gen uint64) {
+	snaps, snapGens, err := s.genFiles("snap-", ".snap")
+	if err != nil {
+		return
+	}
+	keepFrom := gen
+	var kept int
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if kept < 2 {
+			kept++
+			keepFrom = snapGens[i]
+			continue
+		}
+		os.Remove(snaps[i])
+	}
+	wals, walGens, err := s.genFiles("wal-", ".wal")
+	if err != nil {
+		return
+	}
+	for i, w := range wals {
+		if walGens[i] < keepFrom {
+			os.Remove(w)
+		}
+	}
+}
+
+// Dirty reports whether the engine has mutated past the last
+// snapshot — the background scheduler's "is a snapshot worth taking"
+// check.
+func (s *Store) Dirty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng != nil && s.eng.Generation() != s.lastSnapGen
+}
+
+// Stats returns the store's persistence counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:                         s.dir,
+		Snapshots:                   s.snapshots,
+		LastSnapshotGeneration:      s.lastSnapGen,
+		LastSnapshotBytes:           s.lastSnapBytes,
+		LastSnapshotDurationNs:      s.lastSnapDuration.Nanoseconds(),
+		RecoveredSnapshotGeneration: s.recoveredGen,
+		ReplayedRecords:             s.replayed,
+		TornTailDropped:             s.tornDropped,
+	}
+	if s.wal != nil {
+		st.WALRecords = s.wal.records
+		st.WALBytes = s.wal.bytes
+	}
+	return st
+}
+
+// Close flushes and closes the current WAL segment. The store is
+// unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}

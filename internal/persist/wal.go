@@ -1,0 +1,281 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"coverage/internal/engine"
+)
+
+// WAL segment framing:
+//
+//	magic    [8]byte  "COVWAL\x00\x00"
+//	version  uint32le
+//	dim      uint32le  row width in bytes (schema dimension)
+//	records...
+//
+// Each record:
+//
+//	length  uint32le  payload byte count
+//	crc     uint32le  CRC32-C of payload
+//	payload:
+//	  op    byte      opAppend | opDelete | opWindow
+//	  gen   uvarint   engine generation after applying the mutation
+//	  body:
+//	    append/delete: nrows uvarint, then nrows × dim raw bytes
+//	    window:        maxRows uvarint
+//
+// A record is written with a single write call after the engine has
+// accepted the mutation. The reader stops at the first record whose
+// header, length or CRC does not check out — a torn tail from a crash
+// mid-write — and reports the byte offset of the last good record so
+// the store can truncate the garbage before appending again.
+var walMagic = [8]byte{'C', 'O', 'V', 'W', 'A', 'L', 0, 0}
+
+const walVersion uint32 = 1
+
+const walHeaderSize = 8 + 4 + 4
+
+const (
+	opAppend byte = 1
+	opDelete byte = 2
+	opWindow byte = 3
+)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	op      byte
+	gen     uint64
+	rows    [][]uint8 // opAppend/opDelete
+	maxRows int       // opWindow
+}
+
+// walWriter appends records to one open segment file. It is not safe
+// for concurrent use; the Store serializes access.
+type walWriter struct {
+	f       *os.File
+	path    string
+	gen     uint64 // generation of the snapshot this segment follows
+	sync    bool
+	dim     int
+	records int64
+	bytes   int64
+}
+
+// createWALSegment creates dir/wal-<gen>.wal, writes its header and
+// fsyncs the directory so the segment itself survives a crash.
+func createWALSegment(dir string, gen uint64, dim int, sync bool) (*walWriter, error) {
+	path := filepath.Join(dir, walName(gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	header := make([]byte, walHeaderSize)
+	copy(header, walMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], walVersion)
+	binary.LittleEndian.PutUint32(header[12:], uint32(dim))
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, path: path, gen: gen, sync: sync, dim: dim}, nil
+}
+
+// openWALSegment opens an existing segment for appending. goodSize is
+// the validated end offset from a prior replay; anything after it was
+// a torn tail and has already been truncated away.
+func openWALSegment(path string, gen uint64, dim int, goodSize int64, sync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(goodSize, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, path: path, gen: gen, sync: sync, dim: dim}, nil
+}
+
+// appendRecord encodes and durably appends one mutation record.
+func (w *walWriter) appendRecord(op byte, gen uint64, rows [][]uint8, maxRows int) error {
+	payload := make([]byte, 0, 16+len(rows)*w.dim)
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, gen)
+	switch op {
+	case opAppend, opDelete:
+		payload = binary.AppendUvarint(payload, uint64(len(rows)))
+		for _, row := range rows {
+			if len(row) != w.dim {
+				return fmt.Errorf("persist: WAL row has %d values, segment dimension is %d", len(row), w.dim)
+			}
+			payload = append(payload, row...)
+		}
+	case opWindow:
+		payload = binary.AppendUvarint(payload, uint64(maxRows))
+	default:
+		return fmt.Errorf("persist: unknown WAL op %d", op)
+	}
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
+	copy(rec[8:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("persist: appending WAL record: %w", err)
+	}
+	w.records++
+	w.bytes += int64(len(rec))
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("persist: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// close flushes and closes the segment.
+func (w *walWriter) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// readWALSegment parses a segment file. It returns the decoded
+// records, the byte offset just past the last intact record, and
+// whether a torn tail (partial or corrupt trailing data) was dropped.
+// A missing or mangled header is reported via ErrBadMagic/ErrVersion
+// unless the file is empty or shorter than a header — the shape a
+// crash during segment creation leaves — which yields zero records
+// and torn=true.
+func readWALSegment(path string, dim int) (recs []walRecord, goodSize int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(data) < walHeaderSize {
+		return nil, 0, true, nil
+	}
+	if [8]byte(data[:8]) != walMagic {
+		return nil, 0, false, fmt.Errorf("%w: WAL segment %s", ErrBadMagic, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != walVersion {
+		return nil, 0, false, fmt.Errorf("%w: WAL version %d, this build reads version %d", ErrVersion, v, walVersion)
+	}
+	if d := binary.LittleEndian.Uint32(data[12:]); int(d) != dim {
+		return nil, 0, false, fmt.Errorf("%w: WAL segment dimension %d, engine schema has %d attributes", ErrCorrupt, d, dim)
+	}
+	off := int64(walHeaderSize)
+	for {
+		rec, next, ok := parseWALRecord(data, off, dim)
+		if !ok {
+			torn = int64(len(data)) > off
+			return recs, off, torn, nil
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+}
+
+// parseWALRecord decodes the record at off. ok is false when the
+// bytes from off do not form a complete, checksummed, well-formed
+// record — the torn-tail signal.
+func parseWALRecord(data []byte, off int64, dim int) (rec walRecord, next int64, ok bool) {
+	if off+8 > int64(len(data)) {
+		return rec, 0, false
+	}
+	plen := int64(binary.LittleEndian.Uint32(data[off:]))
+	want := binary.LittleEndian.Uint32(data[off+4:])
+	if off+8+plen > int64(len(data)) {
+		return rec, 0, false
+	}
+	payload := data[off+8 : off+8+plen]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return rec, 0, false
+	}
+	if len(payload) < 2 {
+		return rec, 0, false
+	}
+	rec.op = payload[0]
+	rest := payload[1:]
+	gen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return rec, 0, false
+	}
+	rec.gen = gen
+	rest = rest[n:]
+	switch rec.op {
+	case opAppend, opDelete:
+		nrows64, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return rec, 0, false
+		}
+		rest = rest[n:]
+		if dim <= 0 || nrows64 > uint64(len(rest)) || nrows64*uint64(dim) != uint64(len(rest)) {
+			return rec, 0, false
+		}
+		nrows := int(nrows64)
+		rec.rows = make([][]uint8, nrows)
+		for i := 0; i < nrows; i++ {
+			rec.rows[i] = append([]uint8(nil), rest[i*dim:(i+1)*dim]...)
+		}
+	case opWindow:
+		maxRows, n := binary.Uvarint(rest)
+		if n <= 0 || n != len(rest) {
+			return rec, 0, false
+		}
+		rec.maxRows = int(maxRows)
+	default:
+		return rec, 0, false
+	}
+	return rec, off + 8 + plen, true
+}
+
+// replaySegment applies a segment's records to the engine. Append and
+// delete records are applied only when they advance the generation by
+// exactly one (replay is idempotent: records already reflected in the
+// snapshot are skipped); window records are idempotent and always
+// applied. A generation gap means the log and snapshot disagree and
+// recovery aborts rather than restoring a silently divergent engine.
+func replaySegment(eng *engine.Engine, recs []walRecord) (applied, skipped int, err error) {
+	for i, rec := range recs {
+		switch rec.op {
+		case opAppend, opDelete:
+			gen := eng.Generation()
+			if rec.gen <= gen {
+				skipped++
+				continue
+			}
+			if rec.gen != gen+1 {
+				return applied, skipped, fmt.Errorf("%w: WAL record %d jumps from generation %d to %d", ErrCorrupt, i, gen, rec.gen)
+			}
+			if rec.op == opAppend {
+				err = eng.Append(rec.rows)
+			} else {
+				err = eng.Delete(rec.rows)
+			}
+			if err != nil {
+				return applied, skipped, fmt.Errorf("persist: replaying WAL record %d: %w", i, err)
+			}
+			applied++
+		case opWindow:
+			eng.SetWindow(rec.maxRows)
+			applied++
+		}
+	}
+	return applied, skipped, nil
+}

@@ -1,0 +1,227 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coverage/internal/engine"
+)
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	eng := engine.New(testSchema(), engine.Options{})
+	dim := len(eng.Cards())
+	w, err := createWALSegment(dir, 0, dim, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Apply a mutation sequence, logging each record exactly as the
+	// store does: after the engine accepts it, stamped with the
+	// resulting generation.
+	logAppend := func(rows [][]uint8) {
+		if err := eng.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.appendRecord(opAppend, eng.Generation(), rows, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logDelete := func(rows [][]uint8) {
+		if err := eng.Delete(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.appendRecord(opDelete, eng.Generation(), rows, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logWindow := func(n int) {
+		eng.SetWindow(n)
+		if err := w.appendRecord(opWindow, eng.Generation(), nil, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logAppend([][]uint8{{0, 0, 0}, {0, 0, 0}, {1, 2, 3}, {1, 1, 1}})
+	logDelete([][]uint8{{0, 0, 0}})
+	logWindow(3)
+	logAppend([][]uint8{{0, 1, 2}, {1, 0, 3}})
+	logWindow(0)
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, _, torn, err := readWALSegment(filepath.Join(dir, walName(0)), dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("cleanly closed segment reported torn")
+	}
+	if len(recs) != 5 {
+		t.Fatalf("read %d records, want 5", len(recs))
+	}
+
+	replayed := engine.New(testSchema(), engine.Options{})
+	applied, skipped, err := replaySegment(replayed, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 5 || skipped != 0 {
+		t.Errorf("applied %d, skipped %d, want 5, 0", applied, skipped)
+	}
+	assertEquivalent(t, eng, replayed)
+
+	// Replay is idempotent: running the same records again applies
+	// nothing (window records re-apply harmlessly).
+	applied, skipped, err = replaySegment(replayed, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 3 {
+		t.Errorf("second replay skipped %d append/delete records, want 3", skipped)
+	}
+	if applied != 2 {
+		t.Errorf("second replay applied %d records, want the 2 idempotent window records", applied)
+	}
+	assertEquivalent(t, eng, replayed)
+}
+
+// writeTestSegment writes n append records and returns the segment
+// path and the engine that accepted them.
+func writeTestSegment(t *testing.T, dir string, n int) (string, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(testSchema(), engine.Options{})
+	w, err := createWALSegment(dir, 0, len(eng.Cards()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rows := [][]uint8{{uint8(i % 2), uint8(i % 3), uint8(i % 4)}}
+		if err := eng.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.appendRecord(opAppend, eng.Generation(), rows, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, walName(0)), eng
+}
+
+// TestWALTornTail truncates the segment at every byte boundary of the
+// final record and at sub-header sizes: the reader must drop exactly
+// the torn tail and keep every intact record.
+func TestWALTornTail(t *testing.T) {
+	path, _ := writeTestSegment(t, t.TempDir(), 6)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 3
+	recs, goodSize, _, err := readWALSegment(path, dim)
+	if err != nil || len(recs) != 6 {
+		t.Fatalf("full read: %d records, err %v", len(recs), err)
+	}
+	if goodSize != int64(len(data)) {
+		t.Fatalf("goodSize %d, file is %d bytes", goodSize, len(data))
+	}
+
+	// Find the offset of the last record by re-parsing.
+	lastStart := int64(walHeaderSize)
+	for i := 0; i < 5; i++ {
+		_, next, ok := parseWALRecord(data, lastStart, dim)
+		if !ok {
+			t.Fatal("re-parse failed")
+		}
+		lastStart = next
+	}
+
+	for cut := lastStart + 1; cut < int64(len(data)); cut++ {
+		tmp := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(tmp, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, good, torn, err := readWALSegment(tmp, dim)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut at %d: torn tail not detected", cut)
+		}
+		if len(recs) != 5 || good != lastStart {
+			t.Fatalf("cut at %d: %d records, goodSize %d, want 5 records, %d", cut, len(recs), good, lastStart)
+		}
+	}
+
+	// A bit flip inside the last record's payload is also a torn tail.
+	flipped := append([]byte(nil), data...)
+	flipped[lastStart+9] ^= 0x40
+	tmp := filepath.Join(t.TempDir(), "flipped.wal")
+	if err := os.WriteFile(tmp, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, good, torn, err := readWALSegment(tmp, dim)
+	if err != nil || !torn || len(recs) != 5 || good != lastStart {
+		t.Fatalf("flipped last record: %d records, goodSize %d, torn %v, err %v", len(recs), good, torn, err)
+	}
+
+	// A sub-header stump (crash during segment creation) is zero
+	// records, torn.
+	stump := filepath.Join(t.TempDir(), "stump.wal")
+	if err := os.WriteFile(stump, data[:walHeaderSize-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _, torn, err := readWALSegment(stump, dim); err != nil || !torn || len(recs) != 0 {
+		t.Fatalf("stump: %d records, torn %v, err %v", len(recs), torn, err)
+	}
+}
+
+func TestWALHeaderValidation(t *testing.T) {
+	path, _ := writeTestSegment(t, t.TempDir(), 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[3] ^= 0xFF
+	badVersion := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(badVersion[8:], walVersion+1)
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+		dim  int
+		want error
+	}{
+		{"bad magic", badMagic, 3, ErrBadMagic},
+		{"unknown version", badVersion, 3, ErrVersion},
+		{"dimension mismatch", data, 4, ErrCorrupt},
+	} {
+		tmp := filepath.Join(t.TempDir(), "seg.wal")
+		if err := os.WriteFile(tmp, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := readWALSegment(tmp, tc.dim); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWALGenerationGap: a record that skips a generation means the
+// snapshot/WAL pairing is broken; replay must refuse.
+func TestWALGenerationGap(t *testing.T) {
+	recs := []walRecord{
+		{op: opAppend, gen: 1, rows: [][]uint8{{0, 0, 0}}},
+		{op: opAppend, gen: 3, rows: [][]uint8{{1, 1, 1}}},
+	}
+	eng := engine.New(testSchema(), engine.Options{})
+	if _, _, err := replaySegment(eng, recs); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
