@@ -65,7 +65,7 @@ func bluenileIndex(b *testing.B, n int) *index.Index {
 
 type mupAlgo struct {
 	name string
-	run  func(*index.Index, mup.Options) (*mup.Result, error)
+	run  func(index.Oracle, mup.Options) (*mup.Result, error)
 }
 
 var sweepAlgos = []mupAlgo{

@@ -46,6 +46,7 @@ type config struct {
 	seed       int64
 	benchOut   string
 	persistOut string
+	shardOut   string
 }
 
 func fatal(err error) {
@@ -72,6 +73,7 @@ var experiments = []struct {
 	{"fig19", "enhancement input/output sizes vs dimensions (AirBnB, τ=0.1%)", fig19},
 	{"engine", "incremental-engine micro-benchmarks (append/delete/window/MUP repair) → JSON", engineBench},
 	{"persist", "persistence micro-benchmarks (snapshot write/restore, WAL, warm boot vs rebuild) → JSON", persistBench},
+	{"shard", "shard-scaling sweep (append/MUP-search/repair at 1,2,4,8 shards) → JSON", shardBench},
 }
 
 func main() {
@@ -83,6 +85,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_engine.json", "output file for the engine experiment's JSON results")
 	flag.StringVar(&cfg.persistOut, "persistout", "BENCH_persist.json", "output file for the persist experiment's JSON results")
+	flag.StringVar(&cfg.shardOut, "shardout", "BENCH_shard.json", "output file for the shard experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

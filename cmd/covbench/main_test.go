@@ -46,8 +46,43 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 14 {
-		t.Errorf("%d experiments registered, want 14 (one per figure/table, plus engine and persist)", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("%d experiments registered, want 15 (one per figure/table, plus engine, persist and shard)", len(seen))
+	}
+}
+
+// TestShardBenchWritesJSON smokes the shard-scaling sweep at toy
+// scale: the report must decode, hold one result per (workload, shard
+// count) cell, and carry the 4-vs-1 speedup summary.
+func TestShardBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	shardBench(config{n: 3000, seed: 42, shardOut: out})
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep shardBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if rep.DatasetRows != 3000 || len(rep.ShardCounts) != 4 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if want := 3 * len(rep.ShardCounts); len(rep.Results) != want {
+		t.Fatalf("%d results, want %d", len(rep.Results), want)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.Shards <= 0 {
+			t.Errorf("result %q = %+v", r.Name, r)
+		}
+	}
+	for _, w := range []string{"append", "mup-search", "mup-repair-delete"} {
+		if rep.Speedup4v1[w] <= 0 {
+			t.Errorf("missing 4-vs-1 speedup for %q", w)
+		}
 	}
 }
 

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"coverage/internal/datagen"
+	"coverage/internal/engine"
+	"coverage/internal/mup"
+)
+
+// shardBenchResult is one measured (workload, shard count) cell in
+// BENCH_shard.json.
+type shardBenchResult struct {
+	Name       string  `json:"name"`
+	Shards     int     `json:"shards"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iterations int     `json:"iterations"`
+	RowsPerOp  int     `json:"rows_per_op,omitempty"`
+	MUPs       int     `json:"mups,omitempty"`
+}
+
+// shardBenchReport is the machine-readable shard-scaling tracker: the
+// same append / MUP-search / delete-repair workloads swept across
+// shard counts, so the horizontal-scaling trajectory is diffable
+// across commits. Speedup4v1 summarizes each workload as
+// ns/op(1 shard) ÷ ns/op(4 shards).
+//
+// The fan-out parallelism is real only when GOMAXPROCS cores exist to
+// run the per-core goroutines; on a single-CPU machine the sweep
+// degenerates to measuring the coordinator's overhead (speedups ≈ 1).
+// GoMaxProcs is recorded so readers can tell which regime a file came
+// from.
+type shardBenchReport struct {
+	DatasetRows int                `json:"dataset_rows"`
+	Dimensions  int                `json:"dimensions"`
+	Threshold   int64              `json:"threshold"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	GoVersion   string             `json:"go_version"`
+	ShardCounts []int              `json:"shard_counts"`
+	Results     []shardBenchResult `json:"results"`
+	Speedup4v1  map[string]float64 `json:"speedup_4v1"`
+}
+
+// shardBench regenerates BENCH_shard.json: the engine's ingest and
+// search hot paths at 1, 2, 4 and 8 shard cores over the same
+// dataset.
+func shardBench(cfg config) {
+	n := cfg.n
+	if n > 100000 {
+		n = 100000
+	}
+	const d = 13
+	tau := int64(0.001 * float64(n))
+	if tau < 2 {
+		tau = 2
+	}
+	full := datagen.AirBnB(n, d, cfg.seed)
+	rows := make([][]uint8, full.NumRows())
+	for i := range rows {
+		rows[i] = full.Row(i)
+	}
+	batchRows := 1000
+	if batchRows > n {
+		batchRows = n
+	}
+	batch := rows[:batchRows]
+
+	report := shardBenchReport{
+		DatasetRows: n,
+		Dimensions:  d,
+		Threshold:   tau,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		ShardCounts: []int{1, 2, 4, 8},
+		Speedup4v1:  map[string]float64{},
+	}
+	nsAt := map[string]map[int]float64{}
+	add := func(workload string, shards, rowsPerOp, mups int, r testing.BenchmarkResult) {
+		res := shardBenchResult{
+			Name:       fmt.Sprintf("%s/shards=%d", workload, shards),
+			Shards:     shards,
+			NsPerOp:    float64(r.NsPerOp()),
+			Iterations: r.N,
+			RowsPerOp:  rowsPerOp,
+			MUPs:       mups,
+		}
+		report.Results = append(report.Results, res)
+		if nsAt[workload] == nil {
+			nsAt[workload] = map[int]float64{}
+		}
+		nsAt[workload][shards] = res.NsPerOp
+		fmt.Printf("%-32s %14.0f ns/op  (%d iterations)\n", res.Name, res.NsPerOp, r.N)
+	}
+
+	for _, shards := range report.ShardCounts {
+		opts := engine.Options{Shards: shards}
+		{
+			eng := engine.NewFromDataset(full, opts)
+			add("append", shards, batchRows, 0, testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := eng.Append(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+		{
+			// Full level-synchronous MUP search against the folded
+			// per-shard bases (the path a first query at a fresh τ
+			// takes).
+			eng := engine.NewFromDataset(full, opts)
+			oracle := eng.Oracle()
+			var mups int
+			add("mup-search", shards, 0, 0, testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := mup.ParallelPatternBreaker(oracle, mup.ParallelOptions{Options: mup.Options{Threshold: tau}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					mups = len(res.MUPs)
+				}
+			}))
+			report.Results[len(report.Results)-1].MUPs = mups
+		}
+		{
+			// Delete a batch and repair the cached MUP set — the
+			// bidirectional repair path with per-shard count
+			// resolution.
+			eng := engine.NewFromDataset(full, engine.Options{Shards: shards, FullSearchRemovedFraction: 1})
+			if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+				fatal(err)
+			}
+			small := rows[:min(100, n)]
+			add("mup-repair-delete", shards, len(small), 0, testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := eng.Delete(small); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if err := eng.Append(small); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}))
+		}
+	}
+
+	for workload, by := range nsAt {
+		if by[4] > 0 {
+			report.Speedup4v1[workload] = by[1] / by[4]
+		}
+	}
+	fmt.Printf("speedup at 4 shards vs 1: append %.2fx, mup-search %.2fx, mup-repair-delete %.2fx (GOMAXPROCS=%d)\n",
+		report.Speedup4v1["append"], report.Speedup4v1["mup-search"], report.Speedup4v1["mup-repair-delete"], report.GoMaxProcs)
+
+	f, err := os.Create(cfg.shardOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", cfg.shardOut)
+}

@@ -12,9 +12,16 @@
 // loading the newest snapshot and replaying only the WAL tail — warm
 // in milliseconds instead of recomputing from raw rows.
 //
+// The engine is horizontally sharded: -shards (default one core per
+// CPU, capped at 16) hash-partitions the combo space across N shard
+// cores, parallelizing ingest and the per-core compactions while
+// keeping every answer identical to a single-shard engine. Snapshots
+// record the shard layout and re-partition on restore when -shards
+// changes across a restart.
+//
 // Usage:
 //
-//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000]
+//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000] [-shards 8]
 //	covserve -demo compas|airbnb|bluenile [-addr :8080]
 //	covserve -data-dir /var/lib/covserve [-csv data.csv] [-snapshot-interval 5m] [-wal-sync=true]
 //
@@ -44,13 +51,29 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"coverage"
 	"coverage/internal/datagen"
+	"coverage/internal/engine"
 	"coverage/internal/persist"
 )
+
+// defaultShards derives the shard-core count from the machine: one
+// core per CPU, capped — past a point more shards only shrink the
+// per-core bases without adding parallelism.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 func main() {
 	var (
@@ -59,6 +82,7 @@ func main() {
 		columns = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
 		demo    = flag.String("demo", "", "serve a synthetic demo dataset instead: compas, airbnb or bluenile")
 		window  = flag.Int("window", 0, "sliding window: keep only the newest N rows (0 = unbounded)")
+		shards  = flag.Int("shards", 0, "shard cores to hash-partition the combo space across (0 = one per CPU, capped at 16)")
 
 		dataDir      = flag.String("data-dir", "", "directory for durable state (snapshots + WAL); empty serves in-memory only")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute,
@@ -67,11 +91,15 @@ func main() {
 			"fsync the WAL after every acknowledged mutation (survives power loss, not just process death)")
 	)
 	flag.Parse()
+	if *shards <= 0 {
+		*shards = defaultShards()
+	}
 
-	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync)
+	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync, *shards)
 	if err != nil {
 		fatal(err)
 	}
+	log.Printf("covserve: %d shard core(s)", an.Engine().Shards())
 	if *window > 0 {
 		if store != nil {
 			if err := store.SetWindow(*window); err != nil {
@@ -107,17 +135,20 @@ func main() {
 
 // buildAnalyzer resolves the three boot paths: recover durable state
 // from the data dir, start fresh-and-durable from a dataset, or serve
-// purely in memory.
-func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool) (*coverage.Analyzer, *persist.Store, error) {
+// purely in memory. The engine under the analyzer is built with the
+// requested shard count; a recovered snapshot with a different layout
+// is re-partitioned through the hash router on restore.
+func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, shards int) (*coverage.Analyzer, *persist.Store, error) {
+	engOpts := engine.Options{Shards: shards}
 	if dataDir == "" {
 		ds, err := loadDataset(csvPath, columns, demo)
 		if err != nil {
 			return nil, nil, err
 		}
-		return coverage.NewAnalyzer(ds), nil, nil
+		return coverage.NewAnalyzerFromDataset(ds, engOpts), nil, nil
 	}
 
-	store, err := persist.Open(dataDir, persist.Options{SyncWAL: walSync})
+	store, err := persist.Open(dataDir, persist.Options{SyncWAL: walSync, Engine: engOpts})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -141,7 +172,7 @@ func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool) (*cover
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w (the data dir %s is empty, so a dataset is required)", err, dataDir)
 		}
-		an := coverage.NewAnalyzer(ds)
+		an := coverage.NewAnalyzerFromDataset(ds, engOpts)
 		if err := store.Attach(an.Engine()); err != nil {
 			return nil, nil, err
 		}

@@ -140,8 +140,21 @@ type statsResponse struct {
 	// window-log entries are still awaiting reconciliation.
 	Window     int   `json:"window_max_rows"`
 	Tombstones int64 `json:"window_tombstones"`
+	// ShardCount is the number of shard cores the combo space is
+	// hash-partitioned across; Shards holds one counter block per
+	// core.
+	ShardCount int         `json:"shard_count"`
+	Shards     []shardJSON `json:"shards"`
 	// Persist reports the durability layer; absent without -data-dir.
 	Persist *persistStats `json:"persist,omitempty"`
+}
+
+// shardJSON is one shard core's counters on /stats.
+type shardJSON struct {
+	Rows          int64 `json:"rows"`
+	Distinct      int   `json:"distinct_combinations"`
+	DeltaDistinct int   `json:"delta_combinations"`
+	Compactions   int64 `json:"compactions"`
 }
 
 // persistStats is the durability section of /stats.
@@ -178,6 +191,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CachedSearches: st.CachedSearches,
 		Window:         st.Window,
 		Tombstones:     st.Tombstones,
+		ShardCount:     st.ShardCount,
+		Shards:         make([]shardJSON, len(st.Shards)),
+	}
+	for i, sh := range st.Shards {
+		resp.Shards[i] = shardJSON{
+			Rows:          sh.Rows,
+			Distinct:      sh.Distinct,
+			DeltaDistinct: sh.DeltaDistinct,
+			Compactions:   sh.Compactions,
+		}
 	}
 	if s.store != nil {
 		ps := s.store.Stats()

@@ -214,9 +214,20 @@ type Analyzer struct {
 	eng *engine.Engine
 }
 
-// NewAnalyzer indexes the dataset for coverage queries.
+// NewAnalyzer indexes the dataset for coverage queries. The engine
+// underneath is the sharded coordinator with its default layout (one
+// core unless the COVSHARDS override is set); use
+// NewAnalyzerFromDataset to pick the shard count explicitly.
 func NewAnalyzer(ds *Dataset) *Analyzer {
-	return &Analyzer{ds: ds, eng: engine.NewFromDataset(ds, engine.Options{})}
+	return NewAnalyzerFromDataset(ds, engine.Options{})
+}
+
+// NewAnalyzerFromDataset indexes the dataset with explicit engine
+// options — most usefully Options.Shards, which hash-partitions the
+// combo space across N shard cores (parallel ingest and compaction,
+// identical answers).
+func NewAnalyzerFromDataset(ds *Dataset, opts engine.Options) *Analyzer {
+	return &Analyzer{ds: ds, eng: engine.NewFromDataset(ds, opts)}
 }
 
 // NewAnalyzerFromEngine wraps an existing engine — typically one
@@ -329,15 +340,15 @@ func (a *Analyzer) FindMUPs(opts FindOptions) (*Report, error) {
 		// incrementally after appends.
 		res, err = a.eng.MUPs(mopts)
 	case DeepDiver:
-		res, err = mup.DeepDiver(a.eng.Index(), mopts)
+		res, err = mup.DeepDiver(a.eng.Oracle(), mopts)
 	case PatternBreaker:
-		res, err = mup.PatternBreaker(a.eng.Index(), mopts)
+		res, err = mup.PatternBreaker(a.eng.Oracle(), mopts)
 	case PatternCombiner:
-		res, err = mup.PatternCombiner(a.eng.Index(), mopts)
+		res, err = mup.PatternCombiner(a.eng.Oracle(), mopts)
 	case Apriori:
-		res, err = mup.Apriori(a.eng.Index(), mopts)
+		res, err = mup.Apriori(a.eng.Oracle(), mopts)
 	case NaiveAlgorithm:
-		res, err = mup.Naive(a.eng.Index(), mopts)
+		res, err = mup.Naive(a.eng.Oracle(), mopts)
 	default:
 		return nil, fmt.Errorf("coverage: unknown algorithm %q", opts.Algorithm)
 	}

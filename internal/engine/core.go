@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// shardOf routes a combination key to one of n shard cores by FNV-1a
+// hash of the raw value codes. The router is a pure function of the
+// key and the shard count, so the same combination always lands on the
+// same core, snapshots can be re-partitioned deterministically on
+// restore, and the per-core distinct combination sets stay disjoint —
+// which is what makes coverage, totals and distinct counts additive
+// across cores.
+func shardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// shardOfRow is shardOf over raw row bytes, avoiding the string
+// conversion on the ingest hot path.
+func shardOfRow(row []uint8, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range row {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// shardCore is the lock-scoped single-shard heart of the engine: one
+// hash partition of the combo space, held as the immutable base oracle
+// (an index.Index over the partition's distinct value combinations)
+// plus the signed pending delta of combinations mutated since the base
+// was built, with compaction folding the delta back into a fresh base.
+//
+// A core owns no lock of its own. All access is scoped by the owning
+// coordinator's RWMutex: the mutating methods run under the write
+// lock (the coordinator serializes mutation batches and fans their
+// per-core slices out in parallel — each goroutine touches exactly one
+// core), the read methods under the read lock. The base index itself
+// is immutable, so lattice searches snapshot it under the lock and
+// probe it outside any lock.
+type shardCore struct {
+	schema *dataset.Schema
+	opts   Options
+
+	base     *index.Index
+	pool     *index.Pool
+	counts   map[string]int64 // partition combo→multiplicity (base + delta)
+	delta    []deltaEntry
+	deltaPos map[string]int // combo → position in delta
+	rows     int64
+
+	compactions int64
+}
+
+// newShardCore returns an empty core over the schema.
+func newShardCore(schema *dataset.Schema, opts Options) *shardCore {
+	c := &shardCore{
+		schema:   schema,
+		opts:     opts,
+		counts:   make(map[string]int64),
+		deltaPos: make(map[string]int),
+	}
+	c.rebuild()
+	c.compactions = 0 // the initial empty build is not a compaction
+	return c
+}
+
+// seed installs the core's partition of a pre-deduplicated dataset and
+// builds the base directly, bypassing the delta (construction path).
+func (c *shardCore) seed(counts map[string]int64) {
+	for k, n := range counts {
+		c.counts[k] = n
+		c.rows += n
+	}
+	c.base = index.BuildFromCounts(c.schema, c.counts)
+	c.pool = c.base.NewPool()
+}
+
+// applySigned merges one signed multiplicity change into the count map
+// and the delta, pruning the combination from the counts the moment it
+// reaches zero so compaction never rebuilds ghosts.
+func (c *shardCore) applySigned(k string, n int64) {
+	if m := c.counts[k] + n; m == 0 {
+		delete(c.counts, k)
+	} else {
+		c.counts[k] = m
+	}
+	if pos, ok := c.deltaPos[k]; ok {
+		c.delta[pos].count += n
+		return
+	}
+	c.deltaPos[k] = len(c.delta)
+	c.delta = append(c.delta, deltaEntry{combo: pattern.Pattern(k), count: n})
+}
+
+// applyBatch applies a whole signed mutation map atomically from the
+// coordinator's point of view (the coordinator holds the write lock
+// for the entire cross-core mutation), adjusts the core's row count by
+// the map's sum, and compacts if the delta crossed its threshold.
+func (c *shardCore) applyBatch(muts map[string]int64) {
+	for k, n := range muts {
+		if n == 0 {
+			continue
+		}
+		c.applySigned(k, n)
+		c.rows += n
+	}
+	c.maybeCompact()
+}
+
+// multiplicity returns the live count of one combination key.
+func (c *shardCore) multiplicity(k string) int64 { return c.counts[k] }
+
+// maybeCompact rebuilds the base when the accumulated delta crosses
+// the compaction threshold. Thresholds apply per core: each partition
+// compacts on its own (smaller) delta, so with N cores the rebuilds
+// are both N× smaller and independently parallelizable.
+func (c *shardCore) maybeCompact() {
+	if len(c.delta) >= c.opts.compactMinDistinct() &&
+		float64(len(c.delta)) >= c.opts.compactFraction()*float64(c.base.NumDistinct()) {
+		c.rebuild()
+	}
+}
+
+// rebuild rebuilds the base oracle from the full count map and clears
+// the delta.
+func (c *shardCore) rebuild() {
+	c.base = index.BuildFromCounts(c.schema, c.counts)
+	c.pool = c.base.NewPool()
+	c.delta = nil
+	c.deltaPos = make(map[string]int)
+	c.compactions++
+}
+
+// fold compacts any pending delta and returns the base oracle
+// reflecting the partition's full state. The returned index is
+// immutable and remains valid (but stale) after further mutations.
+// Must run under the coordinator's write lock.
+func (c *shardCore) fold() *index.Index {
+	if len(c.delta) > 0 {
+		c.rebuild()
+	}
+	return c.base
+}
+
+// coverage returns the partition's contribution to cov(P): the base
+// oracle's windowed bit-vector probe plus a scan of the (small) delta.
+func (c *shardCore) coverage(p pattern.Pattern) int64 {
+	n := c.pool.Coverage(p)
+	for i := range c.delta {
+		if p.Matches(c.delta[i].combo) {
+			n += c.delta[i].count
+		}
+	}
+	return n
+}

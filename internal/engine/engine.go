@@ -2,39 +2,51 @@
 // coverage engine over a growing dataset — the serving-side companion
 // to the one-shot algorithms of packages index and mup.
 //
-// The engine maintains an immutable base oracle (an index.Index over
-// the distinct value combinations) plus a small delta of combinations
-// appended since the base was built. Appends shard the incoming batch
-// across workers for parallel per-value-combination counting and never
-// rebuild the base; point coverage queries merge base and delta on
-// read. When the delta grows past a fraction of the base, or when a
-// lattice search needs the windowed bit-vector probes of the base
-// oracle, the engine compacts: it rebuilds the base directly from its
-// combo→count map, skipping row storage and re-deduplication.
+// The engine is horizontally sharded: the combo space is partitioned
+// across N shard cores by hash of each value combination (see
+// shardOf), so the per-core distinct sets are disjoint and every
+// global quantity is the sum of per-core answers. Each core keeps an
+// immutable base oracle (an index.Index over its partition's distinct
+// combinations) plus a small signed delta of combinations mutated
+// since its base was built, compacting independently when its delta
+// grows past a fraction of its base. Mutation batches are counted into
+// per-core signed maps and fanned out in parallel — each core merges
+// its slice under the coordinator's single write lock, so a batch is
+// atomic for readers while the per-core map merges (the ingest
+// bottleneck) run on separate goroutines. Point coverage queries merge
+// base and delta on read, summed across cores.
 //
-// MUP searches are cached per (threshold, level bound). After appends,
-// a cached set is repaired incrementally with mup.Repair — coverage is
+// MUP searches are cached per (threshold, level bound) at the
+// coordinator. Searches run as level-synchronous descents against an
+// oracle that resolves each candidate's count per shard and merges the
+// sums (index.Oracle over the folded per-core bases). After appends, a
+// cached set is repaired incrementally with mup.Repair — coverage is
 // monotone under insertion, so only the subtrees of newly covered MUPs
-// are re-expanded — instead of re-running a full search.
+// are re-expanded — instead of re-running a full search; the cached
+// per-MUP coverage values are delta-updated from the mutation logs, so
+// untouched patterns cost no probes at all.
 //
 // The mutation path is signed: Delete retracts rows and SetWindow
 // bounds the engine to the most recent rows, evicting the oldest on
-// overflow. Both directions flow through the same delta entries, whose
-// multiplicities may be negative, and prune a combination from the
-// count map the moment it reaches zero so compaction never rebuilds
-// ghosts. Deletions break insertion monotonicity — coverage can fall
-// back below τ — so every retracted combination is recorded in a
-// bounded removed-combination log; a cached MUP set older than a
-// deletion is repaired with mup.RepairBidirectional (climbing to the
-// newly uncovered frontier as well as re-expanding covered subtrees),
+// overflow. Both directions flow through the same per-core delta
+// entries, whose multiplicities may be negative, and prune a
+// combination from the count maps the moment it reaches zero so
+// compaction never rebuilds ghosts. Deletions break insertion
+// monotonicity — coverage can fall back below τ — so every retracted
+// combination is recorded (with its net multiplicity) in a bounded
+// removed-combination log; a cached MUP set older than a deletion is
+// repaired with mup.RepairBidirectional (climbing to the newly
+// uncovered frontier as well as re-expanding covered subtrees),
 // falling back to a full search only when the log's horizon has passed
 // the cached generation.
 package engine
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -44,18 +56,47 @@ import (
 	"coverage/internal/pattern"
 )
 
+// maxShards bounds the shard count; past it the per-core bases are too
+// small to amortize the fan-out.
+const maxShards = 64
+
+// envShards resolves the COVSHARDS environment override once — the
+// shard-matrix knob CI uses to run the whole suite single- and
+// multi-sharded.
+var envShards = sync.OnceValue(func() int {
+	s := os.Getenv("COVSHARDS")
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+})
+
 // Options configures an Engine.
 type Options struct {
-	// Workers is the goroutine count for parallel shard construction
-	// and full MUP searches; 0 means GOMAXPROCS.
+	// Shards is the number of shard cores the combo space is hash-
+	// partitioned across. 0 consults the COVSHARDS environment
+	// variable (the test matrix knob) and otherwise means 1. Values
+	// are capped at 64. More shards parallelize the ingest map merges
+	// and the per-core compactions; coverage and MUP answers are
+	// identical for every shard count.
+	Shards int
+	// Workers is the goroutine count for parallel batch counting, full
+	// MUP searches and repair passes; 0 means GOMAXPROCS.
 	Workers int
-	// CompactFraction triggers a base rebuild when the delta holds more
-	// than this fraction of the base's distinct combinations; 0 means
-	// 0.25.
+	// CompactFraction triggers a per-core base rebuild when the core's
+	// delta holds more than this fraction of its base's distinct
+	// combinations; 0 means 0.25.
 	CompactFraction float64
-	// CompactMinDistinct is the delta size below which the fraction
-	// trigger is ignored (tiny deltas are cheap to merge on read);
-	// 0 means 1024.
+	// CompactMinDistinct is the per-core delta size below which the
+	// fraction trigger is ignored (tiny deltas are cheap to merge on
+	// read); 0 means 1024.
 	CompactMinDistinct int
 	// MaxCachedSearches bounds the per-(threshold, level) MUP cache;
 	// the least recently used entry is evicted beyond it. Rate-based
@@ -71,12 +112,25 @@ type Options struct {
 	RemovedLogSize int
 	// FullSearchRemovedFraction is the bulk-retraction cutoff: when
 	// the distinct combinations removed since a cached MUP set exceed
-	// this fraction of the base's distinct combinations, the repair
+	// this fraction of the engine's distinct combinations, the repair
 	// would have to re-probe most of the lattice anyway (every
 	// ancestor of a removed combination is suspect), so the engine
 	// runs a fresh parallel search instead. 0 means 0.05; values ≥ 1
 	// never fall back.
 	FullSearchRemovedFraction float64
+}
+
+func (o Options) shardCount() int {
+	if o.Shards > 0 {
+		if o.Shards > maxShards {
+			return maxShards
+		}
+		return o.Shards
+	}
+	if n := envShards(); n > 0 {
+		return n
+	}
+	return 1
 }
 
 func (o Options) workers() int {
@@ -121,14 +175,25 @@ func (o Options) fullSearchRemovedFraction() float64 {
 	return 0.05
 }
 
+// ShardStat describes one shard core: its partition's live rows, the
+// distinct combinations in its base oracle, its pending delta size and
+// how many times it has compacted.
+type ShardStat struct {
+	Rows          int64
+	Distinct      int
+	DeltaDistinct int
+	Compactions   int64
+}
+
 // Stats is a snapshot of the engine's internal counters.
 type Stats struct {
-	// Rows is the total row count (base + delta).
+	// Rows is the total row count across all shards.
 	Rows int64
-	// Distinct is the number of distinct combinations in the base
-	// oracle; DeltaDistinct counts combinations appended since the
-	// last compaction (a combination already in the base still gets a
-	// delta entry for its additional multiplicity).
+	// Distinct is the number of distinct combinations across the
+	// per-shard base oracles; DeltaDistinct counts combinations
+	// mutated since the owning core's last compaction (a combination
+	// already in a base still gets a delta entry for its additional
+	// multiplicity).
 	Distinct      int
 	DeltaDistinct int
 	// Generation increments on every mutation batch (append, delete or
@@ -138,7 +203,8 @@ type Stats struct {
 	// BidirectionalRepairs and CacheHits count engine operations since
 	// construction. Repairs are the downward (append-only) cache
 	// repairs; BidirectionalRepairs additionally climbed to newly
-	// uncovered patterns after deletions.
+	// uncovered patterns after deletions. Compactions sum over the
+	// shard cores.
 	Appends              int64
 	Deletes              int64
 	Evictions            int64
@@ -155,11 +221,15 @@ type Stats struct {
 	// entries have not yet been reconciled by eviction.
 	Window     int
 	Tombstones int64
+	// ShardCount is the number of shard cores; Shards holds one entry
+	// per core.
+	ShardCount int
+	Shards     []ShardStat
 }
 
-// deltaEntry is one distinct combination mutated since the last
-// compaction, with the signed multiplicity change since then (negative
-// when deletions or window evictions outweigh appends).
+// deltaEntry is one distinct combination mutated since the owning
+// core's last compaction, with the signed multiplicity change since
+// then (negative when deletions or window evictions outweigh appends).
 type deltaEntry struct {
 	combo pattern.Pattern
 	count int64
@@ -180,22 +250,32 @@ type cachedSearch struct {
 	lastUsed atomic.Uint64
 }
 
-// Engine is the incremental coverage engine. All methods are safe for
-// concurrent use.
-type Engine struct {
+// ShardedEngine is the fan-out coordinator of the incremental coverage
+// engine: N shard cores hash-partitioning the combo space, with the
+// sliding window, the mutation logs, the per-(τ, level) MUP caches and
+// the generation counter held once at the coordinator. Mutation
+// batches are counted into per-core signed maps outside the lock and
+// applied to the cores in parallel under it; queries sum per-core
+// answers; MUP searches run level-synchronously against the merged
+// per-shard counts. All methods are safe for concurrent use.
+//
+// A single-shard engine is simply a ShardedEngine with one core —
+// Engine is the same type under its historical name.
+type ShardedEngine struct {
 	schema *dataset.Schema
 	cards  []int
 	opts   Options
+	cores  []*shardCore
 
-	mu       sync.RWMutex
-	base     *index.Index
-	pool     *index.Pool
-	counts   map[string]int64 // full combo→multiplicity (base + delta)
-	delta    []deltaEntry
-	deltaPos map[string]int // combo → position in delta
-	rows     int64
-	gen      uint64
-	cache    map[searchKey]*cachedSearch
+	// mu scopes every access to the coordinator state and the cores:
+	// mutations hold the write lock for the whole cross-core batch (so
+	// batches stay atomic for readers), queries the read lock. Lattice
+	// searches snapshot the immutable per-core bases under the lock
+	// and probe them outside it.
+	mu    sync.RWMutex
+	rows  int64
+	gen   uint64
+	cache map[searchKey]*cachedSearch
 
 	// Sliding-window state. log records live rows in arrival order
 	// (only while window > 0); pendingDeletes holds tombstones for rows
@@ -207,29 +287,42 @@ type Engine struct {
 	tombstones     int64
 
 	// removed records combinations whose multiplicity decreased (by
-	// delete or eviction) and added those whose multiplicity grew, so
-	// cached MUP sets can be repaired bidirectionally with probes
-	// confined to the mutated cone of the lattice. A cache older than
-	// the removed log's horizon must run a full search; an added log
-	// past its horizon only costs extra probes.
+	// delete or eviction) and added those whose multiplicity grew —
+	// with the net change per generation — so cached MUP sets can be
+	// repaired with probes confined to the mutated cone of the lattice
+	// and their cached coverage values delta-updated without probing.
+	// A cache older than the removed log's horizon must run a full
+	// search; an added log past its horizon only costs extra probes.
 	removed mutLog
 	added   mutLog
 
 	appends      int64
 	deletes      int64
 	evictions    int64
-	compactions  int64
 	fullSearches int64
 	repairs      int64
 	bidirRepairs int64
-	cacheHits    atomic.Int64
-	useClock     atomic.Uint64 // LRU clock for cache entries
+	// compactionsBase carries compaction counts restored from a
+	// snapshot; the live counts accumulate in the cores.
+	compactionsBase int64
+	cacheHits       atomic.Int64
+	useClock        atomic.Uint64 // LRU clock for cache entries
 }
 
-// mutRec is one mutated combination at one generation.
+// Engine is the package's historical name for the coordinator. The
+// public constructors build it with Options.shardCount() cores, so
+// every Engine is a ShardedEngine (with a single core by default) and
+// the two names are interchangeable everywhere — persistence, the
+// covserve handlers and the public coverage.Analyzer included.
+type Engine = ShardedEngine
+
+// mutRec is one mutated combination at one generation, with the net
+// signed multiplicity change (0 when restored from a log format that
+// did not record magnitudes).
 type mutRec struct {
-	gen uint64
-	key string
+	gen   uint64
+	key   string
+	count int64
 }
 
 // mutLog is a bounded log of combination mutations in nondecreasing
@@ -244,8 +337,8 @@ type mutLog struct {
 // record appends one mutation at gen, trimming the oldest half (on
 // whole-generation boundaries, so the horizon stays exact) when the
 // log outgrows max.
-func (l *mutLog) record(gen uint64, k string, max int) {
-	l.recs = append(l.recs, mutRec{gen: gen, key: k})
+func (l *mutLog) record(gen uint64, k string, count int64, max int) {
+	l.recs = append(l.recs, mutRec{gen: gen, key: k, count: count})
 	if len(l.recs) <= max {
 		return
 	}
@@ -257,22 +350,39 @@ func (l *mutLog) record(gen uint64, k string, max int) {
 	l.recs = append([]mutRec(nil), l.recs[cut:]...)
 }
 
-// since returns the distinct combinations mutated after generation
-// gen, and whether the log still reaches back that far. The slice is
-// non-nil whenever ok, so "provably none" and "unknown" stay distinct.
-func (l *mutLog) since(gen uint64) ([]pattern.Pattern, bool) {
+// since returns the net multiplicity change per distinct combination
+// mutated after generation gen, and whether the log still reaches back
+// that far. exact reports that every returned net is known; a rec
+// restored without a magnitude poisons its combination's net (the
+// Delta keeps Count 0 = unknown, which still gates repair probes but
+// disables coverage delta-updates). The slice is non-nil whenever ok,
+// so "provably none" and "unknown" stay distinct.
+func (l *mutLog) since(gen uint64) (deltas []mup.Delta, exact, ok bool) {
 	if gen < l.horizon {
-		return nil, false
+		return nil, false, false
 	}
-	out := []pattern.Pattern{}
-	seen := make(map[string]bool)
+	sums := make(map[string]int64)
+	unknown := make(map[string]bool)
 	for i := len(l.recs) - 1; i >= 0 && l.recs[i].gen > gen; i-- {
-		if k := l.recs[i].key; !seen[k] {
-			seen[k] = true
-			out = append(out, pattern.Pattern(k))
+		r := l.recs[i]
+		if r.count == 0 {
+			unknown[r.key] = true
 		}
+		sums[r.key] += r.count
 	}
-	return out, true
+	deltas = make([]mup.Delta, 0, len(sums))
+	exact = true
+	for k, n := range sums {
+		if unknown[k] {
+			exact = false
+			n = 0
+		} else if n == 0 {
+			// A known net of zero cannot have changed any coverage.
+			continue
+		}
+		deltas = append(deltas, mup.Delta{Combo: pattern.Pattern(k), Count: n})
+	}
+	return deltas, exact, true
 }
 
 // rowLog is a FIFO of row combination keys in arrival order, backing
@@ -299,75 +409,96 @@ func (l *rowLog) pop() string {
 
 func (l *rowLog) len() int { return len(l.keys) - l.head }
 
-// New returns an empty engine over the schema.
+// New returns an empty engine over the schema, with Options.Shards
+// cores (default one).
 func New(schema *dataset.Schema, opts Options) *Engine {
-	e := &Engine{
-		schema:   schema,
-		cards:    schema.Cards(),
-		opts:     opts,
-		counts:   make(map[string]int64),
-		deltaPos: make(map[string]int),
-		cache:    make(map[searchKey]*cachedSearch),
+	n := opts.shardCount()
+	e := &ShardedEngine{
+		schema: schema,
+		cards:  schema.Cards(),
+		opts:   opts,
+		cores:  make([]*shardCore, n),
+		cache:  make(map[searchKey]*cachedSearch),
 	}
-	e.rebuildLocked()
-	e.compactions = 0 // the initial empty build is not a compaction
+	for i := range e.cores {
+		e.cores[i] = newShardCore(schema, opts)
+	}
 	return e
 }
 
-// NewFromDataset returns an engine pre-loaded with the dataset's rows.
+// NewSharded returns an empty engine with the combo space partitioned
+// across shards cores (the fan-out coordinator's explicit
+// constructor; New with Options.Shards set is equivalent).
+func NewSharded(schema *dataset.Schema, shards int, opts Options) *ShardedEngine {
+	opts.Shards = shards
+	return New(schema, opts)
+}
+
+// NewFromDataset returns an engine pre-loaded with the dataset's rows,
+// partitioned across the configured shard count. The per-core base
+// builds run in parallel, one goroutine per core.
 func NewFromDataset(ds *dataset.Dataset, opts Options) *Engine {
-	e := &Engine{
-		schema:   ds.Schema(),
-		cards:    ds.Cards(),
-		opts:     opts,
-		counts:   make(map[string]int64),
-		deltaPos: make(map[string]int),
-		cache:    make(map[searchKey]*cachedSearch),
+	e := New(ds.Schema(), opts)
+	n := len(e.cores)
+	parts := make([]map[string]int64, n)
+	for i := range parts {
+		parts[i] = make(map[string]int64)
 	}
 	dd := ds.Distinct()
 	for k, combo := range dd.Combos {
-		e.counts[string(combo)] = dd.Counts[k]
-		e.rows += dd.Counts[k]
+		parts[shardOfRow(combo, n)][string(combo)] = dd.Counts[k]
 	}
-	e.base = index.BuildFromDistinct(dd)
-	e.pool = e.base.NewPool()
+	var wg sync.WaitGroup
+	for i, c := range e.cores {
+		wg.Add(1)
+		go func(c *shardCore, part map[string]int64) {
+			defer wg.Done()
+			c.seed(part)
+		}(c, parts[i])
+	}
+	wg.Wait()
+	for _, c := range e.cores {
+		e.rows += c.rows
+	}
 	return e
 }
 
 // Schema returns the engine's schema.
-func (e *Engine) Schema() *dataset.Schema { return e.schema }
+func (e *ShardedEngine) Schema() *dataset.Schema { return e.schema }
 
 // Cards returns the cardinality vector. The caller must not modify it.
-func (e *Engine) Cards() []int { return e.cards }
+func (e *ShardedEngine) Cards() []int { return e.cards }
 
-// Rows returns the total number of rows appended so far.
-func (e *Engine) Rows() int64 {
+// Shards returns the number of shard cores.
+func (e *ShardedEngine) Shards() int { return len(e.cores) }
+
+// Rows returns the total number of live rows across all shards.
+func (e *ShardedEngine) Rows() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.rows
 }
 
 // Generation returns the current data generation; it increments on
-// every append batch.
-func (e *Engine) Generation() uint64 {
+// every mutation batch.
+func (e *ShardedEngine) Generation() uint64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.gen
 }
 
-// Stats returns a snapshot of the engine's counters.
-func (e *Engine) Stats() Stats {
+// Stats returns a snapshot of the engine's counters, including one
+// ShardStat per core.
+func (e *ShardedEngine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Rows:                 e.rows,
-		Distinct:             e.base.NumDistinct(),
-		DeltaDistinct:        len(e.delta),
 		Generation:           e.gen,
 		Appends:              e.appends,
 		Deletes:              e.deletes,
 		Evictions:            e.evictions,
-		Compactions:          e.compactions,
+		Compactions:          e.compactionsBase,
 		FullSearches:         e.fullSearches,
 		Repairs:              e.repairs,
 		BidirectionalRepairs: e.bidirRepairs,
@@ -375,12 +506,26 @@ func (e *Engine) Stats() Stats {
 		CachedSearches:       len(e.cache),
 		Window:               e.window,
 		Tombstones:           e.tombstones,
+		ShardCount:           len(e.cores),
+		Shards:               make([]ShardStat, len(e.cores)),
 	}
+	for i, c := range e.cores {
+		st.Shards[i] = ShardStat{
+			Rows:          c.rows,
+			Distinct:      c.base.NumDistinct(),
+			DeltaDistinct: len(c.delta),
+			Compactions:   c.compactions,
+		}
+		st.Distinct += c.base.NumDistinct()
+		st.DeltaDistinct += len(c.delta)
+		st.Compactions += c.compactions
+	}
+	return st
 }
 
 // validateRows checks every row against the schema before any
 // mutation, so a rejected batch leaves the engine untouched.
-func (e *Engine) validateRows(rows [][]uint8) error {
+func (e *ShardedEngine) validateRows(rows [][]uint8) error {
 	for n, row := range rows {
 		if len(row) != len(e.cards) {
 			return fmt.Errorf("engine: row %d has %d values, schema has %d attributes", n, len(row), len(e.cards))
@@ -395,182 +540,53 @@ func (e *Engine) validateRows(rows [][]uint8) error {
 	return nil
 }
 
-// Append validates and adds a batch of rows. The batch is sharded
-// across workers for parallel per-combination counting (the same
-// level-chunking idiom as mup.ParallelPatternBreaker), then the shard
-// counts are merged into the engine under the write lock. The base
-// oracle is not rebuilt unless the accumulated delta crosses the
-// compaction threshold. With a sliding window configured, rows beyond
-// the bound are evicted oldest-first in the same mutation.
-func (e *Engine) Append(rows [][]uint8) error {
-	if len(rows) == 0 {
-		return nil
-	}
-	if err := e.validateRows(rows); err != nil {
-		return err
-	}
-	shards := shardCounts(rows, e.opts.workers())
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.gen++
-	e.appends++
-	for _, shard := range shards {
-		for k, c := range shard {
-			e.applySignedLocked(k, c)
-			e.added.record(e.gen, k, e.opts.removedLogSize())
-		}
-	}
-	if e.log != nil {
-		for _, row := range rows {
-			e.log.push(string(row))
-		}
-	}
-	e.rows += int64(len(rows))
-	e.evictLocked()
-	e.maybeCompactLocked()
-	return nil
-}
-
-// Delete validates and retracts a batch of rows. The whole batch is
-// atomic: if any row's combination lacks the multiplicity to delete,
-// the engine is left untouched and an error returned. Rows with equal
-// value combinations are indistinguishable, so under a sliding window
-// a delete retracts the oldest matching occurrences (the log entries
-// are tombstoned and reconciled lazily when eviction reaches them).
-func (e *Engine) Delete(rows [][]uint8) error {
-	if len(rows) == 0 {
-		return nil
-	}
-	if err := e.validateRows(rows); err != nil {
-		return err
-	}
-	need := make(map[string]int64, len(rows))
-	for _, shard := range shardCounts(rows, e.opts.workers()) {
-		for k, c := range shard {
-			need[k] += c
-		}
-	}
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for k, c := range need {
-		if have := e.counts[k]; have < c {
-			return fmt.Errorf("engine: cannot delete %d row(s) of combination %v: only %d present",
-				c, pattern.Pattern(k), have)
-		}
-	}
-	e.gen++
-	e.deletes++
-	for k, c := range need {
-		e.applySignedLocked(k, -c)
-		e.removed.record(e.gen, k, e.opts.removedLogSize())
-		if e.log != nil {
-			e.pendingDeletes[k] += c
-			e.tombstones += c
-		}
-	}
-	e.rows -= int64(len(rows))
-	e.maybeCompactLocked()
-	return nil
-}
-
-// SetWindow configures a sliding window of at most maxRows live rows;
-// rows beyond it are evicted oldest-first on every subsequent append.
-// maxRows <= 0 removes the window (and drops the row log). Rows already
-// present when the window is first enabled have no recorded arrival
-// order; they are treated as oldest, evicted in sorted combination
-// order, before any row appended afterwards.
-func (e *Engine) SetWindow(maxRows int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if maxRows <= 0 {
-		e.window = 0
-		e.log = nil
-		e.pendingDeletes = nil
-		e.tombstones = 0
-		return
-	}
-	e.window = maxRows
-	if e.log == nil {
-		e.log = &rowLog{}
-		e.pendingDeletes = make(map[string]int64)
-		keys := make([]string, 0, len(e.counts))
-		for k := range e.counts {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			for i := int64(0); i < e.counts[k]; i++ {
-				e.log.push(k)
+// countBatch counts the batch's combinations into one signed map per
+// core, outside the engine lock. With one core the batch is chunked
+// across workers and merged (the classic parallel count); with many,
+// a single lightweight partition pass routes row references to their
+// cores (a hash and a pointer append per row), then every core's map
+// is built by its own goroutine — the map inserts, which dominate
+// ingest, run fully in parallel with no cross-core merge.
+func (e *ShardedEngine) countBatch(rows [][]uint8) []map[string]int64 {
+	n := len(e.cores)
+	if n == 1 {
+		shards := shardCounts(rows, e.opts.workers())
+		merged := shards[0]
+		for _, m := range shards[1:] {
+			for k, c := range m {
+				merged[k] += c
 			}
 		}
+		return []map[string]int64{merged}
 	}
-	if e.rows > int64(e.window) {
-		e.gen++
-		e.evictLocked()
-		e.maybeCompactLocked()
+	parts := make([][][]uint8, n)
+	per := len(rows)/n + 16
+	for i := range parts {
+		parts[i] = make([][]uint8, 0, per)
 	}
-}
-
-// Window returns the configured sliding-window bound (0 = unbounded).
-func (e *Engine) Window() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.window
-}
-
-// applySignedLocked merges one signed multiplicity change into the
-// count map and the delta, pruning the combination from the counts the
-// moment it reaches zero so compaction never rebuilds ghosts. Caller
-// holds the write lock.
-func (e *Engine) applySignedLocked(k string, c int64) {
-	if n := e.counts[k] + c; n == 0 {
-		delete(e.counts, k)
-	} else {
-		e.counts[k] = n
+	for _, row := range rows {
+		s := shardOfRow(row, n)
+		parts[s] = append(parts[s], row)
 	}
-	if pos, ok := e.deltaPos[k]; ok {
-		e.delta[pos].count += c
-		return
-	}
-	e.deltaPos[k] = len(e.delta)
-	e.delta = append(e.delta, deltaEntry{combo: pattern.Pattern(k), count: c})
-}
-
-// evictLocked pops the oldest log entries until the live row count fits
-// the window, consuming tombstones (rows already deleted by value) as
-// it goes. Caller holds the write lock with the generation already
-// advanced for this mutation.
-func (e *Engine) evictLocked() {
-	if e.window <= 0 || e.log == nil {
-		return
-	}
-	for e.rows > int64(e.window) {
-		k := e.log.pop()
-		if n := e.pendingDeletes[k]; n > 0 {
-			if n == 1 {
-				delete(e.pendingDeletes, k)
-			} else {
-				e.pendingDeletes[k] = n - 1
-			}
-			e.tombstones--
+	out := make([]map[string]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if len(parts[i]) == 0 {
+			out[i] = map[string]int64{}
 			continue
 		}
-		e.applySignedLocked(k, -1)
-		e.removed.record(e.gen, k, e.opts.removedLogSize())
-		e.rows--
-		e.evictions++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := make(map[string]int64, len(parts[i])/4+16)
+			for _, row := range parts[i] {
+				m[string(row)]++
+			}
+			out[i] = m
+		}(i)
 	}
-}
-
-// maybeCompactLocked rebuilds the base when the accumulated delta
-// crosses the compaction threshold. Caller holds the write lock.
-func (e *Engine) maybeCompactLocked() {
-	if len(e.delta) >= e.opts.compactMinDistinct() &&
-		float64(len(e.delta)) >= e.opts.compactFraction()*float64(e.base.NumDistinct()) {
-		e.rebuildLocked()
-	}
+	wg.Wait()
+	return out
 }
 
 // shardCounts partitions rows into contiguous chunks, one per worker,
@@ -605,31 +621,235 @@ func shardCounts(rows [][]uint8, workers int) []map[string]int64 {
 	return shards
 }
 
-// rebuildLocked rebuilds the base oracle from the full count map and
-// clears the delta. Caller holds the write lock (or has exclusive
-// access during construction).
-func (e *Engine) rebuildLocked() {
-	e.base = index.BuildFromCounts(e.schema, e.counts)
-	e.pool = e.base.NewPool()
-	e.delta = nil
-	e.deltaPos = make(map[string]int)
-	e.compactions++
+// applyCoresLocked fans the per-core signed mutation maps out to the
+// cores — in parallel when more than one core has work. Caller holds
+// the write lock, which is what makes the cross-core batch atomic for
+// readers.
+func (e *ShardedEngine) applyCoresLocked(muts []map[string]int64) {
+	busy := 0
+	last := -1
+	for i, m := range muts {
+		if len(m) > 0 {
+			busy++
+			last = i
+		}
+	}
+	switch {
+	case busy == 0:
+	case busy == 1:
+		e.cores[last].applyBatch(muts[last])
+	default:
+		var wg sync.WaitGroup
+		for i, m := range muts {
+			if len(m) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(c *shardCore, m map[string]int64) {
+				defer wg.Done()
+				c.applyBatch(m)
+			}(e.cores[i], m)
+		}
+		wg.Wait()
+	}
 }
 
-// Coverage returns cov(P) over all appended data: the base oracle's
-// windowed bit-vector probe plus a scan of the (small) delta.
-func (e *Engine) Coverage(p pattern.Pattern) (int64, error) {
+// Append validates and adds a batch of rows. The batch is counted into
+// per-core signed maps outside the lock (parallel, one goroutine per
+// core), then fanned out to the cores under the write lock. No base
+// oracle is rebuilt unless a core's accumulated delta crosses the
+// compaction threshold. With a sliding window configured, rows beyond
+// the bound are evicted oldest-first in the same mutation.
+func (e *ShardedEngine) Append(rows [][]uint8) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := e.validateRows(rows); err != nil {
+		return err
+	}
+	muts := e.countBatch(rows)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gen++
+	e.appends++
+	logSize := e.opts.removedLogSize()
+	for _, m := range muts {
+		for k, c := range m {
+			e.added.record(e.gen, k, c, logSize)
+		}
+	}
+	if e.log != nil {
+		for _, row := range rows {
+			e.log.push(string(row))
+		}
+	}
+	e.rows += int64(len(rows))
+	e.evictIntoLocked(muts)
+	e.applyCoresLocked(muts)
+	return nil
+}
+
+// Delete validates and retracts a batch of rows. The whole batch is
+// atomic: if any row's combination lacks the multiplicity to delete,
+// the engine is left untouched and an error returned. Rows with equal
+// value combinations are indistinguishable, so under a sliding window
+// a delete retracts the oldest matching occurrences (the log entries
+// are tombstoned and reconciled lazily when eviction reaches them).
+func (e *ShardedEngine) Delete(rows [][]uint8) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := e.validateRows(rows); err != nil {
+		return err
+	}
+	need := e.countBatch(rows)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, m := range need {
+		for k, c := range m {
+			if have := e.cores[i].multiplicity(k); have < c {
+				return fmt.Errorf("engine: cannot delete %d row(s) of combination %v: only %d present",
+					c, pattern.Pattern(k), have)
+			}
+		}
+	}
+	e.gen++
+	e.deletes++
+	logSize := e.opts.removedLogSize()
+	for _, m := range need {
+		for k, c := range m {
+			e.removed.record(e.gen, k, -c, logSize)
+			if e.log != nil {
+				e.pendingDeletes[k] += c
+				e.tombstones += c
+			}
+			m[k] = -c
+		}
+	}
+	e.rows -= int64(len(rows))
+	e.applyCoresLocked(need)
+	return nil
+}
+
+// SetWindow configures a sliding window of at most maxRows live rows;
+// rows beyond it are evicted oldest-first on every subsequent append.
+// maxRows <= 0 removes the window (and drops the row log). Rows already
+// present when the window is first enabled have no recorded arrival
+// order; they are treated as oldest, evicted in sorted combination
+// order, before any row appended afterwards.
+func (e *ShardedEngine) SetWindow(maxRows int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if maxRows <= 0 {
+		e.window = 0
+		e.log = nil
+		e.pendingDeletes = nil
+		e.tombstones = 0
+		return
+	}
+	e.window = maxRows
+	if e.log == nil {
+		e.log = &rowLog{}
+		e.pendingDeletes = make(map[string]int64)
+		keys := make([]string, 0, e.distinctLocked())
+		for _, c := range e.cores {
+			for k := range c.counts {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			n := e.cores[shardOf(k, len(e.cores))].multiplicity(k)
+			for i := int64(0); i < n; i++ {
+				e.log.push(k)
+			}
+		}
+	}
+	if e.rows > int64(e.window) {
+		e.gen++
+		muts := make([]map[string]int64, len(e.cores))
+		for i := range muts {
+			muts[i] = make(map[string]int64)
+		}
+		e.evictIntoLocked(muts)
+		e.applyCoresLocked(muts)
+	}
+}
+
+// Window returns the configured sliding-window bound (0 = unbounded).
+func (e *ShardedEngine) Window() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.window
+}
+
+// evictIntoLocked pops the oldest log entries until the live row count
+// fits the window, consuming tombstones (rows already deleted by
+// value) as it goes. The retractions are merged into the per-core
+// mutation maps (so the whole append-plus-evictions mutation reaches
+// each core as one atomic signed batch) and recorded in the removed
+// log with their net counts. Caller holds the write lock with the
+// generation already advanced for this mutation.
+func (e *ShardedEngine) evictIntoLocked(muts []map[string]int64) {
+	if e.window <= 0 || e.log == nil {
+		return
+	}
+	n := len(e.cores)
+	evicted := make(map[string]int64)
+	for e.rows > int64(e.window) {
+		k := e.log.pop()
+		if c := e.pendingDeletes[k]; c > 0 {
+			if c == 1 {
+				delete(e.pendingDeletes, k)
+			} else {
+				e.pendingDeletes[k] = c - 1
+			}
+			e.tombstones--
+			continue
+		}
+		evicted[k]++
+		e.rows--
+		e.evictions++
+	}
+	logSize := e.opts.removedLogSize()
+	for k, c := range evicted {
+		muts[shardOf(k, n)][k] -= c
+		e.removed.record(e.gen, k, -c, logSize)
+	}
+}
+
+// distinctLocked sums the per-core live distinct counts.
+func (e *ShardedEngine) distinctLocked() int {
+	n := 0
+	for _, c := range e.cores {
+		n += len(c.counts)
+	}
+	return n
+}
+
+// Coverage returns cov(P) over all live data: the sum of the per-core
+// answers (base probe plus delta scan on each partition).
+func (e *ShardedEngine) Coverage(p pattern.Pattern) (int64, error) {
 	if err := p.Validate(e.cards); err != nil {
 		return 0, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.coverageLocked(p), nil
+	var c int64
+	for _, core := range e.cores {
+		c += core.coverage(p)
+	}
+	return c, nil
 }
 
 // CoverageBatch answers many coverage queries under one lock
-// acquisition. It fails on the first invalid pattern.
-func (e *Engine) CoverageBatch(ps []pattern.Pattern) ([]int64, error) {
+// acquisition, fanning the batch out core by core (each core resolves
+// the whole pattern list over its partition on its own goroutine, then
+// the per-shard count vectors are summed). It fails on the first
+// invalid pattern.
+func (e *ShardedEngine) CoverageBatch(ps []pattern.Pattern) ([]int64, error) {
 	for _, p := range ps {
 		if err := p.Validate(e.cards); err != nil {
 			return nil, err
@@ -638,58 +858,135 @@ func (e *Engine) CoverageBatch(ps []pattern.Pattern) ([]int64, error) {
 	out := make([]int64, len(ps))
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	for i, p := range ps {
-		out[i] = e.coverageLocked(p)
+	if len(e.cores) == 1 || len(ps) == 1 {
+		for _, core := range e.cores {
+			for i, p := range ps {
+				out[i] += core.coverage(p)
+			}
+		}
+		return out, nil
+	}
+	partial := make([][]int64, len(e.cores))
+	var wg sync.WaitGroup
+	for ci, core := range e.cores {
+		wg.Add(1)
+		go func(ci int, core *shardCore) {
+			defer wg.Done()
+			vec := make([]int64, len(ps))
+			for i, p := range ps {
+				vec[i] = core.coverage(p)
+			}
+			partial[ci] = vec
+		}(ci, core)
+	}
+	wg.Wait()
+	for _, vec := range partial {
+		for i, c := range vec {
+			out[i] += c
+		}
 	}
 	return out, nil
 }
 
-func (e *Engine) coverageLocked(p pattern.Pattern) int64 {
-	c := e.pool.Coverage(p)
-	for i := range e.delta {
-		if p.Matches(e.delta[i].combo) {
-			c += e.delta[i].count
-		}
+// foldLocked compacts every core's pending delta (in parallel) and
+// returns the immutable per-core bases. Caller holds the write lock.
+func (e *ShardedEngine) foldLocked() []*index.Index {
+	bases := make([]*index.Index, len(e.cores))
+	if len(e.cores) == 1 {
+		bases[0] = e.cores[0].fold()
+		return bases
 	}
-	return c
+	var wg sync.WaitGroup
+	for i, c := range e.cores {
+		if len(c.delta) == 0 {
+			bases[i] = c.base
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *shardCore) {
+			defer wg.Done()
+			bases[i] = c.fold()
+		}(i, c)
+	}
+	wg.Wait()
+	return bases
 }
 
-// Index compacts any pending delta and returns the base oracle
-// reflecting all appended data. The returned index is immutable and
-// remains valid (but stale) after further appends.
-func (e *Engine) Index() *index.Index {
+// Index compacts any pending deltas and returns a single base oracle
+// reflecting all live data. With one core this is that core's base
+// (shared by reference, immutable); with several, a merged index is
+// built from the union of the partitions — an O(distinct) rebuild, so
+// sharded callers that only need probes should prefer Oracle.
+func (e *ShardedEngine) Index() *index.Index {
 	e.mu.RLock()
-	if len(e.delta) == 0 {
-		ix := e.base
+	if len(e.cores) == 1 && len(e.cores[0].delta) == 0 {
+		ix := e.cores[0].base
 		e.mu.RUnlock()
 		return ix
 	}
 	e.mu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.delta) > 0 {
-		e.rebuildLocked()
+	if len(e.cores) == 1 {
+		return e.cores[0].fold()
 	}
-	return e.base
+	e.foldLocked()
+	union := make(map[string]int64, e.distinctLocked())
+	for _, c := range e.cores {
+		for k, n := range c.counts {
+			union[k] = n
+		}
+	}
+	return index.BuildFromCounts(e.schema, union)
+}
+
+// Oracle folds any pending deltas and returns a coverage oracle over
+// all live data: the bare base index for a single core, the summing
+// fan-out oracle otherwise. The oracle is immutable and remains valid
+// (but stale) after further mutations. In the read-mostly steady
+// state (no pending deltas) only the read lock is taken, so Oracle
+// never serializes against concurrent queries.
+func (e *ShardedEngine) Oracle() index.Oracle {
+	e.mu.RLock()
+	clean := true
+	bases := make([]*index.Index, len(e.cores))
+	for i, c := range e.cores {
+		if len(c.delta) > 0 {
+			clean = false
+			break
+		}
+		bases[i] = c.base
+	}
+	e.mu.RUnlock()
+	if !clean {
+		e.mu.Lock()
+		bases = e.foldLocked()
+		e.mu.Unlock()
+	}
+	return oracleFor(e.schema, bases)
 }
 
 // MUPs returns the maximal uncovered patterns under opts. Results are
 // cached per (Threshold, MaxLevel), with the least recently used
 // configuration evicted beyond Options.MaxCachedSearches: a query at
 // the current generation is answered from cache; after appends, the
-// stale cached set is repaired incrementally via mup.Repair; after
-// deletions or window evictions, via mup.RepairBidirectional seeded
-// with the retracted combinations (falling back to a full search once
-// the removed log's horizon has passed the cached generation); a
-// configuration seen for the first time runs a full parallel search.
+// stale cached set is repaired incrementally via mup.Repair (its
+// cached coverage values delta-updated from the added log, so
+// untouched patterns cost no probes); after deletions or window
+// evictions, via mup.RepairBidirectional seeded with the net retracted
+// combinations (falling back to a full search once the removed log's
+// horizon has passed the cached generation); a configuration seen for
+// the first time runs a full parallel search.
 //
-// The search itself runs on an immutable base snapshot outside the
-// engine lock, so long lattice searches never stall concurrent
-// readers or appends; the result is linearized to the generation
-// sampled when the search started. Concurrent first queries for the
-// same configuration may duplicate work (last store wins). The caller
-// must not modify the returned result.
-func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
+// The search itself runs as a level-synchronous descent on the
+// immutable per-core base snapshots outside the engine lock — each
+// candidate's count resolved per shard and merged — so long lattice
+// searches never stall concurrent readers or mutations; the result is
+// linearized to the generation sampled when the search started.
+// Concurrent first queries for the same configuration may duplicate
+// work (last store wins). The caller must not modify the returned
+// result.
+func (e *ShardedEngine) MUPs(opts mup.Options) (*mup.Result, error) {
 	key := searchKey{tau: opts.Threshold, maxLevel: opts.MaxLevel}
 	e.mu.RLock()
 	if c, ok := e.cache[key]; ok && c.gen == e.gen {
@@ -701,9 +998,9 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 	}
 	e.mu.RUnlock()
 
-	// Fold any pending delta (the lattice searches need the base
-	// oracle's windowed probes) and snapshot the immutable base plus
-	// the stale cached set to repair from.
+	// Fold pending deltas (the lattice searches need the windowed
+	// bit-vector probes of the base oracles) and snapshot the immutable
+	// bases plus the stale cached set to repair from.
 	e.mu.Lock()
 	if c, ok := e.cache[key]; ok && c.gen == e.gen {
 		c.lastUsed.Store(e.useClock.Add(1))
@@ -711,12 +1008,10 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 		e.cacheHits.Add(1)
 		return c.res, nil
 	}
-	if len(e.delta) > 0 {
-		e.rebuildLocked()
-	}
-	base, gen := e.base, e.gen
+	bases := e.foldLocked()
+	gen := e.gen
 	var seed *mup.Result
-	var removed, added []pattern.Pattern
+	var removed, added []mup.Delta
 	if c, ok := e.cache[key]; ok {
 		// A stale cached set can seed a repair only if every
 		// combination retracted since it was computed is still in the
@@ -724,14 +1019,16 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 		// newly uncovered regions and a full search is required. The
 		// added log is an optimization only — when it has overflowed,
 		// nil tells the repair to assume any coverage may have risen.
-		if rm, ok := e.removed.since(c.gen); ok {
+		if rm, _, ok := e.removed.since(c.gen); ok {
 			seed, removed = c.res, rm
-			if ad, ok := e.added.since(c.gen); ok {
+			if ad, _, ok := e.added.since(c.gen); ok {
 				added = ad
 			}
 		}
 	}
 	e.mu.Unlock()
+
+	oracle := oracleFor(e.schema, bases)
 
 	// Bulk retraction: when the removed set covers a large fraction of
 	// the distinct combinations, every shallow pattern is suspect and
@@ -742,19 +1039,20 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 	// always cheaper than a search.
 	const bulkRemovedFloor = 64
 	if frac := e.opts.fullSearchRemovedFraction(); frac < 1 && len(removed) >= bulkRemovedFloor &&
-		float64(len(removed)) > frac*float64(base.NumDistinct()) {
+		float64(len(removed)) > frac*float64(oracle.NumDistinct()) {
 		seed, removed, added = nil, nil, nil
 	}
 
+	popts := mup.ParallelOptions{Options: opts, Workers: e.opts.Workers}
 	var res *mup.Result
 	var err error
 	switch {
 	case seed == nil:
-		res, err = mup.ParallelPatternBreaker(base, mup.ParallelOptions{Options: opts, Workers: e.opts.Workers})
+		res, err = mup.ParallelPatternBreaker(oracle, popts)
 	case len(removed) == 0:
-		res, err = mup.Repair(base, seed.MUPs, opts)
+		res, err = mup.Repair(oracle, seed, added, popts)
 	default:
-		res, err = mup.RepairBidirectional(base, seed.MUPs, removed, added, opts)
+		res, err = mup.RepairBidirectional(oracle, seed, removed, added, popts)
 	}
 	if err != nil {
 		return nil, err
@@ -770,7 +1068,7 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 	default:
 		e.bidirRepairs++
 	}
-	// A racing append may have advanced the generation; the stale
+	// A racing mutation may have advanced the generation; the stale
 	// result is still stored (tagged with its own generation) so the
 	// next query repairs from it instead of searching from scratch.
 	if c, ok := e.cache[key]; !ok || c.gen <= gen {
@@ -781,7 +1079,7 @@ func (e *Engine) MUPs(opts mup.Options) (*mup.Result, error) {
 
 // storeLocked inserts a cache entry, evicting the least recently used
 // one when the cache is full. Caller holds the write lock.
-func (e *Engine) storeLocked(key searchKey, c *cachedSearch) {
+func (e *ShardedEngine) storeLocked(key searchKey, c *cachedSearch) {
 	if _, ok := e.cache[key]; !ok && len(e.cache) >= e.opts.maxCachedSearches() {
 		var victim searchKey
 		first := true

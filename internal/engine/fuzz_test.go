@@ -6,6 +6,7 @@ import (
 	"coverage/internal/dataset"
 	"coverage/internal/index"
 	"coverage/internal/mup"
+	"coverage/internal/pattern"
 )
 
 // FuzzAppendEquivalence drives the engine with an arbitrary byte
@@ -82,6 +83,106 @@ func FuzzAppendEquivalence(f *testing.F) {
 			}
 		}
 		flush()
+	})
+}
+
+// FuzzShardEquivalence drives a single-shard engine and a sharded one
+// (N ≥ 2, derived from the fuzzed byte) through the identical
+// append/delete schedule and asserts, after every batch, that the two
+// agree on the full coverage lattice and on the cached-and-repaired
+// MUP set — the coordinator's fan-out, routing and per-shard count
+// merging must be invisible in every answer.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 0, 0, 255, 1, 0, 1, 254, 0, 1, 2}, uint8(2), uint8(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 255, 0, 0, 0, 254, 0, 0, 0, 254}, uint8(1), uint8(4))
+	f.Add([]byte{7, 3, 9, 200, 41, 5, 255, 7, 3, 9, 254, 17, 2, 2, 254, 80, 0, 1}, uint8(5), uint8(8))
+
+	cards := []int{2, 3, 2}
+	f.Fuzz(func(t *testing.T, data []byte, tauByte, shardByte uint8) {
+		tau := int64(tauByte%8) + 1
+		shards := 2 + int(shardByte%6)
+		schema := testSchema(t, cards)
+		opts := Options{CompactMinDistinct: 2, CompactFraction: 0.2, RemovedLogSize: 16}
+		single := NewSharded(schema, 1, opts)
+		sharded := NewSharded(schema, shards, opts)
+
+		check := func() {
+			var ps []pattern.Pattern
+			pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
+				ps = append(ps, p.Clone())
+				return true
+			})
+			want, err := single.CoverageBatch(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.CoverageBatch(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ps {
+				if want[i] != got[i] {
+					t.Fatalf("shards=%d: cov(%v) = %d, single-shard %d", shards, ps[i], got[i], want[i])
+				}
+			}
+			w, err := single.MUPs(mup.Options{Threshold: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := sharded.MUPs(mup.Options{Threshold: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.MUPs) != len(g.MUPs) {
+				t.Fatalf("shards=%d τ=%d: %d MUPs, single-shard %d\nsharded: %v\nsingle:  %v",
+					shards, tau, len(g.MUPs), len(w.MUPs), g.MUPs, w.MUPs)
+			}
+			for i := range w.MUPs {
+				if !w.MUPs[i].Equal(g.MUPs[i]) {
+					t.Fatalf("shards=%d τ=%d: MUPs[%d] = %v, single-shard %v", shards, tau, i, g.MUPs[i], w.MUPs[i])
+				}
+			}
+		}
+		var batch [][]uint8
+		flush := func(deleteBatch bool) {
+			if len(batch) == 0 {
+				return
+			}
+			if deleteBatch {
+				errS := single.Delete(batch)
+				errM := sharded.Delete(batch)
+				if (errS == nil) != (errM == nil) {
+					t.Fatalf("delete verdicts diverge: single-shard %v, sharded %v", errS, errM)
+				}
+			} else {
+				if err := single.Append(batch); err != nil {
+					t.Fatalf("append rejected valid batch: %v", err)
+				}
+				if err := sharded.Append(batch); err != nil {
+					t.Fatalf("sharded append rejected valid batch: %v", err)
+				}
+			}
+			batch = nil
+			check()
+		}
+		row := make([]uint8, 0, len(cards))
+		for _, b := range data {
+			if b == 0xFF || b == 0xFE {
+				row = row[:0] // discard a partial row at the separator
+				flush(b == 0xFE)
+				continue
+			}
+			row = append(row, b)
+			if len(row) == len(cards) {
+				r := make([]uint8, len(cards))
+				for i, v := range row {
+					r[i] = v % uint8(cards[i])
+				}
+				batch = append(batch, r)
+				row = row[:0]
+			}
+		}
+		flush(false)
 	})
 }
 

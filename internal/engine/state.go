@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"coverage/internal/dataset"
 	"coverage/internal/index"
@@ -16,22 +17,33 @@ import (
 // across the restart. It is the unit of persistence — package persist
 // encodes it to the snapshot format and back.
 //
-// The pending delta is deliberately absent: Counts is the merged
-// combo→multiplicity map (base + delta), so a restored engine starts
+// The pending deltas are deliberately absent: Counts is the merged
+// combo→multiplicity map (bases + deltas), so a restored engine starts
 // compacted. Coverage answers are unaffected; only the DeltaDistinct
 // statistic resets.
 type State struct {
 	// Attrs is the schema: attribute names and value dictionaries.
 	Attrs []dataset.Attribute
 	// Counts maps every distinct value combination (raw value-code
-	// string) to its positive multiplicity.
+	// string) to its positive multiplicity — the union across all
+	// shard cores.
 	Counts map[string]int64
 	// CountKeys, when non-nil, lists the keys of Counts in strictly
-	// increasing order — the order the snapshot codec stores them in.
-	// Restores use it to rebuild the base oracle without re-sorting;
-	// nil (e.g. on a State handed straight from ExportState) falls
-	// back to sorting. NewFromState validates the invariant.
+	// increasing order — the order the single-shard (v1) snapshot
+	// codec stores them in. Restores use it to rebuild the base oracle
+	// without re-sorting; nil falls back to sorting (or to
+	// ShardCountKeys). NewFromState validates the invariant.
 	CountKeys []string
+	// Shards is the number of shard cores the state was captured from
+	// (0 is treated as 1 — e.g. a hand-built or v1-decoded state).
+	Shards int
+	// ShardCountKeys, when non-nil, partitions the keys of Counts by
+	// shard core: entry i lists core i's keys in strictly increasing
+	// order, and membership follows the hash router for len() cores.
+	// Restores with a matching shard count rebuild every core's base
+	// directly (in parallel) without re-hashing or re-sorting; a
+	// different target shard count re-partitions from Counts.
+	ShardCountKeys [][]string
 	// Rows is the live row count; it must equal the sum of Counts.
 	Rows int64
 	// Generation is the mutation-batch counter the cached searches and
@@ -48,7 +60,7 @@ type State struct {
 	Tombstones     int64
 
 	// Removed and Added are the bounded mutation logs that seed
-	// bidirectional MUP-cache repair after a restart.
+	// MUP-cache repair after a restart.
 	Removed MutationLog
 	Added   MutationLog
 
@@ -70,10 +82,13 @@ type MutationLog struct {
 	Recs []MutationRec
 }
 
-// MutationRec is one mutated combination at one generation.
+// MutationRec is one mutated combination at one generation, with the
+// net signed multiplicity change (0 = unknown, from a log format that
+// predates magnitudes).
 type MutationRec struct {
-	Gen uint64
-	Key string
+	Gen   uint64
+	Key   string
+	Count int64
 }
 
 // CachedSearch is one cached MUP search configuration and its result.
@@ -82,8 +97,11 @@ type CachedSearch struct {
 	MaxLevel int
 	// Gen is the data generation the result reflects (≤ the engine's
 	// generation; stale entries are repaired on the next query).
-	Gen   uint64
-	MUPs  []pattern.Pattern
+	Gen  uint64
+	MUPs []pattern.Pattern
+	// Cov, when non-nil, is the per-MUP coverage value cache (parallel
+	// to MUPs) that lets repairs delta-update instead of re-probe.
+	Cov   []int64
 	Stats mup.Stats
 }
 
@@ -99,36 +117,48 @@ type Counters struct {
 	CacheHits            int64
 }
 
-// Capture is a point-in-time capture of the engine's state, taken
-// cheaply under the read lock: the immutable base oracle is shared by
-// reference and only the small mutable residue is copied. Call State
-// to complete it into a serializable State (the O(distinct) merge of
-// base and delta), outside whatever lock gated the capture.
-type Capture struct {
-	st    *State
+// coreSnapshot is one core's share of a capture: the immutable base
+// (shared by reference) plus a copy of the small pending delta.
+type coreSnapshot struct {
 	base  *index.Index
 	delta []deltaEntry
 }
 
+// Capture is a point-in-time capture of the engine's state, taken
+// cheaply under the read lock: the immutable per-core base oracles are
+// shared by reference and only the small mutable residue is copied.
+// Call State to complete it into a serializable State (the
+// O(distinct) merge of bases and deltas), outside whatever lock gated
+// the capture.
+type Capture struct {
+	st    *State
+	cores []coreSnapshot
+}
+
 // ExportState captures and materializes the engine's full state for
 // serialization. Callers that must not stall while the combo→count
-// map is merged (e.g. a store holding its mutation lock) should use
+// maps are merged (e.g. a store holding its mutation lock) should use
 // CaptureState and materialize later.
-func (e *Engine) ExportState() *State {
+func (e *ShardedEngine) ExportState() *State {
 	return e.CaptureState().State()
 }
 
 // CaptureState snapshots the engine's state. The bulk of the state —
-// the base oracle's combo→count map — is immutable and shared by
-// reference, so the engine's read lock is held only long enough to
-// copy the small mutable residue (the pending delta, window log,
-// mutation logs and cache headers). Concurrent queries, which also
-// take the read lock, are never blocked.
-func (e *Engine) CaptureState() *Capture {
+// the per-core base oracles' combo→count maps — is immutable and
+// shared by reference, so the engine's read lock is held only long
+// enough to copy the small mutable residue (the pending deltas, window
+// log, mutation logs and cache headers). Concurrent queries, which
+// also take the read lock, are never blocked.
+func (e *ShardedEngine) CaptureState() *Capture {
 	e.mu.RLock()
-	base := e.base
-	delta := append([]deltaEntry(nil), e.delta...)
+	cores := make([]coreSnapshot, len(e.cores))
+	var compactions int64
+	for i, c := range e.cores {
+		cores[i] = coreSnapshot{base: c.base, delta: append([]deltaEntry(nil), c.delta...)}
+		compactions += c.compactions
+	}
 	st := &State{
+		Shards:     len(e.cores),
 		Rows:       e.rows,
 		Generation: e.gen,
 		Window:     e.window,
@@ -145,7 +175,7 @@ func (e *Engine) CaptureState() *Capture {
 			Appends:              e.appends,
 			Deletes:              e.deletes,
 			Evictions:            e.evictions,
-			Compactions:          e.compactions,
+			Compactions:          e.compactionsBase + compactions,
 			FullSearches:         e.fullSearches,
 			Repairs:              e.repairs,
 			BidirectionalRepairs: e.bidirRepairs,
@@ -162,13 +192,14 @@ func (e *Engine) CaptureState() *Capture {
 	}
 	st.Cache = make([]CachedSearch, 0, len(e.cache))
 	for key, c := range e.cache {
-		// Cached results are immutable once stored, so the MUP slices
-		// are shared, not copied.
+		// Cached results are immutable once stored, so the MUP and Cov
+		// slices are shared, not copied.
 		st.Cache = append(st.Cache, CachedSearch{
 			Tau:      key.tau,
 			MaxLevel: key.maxLevel,
 			Gen:      c.gen,
 			MUPs:     c.res.MUPs,
+			Cov:      c.res.Cov,
 			Stats:    c.res.Stats,
 		})
 	}
@@ -186,47 +217,72 @@ func (e *Engine) CaptureState() *Capture {
 		attrs[i] = e.schema.Attr(i)
 	}
 	st.Attrs = attrs
-	return &Capture{st: st, base: base, delta: delta}
+	return &Capture{st: st, cores: cores}
 }
 
-// State completes the capture: the base and delta are merged into the
-// State's combo→count map against the immutable base snapshot, with
-// no engine lock involved. Idempotent; the same State is returned on
-// repeated calls.
+// State completes the capture: each core's base and delta are merged
+// into its partition of the combo→count map against the immutable base
+// snapshots, with no engine lock involved, yielding the union Counts
+// plus the per-shard sorted key lists. Idempotent; the same State is
+// returned on repeated calls.
 func (c *Capture) State() *State {
 	if c.st.Counts != nil {
 		return c.st
 	}
-	counts := make(map[string]int64, c.base.NumDistinct()+len(c.delta))
-	c.base.Range(func(combo string, cnt int64) {
-		counts[combo] = cnt
-	})
-	for _, d := range c.delta {
-		if n := counts[string(d.combo)] + d.count; n == 0 {
-			delete(counts, string(d.combo))
-		} else {
-			counts[string(d.combo)] = n
+	total := 0
+	for _, core := range c.cores {
+		total += core.base.NumDistinct() + len(core.delta)
+	}
+	counts := make(map[string]int64, total)
+	shardKeys := make([][]string, len(c.cores))
+	for i, core := range c.cores {
+		part := make(map[string]int64, core.base.NumDistinct()+len(core.delta))
+		core.base.Range(func(combo string, cnt int64) {
+			part[combo] = cnt
+		})
+		for _, d := range core.delta {
+			if n := part[string(d.combo)] + d.count; n == 0 {
+				delete(part, string(d.combo))
+			} else {
+				part[string(d.combo)] = n
+			}
 		}
+		keys := make([]string, 0, len(part))
+		for k, n := range part {
+			counts[k] = n
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		shardKeys[i] = keys
 	}
 	c.st.Counts = counts
+	c.st.ShardCountKeys = shardKeys
 	return c.st
 }
 
 func exportRecs(recs []mutRec) []MutationRec {
 	out := make([]MutationRec, len(recs))
 	for i, r := range recs {
-		out[i] = MutationRec{Gen: r.gen, Key: r.key}
+		out[i] = MutationRec{Gen: r.gen, Key: r.key, Count: r.count}
 	}
 	return out
 }
 
 // NewFromState rebuilds an engine from a captured State. The state is
 // validated before any construction — combination keys against the
-// schema, the row count against the multiplicity sum, window and
-// tombstone accounting, log ordering and cache generations — so a
-// corrupted or hand-edited state is rejected whole rather than
-// restored partially. The returned engine answers every coverage and
-// MUP query identically to the engine the state was exported from.
+// schema, the row count against the multiplicity sum, the shard
+// partition against the hash router, window and tombstone accounting,
+// log ordering and cache generations — so a corrupted or hand-edited
+// state is rejected whole rather than restored partially.
+//
+// The shard count is opts.Shards when set (falling back to the
+// COVSHARDS override, then to the snapshot's own shard count), so a
+// snapshot written by a single-shard engine restores into a sharded
+// one and vice versa: when the target count matches the snapshot's the
+// per-shard key lists rebuild every core directly (in parallel), and
+// otherwise the union is re-partitioned through the hash router. The
+// returned engine answers every coverage and MUP query identically to
+// the engine the state was exported from.
 func NewFromState(st *State, opts Options) (*Engine, error) {
 	schema, err := dataset.NewSchema(st.Attrs)
 	if err != nil {
@@ -247,7 +303,41 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 	}
 
 	var sum int64
-	if st.CountKeys != nil {
+	switch {
+	case st.ShardCountKeys != nil:
+		// Validate through the per-shard key lists: every key valid,
+		// present, positive, strictly increasing within its shard and
+		// routed to it; equal total lengths then make the lists a
+		// partition of the map's keys.
+		nShards := len(st.ShardCountKeys)
+		total := 0
+		for s, keys := range st.ShardCountKeys {
+			for i, k := range keys {
+				if err := validKey("count", k); err != nil {
+					return nil, err
+				}
+				if i > 0 && keys[i-1] >= k {
+					return nil, fmt.Errorf("engine: shard %d count keys not strictly increasing at entry %d", s, i)
+				}
+				if got := shardOf(k, nShards); got != s {
+					return nil, fmt.Errorf("engine: combination %v stored on shard %d, router says %d of %d",
+						pattern.Pattern(k), s, got, nShards)
+				}
+				c, ok := st.Counts[k]
+				if !ok {
+					return nil, fmt.Errorf("engine: shard %d key %v missing from the count map", s, pattern.Pattern(k))
+				}
+				if c <= 0 {
+					return nil, fmt.Errorf("engine: combination %v has non-positive multiplicity %d", pattern.Pattern(k), c)
+				}
+				sum += c
+			}
+			total += len(keys)
+		}
+		if total != len(st.Counts) {
+			return nil, fmt.Errorf("engine: %d sharded count keys for %d count entries", total, len(st.Counts))
+		}
+	case st.CountKeys != nil:
 		// Validate through the pre-sorted key list: every key valid,
 		// present, strictly increasing; equal lengths then make it a
 		// bijection with the map.
@@ -270,7 +360,7 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 			}
 			sum += c
 		}
-	} else {
+	default:
 		for k, c := range st.Counts {
 			if err := validKey("count", k); err != nil {
 				return nil, err
@@ -314,7 +404,8 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 	for _, l := range []struct {
 		name string
 		log  MutationLog
-	}{{"removed", st.Removed}, {"added", st.Added}} {
+		sign int64
+	}{{"removed", st.Removed, -1}, {"added", st.Added, 1}} {
 		var prev uint64
 		for i, r := range l.log.Recs {
 			if err := validKey(l.name+"-log", r.Key); err != nil {
@@ -327,6 +418,9 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 				return nil, fmt.Errorf("engine: %s log entry %d has generation %d beyond state generation %d",
 					l.name, i, r.Gen, st.Generation)
 			}
+			if r.Count*l.sign < 0 {
+				return nil, fmt.Errorf("engine: %s log entry %d has count %d of the wrong sign", l.name, i, r.Count)
+			}
 			prev = r.Gen
 		}
 	}
@@ -335,6 +429,15 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d) has generation %d beyond state generation %d",
 				c.Tau, c.MaxLevel, c.Gen, st.Generation)
 		}
+		if c.Cov != nil && len(c.Cov) != len(c.MUPs) {
+			return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d) has %d coverage values for %d MUPs",
+				c.Tau, c.MaxLevel, len(c.Cov), len(c.MUPs))
+		}
+		for _, v := range c.Cov {
+			if v < 0 {
+				return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d) has negative coverage value %d", c.Tau, c.MaxLevel, v)
+			}
+		}
 		for _, p := range c.MUPs {
 			if err := p.Validate(cards); err != nil {
 				return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d): %w", c.Tau, c.MaxLevel, err)
@@ -342,16 +445,31 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		}
 	}
 
-	e := &Engine{
-		schema:   schema,
-		cards:    cards,
-		opts:     opts,
-		counts:   make(map[string]int64, len(st.Counts)),
-		deltaPos: make(map[string]int),
-		cache:    make(map[searchKey]*cachedSearch, len(st.Cache)),
-		rows:     st.Rows,
-		gen:      st.Generation,
-		window:   st.Window,
+	// Resolve the target shard count: explicit option, then the
+	// COVSHARDS override, then the snapshot's own topology — capped
+	// like every other path, so a crafted snapshot declaring millions
+	// of (empty) shard sections cannot spawn unbounded cores; past the
+	// cap the state simply re-shards.
+	n := 0
+	if opts.Shards > 0 || envShards() > 0 {
+		n = opts.shardCount()
+	} else if len(st.ShardCountKeys) > 0 {
+		n = min(len(st.ShardCountKeys), maxShards)
+	} else if st.Shards > 0 {
+		n = min(st.Shards, maxShards)
+	} else {
+		n = 1
+	}
+
+	e := &ShardedEngine{
+		schema: schema,
+		cards:  cards,
+		opts:   opts,
+		cores:  make([]*shardCore, n),
+		cache:  make(map[searchKey]*cachedSearch, len(st.Cache)),
+		rows:   st.Rows,
+		gen:    st.Generation,
+		window: st.Window,
 		removed: mutLog{
 			horizon: st.Removed.Horizon,
 			recs:    importRecs(st.Removed.Recs),
@@ -360,36 +478,66 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 			horizon: st.Added.Horizon,
 			recs:    importRecs(st.Added.Recs),
 		},
-		appends:      st.Counters.Appends,
-		deletes:      st.Counters.Deletes,
-		evictions:    st.Counters.Evictions,
-		compactions:  st.Counters.Compactions,
-		fullSearches: st.Counters.FullSearches,
-		repairs:      st.Counters.Repairs,
-		bidirRepairs: st.Counters.BidirectionalRepairs,
+		appends:         st.Counters.Appends,
+		deletes:         st.Counters.Deletes,
+		evictions:       st.Counters.Evictions,
+		compactionsBase: st.Counters.Compactions,
+		fullSearches:    st.Counters.FullSearches,
+		repairs:         st.Counters.Repairs,
+		bidirRepairs:    st.Counters.BidirectionalRepairs,
 	}
 	e.cacheHits.Store(st.Counters.CacheHits)
-	for k, c := range st.Counts {
-		e.counts[k] = c
-	}
-	if st.CountKeys != nil {
-		// The snapshot codec stores keys sorted, which is exactly the
-		// deterministic order BuildFromCounts would sort into — build
-		// the oracle directly and skip the O(n log n) re-sort.
-		dd := &dataset.Distinct{
-			Schema: schema,
-			Combos: make([][]uint8, len(st.CountKeys)),
-			Counts: make([]int64, len(st.CountKeys)),
+
+	shardKeys := st.ShardCountKeys
+	switch {
+	case len(shardKeys) == n:
+		// Matching topology: each core rebuilds straight from its
+		// sorted key list.
+	case n == 1 && st.CountKeys != nil:
+		shardKeys = [][]string{st.CountKeys}
+	default:
+		// Re-shard on restore: route every combination through the
+		// hash router for the target count, sorting each partition
+		// (BuildFromDistinct needs the deterministic sorted order).
+		shardKeys = make([][]string, n)
+		for k := range st.Counts {
+			s := shardOf(k, n)
+			shardKeys[s] = append(shardKeys[s], k)
 		}
-		for i, k := range st.CountKeys {
-			dd.Combos[i] = []uint8(k)
-			dd.Counts[i] = st.Counts[k]
+		for _, keys := range shardKeys {
+			sort.Strings(keys)
 		}
-		e.base = index.BuildFromDistinct(dd)
-	} else {
-		e.base = index.BuildFromCounts(schema, e.counts)
 	}
-	e.pool = e.base.NewPool()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			core := newShardCore(schema, opts)
+			core.compactions = 0
+			keys := shardKeys[i]
+			dd := &dataset.Distinct{
+				Schema: schema,
+				Combos: make([][]uint8, len(keys)),
+				Counts: make([]int64, len(keys)),
+			}
+			for j, k := range keys {
+				dd.Combos[j] = []uint8(k)
+				dd.Counts[j] = st.Counts[k]
+				core.counts[k] = st.Counts[k]
+				core.rows += st.Counts[k]
+			}
+			// The key lists are sorted, which is exactly the
+			// deterministic order BuildFromCounts would sort into —
+			// build the oracle directly and skip the O(n log n)
+			// re-sort.
+			core.base = index.BuildFromDistinct(dd)
+			core.pool = core.base.NewPool()
+			e.cores[i] = core
+		}(i)
+	}
+	wg.Wait()
+
 	if st.Window > 0 {
 		e.log = &rowLog{keys: append([]string(nil), st.WindowLog...)}
 		e.pendingDeletes = make(map[string]int64, len(st.PendingDeletes))
@@ -406,7 +554,7 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		}
 		entry := &cachedSearch{
 			gen: c.Gen,
-			res: &mup.Result{MUPs: c.MUPs, Stats: c.Stats},
+			res: &mup.Result{MUPs: c.MUPs, Cov: c.Cov, Stats: c.Stats},
 		}
 		entry.lastUsed.Store(e.useClock.Add(1))
 		e.cache[searchKey{tau: c.Tau, maxLevel: c.MaxLevel}] = entry
@@ -420,7 +568,7 @@ func importRecs(recs []MutationRec) []mutRec {
 	}
 	out := make([]mutRec, len(recs))
 	for i, r := range recs {
-		out[i] = mutRec{gen: r.Gen, key: r.Key}
+		out[i] = mutRec{gen: r.Gen, key: r.Key, count: r.Count}
 	}
 	return out
 }

@@ -1,0 +1,50 @@
+package index
+
+import (
+	"coverage/internal/dataset"
+	"coverage/internal/pattern"
+)
+
+// Oracle is the read-side coverage interface the lattice searches
+// probe. *Index is the canonical single-partition implementation; the
+// incremental engine's sharded coordinator provides one that resolves
+// each probe as the sum of per-shard counts (the distinct combination
+// sets of the shards are disjoint, so coverage, totals and distinct
+// counts are all additive).
+//
+// Implementations must be immutable once handed out: searches run on
+// many goroutines and hold the oracle across their whole traversal.
+type Oracle interface {
+	// Schema returns the schema the oracle answers over.
+	Schema() *dataset.Schema
+	// Cards returns the cardinality vector. Callers must not modify it.
+	Cards() []int
+	// Total returns the row count — the coverage of the all-wildcard
+	// root pattern.
+	Total() int64
+	// NumDistinct returns the number of distinct value combinations.
+	NumDistinct() int
+	// ComboCount returns the multiplicity of one full value combination
+	// (zero if absent) — the level-d fast path of the bottom-up search.
+	ComboCount(combo []uint8) int64
+	// NewCoverageProber returns a fresh prober for repeated coverage
+	// probes. A prober is not safe for concurrent use; create one per
+	// goroutine.
+	NewCoverageProber() CoverageProber
+}
+
+// CoverageProber answers repeated coverage probes against one Oracle.
+type CoverageProber interface {
+	// Coverage returns cov(P).
+	Coverage(p pattern.Pattern) int64
+	// Probes returns how many coverage computations this prober has
+	// performed — the cost metric the paper's experiments track.
+	Probes() int64
+}
+
+// NewCoverageProber satisfies Oracle; it is NewProber behind the
+// interface (hot loops holding the concrete *Index keep the direct,
+// devirtualized path).
+func (ix *Index) NewCoverageProber() CoverageProber { return ix.NewProber() }
+
+var _ Oracle = (*Index)(nil)

@@ -18,11 +18,11 @@ import (
 // pattern graph (2^Σci vs Π(ci+1)) and joins produce invalid itemsets
 // holding two values of one attribute; those inefficiencies are
 // preserved here deliberately, since Fig 12 measures exactly them.
-func Apriori(ix *index.Index, opts Options) (*Result, error) {
+func Apriori(ix index.Oracle, opts Options) (*Result, error) {
 	cards := ix.Cards()
 	d := len(cards)
-	res := &Result{Stats: Stats{Algorithm: "apriori"}}
-	pr := ix.NewProber()
+	res := &Result{Stats: Stats{Algorithm: "apriori"}, Cov: []int64{}}
+	pr := ix.NewCoverageProber()
 	bound := opts.levelBound(d)
 
 	if opts.Threshold <= 0 {
@@ -32,6 +32,7 @@ func Apriori(ix *index.Index, opts Options) (*Result, error) {
 		// The empty itemset (the root pattern) is itself infrequent:
 		// it is the single MUP.
 		res.MUPs = []pattern.Pattern{pattern.All(d)}
+		res.Cov = []int64{ix.Total()}
 		res.Stats.CoverageProbes = pr.Probes()
 		return res, nil
 	}
@@ -72,10 +73,11 @@ func Apriori(ix *index.Index, opts Options) (*Result, error) {
 	for it := 0; it < nItems; it++ {
 		res.Stats.NodesVisited++
 		p, _ := toPattern([]int{it})
-		if pr.Coverage(p) >= opts.Threshold {
+		if c := pr.Coverage(p); c >= opts.Threshold {
 			frequent = append(frequent, []int{it})
 		} else {
 			res.MUPs = append(res.MUPs, p)
+			res.Cov = append(res.Cov, c)
 		}
 	}
 
@@ -100,13 +102,14 @@ func Apriori(ix *index.Index, opts Options) (*Result, error) {
 				// valid pattern: all pattern parents are covered, so
 				// this is a MUP.
 				res.MUPs = append(res.MUPs, p)
+				res.Cov = append(res.Cov, supp)
 			}
 		}
 		frequent = next
 	}
 
 	res.Stats.CoverageProbes = pr.Probes()
-	sortPatterns(res.MUPs)
+	sortResult(res)
 	return res, nil
 }
 

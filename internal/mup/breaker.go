@@ -14,7 +14,7 @@ import (
 // PatternBreaker is fastest when the MUPs sit high in the graph
 // (large thresholds); its cost is proportional to the covered region
 // it must cross.
-func PatternBreaker(ix *index.Index, opts Options) (*Result, error) {
+func PatternBreaker(ix index.Oracle, opts Options) (*Result, error) {
 	codec := pattern.NewCodec(ix.Cards())
 	if codec.Packable() {
 		return breakerKeyed(ix, opts, codec.PackedKey)
@@ -25,11 +25,11 @@ func PatternBreaker(ix *index.Index, opts Options) (*Result, error) {
 // breakerKeyed is the algorithm body, generic over the map-key
 // representation: two-word packed keys for schemas that fit 128 bits,
 // byte strings otherwise.
-func breakerKeyed[K comparable](ix *index.Index, opts Options, key func(pattern.Pattern) K) (*Result, error) {
+func breakerKeyed[K comparable](ix index.Oracle, opts Options, key func(pattern.Pattern) K) (*Result, error) {
 	cards := ix.Cards()
 	d := len(cards)
-	res := &Result{Stats: Stats{Algorithm: "pattern-breaker"}}
-	pr := ix.NewProber()
+	res := &Result{Stats: Stats{Algorithm: "pattern-breaker"}, Cov: []int64{}}
+	pr := ix.NewCoverageProber()
 	bound := opts.levelBound(d)
 
 	queue := []pattern.Pattern{pattern.All(d)}
@@ -67,8 +67,9 @@ func breakerKeyed[K comparable](ix *index.Index, opts Options, key func(pattern.
 				// MUPs either.
 				continue
 			}
-			if pr.Coverage(p) < opts.Threshold {
+			if c := pr.Coverage(p); c < opts.Threshold {
 				res.MUPs = append(res.MUPs, p)
+				res.Cov = append(res.Cov, c)
 				continue
 			}
 			coveredNow[key(p)] = struct{}{}
@@ -80,6 +81,6 @@ func breakerKeyed[K comparable](ix *index.Index, opts Options, key func(pattern.
 		queue = next
 	}
 	res.Stats.CoverageProbes = pr.Probes()
-	sortPatterns(res.MUPs)
+	sortResult(res)
 	return res, nil
 }

@@ -25,13 +25,13 @@ const maxCombinerCombos = 1 << 26
 // the bottom of the graph (the paper's BlueNile observation); its
 // level-d frontier has Π ci entries, so it refuses schemas whose
 // combination space exceeds an internal bound.
-func PatternCombiner(ix *index.Index, opts Options) (*Result, error) {
+func PatternCombiner(ix index.Oracle, opts Options) (*Result, error) {
 	cards := ix.Cards()
 	d := len(cards)
 	if total := pattern.TotalCombos(cards); total > maxCombinerCombos {
 		return nil, fmt.Errorf("mup: pattern-combiner needs the %d-combination space materialized (max %d); use PatternBreaker or DeepDiver", total, maxCombinerCombos)
 	}
-	res := &Result{Stats: Stats{Algorithm: "pattern-combiner"}}
+	res := &Result{Stats: Stats{Algorithm: "pattern-combiner"}, Cov: []int64{}}
 	bound := opts.levelBound(d)
 
 	// Level-d seed: coverage of every full combination. Only uncovered
@@ -79,11 +79,14 @@ func PatternCombiner(ix *index.Index, opts Options) (*Result, error) {
 			}
 			if isMUP {
 				res.MUPs = append(res.MUPs, p)
+				// count holds the exact coverage of every uncovered
+				// pattern (the child sum is exact below τ).
+				res.Cov = append(res.Cov, count[key])
 			}
 		}
 		count = next
 	}
-	sortPatterns(res.MUPs)
+	sortResult(res)
 	return res, nil
 }
 

@@ -4,10 +4,11 @@
 // (§III-E, dive-and-climb with dominance pruning), and the APRIORI
 // adaptation used as a baseline in §V-C.
 //
-// All algorithms take a prebuilt coverage oracle (see package index)
-// and produce the identical set of maximal uncovered patterns; they
-// differ only in traversal order and therefore cost, exactly as the
-// paper's evaluation studies.
+// All algorithms take a coverage oracle (the index.Oracle interface;
+// a prebuilt *index.Index or the engine's sharded sum-of-shards
+// oracle) and produce the identical set of maximal uncovered patterns;
+// they differ only in traversal order and therefore cost, exactly as
+// the paper's evaluation studies.
 package mup
 
 import (
@@ -56,20 +57,46 @@ type Stats struct {
 // patterns, sorted by (level, pattern key) for determinism, plus cost
 // statistics.
 type Result struct {
-	MUPs  []pattern.Pattern
+	MUPs []pattern.Pattern
+	// Cov, when non-nil, is parallel to MUPs: Cov[i] is cov(MUPs[i])
+	// at the state the result reflects. Repairs use these cached
+	// values to delta-update the coverage of patterns instead of
+	// re-probing the oracle, so keeping them alongside a cached search
+	// makes every later repair cheaper.
+	Cov   []int64
 	Stats Stats
 }
 
-// sortPatterns orders patterns by level, then lexicographically by
+// patternLess orders patterns by level, then lexicographically by
 // key, giving deterministic output across algorithms.
-func sortPatterns(ps []pattern.Pattern) {
-	sort.Slice(ps, func(i, j int) bool {
-		li, lj := ps[i].Level(), ps[j].Level()
-		if li != lj {
-			return li < lj
-		}
-		return ps[i].Key() < ps[j].Key()
-	})
+func patternLess(a, b pattern.Pattern) bool {
+	la, lb := a.Level(), b.Level()
+	if la != lb {
+		return la < lb
+	}
+	return a.Key() < b.Key()
+}
+
+// resultSorter sorts MUPs and the parallel Cov slice in tandem.
+type resultSorter struct{ r *Result }
+
+func (s resultSorter) Len() int           { return len(s.r.MUPs) }
+func (s resultSorter) Less(i, j int) bool { return patternLess(s.r.MUPs[i], s.r.MUPs[j]) }
+func (s resultSorter) Swap(i, j int) {
+	s.r.MUPs[i], s.r.MUPs[j] = s.r.MUPs[j], s.r.MUPs[i]
+	if s.r.Cov != nil {
+		s.r.Cov[i], s.r.Cov[j] = s.r.Cov[j], s.r.Cov[i]
+	}
+}
+
+// sortResult orders the result canonically, keeping Cov aligned with
+// MUPs. A Cov of the wrong length (a bug upstream) is dropped rather
+// than silently misattributed.
+func sortResult(r *Result) {
+	if r.Cov != nil && len(r.Cov) != len(r.MUPs) {
+		r.Cov = nil
+	}
+	sort.Sort(resultSorter{r})
 }
 
 // LevelHistogram returns the number of MUPs per level, indexed by
@@ -83,12 +110,12 @@ func (r *Result) LevelHistogram(d int) []int {
 }
 
 // Verify checks that every pattern in mups is a genuine MUP of the
-// indexed dataset under threshold τ (uncovered, with every parent
+// oracle's dataset under threshold τ (uncovered, with every parent
 // covered) and that mups contains no duplicates. It does not check
 // completeness; use the naïve algorithm as the completeness oracle in
 // tests.
-func Verify(ix *index.Index, tau int64, mups []pattern.Pattern) error {
-	pr := ix.NewProber()
+func Verify(ix index.Oracle, tau int64, mups []pattern.Pattern) error {
+	pr := ix.NewCoverageProber()
 	seen := make(map[string]bool, len(mups))
 	for _, p := range mups {
 		if err := p.Validate(ix.Cards()); err != nil {
@@ -110,17 +137,39 @@ func Verify(ix *index.Index, tau int64, mups []pattern.Pattern) error {
 	return nil
 }
 
+// VerifyResult additionally checks a result's cached coverage values
+// against fresh probes — the invariant the repair delta-updates must
+// preserve.
+func VerifyResult(ix index.Oracle, tau int64, res *Result) error {
+	if err := Verify(ix, tau, res.MUPs); err != nil {
+		return err
+	}
+	if res.Cov == nil {
+		return nil
+	}
+	if len(res.Cov) != len(res.MUPs) {
+		return fmt.Errorf("mup: %d cached coverage values for %d MUPs", len(res.Cov), len(res.MUPs))
+	}
+	pr := ix.NewCoverageProber()
+	for i, p := range res.MUPs {
+		if c := pr.Coverage(p); c != res.Cov[i] {
+			return fmt.Errorf("mup: cached cov(%v) = %d, oracle says %d", p, res.Cov[i], c)
+		}
+	}
+	return nil
+}
+
 // Naive implements §III-A: enumerate every pattern of the graph,
 // probe its coverage, and keep the uncovered patterns all of whose
 // parents are covered. Exponential in d; intended as the correctness
 // oracle for tests and tiny datasets.
-func Naive(ix *index.Index, opts Options) (*Result, error) {
+func Naive(ix index.Oracle, opts Options) (*Result, error) {
 	cards := ix.Cards()
 	if total := pattern.TotalPatterns(cards); total > 1<<22 {
 		return nil, fmt.Errorf("mup: naive enumeration over %d patterns refused; use PatternBreaker/PatternCombiner/DeepDiver", total)
 	}
-	res := &Result{Stats: Stats{Algorithm: "naive"}}
-	pr := ix.NewProber()
+	res := &Result{Stats: Stats{Algorithm: "naive"}, Cov: []int64{}}
+	pr := ix.NewCoverageProber()
 	bound := opts.levelBound(len(cards))
 	cov := make(map[string]int64)
 	pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
@@ -138,9 +187,10 @@ func Naive(ix *index.Index, opts Options) (*Result, error) {
 			}
 		}
 		res.MUPs = append(res.MUPs, p.Clone())
+		res.Cov = append(res.Cov, cov[p.Key()])
 		return true
 	})
 	res.Stats.CoverageProbes = pr.Probes()
-	sortPatterns(res.MUPs)
+	sortResult(res)
 	return res, nil
 }

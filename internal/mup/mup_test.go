@@ -14,7 +14,7 @@ import (
 // allAlgorithms enumerates the algorithm constructors under test.
 var allAlgorithms = []struct {
 	name string
-	run  func(*index.Index, Options) (*Result, error)
+	run  func(index.Oracle, Options) (*Result, error)
 }{
 	{"naive", Naive},
 	{"pattern-breaker", PatternBreaker},

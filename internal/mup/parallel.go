@@ -9,20 +9,59 @@ import (
 )
 
 // ParallelOptions extends Options with a worker count for the
-// multi-core variants.
+// multi-core variants (the parallel breaker and the repair passes).
 type ParallelOptions struct {
 	Options
 	// Workers is the number of goroutines; 0 means GOMAXPROCS.
 	Workers int
 }
 
+func (p ParallelOptions) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runChunks splits items into one contiguous chunk per worker and runs
+// fn(worker, chunk, lo) concurrently — the level-chunking idiom shared
+// by the parallel breaker, the repair waves and the engine's append
+// sharding. With a single worker (or a single item) fn runs inline,
+// keeping sequential callers goroutine-free.
+func runChunks[T any](items []T, workers int, fn func(w int, part []T, lo int)) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		if len(items) > 0 {
+			fn(0, items, 0)
+		}
+		return
+	}
+	chunk := (len(items) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(items) {
+			break
+		}
+		hi := min(lo+chunk, len(items))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, items[lo:hi], lo)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // ParallelPatternBreaker is a multi-core PATTERN-BREAKER. The
 // traversal is level-synchronous, which makes it embarrassingly
 // parallel within a level: each candidate's parent check and coverage
 // probe are independent given the previous level's covered set, and
-// every worker owns a private Prober (the coverage oracle itself is
+// every worker owns a private prober (the coverage oracle itself is
 // immutable). The output is identical to PatternBreaker.
-func ParallelPatternBreaker(ix *index.Index, popts ParallelOptions) (*Result, error) {
+func ParallelPatternBreaker(ix index.Oracle, popts ParallelOptions) (*Result, error) {
 	codec := pattern.NewCodec(ix.Cards())
 	if codec.Packable() {
 		return parallelBreakerKeyed(ix, popts, codec.PackedKey)
@@ -30,15 +69,12 @@ func ParallelPatternBreaker(ix *index.Index, popts ParallelOptions) (*Result, er
 	return parallelBreakerKeyed(ix, popts, func(p pattern.Pattern) string { return string(p) })
 }
 
-func parallelBreakerKeyed[K comparable](ix *index.Index, popts ParallelOptions, key func(pattern.Pattern) K) (*Result, error) {
+func parallelBreakerKeyed[K comparable](ix index.Oracle, popts ParallelOptions, key func(pattern.Pattern) K) (*Result, error) {
 	opts := popts.Options
-	workers := popts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := popts.workers()
 	cards := ix.Cards()
 	d := len(cards)
-	res := &Result{Stats: Stats{Algorithm: "parallel-pattern-breaker"}}
+	res := &Result{Stats: Stats{Algorithm: "parallel-pattern-breaker"}, Cov: []int64{}}
 	bound := opts.levelBound(d)
 
 	queue := []pattern.Pattern{pattern.All(d)}
@@ -47,70 +83,57 @@ func parallelBreakerKeyed[K comparable](ix *index.Index, popts ParallelOptions, 
 	// Per-worker state, merged after each level.
 	type shard struct {
 		mups    []pattern.Pattern
+		covs    []int64
 		covered []K
 		next    []pattern.Pattern
-		probes  int64
 		nodes   int64
 	}
-	probers := make([]*index.Prober, workers)
+	probers := make([]index.CoverageProber, workers)
 	for w := range probers {
-		probers[w] = ix.NewProber()
+		probers[w] = ix.NewCoverageProber()
 	}
 
 	for level := 0; level <= bound && len(queue) > 0; level++ {
 		shards := make([]shard, workers)
-		var wg sync.WaitGroup
-		chunk := (len(queue) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(queue) {
-				break
-			}
-			hi := lo + chunk
-			if hi > len(queue) {
-				hi = len(queue)
-			}
-			wg.Add(1)
-			go func(w int, part []pattern.Pattern) {
-				defer wg.Done()
-				sh := &shards[w]
-				pr := probers[w]
-				for _, p := range part {
-					sh.nodes++
-					allParentsCovered := true
-					for i, v := range p {
-						if v == pattern.Wildcard {
-							continue
-						}
-						p[i] = pattern.Wildcard
-						_, ok := covered[key(p)]
-						p[i] = v
-						if !ok {
-							allParentsCovered = false
-							break
-						}
-					}
-					if !allParentsCovered {
+		runChunks(queue, workers, func(w int, part []pattern.Pattern, _ int) {
+			sh := &shards[w]
+			pr := probers[w]
+			for _, p := range part {
+				sh.nodes++
+				allParentsCovered := true
+				for i, v := range p {
+					if v == pattern.Wildcard {
 						continue
 					}
-					if pr.Coverage(p) < opts.Threshold {
-						sh.mups = append(sh.mups, p)
-						continue
-					}
-					sh.covered = append(sh.covered, key(p))
-					if level < bound {
-						sh.next = p.AppendRule1Children(sh.next, cards)
+					p[i] = pattern.Wildcard
+					_, ok := covered[key(p)]
+					p[i] = v
+					if !ok {
+						allParentsCovered = false
+						break
 					}
 				}
-			}(w, queue[lo:hi])
-		}
-		wg.Wait()
+				if !allParentsCovered {
+					continue
+				}
+				if c := pr.Coverage(p); c < opts.Threshold {
+					sh.mups = append(sh.mups, p)
+					sh.covs = append(sh.covs, c)
+					continue
+				}
+				sh.covered = append(sh.covered, key(p))
+				if level < bound {
+					sh.next = p.AppendRule1Children(sh.next, cards)
+				}
+			}
+		})
 
 		coveredNow := make(map[K]struct{})
 		var next []pattern.Pattern
 		for w := range shards {
 			sh := &shards[w]
 			res.MUPs = append(res.MUPs, sh.mups...)
+			res.Cov = append(res.Cov, sh.covs...)
 			for _, k := range sh.covered {
 				coveredNow[k] = struct{}{}
 			}
@@ -123,6 +146,6 @@ func parallelBreakerKeyed[K comparable](ix *index.Index, popts ParallelOptions, 
 	for _, pr := range probers {
 		res.Stats.CoverageProbes += pr.Probes()
 	}
-	sortPatterns(res.MUPs)
+	sortResult(res)
 	return res, nil
 }

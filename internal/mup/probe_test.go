@@ -1,0 +1,175 @@
+package mup
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"coverage/internal/dataset"
+	"coverage/internal/index"
+	"coverage/internal/pattern"
+)
+
+// countingOracle wraps an index.Oracle and counts every coverage
+// computation issued through any of its probers — the probe meter the
+// repair regressions pin. (The mup interface migration is what makes
+// this wrapper possible: anything satisfying index.Oracle drops into
+// the searches.)
+type countingOracle struct {
+	index.Oracle
+	probes atomic.Int64
+}
+
+func (o *countingOracle) NewCoverageProber() index.CoverageProber {
+	return &countingProber{inner: o.Oracle.NewCoverageProber(), counter: &o.probes}
+}
+
+type countingProber struct {
+	inner   index.CoverageProber
+	counter *atomic.Int64
+}
+
+func (p *countingProber) Coverage(q pattern.Pattern) int64 {
+	p.counter.Add(1)
+	return p.inner.Coverage(q)
+}
+
+func (p *countingProber) Probes() int64 { return p.inner.Probes() }
+
+// probeFixture builds a dataset whose τ=2 MUP frontier is the value-2
+// slices of a 3×3×3 cube (the 0/1 sub-cube is densely covered).
+func probeFixture(t *testing.T) (*index.Index, *Result) {
+	t.Helper()
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "a", Values: []string{"x", "y", "z"}},
+		{Name: "b", Values: []string{"x", "y", "z"}},
+		{Name: "c", Values: []string{"x", "y", "z"}},
+	})
+	counts := make(map[string]int64)
+	for a := uint8(0); a < 2; a++ {
+		for b := uint8(0); b < 2; b++ {
+			for c := uint8(0); c < 2; c++ {
+				counts[string([]uint8{a, b, c})] = 3
+			}
+		}
+	}
+	ix := index.BuildFromCounts(schema, counts)
+	old, err := PatternBreaker(ix, Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.MUPs) == 0 || old.Cov == nil {
+		t.Fatalf("fixture produced no MUPs or no Cov: %v / %v", old.MUPs, old.Cov)
+	}
+	return ix, old
+}
+
+// TestRepairSkipsUntouchedProbes pins the coverage-value cache at the
+// mup layer with a counting-oracle wrapper: a repair whose added set
+// touches no old MUP must issue zero probes against the big oracle,
+// and a repair whose added set touches MUPs without covering them must
+// still issue zero probes (their cov values are delta-updated).
+// Dropping either the Cov cache or the added set degrades gracefully
+// to one probe per seed — also pinned, so the baseline cannot silently
+// regress.
+func TestRepairSkipsUntouchedProbes(t *testing.T) {
+	ix, old := probeFixture(t)
+	opts := ParallelOptions{Options: Options{Threshold: 2}}
+
+	// Mutation not matching any MUP: zero probes.
+	co := &countingOracle{Oracle: ix}
+	res, err := Repair(co, old, []Delta{{Combo: pattern.Pattern{0, 0, 0}, Count: 2}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.probes.Load(); got != 0 {
+		t.Errorf("untouched repair issued %d probes, want 0", got)
+	}
+	if len(res.MUPs) != len(old.MUPs) {
+		t.Fatalf("untouched repair changed the MUP set: %d vs %d", len(res.MUPs), len(old.MUPs))
+	}
+	if err := VerifyResult(ix, 2, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutation touching MUPs without covering them (one row of a
+	// value-2 combination, τ=2): still zero probes — exact deltas
+	// update the cached values.
+	co = &countingOracle{Oracle: index.BuildFromCounts(ix.Schema(), comboCountsPlus(ix, []uint8{2, 0, 0}, 1))}
+	res, err = Repair(co, old, []Delta{{Combo: pattern.Pattern{2, 0, 0}, Count: 1}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.probes.Load(); got != 0 {
+		t.Errorf("touched-but-uncovered repair issued %d probes, want 0 (delta-updated)", got)
+	}
+	if err := VerifyResult(co.Oracle, 2, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the Cov cache, touched seeds must fall back to probing —
+	// but untouched seeds still skip.
+	bare := &Result{MUPs: old.MUPs}
+	co = &countingOracle{Oracle: index.BuildFromCounts(ix.Schema(), comboCountsPlus(ix, []uint8{2, 0, 0}, 1))}
+	if _, err := Repair(co, bare, []Delta{{Combo: pattern.Pattern{2, 0, 0}, Count: 1}}, opts); err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	m := pattern.Pattern{2, 0, 0}
+	for _, p := range old.MUPs {
+		if p.Matches(m) {
+			touched++
+		}
+	}
+	if touched == 0 {
+		t.Fatal("fixture: the mutation touches no MUP; the fallback case lost its point")
+	}
+	if got := co.probes.Load(); got == 0 || got > int64(2*touched) {
+		t.Errorf("cov-less repair issued %d probes, want >0 and ≤ %d (touched seeds only)", got, 2*touched)
+	}
+
+	// With an unknown added set, every seed costs a probe.
+	co = &countingOracle{Oracle: ix}
+	if _, err := Repair(co, old, nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.probes.Load(); got < int64(len(old.MUPs)) {
+		t.Errorf("unknown-added repair issued %d probes for %d seeds, want ≥ one each", got, len(old.MUPs))
+	}
+}
+
+// comboCountsPlus copies the oracle's combo counts with one
+// combination incremented.
+func comboCountsPlus(ix *index.Index, combo []uint8, n int64) map[string]int64 {
+	counts := make(map[string]int64, ix.NumDistinct()+1)
+	ix.Range(func(k string, c int64) { counts[k] = c })
+	counts[string(combo)] += n
+	return counts
+}
+
+// TestRepairBidirectionalDeltaProbes pins the bidirectional analog: a
+// delete touching some MUPs repairs with probes bounded by the
+// mutated cone (seed classification is probe-free given exact deltas
+// and Cov; only the frontier descent and maximality checks probe).
+func TestRepairBidirectionalDeltaProbes(t *testing.T) {
+	ix, old := probeFixture(t)
+	opts := ParallelOptions{Options: Options{Threshold: 2}}
+
+	// Retract one row of a covered combination: the seed pass must not
+	// probe any seed (exact deltas + Cov), only the frontier pass and
+	// the removal-touched maximality checks may.
+	after := index.BuildFromCounts(ix.Schema(), comboCountsPlus(ix, []uint8{0, 0, 0}, -1))
+	co := &countingOracle{Oracle: after}
+	res, err := RepairBidirectional(co, old, []Delta{{Combo: pattern.Pattern{0, 0, 0}, Count: -1}}, []Delta{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyResult(after, 2, res); err != nil {
+		t.Fatal(err)
+	}
+	// The frontier descent is confined to ancestors of 000 (2^3 = 8
+	// patterns); seeds are classified without probes. Allow the
+	// maximality checks a handful more.
+	if got := co.probes.Load(); got > 16 {
+		t.Errorf("single-delete bidirectional repair issued %d probes, want ≤ 16 (the mutated cone)", got)
+	}
+}

@@ -8,133 +8,331 @@ import (
 	"coverage/internal/pattern"
 )
 
-// Repair updates a previously computed MUP set after rows have been
-// appended to the indexed dataset. It exploits the monotonicity of
-// coverage under insertion: appends only increase cov(P), so the
+// Delta is one distinct value combination whose multiplicity changed
+// since a cached MUP result was computed, with the net signed change:
+// Count > 0 means net rows added, Count < 0 net rows removed, and
+// Count == 0 means the fact of the mutation is known but its magnitude
+// is not (repairs then fall back from delta-updating coverage values
+// to probing, while still confining probes to the mutated cone).
+type Delta struct {
+	Combo pattern.Pattern
+	Count int64
+}
+
+func stringKey(p pattern.Pattern) string { return string(p) }
+
+// deltaSet is a prepared mini coverage oracle over one direction's
+// mutation deltas: membership tests ("could cov(P) have changed this
+// way?") and, when every magnitude is known, the exact per-pattern
+// coverage delta. It reuses the inverted-index machinery, so each test
+// is a probe against a tiny oracle instead of a scan; the pool makes
+// it safe for the repair workers to share.
+type deltaSet struct {
+	pool *index.Pool // nil when the set is empty
+	// known is false when the set itself is unknown (nil input with
+	// nilMeansUnknown): touched() must then assume everything.
+	known bool
+	// exact is true when the set is known and every Count is non-zero,
+	// so delta() returns the exact magnitude sum.
+	exact bool
+}
+
+// prepDeltas validates and indexes one direction's deltas. role
+// prefixes error messages; nilMeansUnknown selects whether a nil slice
+// means "no mutations" (removed) or "unknown" (added).
+func prepDeltas(ix index.Oracle, deltas []Delta, role string, nilMeansUnknown bool) (*deltaSet, error) {
+	s := &deltaSet{known: deltas != nil || !nilMeansUnknown, exact: true}
+	if !s.known {
+		s.exact = false
+		return s, nil
+	}
+	if len(deltas) == 0 {
+		return s, nil
+	}
+	cards := ix.Cards()
+	counts := make(map[string]int64, len(deltas))
+	for _, d := range deltas {
+		if err := d.Combo.Validate(cards); err != nil {
+			return nil, fmt.Errorf("mup: %s seed %v: %w", role, d.Combo, err)
+		}
+		if !d.Combo.IsFull() {
+			return nil, fmt.Errorf("mup: %s seed %v is not a full value combination", role, d.Combo)
+		}
+		mag := d.Count
+		if mag < 0 {
+			mag = -mag
+		}
+		if mag == 0 {
+			// Unknown magnitude: keep the combination for membership
+			// (weight 1 > 0) but the magnitude sums are now unusable.
+			s.exact = false
+			mag = 1
+		}
+		counts[d.Combo.Key()] += mag
+	}
+	mini := index.BuildFromCounts(ix.Schema(), counts)
+	s.pool = mini.NewPool()
+	return s, nil
+}
+
+// touched reports whether any of the set's combinations matches p —
+// i.e. whether cov(p) could have changed in this direction. An unknown
+// set touches everything.
+func (s *deltaSet) touched(p pattern.Pattern) bool {
+	if !s.known {
+		return true
+	}
+	return s.pool != nil && s.pool.Coverage(p) > 0
+}
+
+// delta returns the summed magnitude of the set's combinations
+// matching p. Only meaningful when exact.
+func (s *deltaSet) delta(p pattern.Pattern) int64 {
+	if s.pool == nil {
+		return 0
+	}
+	return s.pool.Coverage(p)
+}
+
+// repairNode is one pattern in a repair wave; seed is its index into
+// the old MUP set, or -1 for nodes discovered by expansion.
+type repairNode struct {
+	p    pattern.Pattern
+	seed int
+}
+
+// emitBuf collects one worker's emitted MUPs with their coverage
+// values; covValid goes false when a value could not be determined.
+type emitBuf struct {
+	mups     []pattern.Pattern
+	covs     []int64
+	covValid bool
+}
+
+func (b *emitBuf) emit(p pattern.Pattern, c int64, known bool) {
+	if !known {
+		b.covValid = false
+		c = 0
+	}
+	b.mups = append(b.mups, p.Clone())
+	b.covs = append(b.covs, c)
+}
+
+// Repair updates a previously computed MUP result after rows have
+// been appended to the oracle's dataset. It exploits the monotonicity
+// of coverage under insertion: appends only increase cov(P), so the
 // uncovered region of the lattice can only shrink, and every new MUP
 // is a descendant (or survivor) of an old MUP. Instead of re-running a
-// full search, Repair probes each old MUP and re-expands only the
+// full search, Repair revisits each old MUP and re-expands only the
 // subtrees of those that became covered, walking downward until the
 // new maximal frontier is found.
 //
-// old must be the complete MUP set of the same dataset at an earlier
-// (smaller or equal) state under the same Options; ix must reflect the
-// current state. The result is identical to a from-scratch search.
-func Repair(ix *index.Index, old []pattern.Pattern, opts Options) (*Result, error) {
+// added, when non-nil, must list every distinct value combination
+// whose multiplicity increased since old was computed, with the net
+// increase in Count (0 = magnitude unknown); nil means the added set
+// is unknown. With a known added set, an old MUP matched by no added
+// combination is still a MUP without any probe; with exact counts and
+// old.Cov present, even the touched MUPs are delta-updated
+// (cov' = cov + Σ added matching) instead of re-probed, so the oracle
+// is probed only under MUPs that actually became covered.
+//
+// old must be the complete MUP result of the same dataset at an
+// earlier (smaller or equal) state under the same Options; ix must
+// reflect the current state. The repair waves are level-chunked across
+// popts.Workers goroutines (the ParallelPatternBreaker pool pattern).
+// The result is identical to a from-scratch search.
+func Repair(ix index.Oracle, old *Result, added []Delta, popts ParallelOptions) (*Result, error) {
+	codec := pattern.NewCodec(ix.Cards())
+	if codec.Packable() {
+		return repairKeyed(ix, old, added, popts, codec.PackedKey)
+	}
+	return repairKeyed(ix, old, added, popts, stringKey)
+}
+
+func repairKeyed[K comparable](ix index.Oracle, old *Result, added []Delta, popts ParallelOptions, key func(pattern.Pattern) K) (*Result, error) {
+	opts := popts.Options
 	cards := ix.Cards()
 	res := &Result{Stats: Stats{Algorithm: "incremental-repair"}}
 	bound := opts.levelBound(len(cards))
-	pr := ix.NewProber()
+	workers := popts.workers()
 
-	// cov memoizes probes: maximality checks revisit parents shared
-	// across many candidates.
-	cov := make(map[string]int64)
-	coverage := func(p pattern.Pattern) int64 {
-		k := p.Key()
-		if c, ok := cov[k]; ok {
-			return c
-		}
-		c := pr.Coverage(p)
-		cov[k] = c
-		return c
+	add, err := prepDeltas(ix, added, "repair added", true)
+	if err != nil {
+		return nil, err
 	}
+	oldCov := old.Cov
+	if oldCov != nil && len(oldCov) != len(old.MUPs) {
+		oldCov = nil
+	}
+	// exact: a touched seed's coverage is old value + added matches.
+	exact := oldCov != nil && add.known && add.exact
 
-	visited := make(map[string]bool, len(old))
-	queue := make([]pattern.Pattern, 0, len(old))
-	for _, p := range old {
+	visited := make(map[K]bool, len(old.MUPs))
+	wave := make([]repairNode, 0, len(old.MUPs))
+	for i, p := range old.MUPs {
 		if err := p.Validate(cards); err != nil {
 			return nil, fmt.Errorf("mup: repair seed %v: %w", p, err)
 		}
-		if k := p.Key(); !visited[k] {
+		if k := key(p); !visited[k] {
 			visited[k] = true
-			queue = append(queue, p)
+			wave = append(wave, repairNode{p: p, seed: i})
 		}
 	}
-	// The first seeds entries are old MUPs: if still uncovered they
-	// remain MUPs (their parents were covered and coverage only grew),
-	// so their maximality check is skipped.
-	seeds := len(queue)
 
-	for i := 0; i < len(queue); i++ {
-		p := queue[i]
-		res.Stats.NodesVisited++
-		lvl := p.Level()
-		if lvl > bound {
-			continue
+	probers := make([]index.CoverageProber, workers)
+	for w := range probers {
+		probers[w] = ix.NewCoverageProber()
+	}
+	// cov memoizes probes across waves: maximality checks revisit
+	// parents shared across many candidates. Workers read the merged
+	// map of previous waves and record fresh probes privately; the
+	// private maps are merged between waves.
+	covGlobal := make(map[K]int64)
+
+	type waveOut struct {
+		emitBuf
+		probed   map[K]int64
+		children []pattern.Pattern
+		nodes    int64
+	}
+
+	covValid := true
+	for len(wave) > 0 {
+		outs := make([]waveOut, workers)
+		for i := range outs {
+			outs[i].covValid = true
 		}
-		if coverage(p) < opts.Threshold {
-			if i < seeds {
-				res.MUPs = append(res.MUPs, p.Clone())
-				continue
+		runChunks(wave, workers, func(w int, part []repairNode, _ int) {
+			out := &outs[w]
+			out.probed = make(map[K]int64)
+			pr := probers[w]
+			coverage := func(p pattern.Pattern) int64 {
+				k := key(p)
+				if c, ok := covGlobal[k]; ok {
+					return c
+				}
+				if c, ok := out.probed[k]; ok {
+					return c
+				}
+				c := pr.Coverage(p)
+				out.probed[k] = c
+				return c
 			}
-			maximal := true
-			for _, par := range p.Parents() {
-				if coverage(par) < opts.Threshold {
-					maximal = false
-					break
+			for _, n := range part {
+				p := n.p
+				out.nodes++
+				lvl := p.Level()
+				if lvl > bound {
+					continue
+				}
+				if n.seed >= 0 {
+					// An old MUP untouched by the added set is still
+					// uncovered and still maximal (its parents were
+					// covered and coverage only grew): no probe.
+					if add.known && !add.touched(p) {
+						if oldCov != nil {
+							out.emit(p, oldCov[n.seed], true)
+						} else {
+							out.emit(p, 0, false)
+						}
+						continue
+					}
+					var c int64
+					if exact {
+						c = oldCov[n.seed] + add.delta(p)
+					} else {
+						c = coverage(p)
+					}
+					if c < opts.Threshold {
+						// Still uncovered: still maximal, as above.
+						out.emit(p, c, true)
+						continue
+					}
+				} else {
+					c := coverage(p)
+					if c < opts.Threshold {
+						maximal := true
+						for j, v := range p {
+							if v == pattern.Wildcard {
+								continue
+							}
+							p[j] = pattern.Wildcard
+							parUnc := coverage(p) < opts.Threshold
+							p[j] = v
+							if parUnc {
+								maximal = false
+								break
+							}
+						}
+						if maximal {
+							out.emit(p, c, true)
+						}
+						continue
+					}
+				}
+				// p is covered: any new MUP it dominated sits strictly
+				// below it. Rule 1 cannot generate these candidates
+				// (seeds sit mid-lattice with arbitrary deterministic
+				// positions), so expand all children and deduplicate
+				// through visited at the merge.
+				if lvl >= bound {
+					continue
+				}
+				out.children = append(out.children, p.Children(cards)...)
+			}
+		})
+
+		var next []repairNode
+		for w := range outs {
+			out := &outs[w]
+			res.MUPs = append(res.MUPs, out.mups...)
+			res.Cov = append(res.Cov, out.covs...)
+			covValid = covValid && out.covValid
+			res.Stats.NodesVisited += out.nodes
+			for k, c := range out.probed {
+				covGlobal[k] = c
+			}
+			for _, c := range out.children {
+				if k := key(c); !visited[k] {
+					visited[k] = true
+					next = append(next, repairNode{p: c, seed: -1})
 				}
 			}
-			if maximal {
-				res.MUPs = append(res.MUPs, p.Clone())
-			}
-			continue
 		}
-		// p became covered: any new MUP it dominated sits strictly
-		// below it. Rule 1 cannot generate these candidates (seeds sit
-		// mid-lattice with arbitrary deterministic positions), so
-		// expand all children and deduplicate through visited.
-		if lvl >= bound {
-			continue
-		}
-		for _, c := range p.Children(cards) {
-			if k := c.Key(); !visited[k] {
-				visited[k] = true
-				queue = append(queue, c)
-			}
-		}
+		wave = next
 	}
-	res.Stats.CoverageProbes = pr.Probes()
-	sortPatterns(res.MUPs)
+
+	if !covValid {
+		res.Cov = nil
+	} else if res.Cov == nil {
+		res.Cov = []int64{}
+	}
+	for _, pr := range probers {
+		res.Stats.CoverageProbes += pr.Probes()
+	}
+	sortResult(res)
 	return res, nil
 }
 
-// miniOracle builds a matching oracle over a small set of full value
-// combinations: the returned func reports whether any of them matches
-// p. It reuses the inverted-index machinery, so each test is a probe
-// against a tiny oracle instead of a scan. A nil func means "empty
-// set" and every test is false.
-func miniOracle(ix *index.Index, combos []pattern.Pattern, role string) (func(pattern.Pattern) bool, error) {
-	if len(combos) == 0 {
-		return nil, nil
-	}
-	cards := ix.Cards()
-	counts := make(map[string]int64, len(combos))
-	for _, c := range combos {
-		if err := c.Validate(cards); err != nil {
-			return nil, fmt.Errorf("mup: bidirectional repair %s seed %v: %w", role, c, err)
-		}
-		if !c.IsFull() {
-			return nil, fmt.Errorf("mup: bidirectional repair %s seed %v is not a full value combination", role, c)
-		}
-		counts[c.Key()] = 1
-	}
-	mini := index.BuildFromCounts(ix.Schema(), counts)
-	pr := mini.NewProber()
-	return func(p pattern.Pattern) bool { return pr.Coverage(p) > 0 }, nil
-}
-
-// RepairBidirectional updates a previously computed MUP set after the
-// indexed dataset has been mutated in both directions: rows appended
-// and rows deleted. Deletions break the monotonicity Repair relies on —
-// coverage can drop, so previously covered patterns may become
-// uncovered and previously maximal patterns may stop being maximal
-// (an ancestor fell below τ). The uncovered region can therefore grow
-// upward as well as shrink downward.
+// RepairBidirectional updates a previously computed MUP result after
+// the oracle's dataset has been mutated in both directions: rows
+// appended and rows deleted. Deletions break the monotonicity Repair
+// relies on — coverage can drop, so previously covered patterns may
+// become uncovered and previously maximal patterns may stop being
+// maximal (an ancestor fell below τ). The uncovered region can
+// therefore grow upward as well as shrink downward.
 //
-// removed must contain every full value combination whose multiplicity
-// decreased since old was computed; added, when non-nil, every one
-// whose multiplicity increased (nil means unknown; extras and
-// duplicates in either are harmless). old must be the complete MUP set
+// removed must contain every distinct value combination whose
+// multiplicity decreased since old was computed (nil means none);
+// added, when non-nil, every one whose multiplicity increased (nil
+// means unknown). Counts carry the net change. A Count of 0 marks the
+// magnitude as unknown: the combination still gates which patterns
+// are re-probed, but coverage delta-updates are disabled. With old.Cov
+// present and every magnitude known, the deltas are arithmetic inputs
+// (cov' = cov + added − removed), so they must be the true nets —
+// extra combinations or duplicated entries are harmless only while
+// some magnitude is unknown or old.Cov is absent (the probe paths,
+// where membership alone matters). old must be the complete MUP result
 // of the earlier state under the same Options; ix must reflect the
 // current state. The result is identical to a from-scratch search.
 //
@@ -159,198 +357,314 @@ func miniOracle(ix *index.Index, combos []pattern.Pattern, role string) (func(pa
 // Probes against the (large) current oracle are issued only where a
 // mutation could have changed the old verdict: two mini-oracles over
 // the removed/added combinations decide whether a pattern's coverage
-// could have dropped or risen, and the Appendix-B dominance index over
-// the old MUPs answers old-state questions in the seed pass for free.
-// Repair cost therefore scales with the mutated cone of the lattice,
-// not with the dataset or the size of the surviving MUP set.
-func RepairBidirectional(ix *index.Index, old, removed, added []pattern.Pattern, opts Options) (*Result, error) {
+// could have dropped or risen, the Appendix-B dominance index over the
+// old MUPs answers old-state questions in the seed pass for free, and
+// when the delta magnitudes and old.Cov are available the surviving
+// seeds' coverage is delta-updated (cov' = cov + added − removed)
+// without probing at all. Both passes are level-chunked across
+// popts.Workers goroutines. Repair cost therefore scales with the
+// mutated cone of the lattice, not with the dataset or the size of the
+// surviving MUP set.
+func RepairBidirectional(ix index.Oracle, old *Result, removed, added []Delta, popts ParallelOptions) (*Result, error) {
 	codec := pattern.NewCodec(ix.Cards())
 	if codec.Packable() {
-		return repairBidirectionalKeyed(ix, old, removed, added, opts, codec.PackedKey)
+		return repairBidirectionalKeyed(ix, old, removed, added, popts, codec.PackedKey)
 	}
-	return repairBidirectionalKeyed(ix, old, removed, added, opts, func(p pattern.Pattern) string { return string(p) })
+	return repairBidirectionalKeyed(ix, old, removed, added, popts, stringKey)
 }
 
 // repairBidirectionalKeyed is the algorithm body, generic over the
 // coverage-cache key representation (packed keys avoid string hashing
 // in the hot maps, exactly as in the breaker variants).
-func repairBidirectionalKeyed[K comparable](ix *index.Index, old, removed, added []pattern.Pattern, opts Options, key func(pattern.Pattern) K) (*Result, error) {
+func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, removed, added []Delta, popts ParallelOptions, key func(pattern.Pattern) K) (*Result, error) {
+	opts := popts.Options
 	cards := ix.Cards()
 	res := &Result{Stats: Stats{Algorithm: "bidirectional-repair"}}
 	if opts.Threshold <= 0 {
+		res.Cov = []int64{}
 		return res, nil // every pattern is covered
 	}
 	bound := opts.levelBound(len(cards))
-	pr := ix.NewProber()
+	workers := popts.workers()
 
-	// touchedDown(p): some removed combination matches p, so cov(p)
-	// may have dropped. touchedUp(p): cov(p) may have risen (always
-	// true when the added set is unknown).
-	removedMatch, err := miniOracle(ix, removed, "removed")
+	rem, err := prepDeltas(ix, removed, "bidirectional repair removed", false)
 	if err != nil {
 		return nil, err
 	}
-	addedMatch, err := miniOracle(ix, added, "added")
+	add, err := prepDeltas(ix, added, "bidirectional repair added", true)
 	if err != nil {
 		return nil, err
 	}
-	touchedDown := func(p pattern.Pattern) bool { return removedMatch != nil && removedMatch(p) }
-	touchedUp := func(p pattern.Pattern) bool { return added == nil || (addedMatch != nil && addedMatch(p)) }
 
 	// The Appendix-B dominance index over the old MUPs: DominatedBy
 	// proves a pattern was uncovered in the old state; for patterns at
 	// level ≤ bound the converse holds too (the old set is complete up
 	// to its level bound).
 	oldDom := mupindex.New(cards)
-	for _, m := range old {
+	for _, m := range old.MUPs {
 		if err := m.Validate(cards); err != nil {
 			return nil, fmt.Errorf("mup: bidirectional repair seed %v: %w", m, err)
 		}
 		oldDom.Add(m)
 	}
 
-	cov := make(map[K]int64)
-	coverage := func(p pattern.Pattern) int64 {
-		k := key(p)
-		if c, ok := cov[k]; ok {
-			return c
-		}
-		c := pr.Coverage(p)
-		cov[k] = c
-		return c
+	oldCov := old.Cov
+	if oldCov != nil && len(oldCov) != len(old.MUPs) {
+		oldCov = nil
 	}
-	emitted := make(map[K]bool)
-	emit := func(p pattern.Pattern) {
-		if k := key(p); !emitted[k] {
-			emitted[k] = true
-			res.MUPs = append(res.MUPs, p.Clone())
-		}
-	}
+	// exact: a surviving seed's coverage is the old value plus the
+	// added matches minus the removed matches — no probe needed even
+	// for mutation-touched seeds.
+	exact := oldCov != nil && rem.exact && add.known && add.exact
+	// covFill: the result will carry a complete Cov (probing the rare
+	// emitted pattern whose value is not otherwise known). Without old
+	// coverage values the probe-free skips of PR 2 are kept instead.
+	covFill := oldCov != nil
 
-	// Seed pass. The expansion queue holds nodes known to be uncovered
+	probers := make([]index.CoverageProber, workers)
+	domProbers := make([]*mupindex.Prober, workers)
+	for w := range probers {
+		probers[w] = ix.NewCoverageProber()
+		domProbers[w] = oldDom.NewProber()
+	}
+	covGlobal := make(map[K]int64)
+
+	// Seed pass. The expansion waves hold nodes known to be uncovered
 	// in the old state (old MUPs and, transitively, their descendants —
 	// a child of a formerly uncovered node was uncovered too).
-	visited := make(map[K]bool, len(old))
-	queue := make([]pattern.Pattern, 0, len(old))
-	push := func(p pattern.Pattern) {
-		if k := key(p); !visited[k] {
+	visited := make(map[K]bool, len(old.MUPs))
+	wave := make([]repairNode, 0, len(old.MUPs))
+	for i, m := range old.MUPs {
+		if k := key(m); !visited[k] {
 			visited[k] = true
-			queue = append(queue, p)
-		}
-	}
-	for _, m := range old {
-		push(m)
-	}
-	seeds := len(queue)
-	// q is the scratch parent: p with one deterministic element
-	// wildcarded in place, restored after each use.
-	for i := 0; i < len(queue); i++ {
-		p := queue[i]
-		res.Stats.NodesVisited++
-		lvl := p.Level()
-		uncNow := true
-		if touchedUp(p) {
-			uncNow = coverage(p) < opts.Threshold
-		}
-		if !uncNow {
-			// Became covered: new MUPs under it sit strictly below.
-			if lvl < bound {
-				for _, c := range p.Children(cards) {
-					push(c)
-				}
-			}
-			continue
-		}
-		// Still (or again) uncovered: re-check maximality. An old
-		// MUP's parents were all covered, so only removal-touched ones
-		// can have dropped; an expansion node's parents carry no such
-		// guarantee and fall back to the dominance index.
-		maximal := true
-		for j, v := range p {
-			if v == pattern.Wildcard {
-				continue
-			}
-			p[j] = pattern.Wildcard
-			var qUnc bool
-			switch {
-			case i >= seeds && oldDom.DominatedBy(p):
-				// Uncovered in the old state: still uncovered unless
-				// an append could have lifted it.
-				qUnc = !touchedUp(p) || coverage(p) < opts.Threshold
-			case !touchedDown(p):
-				qUnc = false // was covered, could not have dropped
-			default:
-				qUnc = coverage(p) < opts.Threshold
-			}
-			p[j] = v
-			if qUnc {
-				// Not maximal. The new dominator is either inside the
-				// old uncovered region (found from its own old-MUP
-				// seed) or newly uncovered (found by the frontier
-				// pass) — no climb needed.
-				maximal = false
-				break
-			}
-		}
-		if maximal && lvl <= bound {
-			emit(p)
+			wave = append(wave, repairNode{p: m, seed: i})
 		}
 	}
 
-	// Frontier pass: a PATTERN-BREAKER over the removal-touched
-	// sub-lattice. Untouched subtrees cannot hold newly uncovered
-	// patterns, and the descent stops at the uncovered frontier, so
-	// the probe set is the touched slice of a full breaker's.
-	if len(removed) > 0 {
-		level := []pattern.Pattern{pattern.All(len(cards))}
-		covered := make(map[K]struct{})
-		var childBuf []pattern.Pattern
-		for lvl := 0; lvl <= bound && len(level) > 0; lvl++ {
-			coveredNow := make(map[K]struct{}, len(level))
-			var next []pattern.Pattern
-			for _, p := range level {
-				res.Stats.NodesVisited++
-				// Maximality pre-check: every parent is touched (the
-				// touched region is closed under parents), so each was
-				// a candidate in the previous round.
-				ok := true
+	type waveOut struct {
+		emitBuf
+		probed   map[K]int64
+		children []pattern.Pattern
+		nodes    int64
+	}
+
+	emitted := make(map[K]bool)
+	covValid := true
+	var allCovs []int64
+	merge := func(out *waveOut) {
+		for k, c := range out.probed {
+			covGlobal[k] = c
+		}
+		res.Stats.NodesVisited += out.nodes
+		covValid = covValid && out.covValid
+		for i, p := range out.mups {
+			if k := key(p); !emitted[k] {
+				emitted[k] = true
+				res.MUPs = append(res.MUPs, p)
+				allCovs = append(allCovs, out.covs[i])
+			}
+		}
+	}
+
+	for len(wave) > 0 {
+		outs := make([]waveOut, workers)
+		for i := range outs {
+			outs[i].covValid = true
+		}
+		runChunks(wave, workers, func(w int, part []repairNode, _ int) {
+			out := &outs[w]
+			out.probed = make(map[K]int64)
+			pr := probers[w]
+			coverage := func(p pattern.Pattern) int64 {
+				k := key(p)
+				if c, ok := covGlobal[k]; ok {
+					return c
+				}
+				if c, ok := out.probed[k]; ok {
+					return c
+				}
+				c := pr.Coverage(p)
+				out.probed[k] = c
+				return c
+			}
+			for _, n := range part {
+				p := n.p
+				out.nodes++
+				lvl := p.Level()
+				isSeed := n.seed >= 0
+
+				// Classify: still/again uncovered, and its coverage if
+				// it can be had without a probe.
+				var c int64
+				covKnown := false
+				switch {
+				case isSeed && exact:
+					c = oldCov[n.seed] + add.delta(p) - rem.delta(p)
+					covKnown = true
+				case isSeed && oldCov != nil && !add.touched(p) && rem.exact:
+					// Nothing matching p was added, so the only change
+					// is the removed matches.
+					c = oldCov[n.seed] - rem.delta(p)
+					covKnown = true
+				}
+				var uncNow bool
+				switch {
+				case covKnown:
+					uncNow = c < opts.Threshold
+				case !add.touched(p):
+					// Coverage cannot have risen: an old MUP (or an
+					// old-uncovered expansion node) is still uncovered.
+					uncNow = true
+				default:
+					c = coverage(p)
+					covKnown = true
+					uncNow = c < opts.Threshold
+				}
+
+				if !uncNow {
+					// Became covered: new MUPs under it sit strictly
+					// below.
+					if lvl < bound {
+						out.children = append(out.children, p.Children(cards)...)
+					}
+					continue
+				}
+				// Still (or again) uncovered: re-check maximality. An
+				// old MUP's parents were all covered, so only
+				// removal-touched ones can have dropped; an expansion
+				// node's parents carry no such guarantee and fall back
+				// to the dominance index.
+				maximal := true
 				for j, v := range p {
 					if v == pattern.Wildcard {
 						continue
 					}
 					p[j] = pattern.Wildcard
-					_, in := covered[key(p)]
+					var qUnc bool
+					switch {
+					case !isSeed && domProbers[w].DominatedBy(p):
+						// Uncovered in the old state: still uncovered
+						// unless an append could have lifted it.
+						qUnc = !add.touched(p) || coverage(p) < opts.Threshold
+					case !rem.touched(p):
+						qUnc = false // was covered, could not have dropped
+					default:
+						qUnc = coverage(p) < opts.Threshold
+					}
 					p[j] = v
-					if !in {
-						ok = false
+					if qUnc {
+						// Not maximal. The new dominator is either
+						// inside the old uncovered region (found from
+						// its own old-MUP seed) or newly uncovered
+						// (found by the frontier pass) — no climb
+						// needed.
+						maximal = false
 						break
 					}
 				}
-				if !ok {
-					continue
+				if maximal && lvl <= bound {
+					if !covKnown && covFill {
+						c = coverage(p)
+						covKnown = true
+					}
+					out.emit(p, c, covKnown)
 				}
-				// The candidate is probed directly: each reaches this
-				// point once, so the seed pass's memo map would only
-				// add hash traffic.
-				if pr.Coverage(p) < opts.Threshold {
-					emit(p) // uncovered with all parents covered: a MUP
-					continue
+			}
+		})
+
+		var next []repairNode
+		for w := range outs {
+			merge(&outs[w])
+			for _, child := range outs[w].children {
+				if k := key(child); !visited[k] {
+					visited[k] = true
+					next = append(next, repairNode{p: child, seed: -1})
 				}
-				coveredNow[key(p)] = struct{}{}
-				if lvl < bound {
-					childBuf = p.AppendRule1Children(childBuf[:0], cards)
-					for _, c := range childBuf {
-						if touchedDown(c) {
-							next = append(next, c)
+			}
+		}
+		wave = next
+	}
+
+	// Frontier pass: a PATTERN-BREAKER over the removal-touched
+	// sub-lattice. Untouched subtrees cannot hold newly uncovered
+	// patterns, and the descent stops at the uncovered frontier, so
+	// the probe set is the touched slice of a full breaker's. Each
+	// level is chunked across the workers like ParallelPatternBreaker.
+	if rem.pool != nil {
+		level := []pattern.Pattern{pattern.All(len(cards))}
+		covered := make(map[K]struct{})
+		for lvl := 0; lvl <= bound && len(level) > 0; lvl++ {
+			outs := make([]waveOut, workers)
+			for i := range outs {
+				outs[i].covValid = true
+			}
+			coveredKeys := make([][]K, workers)
+			runChunks(level, workers, func(w int, part []pattern.Pattern, _ int) {
+				out := &outs[w]
+				pr := probers[w]
+				var childBuf []pattern.Pattern
+				for _, p := range part {
+					out.nodes++
+					// Maximality pre-check: every parent is touched
+					// (the touched region is closed under parents), so
+					// each was a candidate in the previous round.
+					ok := true
+					for j, v := range p {
+						if v == pattern.Wildcard {
+							continue
+						}
+						p[j] = pattern.Wildcard
+						_, in := covered[key(p)]
+						p[j] = v
+						if !in {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					// The candidate is probed directly: each reaches
+					// this point once, so the seed pass's memo map
+					// would only add hash traffic.
+					if c := pr.Coverage(p); c < opts.Threshold {
+						out.emit(p, c, true) // uncovered with all parents covered: a MUP
+						continue
+					}
+					coveredKeys[w] = append(coveredKeys[w], key(p))
+					if lvl < bound {
+						childBuf = p.AppendRule1Children(childBuf[:0], cards)
+						for _, child := range childBuf {
+							if rem.touched(child) {
+								out.children = append(out.children, child)
+							}
 						}
 					}
 				}
+			})
+			coveredNow := make(map[K]struct{})
+			var next []pattern.Pattern
+			for w := range outs {
+				merge(&outs[w])
+				for _, k := range coveredKeys[w] {
+					coveredNow[k] = struct{}{}
+				}
+				next = append(next, outs[w].children...)
 			}
 			covered = coveredNow
 			level = next
 		}
 	}
-	res.Stats.CoverageProbes = pr.Probes()
-	sortPatterns(res.MUPs)
+
+	if covValid {
+		res.Cov = allCovs
+		if res.Cov == nil {
+			res.Cov = []int64{}
+		}
+	}
+	for _, pr := range probers {
+		res.Stats.CoverageProbes += pr.Probes()
+	}
+	sortResult(res)
 	return res, nil
 }

@@ -32,6 +32,16 @@ func (m *multiset) index() *index.Index {
 	return index.BuildFromCounts(m.schema, m.counts)
 }
 
+// removals builds a removed-delta list retracting count rows of each
+// combination.
+func removals(count int64, combos ...pattern.Pattern) []Delta {
+	out := make([]Delta, len(combos))
+	for i, c := range combos {
+		out[i] = Delta{Combo: c, Count: -count}
+	}
+	return out
+}
+
 func mustEqualMUPs(t *testing.T, got, want *Result, ctx string) {
 	t.Helper()
 	if len(got.MUPs) != len(want.MUPs) {
@@ -69,7 +79,7 @@ func TestRepairBidirectionalFromEmptyOld(t *testing.T) {
 	// Delete one row of combo 01: cov(01)=1 < 2 while both parents 0X
 	// (3) and X1 (3) stay covered, so 01 itself is the new MUP.
 	ms.add([]uint8{0, 1}, -1)
-	got, err := RepairBidirectional(ms.index(), old.MUPs, []pattern.Pattern{{0, 1}}, []pattern.Pattern{}, opts)
+	got, err := RepairBidirectional(ms.index(), old, removals(1, pattern.Pattern{0, 1}), []Delta{}, ParallelOptions{Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +91,7 @@ func TestRepairBidirectionalFromEmptyOld(t *testing.T) {
 	if len(got.MUPs) == 0 {
 		t.Fatal("deletion produced no MUPs; the test lost its point")
 	}
-	if err := Verify(ms.index(), opts.Threshold, got.MUPs); err != nil {
+	if err := VerifyResult(ms.index(), opts.Threshold, got); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -106,22 +116,22 @@ func TestRepairBidirectionalClimbsPastSeeds(t *testing.T) {
 
 	// Remove all four rows with a0=1: the MUP becomes 1XX (level 1),
 	// three levels above the removed level-3 combos.
-	var removed []pattern.Pattern
+	var removed []Delta
 	pattern.EnumerateCombos(cards, func(c []uint8) bool {
 		if c[0] == 1 {
 			ms.add(c, -1)
-			removed = append(removed, pattern.FromValues(c))
+			removed = append(removed, Delta{Combo: pattern.FromValues(c), Count: -1})
 		}
 		return true
 	})
-	got, err := RepairBidirectional(ms.index(), old.MUPs, removed, nil, opts)
+	got, err := RepairBidirectional(ms.index(), old, removed, nil, ParallelOptions{Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k := keys(got.MUPs); len(k) != 1 || k[0] != "1XX" {
 		t.Fatalf("MUPs = %v, want [1XX]", k)
 	}
-	if err := Verify(ms.index(), opts.Threshold, got.MUPs); err != nil {
+	if err := VerifyResult(ms.index(), opts.Threshold, got); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -145,7 +155,7 @@ func TestRepairBidirectionalStaleMaximality(t *testing.T) {
 	// Delete one 00 row: cov(0X) drops to 2, cov(X0) to 3, cov(00) to
 	// 1 — new uncovered patterns appear above the old MUPs.
 	ms.add([]uint8{0, 0}, -1)
-	got, err := RepairBidirectional(ms.index(), old.MUPs, []pattern.Pattern{{0, 0}}, []pattern.Pattern{}, opts)
+	got, err := RepairBidirectional(ms.index(), old, removals(1, pattern.Pattern{0, 0}), []Delta{}, ParallelOptions{Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +164,7 @@ func TestRepairBidirectionalStaleMaximality(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustEqualMUPs(t, got, want, "after maximality-breaking delete")
-	if err := Verify(ms.index(), opts.Threshold, got.MUPs); err != nil {
+	if err := VerifyResult(ms.index(), opts.Threshold, got); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -162,18 +172,21 @@ func TestRepairBidirectionalStaleMaximality(t *testing.T) {
 // TestRepairBidirectionalRandomized is the equivalence property at the
 // mup layer: arbitrary interleavings of appends and deletes, repaired
 // step by step, must match a from-scratch naive search at every step —
-// including level-bounded searches.
+// including level-bounded searches, across worker counts, and with the
+// cached coverage values (Cov) staying exact so the delta-update path
+// is continuously re-seeded from its own output.
 func TestRepairBidirectionalRandomized(t *testing.T) {
 	for _, tc := range []struct {
-		name  string
-		cards []int
-		tau   int64
-		maxL  int
+		name    string
+		cards   []int
+		tau     int64
+		maxL    int
+		workers int
 	}{
-		{"binary-d4", []int{2, 2, 2, 2}, 3, 0},
-		{"mixed-cards", []int{2, 3, 2}, 4, 0},
-		{"level-bounded", []int{2, 3, 2, 2}, 3, 2},
-		{"tau-1", []int{3, 2, 2}, 1, 0},
+		{"binary-d4", []int{2, 2, 2, 2}, 3, 0, 1},
+		{"mixed-cards", []int{2, 3, 2}, 4, 0, 4},
+		{"level-bounded", []int{2, 3, 2, 2}, 3, 2, 3},
+		{"tau-1", []int{3, 2, 2}, 1, 0, 2},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			attrs := make([]dataset.Attribute, len(tc.cards))
@@ -187,9 +200,9 @@ func TestRepairBidirectionalRandomized(t *testing.T) {
 			schema := dataset.MustSchema(attrs)
 			ms := newMultiset(schema)
 			rng := rand.New(rand.NewSource(17))
-			opts := Options{Threshold: tc.tau, MaxLevel: tc.maxL}
+			popts := ParallelOptions{Options: Options{Threshold: tc.tau, MaxLevel: tc.maxL}, Workers: tc.workers}
 
-			cur, err := Naive(ms.index(), opts)
+			cur, err := Naive(ms.index(), popts.Options)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -201,35 +214,107 @@ func TestRepairBidirectionalRandomized(t *testing.T) {
 				return c
 			}
 			for step := 0; step < 40; step++ {
-				removed := []pattern.Pattern{}
-				added := []pattern.Pattern{}
+				net := make(map[string]int64)
 				nMut := 1 + rng.Intn(8)
 				for m := 0; m < nMut; m++ {
 					c := randCombo()
 					if rng.Intn(2) == 0 || ms.counts[string(c)] == 0 {
-						ms.add(c, int64(1+rng.Intn(3)))
-						added = append(added, pattern.FromValues(c))
+						n := int64(1 + rng.Intn(3))
+						ms.add(c, n)
+						net[string(c)] += n
 					} else {
 						ms.add(c, -1)
-						removed = append(removed, pattern.FromValues(c))
+						net[string(c)]--
+					}
+				}
+				var removed, added []Delta
+				for k, n := range net {
+					switch {
+					case n < 0:
+						removed = append(removed, Delta{Combo: pattern.Pattern(k), Count: n})
+					case n > 0:
+						added = append(added, Delta{Combo: pattern.Pattern(k), Count: n})
 					}
 				}
 				ix := ms.index()
 				// Alternate between an exact added set and an unknown
 				// one (nil): both must repair to the same result.
 				addedArg := added
+				if addedArg == nil {
+					addedArg = []Delta{}
+				}
 				if step%2 == 1 {
 					addedArg = nil
 				}
-				got, err := RepairBidirectional(ix, cur.MUPs, removed, addedArg, opts)
+				got, err := RepairBidirectional(ix, cur, removed, addedArg, popts)
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, err := Naive(ix, opts)
+				want, err := Naive(ix, popts.Options)
 				if err != nil {
 					t.Fatal(err)
 				}
 				mustEqualMUPs(t, got, want, fmt.Sprintf("step %d", step))
+				if err := VerifyResult(ix, tc.tau, got); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				cur = got
+			}
+		})
+	}
+}
+
+// TestRepairRandomizedAppendOnly drives the downward-only Repair the
+// same way: append batches with exact added deltas, repaired result
+// re-seeding the next repair, checked against Naive (and its Cov
+// values against fresh probes) at every step.
+func TestRepairRandomizedAppendOnly(t *testing.T) {
+	cards := []int{2, 3, 2}
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "a0", Values: []string{"u", "v"}},
+		{Name: "a1", Values: []string{"u", "v", "w"}},
+		{Name: "a2", Values: []string{"u", "v"}},
+	})
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ms := newMultiset(schema)
+			rng := rand.New(rand.NewSource(29))
+			popts := ParallelOptions{Options: Options{Threshold: 4}, Workers: workers}
+			cur, err := Naive(ms.index(), popts.Options)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 30; step++ {
+				net := make(map[string]int64)
+				for m := 0; m < 1+rng.Intn(6); m++ {
+					c := make([]uint8, len(cards))
+					for i, card := range cards {
+						c[i] = uint8(rng.Intn(card))
+					}
+					n := int64(1 + rng.Intn(3))
+					ms.add(c, n)
+					net[string(c)] += n
+				}
+				added := make([]Delta, 0, len(net))
+				for k, n := range net {
+					added = append(added, Delta{Combo: pattern.Pattern(k), Count: n})
+				}
+				if step%3 == 2 {
+					added = nil // unknown added set: must fall back to probes
+				}
+				ix := ms.index()
+				got, err := Repair(ix, cur, added, popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Naive(ix, popts.Options)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualMUPs(t, got, want, fmt.Sprintf("step %d", step))
+				if err := VerifyResult(ix, popts.Threshold, got); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
 				cur = got
 			}
 		})
@@ -240,11 +325,17 @@ func TestRepairBidirectionalRandomized(t *testing.T) {
 // seeds from another schema must fail loudly, not corrupt the search.
 func TestRepairBidirectionalRejectsBadSeeds(t *testing.T) {
 	ix := example1(t)
-	if _, err := RepairBidirectional(ix, []pattern.Pattern{{9, 9, 9}}, nil, nil, Options{Threshold: 1}); err == nil {
+	if _, err := RepairBidirectional(ix, &Result{MUPs: []pattern.Pattern{{9, 9, 9}}}, nil, nil, ParallelOptions{Options: Options{Threshold: 1}}); err == nil {
 		t.Error("invalid old seed accepted")
 	}
-	if _, err := RepairBidirectional(ix, nil, []pattern.Pattern{{0, 0}}, nil, Options{Threshold: 1}); err == nil {
+	if _, err := RepairBidirectional(ix, &Result{}, removals(1, pattern.Pattern{0, 0}), nil, ParallelOptions{Options: Options{Threshold: 1}}); err == nil {
 		t.Error("wrong-dimension removed seed accepted")
+	}
+	if _, err := Repair(ix, &Result{MUPs: []pattern.Pattern{{9, 9, 9}}}, nil, ParallelOptions{Options: Options{Threshold: 1}}); err == nil {
+		t.Error("invalid repair seed accepted")
+	}
+	if _, err := Repair(ix, &Result{}, []Delta{{Combo: pattern.Pattern{0, pattern.Wildcard, 0}, Count: 1}}, ParallelOptions{Options: Options{Threshold: 1}}); err == nil {
+		t.Error("non-full added combination accepted")
 	}
 }
 
@@ -252,7 +343,7 @@ func TestRepairBidirectionalRejectsBadSeeds(t *testing.T) {
 // everything; the repaired set must be empty regardless of seeds.
 func TestRepairBidirectionalThresholdZero(t *testing.T) {
 	ix := example1(t)
-	res, err := RepairBidirectional(ix, []pattern.Pattern{pattern.All(3)}, nil, nil, Options{Threshold: 0})
+	res, err := RepairBidirectional(ix, &Result{MUPs: []pattern.Pattern{pattern.All(3)}}, nil, nil, ParallelOptions{Options: Options{Threshold: 0}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,19 +81,24 @@ func (ix *Index) Add(p pattern.Pattern) {
 // strict ancestor (or duplicate) of a MUP, hence covered, and can be
 // expanded without a coverage probe.
 func (ix *Index) Dominates(p pattern.Pattern) bool {
+	return ix.dominates(p, &ix.andBuf)
+}
+
+func (ix *Index) dominates(p pattern.Pattern, andBuf *[]*bitvec.Grower) bool {
 	if len(ix.pats) == 0 {
 		return false
 	}
-	ix.andBuf = ix.andBuf[:0]
+	buf := (*andBuf)[:0]
 	for i, v := range p {
 		if v != pattern.Wildcard {
-			ix.andBuf = append(ix.andBuf, ix.vals[i][v])
+			buf = append(buf, ix.vals[i][v])
 		}
 	}
-	if len(ix.andBuf) == 0 {
+	*andBuf = buf
+	if len(buf) == 0 {
 		return true // the root dominates every pattern
 	}
-	return bitvec.AnyAndAll(ix.andBuf)
+	return bitvec.AnyAndAll(buf)
 }
 
 // DominatedBy reports whether p is dominated by at least one added
@@ -101,6 +106,10 @@ func (ix *Index) Dominates(p pattern.Pattern) bool {
 // at every position, either a wildcard or p's deterministic value.
 // Such a node cannot be a MUP and its subtree is pruned.
 func (ix *Index) DominatedBy(p pattern.Pattern) bool {
+	return ix.dominatedBy(p, ix.orA, ix.orB)
+}
+
+func (ix *Index) dominatedBy(p pattern.Pattern, orA, orB []*bitvec.Grower) bool {
 	if len(ix.pats) == 0 {
 		return false
 	}
@@ -108,12 +117,42 @@ func (ix *Index) DominatedBy(p pattern.Pattern) bool {
 		return true // zero-dimensional pattern equals the zero-dimensional MUP
 	}
 	for i, v := range p {
-		ix.orA[i] = ix.wild[i]
+		orA[i] = ix.wild[i]
 		if v == pattern.Wildcard {
-			ix.orB[i] = nil
+			orB[i] = nil
 		} else {
-			ix.orB[i] = ix.vals[i][v]
+			orB[i] = ix.vals[i][v]
 		}
 	}
-	return bitvec.AnyAndAllOr(ix.orA, ix.orB)
+	return bitvec.AnyAndAllOr(orA, orB)
+}
+
+// Prober answers dominance probes against a frozen Index with private
+// scratch buffers, so concurrent probers never contend: the Index's
+// own Dominates/DominatedBy share one scratch and are single-threaded
+// only. The index must not be Added to while probers are in flight.
+type Prober struct {
+	ix       *Index
+	andBuf   []*bitvec.Grower
+	orA, orB []*bitvec.Grower
+}
+
+// NewProber returns a fresh Prober; create one per goroutine.
+func (ix *Index) NewProber() *Prober {
+	return &Prober{
+		ix:     ix,
+		andBuf: make([]*bitvec.Grower, 0, len(ix.cards)),
+		orA:    make([]*bitvec.Grower, len(ix.cards)),
+		orB:    make([]*bitvec.Grower, len(ix.cards)),
+	}
+}
+
+// Dominates is Index.Dominates with the prober's scratch.
+func (p *Prober) Dominates(q pattern.Pattern) bool {
+	return p.ix.dominates(q, &p.andBuf)
+}
+
+// DominatedBy is Index.DominatedBy with the prober's scratch.
+func (p *Prober) DominatedBy(q pattern.Pattern) bool {
+	return p.ix.dominatedBy(q, p.orA, p.orB)
 }

@@ -117,9 +117,12 @@ func (d *decoder) done() error {
 	return nil
 }
 
-// encodeState serializes an engine.State deterministically: map
-// entries are emitted in sorted key order, so equivalent states encode
-// to identical bytes and snapshot→restore→snapshot is a fixed point.
+// encodeState serializes an engine.State deterministically in the
+// current (v2, sharded) format: the count map is emitted as one
+// section per shard core, each in sorted key order, so equivalent
+// states encode to identical bytes and snapshot→restore→snapshot is a
+// fixed point. A state without per-shard key lists (e.g. hand-built)
+// is emitted as a single section.
 func encodeState(st *engine.State) []byte {
 	e := &encoder{buf: make([]byte, 0, 64+len(st.Counts)*(len(st.Attrs)+2))}
 	dim := len(st.Attrs)
@@ -132,15 +135,22 @@ func encodeState(st *engine.State) []byte {
 		}
 	}
 
-	keys := make([]string, 0, len(st.Counts))
-	for k := range st.Counts {
-		keys = append(keys, k)
+	shardKeys := st.ShardCountKeys
+	if shardKeys == nil {
+		keys := make([]string, 0, len(st.Counts))
+		for k := range st.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		shardKeys = [][]string{keys}
 	}
-	sort.Strings(keys)
-	e.uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		e.rawString(k)
-		e.varint(st.Counts[k])
+	e.uvarint(uint64(len(shardKeys)))
+	for _, keys := range shardKeys {
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.rawString(k)
+			e.varint(st.Counts[k])
+		}
 	}
 
 	e.varint(st.Rows)
@@ -169,6 +179,7 @@ func encodeState(st *engine.State) []byte {
 		for _, r := range l.Recs {
 			e.uvarint(r.Gen)
 			e.rawString(r.Key)
+			e.varint(r.Count)
 		}
 	}
 
@@ -180,6 +191,15 @@ func encodeState(st *engine.State) []byte {
 		e.uvarint(uint64(len(c.MUPs)))
 		for _, p := range c.MUPs {
 			e.raw(p)
+		}
+		// The coverage-value cache: 0 = absent, 1 = one value per MUP.
+		if c.Cov == nil {
+			e.uvarint(0)
+		} else {
+			e.uvarint(1)
+			for _, v := range c.Cov {
+				e.varint(v)
+			}
 		}
 		e.str(c.Stats.Algorithm)
 		e.varint(c.Stats.CoverageProbes)
@@ -197,10 +217,14 @@ func encodeState(st *engine.State) []byte {
 }
 
 // decodeState parses a snapshot payload back into an engine.State.
+// version selects the wire layout: v1 is the single-shard format
+// (one sorted count section, mutation logs without magnitudes, no
+// coverage-value caches); v2 adds the per-shard count sections, the
+// net counts on mutation-log records and the per-MUP coverage values.
 // Structural validity (offsets, lengths) is enforced here; semantic
-// validity (cardinalities, row sums, log ordering) is enforced by
-// engine.NewFromState.
-func decodeState(payload []byte) (*engine.State, error) {
+// validity (cardinalities, row sums, shard routing, log ordering) is
+// enforced by engine.NewFromState.
+func decodeState(payload []byte, version uint32) (*engine.State, error) {
 	d := &decoder{b: payload}
 	st := &engine.State{}
 
@@ -221,13 +245,34 @@ func decodeState(payload []byte) (*engine.State, error) {
 		}
 	}
 
-	nCounts := d.length(dim + 1)
-	st.Counts = make(map[string]int64, nCounts)
-	st.CountKeys = make([]string, 0, nCounts)
-	for i := 0; i < nCounts && d.err == nil; i++ {
-		k := d.rawString(dim)
-		st.Counts[k] = d.varint()
-		st.CountKeys = append(st.CountKeys, k)
+	if version >= 2 {
+		nShards := d.length(1)
+		if nShards == 0 && d.err == nil {
+			d.fail("snapshot declares zero shards")
+		}
+		st.Shards = nShards
+		st.Counts = make(map[string]int64)
+		st.ShardCountKeys = make([][]string, 0, nShards)
+		for s := 0; s < nShards && d.err == nil; s++ {
+			nKeys := d.length(dim + 1)
+			keys := make([]string, 0, nKeys)
+			for i := 0; i < nKeys && d.err == nil; i++ {
+				k := d.rawString(dim)
+				st.Counts[k] = d.varint()
+				keys = append(keys, k)
+			}
+			st.ShardCountKeys = append(st.ShardCountKeys, keys)
+		}
+	} else {
+		nCounts := d.length(dim + 1)
+		st.Shards = 1
+		st.Counts = make(map[string]int64, nCounts)
+		st.CountKeys = make([]string, 0, nCounts)
+		for i := 0; i < nCounts && d.err == nil; i++ {
+			k := d.rawString(dim)
+			st.Counts[k] = d.varint()
+			st.CountKeys = append(st.CountKeys, k)
+		}
 	}
 
 	st.Rows = d.varint()
@@ -263,6 +308,12 @@ func decodeState(payload []byte) (*engine.State, error) {
 			for i := 0; i < n && d.err == nil; i++ {
 				l.Recs[i].Gen = d.uvarint()
 				l.Recs[i].Key = d.rawString(dim)
+				if version >= 2 {
+					l.Recs[i].Count = d.varint()
+				}
+				// v1 records carried no magnitudes; Count stays 0
+				// ("unknown"), which gates repairs but disables
+				// coverage delta-updates for the affected spans.
 			}
 		}
 	}
@@ -287,6 +338,18 @@ func decodeState(payload []byte) (*engine.State, error) {
 			p := backing[j*dim : (j+1)*dim : (j+1)*dim]
 			copy(p, d.raw(dim))
 			c.MUPs[j] = pattern.Pattern(p)
+		}
+		if version >= 2 {
+			switch hasCov := d.uvarint(); hasCov {
+			case 0:
+			case 1:
+				c.Cov = make([]int64, nm)
+				for j := 0; j < nm && d.err == nil; j++ {
+					c.Cov[j] = d.varint()
+				}
+			default:
+				d.fail("cache entry %d: bad coverage-cache marker %d", i, hasCov)
+			}
 		}
 		c.Stats = mup.Stats{
 			Algorithm:      d.str(),

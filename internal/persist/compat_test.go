@@ -1,0 +1,193 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"coverage/internal/engine"
+)
+
+// encodeStateV1 replicates the version-1 (single-shard) payload layout
+// byte for byte: one sorted count section, mutation-log records
+// without magnitudes, cache entries without coverage values. It exists
+// only here, as the fixture generator proving the current reader keeps
+// accepting the old format.
+func encodeStateV1(st *engine.State) []byte {
+	e := &encoder{}
+	e.uvarint(uint64(len(st.Attrs)))
+	for _, a := range st.Attrs {
+		e.str(a.Name)
+		e.uvarint(uint64(len(a.Values)))
+		for _, v := range a.Values {
+			e.str(v)
+		}
+	}
+	keys := make([]string, 0, len(st.Counts))
+	for k := range st.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.rawString(k)
+		e.varint(st.Counts[k])
+	}
+	e.varint(st.Rows)
+	e.uvarint(st.Generation)
+	e.uvarint(uint64(st.Window))
+	e.varint(st.Tombstones)
+	e.uvarint(uint64(len(st.WindowLog)))
+	for _, k := range st.WindowLog {
+		e.rawString(k)
+	}
+	pdKeys := make([]string, 0, len(st.PendingDeletes))
+	for k := range st.PendingDeletes {
+		pdKeys = append(pdKeys, k)
+	}
+	sort.Strings(pdKeys)
+	e.uvarint(uint64(len(pdKeys)))
+	for _, k := range pdKeys {
+		e.rawString(k)
+		e.varint(st.PendingDeletes[k])
+	}
+	for _, l := range []engine.MutationLog{st.Removed, st.Added} {
+		e.uvarint(l.Horizon)
+		e.uvarint(uint64(len(l.Recs)))
+		for _, r := range l.Recs {
+			e.uvarint(r.Gen)
+			e.rawString(r.Key)
+		}
+	}
+	e.uvarint(uint64(len(st.Cache)))
+	for _, c := range st.Cache {
+		e.varint(c.Tau)
+		e.uvarint(uint64(c.MaxLevel))
+		e.uvarint(c.Gen)
+		e.uvarint(uint64(len(c.MUPs)))
+		for _, p := range c.MUPs {
+			e.raw(p)
+		}
+		e.str(c.Stats.Algorithm)
+		e.varint(c.Stats.CoverageProbes)
+		e.varint(c.Stats.NodesVisited)
+	}
+	for _, c := range []int64{
+		st.Counters.Appends, st.Counters.Deletes, st.Counters.Evictions,
+		st.Counters.Compactions, st.Counters.FullSearches, st.Counters.Repairs,
+		st.Counters.BidirectionalRepairs, st.Counters.CacheHits,
+	} {
+		e.varint(c)
+	}
+	return e.buf
+}
+
+// frameV1 wraps a v1 payload in snapshot framing with version 1.
+func frameV1(payload []byte) []byte {
+	header := make([]byte, snapshotHeaderSize)
+	copy(header, snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], snapshotVersionV1)
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(payload)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(payload, castagnoli))
+	return append(append(header, payload...), trailer[:]...)
+}
+
+// TestReadV1Snapshot proves backward compatibility: a version-1
+// (single-shard, pre-magnitude, pre-Cov) snapshot restores into a
+// query-equivalent engine — both single-shard and re-sharded across
+// four cores — and keeps accepting mutations afterwards.
+func TestReadV1Snapshot(t *testing.T) {
+	src := mutatedEngine(t, 11, 100)
+	data := frameV1(encodeStateV1(src.ExportState()))
+
+	st, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("reading v1 snapshot: %v", err)
+	}
+	if st.ShardCountKeys != nil {
+		t.Errorf("v1 decode produced shard key lists: %d", len(st.ShardCountKeys))
+	}
+	for _, shards := range []int{1, 4} {
+		restored, err := engine.NewFromState(st, engine.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("restoring v1 state at %d shards: %v", shards, err)
+		}
+		if got := restored.Shards(); got != shards {
+			t.Fatalf("restored Shards() = %d, want %d", got, shards)
+		}
+		assertEquivalent(t, src, restored)
+		// The restored engine keeps mutating and repairing: v1 logs
+		// carry no magnitudes, so repairs fall back to probing, but
+		// answers stay exact.
+		if err := restored.Append(randomBatch(rand.New(rand.NewSource(21)), restored.Cards(), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotReshardRoundTrip pins the fallback paths of the current
+// format: a single-shard snapshot restored into a sharded engine and a
+// sharded snapshot restored into a single-shard engine both answer
+// every query identically, and a same-topology re-snapshot of the
+// restored engine is a byte-level fixed point.
+func TestSnapshotReshardRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		srcShards      int
+		restoreShards  int
+		wantShardLists int
+	}{
+		{"single-to-sharded", 1, 4, 1},
+		{"sharded-to-single", 4, 1, 4},
+		{"sharded-to-sharded", 3, 5, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := engine.NewSharded(testSchema(), tc.srcShards, engine.Options{})
+			driveEngine(t, src, 13, 90)
+			var buf bytes.Buffer
+			if _, err := WriteSnapshot(&buf, src.ExportState()); err != nil {
+				t.Fatal(err)
+			}
+			st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.ShardCountKeys) != tc.wantShardLists {
+				t.Fatalf("decoded %d shard key lists, want %d", len(st.ShardCountKeys), tc.wantShardLists)
+			}
+			restored, err := engine.NewFromState(st, engine.Options{Shards: tc.restoreShards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := restored.Shards(); got != tc.restoreShards {
+				t.Fatalf("restored Shards() = %d, want %d", got, tc.restoreShards)
+			}
+			assertEquivalent(t, src, restored)
+
+			// Same-topology round trip from the restored engine is a
+			// byte-level fixed point.
+			var buf2, buf3 bytes.Buffer
+			if _, err := WriteSnapshot(&buf2, restored.ExportState()); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := ReadSnapshot(bytes.NewReader(buf2.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := engine.NewFromState(st2, engine.Options{Shards: tc.restoreShards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := WriteSnapshot(&buf3, again.ExportState()); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+				t.Error("same-topology snapshot→restore→snapshot is not a fixed point")
+			}
+		})
+	}
+}

@@ -20,9 +20,16 @@ import (
 //	crc      uint32le  CRC32-C of payload
 var snapshotMagic = [8]byte{'C', 'O', 'V', 'S', 'N', 'A', 'P', 0}
 
-// snapshotVersion is the current snapshot format version. Readers
-// reject anything else with ErrVersion rather than guessing.
-const snapshotVersion uint32 = 1
+// snapshotVersion is the current snapshot format version: v2 stores
+// the count map as one section per shard core, magnitudes on the
+// mutation-log records and the per-MUP coverage-value caches. Readers
+// also accept snapshotVersionV1 (the single-shard format) for
+// backward compatibility, re-sharding on restore as needed; anything
+// else is rejected with ErrVersion rather than guessed at.
+const (
+	snapshotVersion   uint32 = 2
+	snapshotVersionV1 uint32 = 1
+)
 
 const snapshotHeaderSize = 8 + 4 + 8
 
@@ -73,8 +80,10 @@ func ReadSnapshotBytes(data []byte) (*engine.State, error) {
 	if [8]byte(data[:8]) != snapshotMagic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(data[8:]); v != snapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot version %d, this build reads version %d", ErrVersion, v, snapshotVersion)
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != snapshotVersion && version != snapshotVersionV1 {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads versions %d and %d",
+			ErrVersion, version, snapshotVersionV1, snapshotVersion)
 	}
 	plen := binary.LittleEndian.Uint64(data[12:])
 	if plen != uint64(len(data)-snapshotHeaderSize-4) {
@@ -85,7 +94,7 @@ func ReadSnapshotBytes(data []byte) (*engine.State, error) {
 	if got := crc32.Checksum(payload, castagnoli); got != want {
 		return nil, fmt.Errorf("%w: snapshot payload CRC %08x, trailer says %08x", ErrChecksum, got, want)
 	}
-	return decodeState(payload)
+	return decodeState(payload, version)
 }
 
 // writeSnapshotFile durably writes the state to dir/snap-<gen>.snap:
