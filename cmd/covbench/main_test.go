@@ -46,8 +46,8 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 15 {
-		t.Errorf("%d experiments registered, want 15 (one per figure/table, plus engine, persist and shard)", len(seen))
+	if len(seen) != 16 {
+		t.Errorf("%d experiments registered, want 16 (one per figure/table, plus engine, persist, shard and plan)", len(seen))
 	}
 }
 
@@ -82,6 +82,41 @@ func TestShardBenchWritesJSON(t *testing.T) {
 	for _, w := range []string{"append", "mup-search", "mup-repair-delete"} {
 		if rep.Speedup4v1[w] <= 0 {
 			t.Errorf("missing 4-vs-1 speedup for %q", w)
+		}
+	}
+}
+
+// TestPlanBenchWritesJSON smokes the remediation-planner benchmark at
+// toy scale: the report must decode, hold one result per (workload,
+// workers) cell, and carry the incremental-vs-scratch speedup summary.
+func TestPlanBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_plan.json")
+	planBench(config{n: 3000, seed: 42, planOut: out})
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep planBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if rep.DatasetRows != 3000 || len(rep.WorkerCounts) != 2 || rep.MutationRows != 100 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if want := 3 * len(rep.WorkerCounts); len(rep.Results) != want {
+		t.Fatalf("%d results, want %d", len(rep.Results), want)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.Workers <= 0 {
+			t.Errorf("result %q = %+v", r.Name, r)
+		}
+	}
+	for _, w := range []string{"workers=1", "workers=4"} {
+		if rep.SpeedupIncremental[w] <= 0 {
+			t.Errorf("missing incremental speedup for %q", w)
 		}
 	}
 }

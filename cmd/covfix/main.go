@@ -6,7 +6,8 @@
 // Usage:
 //
 //	covfix -csv data.csv [-columns a,b,c] (-tau 30 | -rate 0.001)
-//	       -lambda 2 [-rules rules.json] [-out augmented.csv] [-copies τ]
+//	       -lambda 2 [-rules rules.json] [-costs costs.json]
+//	       [-workers N] [-out augmented.csv] [-copies τ]
 //
 // The optional rules file holds validation rules as JSON:
 //
@@ -18,6 +19,19 @@
 //
 // Each rule describes an invalid conjunction; suggestions will satisfy
 // none of them (paper Definitions 10-11).
+//
+// The optional costs file switches the planner to the weighted
+// objective (most newly covered patterns per unit acquisition cost):
+// per attribute, per value label, the positive cost of collecting a
+// respondent with that value. Unlisted values cost 1.
+//
+//	{"race": {"amer-indian": 5, "other": 3}, "age": {"under 20": 2}}
+//
+// -workers fans each greedy selection's top-level attribute branches
+// across N goroutines sharing an atomic best-bound; the resulting plan
+// is identical at every worker count. These are the same planner knobs
+// covserve's /plan endpoint exercises, so a plan computed offline here
+// matches the served one configuration for configuration.
 package main
 
 import (
@@ -48,6 +62,8 @@ func main() {
 		lambda    = flag.Int("lambda", 2, "target maximum covered level λ")
 		minVC     = flag.Uint64("min-value-count", 0, "alternative objective: cover patterns with at least this value count")
 		rulesPath = flag.String("rules", "", "JSON file with validation rules")
+		costsPath = flag.String("costs", "", "JSON file with per-attribute-value acquisition costs (switches to the weighted objective)")
+		workers   = flag.Int("workers", 0, "goroutines for the greedy search's branch fan-out (0 = sequential; the plan is identical)")
 		outPath   = flag.String("out", "", "write the augmented dataset to this CSV file")
 		copies    = flag.Int("copies", 0, "rows to append per suggestion when -out is set (default: τ)")
 		naive     = flag.Bool("naive", false, "use the naive hitting-set baseline (exponential)")
@@ -86,7 +102,13 @@ func main() {
 			fatal(err)
 		}
 	}
-	planOpts := coverage.PlanOptions{Oracle: oracle, Naive: *naive}
+	planOpts := coverage.PlanOptions{Oracle: oracle, Naive: *naive, Workers: *workers}
+	if *costsPath != "" {
+		planOpts.Cost, err = loadCosts(*costsPath, ds.Schema())
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if *minVC > 0 {
 		planOpts.MinValueCount = *minVC
 	} else {
@@ -154,6 +176,40 @@ func loadRules(path string, schema *coverage.Schema) (*coverage.Oracle, error) {
 		rules = append(rules, rule)
 	}
 	return coverage.NewOracle(schema, rules)
+}
+
+// loadCosts parses the weighted cost model: attribute name → value
+// label → positive cost, defaulting to 1 for anything unlisted.
+func loadCosts(path string, schema *coverage.Schema) (*coverage.CostModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var byLabel map[string]map[string]float64
+	if err := json.Unmarshal(data, &byLabel); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	costs := make([][]float64, schema.Dim())
+	for i := range costs {
+		costs[i] = make([]float64, len(schema.Attr(i).Values))
+		for v := range costs[i] {
+			costs[i][v] = 1
+		}
+	}
+	for name, values := range byLabel {
+		attr, ok := schema.AttrIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("costs file references unknown attribute %q", name)
+		}
+		for label, cost := range values {
+			code, ok := schema.ValueCode(attr, label)
+			if !ok {
+				return nil, fmt.Errorf("costs file: attribute %q has no value %q", name, label)
+			}
+			costs[attr][code] = cost
+		}
+	}
+	return coverage.NewCostModel(schema, costs)
 }
 
 func fatal(err error) {

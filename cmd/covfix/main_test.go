@@ -51,6 +51,44 @@ func TestLoadRules(t *testing.T) {
 	}
 }
 
+func TestLoadCosts(t *testing.T) {
+	schema := testSchema(t)
+	path := writeRules(t, `{"age": {"under 20": 2.5, "60+": 4}, "marital": {"unknown": 9}}`)
+	model, err := loadCosts(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Listed values take their costs, everything else defaults to 1:
+	// [under 20, unknown] = 2.5 + 9; [20-39, single] = 1 + 1.
+	if got := model.ComboCost([]uint8{0, 2}); got != 11.5 {
+		t.Errorf("ComboCost(under20, unknown) = %v, want 11.5", got)
+	}
+	if got := model.ComboCost([]uint8{1, 0}); got != 2 {
+		t.Errorf("ComboCost(20-39, single) = %v, want 2", got)
+	}
+}
+
+func TestLoadCostsErrors(t *testing.T) {
+	schema := testSchema(t)
+	for _, tc := range []struct {
+		name    string
+		content string
+	}{
+		{"bad json", `{not json`},
+		{"unknown attribute", `{"height": {"tall": 2}}`},
+		{"unknown value", `{"marital": {"divorced": 2}}`},
+		{"non-positive cost", `{"marital": {"single": 0}}`},
+	} {
+		path := writeRules(t, tc.content)
+		if _, err := loadCosts(path, schema); err == nil {
+			t.Errorf("%s: loadCosts succeeded, want error", tc.name)
+		}
+	}
+	if _, err := loadCosts(filepath.Join(t.TempDir(), "missing.json"), schema); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
 func TestLoadRulesErrors(t *testing.T) {
 	schema := testSchema(t)
 	cases := []struct {

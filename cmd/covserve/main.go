@@ -2,8 +2,9 @@
 // the interactive counterpart to the one-shot covreport/covfix
 // commands. It loads a dataset once, then answers pattern coverage
 // probes, MUP audits and remediation-plan requests over HTTP while
-// accepting row appends, repairing its cached MUP sets incrementally
-// instead of rebuilding the index per request.
+// accepting row appends, repairing its cached MUP sets — and the
+// remediation plans derived from them — incrementally instead of
+// rebuilding anything per request.
 //
 // With -data-dir the engine state is durable: every mutation is
 // written to a write-ahead log before it is acknowledged, snapshots
@@ -40,7 +41,9 @@
 //	GET  /window                           sliding-window configuration
 //	POST /window {"max_rows":100000}       bound the dataset to the newest rows
 //	POST /snapshot                         write a snapshot now (requires -data-dir)
-//	POST /plan {"tau":30,"max_level":2}    remediation plan
+//	POST /plan {"tau":30,"max_level":2}    remediation plan (cached per configuration,
+//	                                       repaired incrementally after mutations;
+//	                                       optional "workers" fans out the greedy search)
 package main
 
 import (

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPlanEndpointCachesAndRepairs drives /plan through the serving
+// lifecycle: a first request builds, an identical request hits the
+// cache, a mutation forces a repair, and /stats exposes the planner
+// counters throughout.
+func TestPlanEndpointCachesAndRepairs(t *testing.T) {
+	s := serveFixture(t)
+
+	w := do(t, s, "POST", "/plan", `{"tau": 2, "max_level": 2, "workers": 2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	first := decode[planResponse](t, w)
+	if first.Tuples == 0 || first.Algorithm != "greedy" {
+		t.Fatalf("plan = %+v", first)
+	}
+
+	w = do(t, s, "POST", "/plan", `{"tau": 2, "max_level": 2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	second := decode[planResponse](t, w)
+	if second.Tuples != first.Tuples {
+		t.Fatalf("cached plan diverged: %+v vs %+v", second, first)
+	}
+
+	st := decode[statsResponse](t, do(t, s, "GET", "/stats", ""))
+	if st.PlanCache.Builds != 1 || st.PlanCache.Hits != 1 || st.PlanCache.CachedPlans != 1 || st.PlanCache.Probes != 2 {
+		t.Fatalf("plan_cache = %+v", st.PlanCache)
+	}
+
+	// A mutation invalidates the generation; the next /plan repairs
+	// (or rebuilds) instead of answering from cache.
+	w = do(t, s, "POST", "/append", `{"rows": [["female", "other"], ["female", "other"]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("append status %d: %s", w.Code, w.Body)
+	}
+	w = do(t, s, "POST", "/plan", `{"tau": 2, "max_level": 2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	st = decode[statsResponse](t, do(t, s, "GET", "/stats", ""))
+	if st.PlanCache.Probes != 3 || st.PlanCache.Hits != 1 {
+		t.Fatalf("plan_cache after mutation = %+v", st.PlanCache)
+	}
+	if st.PlanCache.TargetRepairs+st.PlanCache.Rebuilds != 1 {
+		t.Fatalf("mutation did not route through repair: %+v", st.PlanCache)
+	}
+}
+
+// TestPlanEndpointClientDisconnect pins the cancellation path: a
+// request whose context is already canceled (the client hung up) is
+// answered 499-style without running the search.
+func TestPlanEndpointClientDisconnect(t *testing.T) {
+	s := serveFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/plan", strings.NewReader(`{"tau": 2, "max_level": 2}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d: %s", w.Code, statusClientClosedRequest, w.Body)
+	}
+}
+
+func TestPlanEndpointWorkersAreEquivalent(t *testing.T) {
+	base := serveFixture(t)
+	w1 := do(t, base, "POST", "/plan", `{"tau": 2, "max_level": 2, "workers": 1}`)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w1.Code, w1.Body)
+	}
+	p1 := decode[planResponse](t, w1)
+	other := serveFixture(t)
+	w4 := do(t, other, "POST", "/plan", `{"tau": 2, "max_level": 2, "workers": 4}`)
+	if w4.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w4.Code, w4.Body)
+	}
+	p4 := decode[planResponse](t, w4)
+	if len(p1.Suggestions) != len(p4.Suggestions) {
+		t.Fatalf("worker counts disagree: %+v vs %+v", p1, p4)
+	}
+	for i := range p1.Suggestions {
+		if p1.Suggestions[i] != p4.Suggestions[i] {
+			t.Fatalf("suggestion %d differs across worker counts: %+v vs %+v", i, p1.Suggestions[i], p4.Suggestions[i])
+		}
+	}
+}

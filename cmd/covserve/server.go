@@ -145,8 +145,23 @@ type statsResponse struct {
 	// core.
 	ShardCount int         `json:"shard_count"`
 	Shards     []shardJSON `json:"shards"`
+	// PlanCache reports the incremental remediation planner.
+	PlanCache planCacheJSON `json:"plan_cache"`
 	// Persist reports the durability layer; absent without -data-dir.
 	Persist *persistStats `json:"persist,omitempty"`
+}
+
+// planCacheJSON is the remediation-plan cache section of /stats:
+// probes and hits against the cache, plus how each non-hit was
+// answered — a from-scratch build, a target-set repair that kept the
+// cached plan (zero greedy work), or a seeded greedy rebuild.
+type planCacheJSON struct {
+	Probes        int64 `json:"probes"`
+	Hits          int64 `json:"hits"`
+	Builds        int64 `json:"builds"`
+	TargetRepairs int64 `json:"target_repairs"`
+	Rebuilds      int64 `json:"seeded_rebuilds"`
+	CachedPlans   int   `json:"cached_plans"`
 }
 
 // shardJSON is one shard core's counters on /stats.
@@ -193,6 +208,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tombstones:     st.Tombstones,
 		ShardCount:     st.ShardCount,
 		Shards:         make([]shardJSON, len(st.Shards)),
+		PlanCache: planCacheJSON{
+			Probes:        st.PlanProbes,
+			Hits:          st.PlanHits,
+			Builds:        st.PlanBuilds,
+			TargetRepairs: st.PlanRepairs,
+			Rebuilds:      st.PlanRebuilds,
+			CachedPlans:   st.CachedPlans,
+		},
 	}
 	for i, sh := range st.Shards {
 		resp.Shards[i] = shardJSON{
@@ -607,12 +630,15 @@ func (s *server) handleWindowSet(w http.ResponseWriter, r *http.Request) {
 }
 
 // planRequest configures a remediation plan: a threshold spec (tau or
-// rate) plus one objective (max_level λ or min_value_count).
+// rate) plus one objective (max_level λ or min_value_count), and
+// optionally the greedy search's worker fan-out (0 = engine default;
+// the plan is identical at every count).
 type planRequest struct {
 	Tau           int64   `json:"tau,omitempty"`
 	Rate          float64 `json:"rate,omitempty"`
 	MaxLevel      int     `json:"max_level,omitempty"`
 	MinValueCount uint64  `json:"min_value_count,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
 }
 
 type suggestionJSON struct {
@@ -626,8 +652,14 @@ type planResponse struct {
 	Threshold   int64            `json:"threshold"`
 	Targets     int              `json:"targets"`
 	Tuples      int              `json:"tuples_to_collect"`
+	Algorithm   string           `json:"algorithm"`
 	Suggestions []suggestionJSON `json:"suggestions"`
 }
+
+// statusClientClosedRequest is nginx's de-facto status for "the client
+// disconnected before the response was ready". The reply never reaches
+// the client; the status exists for access logs and tests.
+const statusClientClosedRequest = 499
 
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
@@ -639,9 +671,20 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, err := s.an.Plan(rep, coverage.PlanOptions{MaxLevel: req.MaxLevel, MinValueCount: req.MinValueCount})
+	// The request context rides into the greedy searcher's pruning
+	// loop: a disconnected client cancels it, and the handler stops
+	// burning CPU on a plan nobody will read.
+	plan, err := s.an.PlanContext(r.Context(), rep, coverage.PlanOptions{
+		MaxLevel:      req.MaxLevel,
+		MinValueCount: req.MinValueCount,
+		Workers:       req.Workers,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			status = statusClientClosedRequest
+		}
+		writeError(w, status, err)
 		return
 	}
 	schema := s.an.Dataset().Schema()
@@ -649,6 +692,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Threshold:   rep.Threshold,
 		Targets:     len(plan.Targets),
 		Tuples:      plan.NumTuples(),
+		Algorithm:   plan.Stats.Algorithm,
 		Suggestions: make([]suggestionJSON, 0, len(plan.Suggestions)),
 	}
 	for _, sg := range plan.Suggestions {

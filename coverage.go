@@ -28,6 +28,7 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -169,6 +170,12 @@ type Report struct {
 
 	schema *Schema
 	rows   int
+	// auto records that the report came from the engine's cached Auto
+	// path, and findMaxLevel the FindOptions.MaxLevel it ran under —
+	// together they let Plan route the report back through the
+	// engine's incremental plan cache.
+	auto         bool
+	findMaxLevel int
 }
 
 // LevelHistogram returns the number of MUPs per level (the paper's
@@ -355,7 +362,15 @@ func (a *Analyzer) FindMUPs(opts FindOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{MUPs: res.MUPs, Threshold: tau, Stats: res.Stats, schema: a.ds.Schema(), rows: int(a.eng.Rows())}, nil
+	return &Report{
+		MUPs:         res.MUPs,
+		Threshold:    tau,
+		Stats:        res.Stats,
+		schema:       a.ds.Schema(),
+		rows:         int(a.eng.Rows()),
+		auto:         opts.Algorithm == Auto,
+		findMaxLevel: opts.MaxLevel,
+	}, nil
 }
 
 // ProfilePoint is one row of a coverage profile: the MUP population at
@@ -414,6 +429,12 @@ type PlanOptions struct {
 	// Naive selects the unoptimized hitting-set baseline (for
 	// comparison; exponential in the number of attributes).
 	Naive bool
+	// Workers fans the greedy search's top-level attribute branches
+	// across this many goroutines sharing an atomic best-bound. 0
+	// means the engine's worker default on the cached path and
+	// sequential on the one-shot path. The plan is identical at every
+	// worker count.
+	Workers int
 }
 
 // Plan computes the additional data collection that remedies the lack
@@ -421,19 +442,52 @@ type PlanOptions struct {
 // combinations; each Suggestion.Collect generalizes its combination to
 // the pattern a data collector can recruit from. Collecting τ rows per
 // suggestion is always sufficient to reach the target.
+//
+// Reports from the Auto algorithm route through the engine's
+// incremental planner: plans are cached per (threshold, objective,
+// oracle, cost model) and, after mutations, repaired from the MUP-set
+// delta — the greedy search re-runs (seeded with the prior
+// suggestions) only when the target set actually changed, and the
+// result is always identical to planning from scratch. Reports from
+// explicit algorithms, and the Naive baseline, plan one-shot as
+// before.
 func (a *Analyzer) Plan(rep *Report, opts PlanOptions) (*Plan, error) {
+	return a.PlanContext(context.Background(), rep, opts)
+}
+
+// PlanContext is Plan with cancellation: ctx is polled inside the
+// greedy search's pruning loop, so an abandoned request (say, a
+// disconnected HTTP client) stops burning CPU promptly and returns
+// ctx.Err().
+func (a *Analyzer) PlanContext(ctx context.Context, rep *Report, opts PlanOptions) (*Plan, error) {
 	cards := a.ds.Cards()
-	var targets []Pattern
-	var err error
 	switch {
 	case opts.MaxLevel > 0 && opts.MinValueCount > 0:
 		return nil, fmt.Errorf("coverage: set either MaxLevel or MinValueCount, not both")
-	case opts.MaxLevel > 0:
-		targets, err = enhance.UncoveredAtLevel(rep.MUPs, cards, opts.MaxLevel)
-	case opts.MinValueCount > 0:
-		targets, err = enhance.UncoveredByValueCount(rep.MUPs, cards, opts.MinValueCount)
-	default:
+	case opts.MaxLevel <= 0 && opts.MinValueCount == 0:
 		return nil, fmt.Errorf("coverage: a positive MaxLevel or MinValueCount is required")
+	case opts.Naive && opts.Cost != nil:
+		return nil, fmt.Errorf("coverage: the naive baseline has no weighted variant")
+	}
+
+	if rep.auto && !opts.Naive {
+		// The engine owns the MUP set for this (τ, level) pair and the
+		// plan cache beside it.
+		return a.eng.Plan(ctx, mup.Options{Threshold: rep.Threshold, MaxLevel: rep.findMaxLevel}, engine.PlanSpec{
+			MaxLevel:      opts.MaxLevel,
+			MinValueCount: opts.MinValueCount,
+			Oracle:        opts.Oracle,
+			Cost:          opts.Cost,
+			Workers:       opts.Workers,
+		})
+	}
+
+	var targets []Pattern
+	var err error
+	if opts.MaxLevel > 0 {
+		targets, err = enhance.UncoveredAtLevel(rep.MUPs, cards, opts.MaxLevel)
+	} else {
+		targets, err = enhance.UncoveredByValueCount(rep.MUPs, cards, opts.MinValueCount)
 	}
 	if err != nil {
 		return nil, err
@@ -449,15 +503,14 @@ func (a *Analyzer) Plan(rep *Report, opts PlanOptions) (*Plan, error) {
 		}
 		targets = kept
 	}
+	sopts := enhance.SearchOptions{Ctx: ctx, Workers: opts.Workers}
 	switch {
-	case opts.Naive && opts.Cost != nil:
-		return nil, fmt.Errorf("coverage: the naive baseline has no weighted variant")
 	case opts.Naive:
 		return enhance.NaiveGreedy(targets, cards, opts.Oracle)
 	case opts.Cost != nil:
-		return enhance.GreedyWeighted(targets, cards, opts.Oracle, opts.Cost)
+		return enhance.GreedyWeightedSearch(targets, cards, opts.Oracle, opts.Cost, sopts)
 	default:
-		return enhance.Greedy(targets, cards, opts.Oracle)
+		return enhance.GreedySearch(targets, cards, opts.Oracle, sopts)
 	}
 }
 

@@ -26,6 +26,14 @@
 // per-MUP coverage values are delta-updated from the mutation logs, so
 // untouched patterns cost no probes at all.
 //
+// Remediation plans ride the same machinery: a bounded per-(τ,
+// objective, oracle, cost model) plan cache sits beside the MUP
+// caches, its entries tagged with the generation and repaired from
+// the MUP-set delta — retracted MUPs drop their expanded hitting-set
+// targets, new MUPs expand only their own cones, and the greedy
+// search re-runs (seeded with the prior suggestions) only when the
+// target set actually changed. See Plan.
+//
 // The mutation path is signed: Delete retracts rows and SetWindow
 // bounds the engine to the most recent rows, evicting the oldest on
 // overflow. Both directions flow through the same per-core delta
@@ -104,6 +112,11 @@ type Options struct {
 	// append, so the cache must not grow with query history. 0 means
 	// 64.
 	MaxCachedSearches int
+	// MaxCachedPlans bounds the per-(threshold, objective, oracle,
+	// cost model) remediation-plan cache the same way. Plans carry
+	// their expanded target sets, which dwarf the MUP sets they come
+	// from, so the bound is tighter. 0 means 16.
+	MaxCachedPlans int
 	// RemovedLogSize bounds the log of retracted combinations kept for
 	// bidirectional cache repair. A cached MUP set older than the
 	// log's horizon cannot be repaired and falls back to a full
@@ -161,6 +174,13 @@ func (o Options) maxCachedSearches() int {
 	return 64
 }
 
+func (o Options) maxCachedPlans() int {
+	if o.MaxCachedPlans > 0 {
+		return o.MaxCachedPlans
+	}
+	return 16
+}
+
 func (o Options) removedLogSize() int {
 	if o.RemovedLogSize > 0 {
 		return o.RemovedLogSize
@@ -216,6 +236,20 @@ type Stats struct {
 	// CachedSearches is the number of MUP configurations currently
 	// cached (bounded by Options.MaxCachedSearches).
 	CachedSearches int
+	// PlanProbes counts Plan requests; PlanHits those answered from
+	// the plan cache with no work at all. PlanBuilds counts plans
+	// expanded and searched from scratch, PlanRepairs target-set
+	// repairs that proved the cached plan still valid (zero greedy
+	// iterations), and PlanRebuilds seeded greedy re-runs after the
+	// target set changed. CachedPlans is the number of plan
+	// configurations currently cached (bounded by
+	// Options.MaxCachedPlans).
+	PlanProbes   int64
+	PlanHits     int64
+	PlanBuilds   int64
+	PlanRepairs  int64
+	PlanRebuilds int64
+	CachedPlans  int
 	// Window is the configured sliding-window bound in rows; 0 means
 	// unbounded. Tombstones counts deleted rows whose window-log
 	// entries have not yet been reconciled by eviction.
@@ -272,10 +306,11 @@ type ShardedEngine struct {
 	// batches stay atomic for readers), queries the read lock. Lattice
 	// searches snapshot the immutable per-core bases under the lock
 	// and probe them outside it.
-	mu    sync.RWMutex
-	rows  int64
-	gen   uint64
-	cache map[searchKey]*cachedSearch
+	mu        sync.RWMutex
+	rows      int64
+	gen       uint64
+	cache     map[searchKey]*cachedSearch
+	planCache map[planKey]*cachedPlan
 
 	// Sliding-window state. log records live rows in arrival order
 	// (only while window > 0); pendingDeletes holds tombstones for rows
@@ -302,6 +337,15 @@ type ShardedEngine struct {
 	fullSearches int64
 	repairs      int64
 	bidirRepairs int64
+	// planBuilds, planRepairs and planRebuilds classify how each
+	// non-hit Plan request was answered; they mutate under mu. The
+	// probe and hit counters are atomics because hits happen under the
+	// read lock.
+	planBuilds   int64
+	planRepairs  int64
+	planRebuilds int64
+	planProbes   atomic.Int64
+	planHits     atomic.Int64
 	// compactionsBase carries compaction counts restored from a
 	// snapshot; the live counts accumulate in the cores.
 	compactionsBase int64
@@ -414,11 +458,12 @@ func (l *rowLog) len() int { return len(l.keys) - l.head }
 func New(schema *dataset.Schema, opts Options) *Engine {
 	n := opts.shardCount()
 	e := &ShardedEngine{
-		schema: schema,
-		cards:  schema.Cards(),
-		opts:   opts,
-		cores:  make([]*shardCore, n),
-		cache:  make(map[searchKey]*cachedSearch),
+		schema:    schema,
+		cards:     schema.Cards(),
+		opts:      opts,
+		cores:     make([]*shardCore, n),
+		cache:     make(map[searchKey]*cachedSearch),
+		planCache: make(map[planKey]*cachedPlan),
 	}
 	for i := range e.cores {
 		e.cores[i] = newShardCore(schema, opts)
@@ -504,6 +549,12 @@ func (e *ShardedEngine) Stats() Stats {
 		BidirectionalRepairs: e.bidirRepairs,
 		CacheHits:            e.cacheHits.Load(),
 		CachedSearches:       len(e.cache),
+		PlanProbes:           e.planProbes.Load(),
+		PlanHits:             e.planHits.Load(),
+		PlanBuilds:           e.planBuilds,
+		PlanRepairs:          e.planRepairs,
+		PlanRebuilds:         e.planRebuilds,
+		CachedPlans:          len(e.planCache),
 		Window:               e.window,
 		Tombstones:           e.tombstones,
 		ShardCount:           len(e.cores),
@@ -987,14 +1038,22 @@ func (e *ShardedEngine) Oracle() index.Oracle {
 // work (last store wins). The caller must not modify the returned
 // result.
 func (e *ShardedEngine) MUPs(opts mup.Options) (*mup.Result, error) {
+	res, _, err := e.mupsGen(opts)
+	return res, err
+}
+
+// mupsGen is MUPs plus the data generation the returned result
+// reflects — what the plan cache tags its entries with.
+func (e *ShardedEngine) mupsGen(opts mup.Options) (*mup.Result, uint64, error) {
 	key := searchKey{tau: opts.Threshold, maxLevel: opts.MaxLevel}
 	e.mu.RLock()
 	if c, ok := e.cache[key]; ok && c.gen == e.gen {
 		res := c.res
+		gen := c.gen
 		c.lastUsed.Store(e.useClock.Add(1))
 		e.mu.RUnlock()
 		e.cacheHits.Add(1)
-		return res, nil
+		return res, gen, nil
 	}
 	e.mu.RUnlock()
 
@@ -1006,7 +1065,7 @@ func (e *ShardedEngine) MUPs(opts mup.Options) (*mup.Result, error) {
 		c.lastUsed.Store(e.useClock.Add(1))
 		e.mu.Unlock()
 		e.cacheHits.Add(1)
-		return c.res, nil
+		return c.res, c.gen, nil
 	}
 	bases := e.foldLocked()
 	gen := e.gen
@@ -1055,7 +1114,7 @@ func (e *ShardedEngine) MUPs(opts mup.Options) (*mup.Result, error) {
 		res, err = mup.RepairBidirectional(oracle, seed, removed, added, popts)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	e.mu.Lock()
@@ -1074,7 +1133,7 @@ func (e *ShardedEngine) MUPs(opts mup.Options) (*mup.Result, error) {
 	if c, ok := e.cache[key]; !ok || c.gen <= gen {
 		e.storeLocked(key, &cachedSearch{gen: gen, res: res})
 	}
-	return res, nil
+	return res, gen, nil
 }
 
 // storeLocked inserts a cache entry, evicting the least recently used

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"coverage/internal/dataset"
+	"coverage/internal/enhance"
 	"coverage/internal/index"
 	"coverage/internal/mup"
 	"coverage/internal/pattern"
@@ -68,6 +69,13 @@ type State struct {
 	// (Tau, MaxLevel) for deterministic serialization.
 	Cache []CachedSearch
 
+	// Plans holds the cached remediation plans, sorted by their full
+	// configuration key for deterministic serialization. Snapshot
+	// format v3 carries them; v1/v2 states restore with no cached
+	// plans (the first /plan per configuration replans from its
+	// repaired MUP set).
+	Plans []CachedPlan
+
 	// Counters are the monotonic operation counters reported by Stats,
 	// preserved so /stats stays continuous across restarts.
 	Counters Counters
@@ -105,6 +113,59 @@ type CachedSearch struct {
 	Stats mup.Stats
 }
 
+// CachedPlan is one cached remediation-plan configuration and its
+// result: the plan-cache key (threshold, MUP level bound, objective,
+// oracle and cost-model fingerprints), the generation the plan
+// reflects, the MUP basis its targets were expanded from, and the plan
+// itself. The refcounted target set is not serialized — it is
+// rebuilt deterministically from BasisMUPs on the first repair that
+// needs it.
+type CachedPlan struct {
+	Tau           int64
+	MUPMaxLevel   int
+	MaxLevel      int
+	MinValueCount uint64
+	OracleFP      string
+	CostFP        string
+	// Gen is the data generation the plan reflects (≤ the engine's
+	// generation; stale entries are repaired on the next query).
+	Gen       uint64
+	BasisMUPs []pattern.Pattern
+	Targets   []pattern.Pattern
+	Algorithm string
+	// Iterations and Nodes mirror enhance.PlanStats.
+	Iterations  int
+	Nodes       int64
+	Suggestions []PlanSuggestion
+}
+
+// PlanSuggestion is the serializable form of one enhance.Suggestion.
+type PlanSuggestion struct {
+	Combo   []uint8
+	Collect pattern.Pattern
+	Hits    []int
+	Cost    float64
+}
+
+// keyLess orders cached plans by their full configuration key — the
+// deterministic serialization order.
+func (p CachedPlan) keyLess(q CachedPlan) bool {
+	switch {
+	case p.Tau != q.Tau:
+		return p.Tau < q.Tau
+	case p.MUPMaxLevel != q.MUPMaxLevel:
+		return p.MUPMaxLevel < q.MUPMaxLevel
+	case p.MaxLevel != q.MaxLevel:
+		return p.MaxLevel < q.MaxLevel
+	case p.MinValueCount != q.MinValueCount:
+		return p.MinValueCount < q.MinValueCount
+	case p.OracleFP != q.OracleFP:
+		return p.OracleFP < q.OracleFP
+	default:
+		return p.CostFP < q.CostFP
+	}
+}
+
 // Counters mirrors the monotonic fields of Stats.
 type Counters struct {
 	Appends              int64
@@ -115,6 +176,11 @@ type Counters struct {
 	Repairs              int64
 	BidirectionalRepairs int64
 	CacheHits            int64
+	PlanProbes           int64
+	PlanHits             int64
+	PlanBuilds           int64
+	PlanRepairs          int64
+	PlanRebuilds         int64
 }
 
 // coreSnapshot is one core's share of a capture: the immutable base
@@ -180,6 +246,11 @@ func (e *ShardedEngine) CaptureState() *Capture {
 			Repairs:              e.repairs,
 			BidirectionalRepairs: e.bidirRepairs,
 			CacheHits:            e.cacheHits.Load(),
+			PlanProbes:           e.planProbes.Load(),
+			PlanHits:             e.planHits.Load(),
+			PlanBuilds:           e.planBuilds,
+			PlanRepairs:          e.planRepairs,
+			PlanRebuilds:         e.planRebuilds,
 		},
 	}
 	if e.log != nil {
@@ -203,6 +274,35 @@ func (e *ShardedEngine) CaptureState() *Capture {
 			Stats:    c.res.Stats,
 		})
 	}
+	st.Plans = make([]CachedPlan, 0, len(e.planCache))
+	for key, c := range e.planCache {
+		// Cached plans and their bases are immutable once stored, so
+		// the pattern and suggestion slices are shared, not copied.
+		cp := CachedPlan{
+			Tau:           key.tau,
+			MUPMaxLevel:   key.mupMaxLevel,
+			MaxLevel:      key.maxLevel,
+			MinValueCount: key.minValueCount,
+			OracleFP:      key.oracleFP,
+			CostFP:        key.costFP,
+			Gen:           c.gen,
+			BasisMUPs:     c.basis,
+			Targets:       c.plan.Targets,
+			Algorithm:     c.plan.Stats.Algorithm,
+			Iterations:    c.plan.Stats.Iterations,
+			Nodes:         c.plan.Stats.NodesExplored,
+			Suggestions:   make([]PlanSuggestion, 0, len(c.plan.Suggestions)),
+		}
+		for _, s := range c.plan.Suggestions {
+			cp.Suggestions = append(cp.Suggestions, PlanSuggestion{
+				Combo:   s.Combo,
+				Collect: s.Collect,
+				Hits:    s.Hits,
+				Cost:    s.Cost,
+			})
+		}
+		st.Plans = append(st.Plans, cp)
+	}
 	e.mu.RUnlock()
 
 	sort.Slice(st.Cache, func(i, j int) bool {
@@ -211,6 +311,7 @@ func (e *ShardedEngine) CaptureState() *Capture {
 		}
 		return st.Cache[i].MaxLevel < st.Cache[j].MaxLevel
 	})
+	sort.Slice(st.Plans, func(i, j int) bool { return st.Plans[i].keyLess(st.Plans[j]) })
 
 	attrs := make([]dataset.Attribute, e.schema.Dim())
 	for i := range attrs {
@@ -424,6 +525,34 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 			prev = r.Gen
 		}
 	}
+	for pi, p := range st.Plans {
+		if p.Gen > st.Generation {
+			return nil, fmt.Errorf("engine: cached plan %d has generation %d beyond state generation %d", pi, p.Gen, st.Generation)
+		}
+		if (p.MaxLevel > 0) == (p.MinValueCount > 0) {
+			return nil, fmt.Errorf("engine: cached plan %d must set exactly one of MaxLevel and MinValueCount", pi)
+		}
+		for _, set := range [][]pattern.Pattern{p.BasisMUPs, p.Targets} {
+			for _, m := range set {
+				if err := m.Validate(cards); err != nil {
+					return nil, fmt.Errorf("engine: cached plan %d: %w", pi, err)
+				}
+			}
+		}
+		for si, s := range p.Suggestions {
+			if err := validKey("plan-suggestion", string(s.Combo)); err != nil {
+				return nil, err
+			}
+			if err := s.Collect.Validate(cards); err != nil {
+				return nil, fmt.Errorf("engine: cached plan %d suggestion %d: %w", pi, si, err)
+			}
+			for _, h := range s.Hits {
+				if h < 0 || h >= len(p.Targets) {
+					return nil, fmt.Errorf("engine: cached plan %d suggestion %d hits target %d of %d", pi, si, h, len(p.Targets))
+				}
+			}
+		}
+	}
 	for _, c := range st.Cache {
 		if c.Gen > st.Generation {
 			return nil, fmt.Errorf("engine: cached search (τ=%d, level=%d) has generation %d beyond state generation %d",
@@ -462,14 +591,15 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 	}
 
 	e := &ShardedEngine{
-		schema: schema,
-		cards:  cards,
-		opts:   opts,
-		cores:  make([]*shardCore, n),
-		cache:  make(map[searchKey]*cachedSearch, len(st.Cache)),
-		rows:   st.Rows,
-		gen:    st.Generation,
-		window: st.Window,
+		schema:    schema,
+		cards:     cards,
+		opts:      opts,
+		cores:     make([]*shardCore, n),
+		cache:     make(map[searchKey]*cachedSearch, len(st.Cache)),
+		planCache: make(map[planKey]*cachedPlan, len(st.Plans)),
+		rows:      st.Rows,
+		gen:       st.Generation,
+		window:    st.Window,
 		removed: mutLog{
 			horizon: st.Removed.Horizon,
 			recs:    importRecs(st.Removed.Recs),
@@ -485,8 +615,13 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		fullSearches:    st.Counters.FullSearches,
 		repairs:         st.Counters.Repairs,
 		bidirRepairs:    st.Counters.BidirectionalRepairs,
+		planBuilds:      st.Counters.PlanBuilds,
+		planRepairs:     st.Counters.PlanRepairs,
+		planRebuilds:    st.Counters.PlanRebuilds,
 	}
 	e.cacheHits.Store(st.Counters.CacheHits)
+	e.planProbes.Store(st.Counters.PlanProbes)
+	e.planHits.Store(st.Counters.PlanHits)
 
 	shardKeys := st.ShardCountKeys
 	switch {
@@ -558,6 +693,39 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		}
 		entry.lastUsed.Store(e.useClock.Add(1))
 		e.cache[searchKey{tau: c.Tau, maxLevel: c.MaxLevel}] = entry
+	}
+	for _, p := range st.Plans {
+		if len(e.planCache) >= opts.maxCachedPlans() {
+			break
+		}
+		plan := &enhance.Plan{
+			Targets: p.Targets,
+			Stats: enhance.PlanStats{
+				Algorithm:     p.Algorithm,
+				Iterations:    p.Iterations,
+				NodesExplored: p.Nodes,
+			},
+		}
+		for _, s := range p.Suggestions {
+			plan.Suggestions = append(plan.Suggestions, enhance.Suggestion{
+				Combo:   s.Combo,
+				Collect: s.Collect,
+				Hits:    s.Hits,
+				Cost:    s.Cost,
+			})
+		}
+		// The refcounted target set is rebuilt from BasisMUPs by the
+		// first repair that needs it; a nil ts marks that.
+		entry := &cachedPlan{gen: p.Gen, basis: p.BasisMUPs, plan: plan}
+		entry.last.Store(e.useClock.Add(1))
+		e.planCache[planKey{
+			tau:           p.Tau,
+			mupMaxLevel:   p.MUPMaxLevel,
+			maxLevel:      p.MaxLevel,
+			minValueCount: p.MinValueCount,
+			oracleFP:      p.OracleFP,
+			costFP:        p.CostFP,
+		}] = entry
 	}
 	return e, nil
 }

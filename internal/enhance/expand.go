@@ -98,10 +98,6 @@ func UncoveredByValueCount(mups []pattern.Pattern, cards []int, minCount uint64)
 
 func sortPatterns(ps []pattern.Pattern) {
 	sort.Slice(ps, func(i, j int) bool {
-		li, lj := ps[i].Level(), ps[j].Level()
-		if li != lj {
-			return li < lj
-		}
-		return ps[i].Key() < ps[j].Key()
+		return pattern.Compare(ps[i], ps[j]) < 0
 	})
 }

@@ -2,7 +2,6 @@ package enhance
 
 import (
 	"fmt"
-	"sort"
 
 	"coverage/internal/bitvec"
 	"coverage/internal/pattern"
@@ -21,55 +20,12 @@ import (
 // the AND of the current filter with the chosen values' indices,
 // visiting children in descending hit-count order and pruning branches
 // whose upper bound cannot beat the best combination found so far.
+//
+// Greedy is the sequential entry point; GreedySearch adds
+// cancellation, seed bounds and parallel branch fan-out without
+// changing the resulting plan.
 func Greedy(targets []pattern.Pattern, cards []int, oracle *Oracle) (*Plan, error) {
-	if err := checkTargets(targets, cards); err != nil {
-		return nil, err
-	}
-	plan := &Plan{Targets: targets, Stats: PlanStats{Algorithm: "greedy"}}
-	if len(targets) == 0 {
-		return plan, nil
-	}
-	g := &greedySearcher{
-		cards:   cards,
-		targets: targets,
-		oracle:  oracle,
-		inv:     buildInverted(targets, cards),
-		combo:   make([]uint8, len(cards)),
-		best:    make([]uint8, len(cards)),
-		levels:  make([]*bitvec.Vector, len(cards)+1),
-	}
-	m := len(targets)
-	for i := range g.levels {
-		g.levels[i] = bitvec.New(m)
-	}
-	filter := bitvec.NewOnes(m)
-
-	for filter.Any() {
-		g.bestCount = 0
-		g.levels[0].CopyFrom(filter)
-		g.search(0)
-		plan.Stats.NodesExplored += g.nodes
-		g.nodes = 0
-		if g.bestCount == 0 {
-			i := filter.NextSet(0)
-			return nil, fmt.Errorf("enhance: no valid value combination hits pattern %v; the validation oracle rules out all of its matches", targets[i])
-		}
-		combo := append([]uint8(nil), g.best...)
-		hitsVec := hitVector(combo, g.inv, filter)
-		var hits []int
-		hitsVec.ForEach(func(i int) { hits = append(hits, i) })
-		plan.Suggestions = append(plan.Suggestions, Suggestion{
-			Combo:   combo,
-			Collect: generalize(combo, targets, hits),
-			Hits:    hits,
-		})
-		plan.Stats.Iterations++
-		filter.AndNot(hitsVec)
-	}
-	if err := verifyPlanCoversAll(plan); err != nil {
-		return nil, err
-	}
-	return plan, nil
+	return GreedySearch(targets, cards, oracle, SearchOptions{})
 }
 
 func checkTargets(targets []pattern.Pattern, cards []int) error {
@@ -114,67 +70,4 @@ func hitVector(combo []uint8, inv [][]*bitvec.Vector, filter *bitvec.Vector) *bi
 		out.And(inv[i][v])
 	}
 	return out
-}
-
-// greedySearcher holds the state of one hit-count tree search
-// (Algorithm 4).
-type greedySearcher struct {
-	cards   []int
-	targets []pattern.Pattern
-	oracle  *Oracle
-	inv     [][]*bitvec.Vector
-	levels  []*bitvec.Vector // levels[i]: filter after assigning attrs < i
-
-	combo     []uint8
-	best      []uint8
-	bestCount int
-	nodes     int64
-}
-
-// valueCount pairs a value with its remaining-hit upper bound.
-type valueCount struct {
-	value uint8
-	count int
-}
-
-// search explores attribute i given levels[i] (the AND of the filter
-// with the inverted indices of the values assigned so far).
-func (g *greedySearcher) search(i int) {
-	cur := g.levels[i]
-	d := len(g.cards)
-	order := make([]valueCount, 0, g.cards[i])
-	for v := 0; v < g.cards[i]; v++ {
-		g.combo[i] = uint8(v)
-		if g.oracle != nil && !g.oracle.AllowPrefix(g.combo, i+1) {
-			continue
-		}
-		g.nodes++
-		cnt := cur.CountAnd(g.inv[i][uint8(v)])
-		order = append(order, valueCount{uint8(v), cnt})
-	}
-	if i == d-1 {
-		// Leaf children: the counts are exact hit counts.
-		for _, vc := range order {
-			if vc.count > g.bestCount {
-				g.bestCount = vc.count
-				g.combo[i] = vc.value
-				copy(g.best, g.combo)
-			}
-		}
-		return
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].count != order[b].count {
-			return order[a].count > order[b].count
-		}
-		return order[a].value < order[b].value
-	})
-	for _, vc := range order {
-		if vc.count <= g.bestCount {
-			break // counts only shrink deeper; no branch here can win
-		}
-		g.combo[i] = vc.value
-		cur.AndInto(g.inv[i][vc.value], g.levels[i+1])
-		g.search(i + 1)
-	}
 }

@@ -10,6 +10,7 @@ package enhance
 
 import (
 	"fmt"
+	"strconv"
 
 	"coverage/internal/pattern"
 )
@@ -124,6 +125,30 @@ func (o *Oracle) AllowPattern(p pattern.Pattern) bool {
 		}
 	}
 	return true
+}
+
+// Fingerprint returns a deterministic encoding of the oracle's rule
+// set, usable as a cache key: two oracles with equal fingerprints
+// accept exactly the same combinations. A nil or rule-free oracle
+// fingerprints to "".
+func (o *Oracle) Fingerprint() string {
+	if o == nil || len(o.rules) == 0 {
+		return ""
+	}
+	var b []byte
+	for _, r := range o.rules {
+		b = append(b, 'r')
+		for _, c := range r.Conditions {
+			b = strconv.AppendInt(b, int64(c.Attr), 10)
+			b = append(b, ':')
+			for _, v := range c.Values {
+				b = strconv.AppendInt(b, int64(v), 10)
+				b = append(b, ',')
+			}
+			b = append(b, ';')
+		}
+	}
+	return string(b)
 }
 
 func ruleSatisfied(r Rule, combo []uint8, upto int) bool {

@@ -1,0 +1,566 @@
+package enhance
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"coverage/internal/bitvec"
+	"coverage/internal/pattern"
+)
+
+// SearchOptions tunes how the greedy hitting-set planner runs without
+// changing what it returns: for a fixed target set, oracle and cost
+// model, the selected plan is identical at every worker count, with or
+// without seeds, and matches the historical sequential Greedy /
+// GreedyWeighted output combination for combination.
+type SearchOptions struct {
+	// Ctx, when non-nil, is polled inside the tree search's pruning
+	// loop; once canceled the search aborts promptly and the planner
+	// returns ctx.Err() instead of burning CPU on an answer nobody is
+	// waiting for.
+	Ctx context.Context
+	// Workers fans each greedy iteration's top-level attribute
+	// branches across this many goroutines sharing an atomic
+	// best-bound (the mup.ParallelOptions idiom). 0 or 1 runs
+	// sequentially.
+	Workers int
+	// Seeds are value combinations believed to score well — typically
+	// the suggestions of a previous plan over an overlapping target
+	// set. Every greedy iteration scores the seeds against the
+	// remaining targets first and opens the tree search with the best
+	// seed's score as the pruning bound, which is a pure accelerator:
+	// branches that cannot reach the seed's score are skipped, and the
+	// selection is provably the one the unseeded search finds.
+	// Combinations that are malformed or oracle-invalid are ignored.
+	Seeds [][]uint8
+}
+
+// maxSearchWorkers caps the branch fan-out: each worker owns a full
+// set of per-level bit vectors, and the client-facing callers (the
+// covserve /plan endpoint) pass the count through, so an absurd
+// request must degrade to a bounded allocation, not an OOM.
+const maxSearchWorkers = 64
+
+func (o SearchOptions) workers() int {
+	if o.Workers > maxSearchWorkers {
+		return maxSearchWorkers
+	}
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// GreedySearch is Greedy with search controls: cancellation, parallel
+// branch fan-out and seed bounds. The plan is identical to Greedy's.
+func GreedySearch(targets []pattern.Pattern, cards []int, oracle *Oracle, opts SearchOptions) (*Plan, error) {
+	return runGreedy(targets, cards, oracle, nil, opts, "greedy")
+}
+
+// GreedyWeightedSearch is GreedyWeighted with the same search
+// controls. The plan is identical to GreedyWeighted's.
+func GreedyWeightedSearch(targets []pattern.Pattern, cards []int, oracle *Oracle, cost *CostModel, opts SearchOptions) (*Plan, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("enhance: GreedyWeighted requires a cost model; use Greedy for the unweighted objective")
+	}
+	if len(cost.costs) != len(cards) {
+		return nil, fmt.Errorf("enhance: cost model dimension %d does not match schema dimension %d", len(cost.costs), len(cards))
+	}
+	return runGreedy(targets, cards, oracle, cost, opts, "greedy-weighted")
+}
+
+// lowerBound converts a known-achievable score into the strict pruning
+// floor that still admits every leaf matching it, clamped at zero so
+// that a zero-scoring seed leaves the historical "must hit something"
+// behavior intact. Unweighted scores are integer hit counts, so the
+// floor is exactly score−1. Weighted scores are hits/cost ratios whose
+// internal-node upper bounds sum the same costs in a different
+// association order (sufMin accumulates right to left, the descent
+// left to right), so a bound can compute a few ulps below the leaf
+// score it dominates mathematically; the floor therefore backs off by
+// a relative margin far above that accumulation error — everything
+// materially below the score is still pruned, and a subtree holding a
+// score-matching leaf never is.
+func lowerBound(score float64, weighted bool) float64 {
+	if score <= 0 {
+		return 0
+	}
+	if weighted {
+		return score * (1 - 1e-9)
+	}
+	f := score - 1
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// sharedBest is the atomic best-score bound the parallel branch
+// workers publish their finds through. Scores are non-negative, so the
+// zero value is a valid floor.
+type sharedBest struct{ bits atomic.Uint64 }
+
+func (b *sharedBest) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+func (b *sharedBest) raise(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// childScore is one admissible child of a search-tree node: its value,
+// the remaining-hit count after taking it, the accumulated acquisition
+// cost through it (weighted searches only) and its score upper bound
+// (hit count unweighted, hits per unit completed cost weighted — both
+// dominate every leaf in the child's subtree).
+type childScore struct {
+	value uint8
+	count int
+	cost  float64
+	score float64
+}
+
+// treeSearcher runs one branch-and-bound selection (Algorithm 4/5)
+// over the inverted target indices: a depth-first search down the
+// attribute tree, children visited in descending score order, pruning
+// branches whose upper bound cannot strictly beat the best score seen
+// so far (locally, or globally through the shared bound). The buffers
+// are reusable across iterations and branches; each parallel worker
+// owns one searcher.
+type treeSearcher struct {
+	cards  []int
+	oracle *Oracle
+	cost   *CostModel // nil = unweighted
+	inv    [][]*bitvec.Vector
+	levels []*bitvec.Vector
+
+	combo     []uint8
+	best      []uint8
+	bestScore float64
+	bestHits  int
+	found     bool
+	nodes     int64
+
+	shared  *sharedBest // non-nil when branches run in parallel
+	ctx     context.Context
+	ctxTick int
+	err     error
+}
+
+func newTreeSearcher(cards []int, oracle *Oracle, cost *CostModel, inv [][]*bitvec.Vector, m int, ctx context.Context, shared *sharedBest) *treeSearcher {
+	s := &treeSearcher{
+		cards:  cards,
+		oracle: oracle,
+		cost:   cost,
+		inv:    inv,
+		levels: make([]*bitvec.Vector, len(cards)+1),
+		combo:  make([]uint8, len(cards)),
+		best:   make([]uint8, len(cards)),
+		ctx:    ctx,
+		shared: shared,
+	}
+	for i := range s.levels {
+		s.levels[i] = bitvec.New(m)
+	}
+	return s
+}
+
+// reset prepares the searcher for a fresh selection (or a fresh branch
+// of one): floor is the score the first recorded leaf must strictly
+// beat.
+func (s *treeSearcher) reset(floor float64) {
+	s.bestScore = floor
+	s.bestHits = 0
+	s.found = false
+}
+
+// floor returns the score a leaf must strictly exceed to become the
+// incumbent: the local best, raised by the shared bound when other
+// branches have already found better. Monotone within a selection, so
+// sorted-children loops may break on the first failing child.
+func (s *treeSearcher) floor() float64 {
+	f := s.bestScore
+	if s.shared != nil {
+		if g := lowerBound(s.shared.load(), s.cost != nil); g > f {
+			f = g
+		}
+	}
+	return f
+}
+
+// canceled polls the context every 1024 visited nodes.
+func (s *treeSearcher) canceled() bool {
+	if s.err != nil {
+		return true
+	}
+	if s.ctx == nil {
+		return false
+	}
+	if s.ctxTick++; s.ctxTick&1023 != 0 {
+		return false
+	}
+	select {
+	case <-s.ctx.Done():
+		s.err = s.ctx.Err()
+		return true
+	default:
+		return false
+	}
+}
+
+// score computes one child's (count, accumulated cost, score) triple.
+func (s *treeSearcher) score(i, v, cnt int, costSoFar float64) (float64, float64) {
+	if s.cost == nil {
+		return costSoFar, float64(cnt)
+	}
+	c := costSoFar + s.cost.costs[i][v]
+	return c, float64(cnt) / (c + s.cost.sufMin[i+1])
+}
+
+// search explores attribute i given levels[i] (the AND of the filter
+// with the inverted indices of the values assigned so far) and the
+// acquisition cost accumulated over attributes < i.
+func (s *treeSearcher) search(i int, costSoFar float64) {
+	cur := s.levels[i]
+	leaf := i == len(s.cards)-1
+	var order []childScore
+	if !leaf {
+		order = make([]childScore, 0, s.cards[i])
+	}
+	for v := 0; v < s.cards[i]; v++ {
+		s.combo[i] = uint8(v)
+		if s.oracle != nil && !s.oracle.AllowPrefix(s.combo, i+1) {
+			continue
+		}
+		s.nodes++
+		if s.canceled() {
+			return
+		}
+		cnt := cur.CountAnd(s.inv[i][v])
+		if cnt == 0 {
+			continue
+		}
+		cost, sc := s.score(i, v, cnt, costSoFar)
+		if leaf {
+			// Leaf children: the score is exact. Values are visited in
+			// ascending order with strict improvement required, so among
+			// score-ties the smallest value wins — the historical
+			// sequential tie-break.
+			if sc > s.floor() {
+				s.bestScore = sc
+				s.bestHits = cnt
+				copy(s.best, s.combo)
+				s.found = true
+				if s.shared != nil {
+					s.shared.raise(sc)
+				}
+			}
+			continue
+		}
+		order = append(order, childScore{uint8(v), cnt, cost, sc})
+	}
+	if leaf {
+		return
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].score != order[b].score {
+			return order[a].score > order[b].score
+		}
+		return order[a].value < order[b].value
+	})
+	for _, ch := range order {
+		if s.err != nil {
+			return
+		}
+		if ch.score <= s.floor() {
+			break // scores only shrink deeper; no branch here can win
+		}
+		s.combo[i] = ch.value
+		cur.AndInto(s.inv[i][ch.value], s.levels[i+1])
+		s.search(i+1, ch.cost)
+	}
+}
+
+// selection is the outcome of one greedy iteration's tree search.
+type selection struct {
+	combo []uint8
+	hits  int
+	found bool
+}
+
+// greedyRun drives the iterated selections of one planning call.
+type greedyRun struct {
+	targets []pattern.Pattern
+	cards   []int
+	oracle  *Oracle
+	cost    *CostModel
+	inv     [][]*bitvec.Vector
+	opts    SearchOptions
+	seeds   [][]uint8
+
+	searchers []*treeSearcher
+	nodes     int64
+}
+
+// runGreedy is the shared driver behind Greedy, GreedyWeighted and
+// their Search variants: validate, build the inverted indices, then
+// repeatedly select the best-scoring valid combination until every
+// target is hit.
+func runGreedy(targets []pattern.Pattern, cards []int, oracle *Oracle, cost *CostModel, opts SearchOptions, algo string) (*Plan, error) {
+	if err := checkTargets(targets, cards); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Targets: targets, Stats: PlanStats{Algorithm: algo}}
+	if len(targets) == 0 {
+		return plan, nil
+	}
+	g := &greedyRun{
+		targets: targets,
+		cards:   cards,
+		oracle:  oracle,
+		cost:    cost,
+		inv:     buildInverted(targets, cards),
+		opts:    opts,
+	}
+	g.seeds = g.validSeeds(opts.Seeds)
+	workers := opts.workers()
+	if len(cards) == 1 {
+		workers = 1 // the root is the leaf level; nothing to fan out
+	}
+	if workers > cards[0] {
+		workers = cards[0] // one branch per top-level value at most
+	}
+	var shared *sharedBest
+	if workers > 1 {
+		shared = &sharedBest{}
+	}
+	m := len(targets)
+	g.searchers = make([]*treeSearcher, workers)
+	for w := range g.searchers {
+		g.searchers[w] = newTreeSearcher(cards, oracle, cost, g.inv, m, opts.Ctx, shared)
+	}
+
+	filter := bitvec.NewOnes(m)
+	for filter.Any() {
+		if opts.Ctx != nil {
+			// One deterministic poll per greedy iteration; the
+			// searchers also poll inside long tree searches.
+			select {
+			case <-opts.Ctx.Done():
+				return nil, opts.Ctx.Err()
+			default:
+			}
+		}
+		sel, err := g.selectBest(filter, shared)
+		if err != nil {
+			return nil, err
+		}
+		if !sel.found {
+			i := filter.NextSet(0)
+			return nil, fmt.Errorf("enhance: no valid value combination hits pattern %v; the validation oracle rules out all of its matches", targets[i])
+		}
+		combo := append([]uint8(nil), sel.combo...)
+		hitsVec := hitVector(combo, g.inv, filter)
+		var hits []int
+		hitsVec.ForEach(func(i int) { hits = append(hits, i) })
+		sug := Suggestion{
+			Combo:   combo,
+			Collect: generalize(combo, targets, hits),
+			Hits:    hits,
+		}
+		if cost != nil {
+			sug.Cost = cost.ComboCost(combo)
+		}
+		plan.Suggestions = append(plan.Suggestions, sug)
+		plan.Stats.Iterations++
+		filter.AndNot(hitsVec)
+	}
+	plan.Stats.NodesExplored = g.nodes
+	if err := verifyPlanCoversAll(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// validSeeds filters the caller's seed combinations down to well-formed
+// oracle-valid ones (each copied, so later mutation of the caller's
+// slices cannot skew the bounds).
+func (g *greedyRun) validSeeds(seeds [][]uint8) [][]uint8 {
+	var out [][]uint8
+	for _, s := range seeds {
+		if len(s) != len(g.cards) {
+			continue
+		}
+		ok := true
+		for i, v := range s {
+			if int(v) >= g.cards[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok || !g.oracle.AllowCombo(s) {
+			continue
+		}
+		out = append(out, append([]uint8(nil), s...))
+	}
+	return out
+}
+
+// seedScore scores every seed against the remaining targets and
+// returns the best achievable score among them (0 when no seed hits
+// anything — the unseeded behavior).
+func (g *greedyRun) seedScore(filter *bitvec.Vector) float64 {
+	var best float64
+	tmp := bitvec.New(filter.Len())
+	for _, s := range g.seeds {
+		tmp.CopyFrom(filter)
+		for i, v := range s {
+			tmp.And(g.inv[i][v])
+		}
+		cnt := tmp.Count()
+		if cnt == 0 {
+			continue
+		}
+		sc := float64(cnt)
+		if g.cost != nil {
+			sc = float64(cnt) / g.cost.ComboCost(s)
+		}
+		if sc > best {
+			best = sc
+		}
+	}
+	return best
+}
+
+// selectBest runs one greedy iteration: the branch-and-bound search
+// for the valid combination maximizing the objective over the patterns
+// still set in filter.
+func (g *greedyRun) selectBest(filter *bitvec.Vector, shared *sharedBest) (selection, error) {
+	seed := g.seedScore(filter)
+	floor := lowerBound(seed, g.cost != nil)
+	if len(g.searchers) == 1 {
+		s := g.searchers[0]
+		s.reset(floor)
+		s.levels[0].CopyFrom(filter)
+		s.search(0, 0)
+		g.nodes += s.nodes
+		s.nodes = 0
+		if s.err != nil {
+			return selection{}, s.err
+		}
+		return selection{combo: s.best, hits: s.bestHits, found: s.found}, nil
+	}
+	return g.selectBestParallel(filter, shared, seed, floor)
+}
+
+// branchResult is one top-level branch's best find.
+type branchResult struct {
+	combo []uint8
+	hits  int
+	score float64
+	found bool
+}
+
+// selectBestParallel fans the admissible top-level attribute values
+// out across the worker searchers. Workers claim branches from an
+// atomic counter and publish leaf scores through the shared bound, so
+// slow branches are pruned by fast ones regardless of scheduling; the
+// reduction scans branches in the canonical (score desc, value asc)
+// order and requires strict improvement, which reproduces the
+// sequential search's selection exactly (the branch floors never prune
+// a leaf matching the global maximum, and ties resolve to the earliest
+// canonical branch just as the sequential scan would).
+func (g *greedyRun) selectBestParallel(filter *bitvec.Vector, shared *sharedBest, seed, floor float64) (selection, error) {
+	// Reset the shared bound for this iteration; the best seed's score
+	// is an achieved lower bound, so it starts there.
+	shared.bits.Store(math.Float64bits(seed))
+
+	// Enumerate the top-level branches exactly as the sequential
+	// search's root node would.
+	root := g.searchers[0]
+	combo := root.combo
+	branches := make([]childScore, 0, g.cards[0])
+	for v := 0; v < g.cards[0]; v++ {
+		combo[0] = uint8(v)
+		if g.oracle != nil && !g.oracle.AllowPrefix(combo, 1) {
+			continue
+		}
+		g.nodes++
+		cnt := filter.CountAnd(g.inv[0][v])
+		if cnt == 0 {
+			continue
+		}
+		cost, sc := root.score(0, v, cnt, 0)
+		branches = append(branches, childScore{uint8(v), cnt, cost, sc})
+	}
+	sort.Slice(branches, func(a, b int) bool {
+		if branches[a].score != branches[b].score {
+			return branches[a].score > branches[b].score
+		}
+		return branches[a].value < branches[b].value
+	})
+
+	results := make([]branchResult, len(branches))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := len(g.searchers)
+	if workers > len(branches) {
+		workers = len(branches)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *treeSearcher) {
+			defer wg.Done()
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= len(branches) || s.err != nil {
+					return
+				}
+				br := branches[bi]
+				if br.score <= lowerBound(shared.load(), g.cost != nil) {
+					continue // no leaf below can beat the published best
+				}
+				s.reset(floor)
+				s.levels[0].CopyFrom(filter)
+				s.combo[0] = br.value
+				filter.AndInto(g.inv[0][br.value], s.levels[1])
+				s.search(1, br.cost)
+				if s.found {
+					results[bi] = branchResult{
+						combo: append([]uint8(nil), s.best...),
+						hits:  s.bestHits,
+						score: s.bestScore,
+						found: true,
+					}
+				}
+			}
+		}(g.searchers[w])
+	}
+	wg.Wait()
+	for _, s := range g.searchers {
+		g.nodes += s.nodes
+		s.nodes = 0
+		if s.err != nil {
+			return selection{}, s.err
+		}
+	}
+	var sel selection
+	var selScore float64
+	for _, r := range results {
+		if r.found && (!sel.found || r.score > selScore) {
+			sel = selection{combo: r.combo, hits: r.hits, found: true}
+			selScore = r.score
+		}
+	}
+	return sel, nil
+}

@@ -1,0 +1,243 @@
+package enhance
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coverage/internal/pattern"
+)
+
+// randomTargetCase generates a random (cards, targets) pair of the
+// shape the planner sees.
+func randomTargetCase(r *rand.Rand) ([]int, []pattern.Pattern) {
+	d := 2 + r.Intn(4)
+	cards := make([]int, d)
+	for i := range cards {
+		cards[i] = 2 + r.Intn(3)
+	}
+	var targets []pattern.Pattern
+	for k := 0; k < 1+r.Intn(14); k++ {
+		p := make(pattern.Pattern, d)
+		for i := range p {
+			if r.Intn(2) == 0 {
+				p[i] = pattern.Wildcard
+			} else {
+				p[i] = uint8(r.Intn(cards[i]))
+			}
+		}
+		targets = append(targets, p)
+	}
+	return cards, targets
+}
+
+func randomCostModel(r *rand.Rand, cards []int) *CostModel {
+	costs := make([][]float64, len(cards))
+	for i, c := range cards {
+		costs[i] = make([]float64, c)
+		for v := range costs[i] {
+			costs[i][v] = 0.5 + 4*r.Float64()
+		}
+	}
+	m, err := NewCostModel(cards, costs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func plansEqual(t *testing.T, label string, want, got *Plan) {
+	t.Helper()
+	if len(want.Suggestions) != len(got.Suggestions) {
+		t.Fatalf("%s: %d suggestions, want %d", label, len(got.Suggestions), len(want.Suggestions))
+	}
+	for i := range want.Suggestions {
+		w, g := want.Suggestions[i], got.Suggestions[i]
+		if string(w.Combo) != string(g.Combo) {
+			t.Fatalf("%s: suggestion %d combo %v, want %v", label, i, g.Combo, w.Combo)
+		}
+		if !w.Collect.Equal(g.Collect) {
+			t.Fatalf("%s: suggestion %d collect %v, want %v", label, i, g.Collect, w.Collect)
+		}
+		if len(w.Hits) != len(g.Hits) {
+			t.Fatalf("%s: suggestion %d hits %v, want %v", label, i, g.Hits, w.Hits)
+		}
+		for j := range w.Hits {
+			if w.Hits[j] != g.Hits[j] {
+				t.Fatalf("%s: suggestion %d hits %v, want %v", label, i, g.Hits, w.Hits)
+			}
+		}
+		if w.Cost != g.Cost {
+			t.Fatalf("%s: suggestion %d cost %v, want %v", label, i, g.Cost, w.Cost)
+		}
+	}
+}
+
+// TestSearchVariantsProduceIdenticalPlans is the core determinism
+// property of the refactored searcher: parallel branch fan-out and
+// seed bounds are pure accelerators — at every worker count, with any
+// seed set, the selected plan is combination-for-combination the
+// sequential unseeded one. Checked for both objectives.
+func TestSearchVariantsProduceIdenticalPlans(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cards, targets := randomTargetCase(r)
+		cost := randomCostModel(r, cards)
+
+		base, err := Greedy(targets, cards, nil)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		baseW, err := GreedyWeighted(targets, cards, nil, cost)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		// Seeds: some prior suggestions, some random combos, some junk
+		// (wrong length, out-of-range values) that must be ignored.
+		seeds := [][]uint8{{9}, nil}
+		for _, s := range base.Suggestions {
+			seeds = append(seeds, s.Combo)
+		}
+		for k := 0; k < 3; k++ {
+			row := make([]uint8, len(cards))
+			for i, c := range cards {
+				row[i] = uint8(r.Intn(c))
+			}
+			seeds = append(seeds, row)
+		}
+		bad := make([]uint8, len(cards))
+		bad[0] = uint8(cards[0]) // out of range
+		seeds = append(seeds, bad)
+
+		for _, workers := range []int{1, 2, 4} {
+			for _, useSeeds := range []bool{false, true} {
+				opts := SearchOptions{Workers: workers}
+				if useSeeds {
+					opts.Seeds = seeds
+				}
+				got, err := GreedySearch(targets, cards, nil, opts)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				plansEqual(t, "greedy", base, got)
+				gotW, err := GreedyWeightedSearch(targets, cards, nil, cost, opts)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				plansEqual(t, "weighted", baseW, gotW)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSearchVariantsRespectOracle re-runs the oracle-constrained case
+// of TestGreedyRespectsOracle through the parallel and seeded paths.
+func TestSearchVariantsRespectOracle(t *testing.T) {
+	targets := example2MUPs(t)[:6]
+	o, err := NewOracle(example2Cards, []Rule{
+		{Conditions: []Condition{{Attr: 0, Values: []uint8{0}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hittable := append(append([]pattern.Pattern(nil), targets[:3]...), targets[4:]...)
+	base, err := Greedy(hittable, example2Cards, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An oracle-invalid seed (A1=0) must be discarded, not used.
+	seeds := [][]uint8{{0, 2, 0, 1, 1}}
+	for _, workers := range []int{1, 3} {
+		got, err := GreedySearch(hittable, example2Cards, o, SearchOptions{Workers: workers, Seeds: seeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plansEqual(t, "oracle", base, got)
+		for _, s := range got.Suggestions {
+			if s.Combo[0] != 1 {
+				t.Errorf("suggestion %v violates the oracle", s.Combo)
+			}
+		}
+	}
+	// The unhittable case still errors through every variant.
+	for _, workers := range []int{1, 3} {
+		if _, err := GreedySearch(targets, example2Cards, o, SearchOptions{Workers: workers}); err == nil {
+			t.Error("unhittable target accepted")
+		}
+	}
+}
+
+// TestSearchCancellation pins the ctx plumbing: a canceled context
+// aborts the search with ctx.Err() instead of a plan, sequentially and
+// in parallel.
+func TestSearchCancellation(t *testing.T) {
+	targets := example2MUPs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := GreedySearch(targets, example2Cards, nil, SearchOptions{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		_, err = GreedyWeightedSearch(targets, example2Cards, nil, UniformCost(example2Cards), SearchOptions{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("weighted workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// An uncanceled context changes nothing.
+	live, err := GreedySearch(targets, example2Cards, nil, SearchOptions{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Greedy(targets, example2Cards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansEqual(t, "live-ctx", base, live)
+}
+
+// TestSearchClampsWorkerCount: an absurd worker count — /plan passes
+// the client's value through — must degrade to a bounded fan-out, not
+// a proportional allocation.
+func TestSearchClampsWorkerCount(t *testing.T) {
+	targets := example2MUPs(t)
+	base, err := Greedy(targets, example2Cards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GreedySearch(targets, example2Cards, nil, SearchOptions{Workers: 2_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansEqual(t, "clamped", base, got)
+}
+
+// TestSearchSingleAttribute covers the d=1 edge where the root is the
+// leaf level and the parallel fan-out must degrade to sequential.
+func TestSearchSingleAttribute(t *testing.T) {
+	cards := []int{4}
+	targets := []pattern.Pattern{{2}, {pattern.Wildcard}}
+	base, err := Greedy(targets, cards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GreedySearch(targets, cards, nil, SearchOptions{Workers: 8, Seeds: [][]uint8{{2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansEqual(t, "d=1", base, got)
+	if base.NumTuples() != 1 {
+		t.Fatalf("plan = %v", base.Suggestions)
+	}
+}

@@ -1,0 +1,281 @@
+package enhance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coverage/internal/pattern"
+)
+
+// randomMUPSet generates a deduplicated random pattern set standing in
+// for a MUP frontier.
+func randomMUPSet(r *rand.Rand, cards []int, n int) []pattern.Pattern {
+	seen := make(map[string]bool)
+	var out []pattern.Pattern
+	for k := 0; k < n; k++ {
+		p := make(pattern.Pattern, len(cards))
+		for i := range p {
+			if r.Intn(2) == 0 {
+				p[i] = pattern.Wildcard
+			} else {
+				p[i] = uint8(r.Intn(cards[i]))
+			}
+		}
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func targetKeys(ps []pattern.Pattern) map[string]bool {
+	m := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		m[p.Key()] = true
+	}
+	return m
+}
+
+func assertSameTargets(t *testing.T, label string, want, got []pattern.Pattern) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d targets, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("%s: target %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTargetSetMatchesOneShot: a freshly built TargetSet contains
+// exactly what the one-shot expanders (plus the oracle filter the Plan
+// pipeline applies) produce, in the same order, for both objectives.
+func TestTargetSetMatchesOneShot(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 3 + r.Intn(3)
+		cards := make([]int, d)
+		for i := range cards {
+			cards[i] = 2 + r.Intn(3)
+		}
+		mups := randomMUPSet(r, cards, 1+r.Intn(10))
+		var oracle *Oracle
+		if r.Intn(2) == 0 {
+			var err error
+			oracle, err = NewOracle(cards, []Rule{
+				{Conditions: []Condition{{Attr: 0, Values: []uint8{0}}, {Attr: 1, Values: []uint8{1}}}},
+			})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		filter := func(ps []pattern.Pattern) []pattern.Pattern {
+			var kept []pattern.Pattern
+			for _, p := range ps {
+				if oracle.AllowPattern(p) {
+					kept = append(kept, p)
+				}
+			}
+			return kept
+		}
+
+		lambda := 1 + r.Intn(d)
+		want, err := UncoveredAtLevel(mups, cards, lambda)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ts, err := NewTargetSet(mups, cards, Objective{MaxLevel: lambda}, oracle)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		assertSameTargets(t, "max-level", filter(want), ts.Targets())
+
+		minVC := uint64(1 + r.Intn(8))
+		wantVC, err := UncoveredByValueCount(mups, cards, minVC)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		tsVC, err := NewTargetSet(mups, cards, Objective{MinValueCount: minVC}, oracle)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		assertSameTargets(t, "value-count", filter(wantVC), tsVC.Targets())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepairTargetsEquivalence drives a TargetSet through a random
+// sequence of MUP additions and retractions and checks after every
+// step that it matches a set built fresh from the surviving MUPs —
+// the delta-maintenance invariant the engine's plan cache relies on.
+func TestRepairTargetsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 3 + r.Intn(2)
+		cards := make([]int, d)
+		for i := range cards {
+			cards[i] = 2 + r.Intn(2)
+		}
+		obj := Objective{MaxLevel: 1 + r.Intn(d)}
+		if r.Intn(3) == 0 {
+			obj = Objective{MinValueCount: uint64(1 + r.Intn(6))}
+		}
+
+		pool := randomMUPSet(r, cards, 12)
+		current := make(map[string]pattern.Pattern)
+		ts, err := NewTargetSet(nil, cards, obj, nil)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for step := 0; step < 10; step++ {
+			var removed, added []pattern.Pattern
+			for _, m := range pool {
+				if r.Intn(3) != 0 {
+					continue
+				}
+				if _, ok := current[m.Key()]; ok {
+					removed = append(removed, m)
+					delete(current, m.Key())
+				} else {
+					added = append(added, m)
+					current[m.Key()] = m
+				}
+			}
+			before := targetKeys(ts.Targets())
+			changed, err := RepairTargets(ts, removed, added)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			after := targetKeys(ts.Targets())
+			if wantChanged := !sameKeys(before, after); changed != wantChanged {
+				t.Logf("seed %d step %d: changed = %v, key sets differ = %v", seed, step, changed, wantChanged)
+				return false
+			}
+			var live []pattern.Pattern
+			for _, m := range current {
+				live = append(live, m)
+			}
+			fresh, err := NewTargetSet(live, cards, obj, nil)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			assertSameTargets(t, "repaired-vs-fresh", fresh.Targets(), ts.Targets())
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameKeys(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRepairTargetsRejectsUnknownRetraction(t *testing.T) {
+	cards := []int{2, 2, 2}
+	mups := []pattern.Pattern{{0, pattern.Wildcard, pattern.Wildcard}}
+	ts, err := NewTargetSet(mups, cards, Objective{MaxLevel: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranger := pattern.Pattern{1, pattern.Wildcard, pattern.Wildcard}
+	if _, err := ts.Repair([]pattern.Pattern{stranger}, nil); err == nil {
+		t.Error("retracting a never-added MUP succeeded")
+	}
+}
+
+func TestTargetSetCloneIsIndependent(t *testing.T) {
+	cards := []int{2, 2, 2}
+	m1 := pattern.Pattern{0, pattern.Wildcard, pattern.Wildcard}
+	m2 := pattern.Pattern{pattern.Wildcard, 1, pattern.Wildcard}
+	ts, err := NewTargetSet([]pattern.Pattern{m1, m2}, cards, Objective{MaxLevel: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := ts.Clone()
+	if _, err := clone.Repair([]pattern.Pattern{m2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewTargetSet([]pattern.Pattern{m1, m2}, cards, Objective{MaxLevel: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTargets(t, "original untouched", fresh.Targets(), ts.Targets())
+	onlyM1, err := NewTargetSet([]pattern.Pattern{m1}, cards, Objective{MaxLevel: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTargets(t, "clone repaired", onlyM1.Targets(), clone.Targets())
+}
+
+func TestObjectiveValidation(t *testing.T) {
+	cards := []int{2, 2}
+	for _, tc := range []struct {
+		name string
+		obj  Objective
+		ok   bool
+	}{
+		{"both", Objective{MaxLevel: 1, MinValueCount: 2}, false},
+		{"neither", Objective{}, false},
+		{"level too deep", Objective{MaxLevel: 3}, false},
+		{"level", Objective{MaxLevel: 2}, true},
+		{"value count", Objective{MinValueCount: 2}, true},
+	} {
+		if err := tc.obj.Validate(cards); (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestOracleAndCostFingerprints(t *testing.T) {
+	cards := []int{2, 3}
+	var nilO *Oracle
+	if nilO.Fingerprint() != "" {
+		t.Error("nil oracle fingerprint not empty")
+	}
+	o1, _ := NewOracle(cards, []Rule{{Conditions: []Condition{{Attr: 0, Values: []uint8{1}}}}})
+	o2, _ := NewOracle(cards, []Rule{{Conditions: []Condition{{Attr: 0, Values: []uint8{1}}}}})
+	o3, _ := NewOracle(cards, []Rule{{Conditions: []Condition{{Attr: 1, Values: []uint8{1}}}}})
+	if o1.Fingerprint() != o2.Fingerprint() {
+		t.Error("equal rule sets fingerprint differently")
+	}
+	if o1.Fingerprint() == o3.Fingerprint() {
+		t.Error("different rule sets share a fingerprint")
+	}
+	var nilC *CostModel
+	if nilC.Fingerprint() != "" {
+		t.Error("nil cost model fingerprint not empty")
+	}
+	c1 := UniformCost(cards)
+	c2 := UniformCost(cards)
+	c3, _ := NewCostModel(cards, [][]float64{{1, 2}, {1, 1, 1}})
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Error("equal cost models fingerprint differently")
+	}
+	if c1.Fingerprint() == c3.Fingerprint() {
+		t.Error("different cost models share a fingerprint")
+	}
+}

@@ -2,9 +2,8 @@ package enhance
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 
-	"coverage/internal/bitvec"
 	"coverage/internal/pattern"
 )
 
@@ -68,6 +67,24 @@ func UniformCost(cards []int) *CostModel {
 	return m
 }
 
+// Fingerprint returns a deterministic encoding of the model's cost
+// table, usable as a cache key: two models with equal fingerprints
+// cost every combination identically. A nil model fingerprints to "".
+func (m *CostModel) Fingerprint() string {
+	if m == nil {
+		return ""
+	}
+	var b []byte
+	for _, row := range m.costs {
+		b = append(b, 'a')
+		for _, x := range row {
+			b = strconv.AppendFloat(b, x, 'g', -1, 64)
+			b = append(b, ',')
+		}
+	}
+	return string(b)
+}
+
 // ComboCost returns the acquisition cost of one value combination.
 func (m *CostModel) ComboCost(combo []uint8) float64 {
 	var c float64
@@ -83,128 +100,10 @@ func (m *CostModel) ComboCost(combo []uint8) float64 {
 // set-cover greedy, still logarithmically approximate). The tree
 // search prunes with the bound hits/(cost-so-far + cheapest
 // completion), which dominates every leaf ratio in the subtree.
+//
+// GreedyWeighted is the sequential entry point; GreedyWeightedSearch
+// adds cancellation, seed bounds and parallel branch fan-out without
+// changing the resulting plan.
 func GreedyWeighted(targets []pattern.Pattern, cards []int, oracle *Oracle, cost *CostModel) (*Plan, error) {
-	if cost == nil {
-		return nil, fmt.Errorf("enhance: GreedyWeighted requires a cost model; use Greedy for the unweighted objective")
-	}
-	if len(cost.costs) != len(cards) {
-		return nil, fmt.Errorf("enhance: cost model dimension %d does not match schema dimension %d", len(cost.costs), len(cards))
-	}
-	if err := checkTargets(targets, cards); err != nil {
-		return nil, err
-	}
-	plan := &Plan{Targets: targets, Stats: PlanStats{Algorithm: "greedy-weighted"}}
-	if len(targets) == 0 {
-		return plan, nil
-	}
-	g := &weightedSearcher{
-		cards:  cards,
-		oracle: oracle,
-		cost:   cost,
-		inv:    buildInverted(targets, cards),
-		combo:  make([]uint8, len(cards)),
-		best:   make([]uint8, len(cards)),
-		levels: make([]*bitvec.Vector, len(cards)+1),
-	}
-	m := len(targets)
-	for i := range g.levels {
-		g.levels[i] = bitvec.New(m)
-	}
-	filter := bitvec.NewOnes(m)
-
-	for filter.Any() {
-		g.bestRatio = 0
-		g.bestHits = 0
-		g.levels[0].CopyFrom(filter)
-		g.search(0, 0)
-		plan.Stats.NodesExplored += g.nodes
-		g.nodes = 0
-		if g.bestHits == 0 {
-			i := filter.NextSet(0)
-			return nil, fmt.Errorf("enhance: no valid value combination hits pattern %v; the validation oracle rules out all of its matches", targets[i])
-		}
-		combo := append([]uint8(nil), g.best...)
-		hitsVec := hitVector(combo, g.inv, filter)
-		var hits []int
-		hitsVec.ForEach(func(i int) { hits = append(hits, i) })
-		plan.Suggestions = append(plan.Suggestions, Suggestion{
-			Combo:   combo,
-			Collect: generalize(combo, targets, hits),
-			Hits:    hits,
-			Cost:    cost.ComboCost(combo),
-		})
-		plan.Stats.Iterations++
-		filter.AndNot(hitsVec)
-	}
-	if err := verifyPlanCoversAll(plan); err != nil {
-		return nil, err
-	}
-	return plan, nil
-}
-
-type weightedSearcher struct {
-	cards  []int
-	oracle *Oracle
-	cost   *CostModel
-	inv    [][]*bitvec.Vector
-	levels []*bitvec.Vector
-
-	combo     []uint8
-	best      []uint8
-	bestRatio float64
-	bestHits  int
-	nodes     int64
-}
-
-type weightedChild struct {
-	value uint8
-	count int
-	bound float64 // count / (cost so far incl. this value + cheapest completion)
-}
-
-// search explores attribute i with accumulated cost costSoFar over
-// attributes < i.
-func (g *weightedSearcher) search(i int, costSoFar float64) {
-	cur := g.levels[i]
-	d := len(g.cards)
-	order := make([]weightedChild, 0, g.cards[i])
-	for v := 0; v < g.cards[i]; v++ {
-		g.combo[i] = uint8(v)
-		if g.oracle != nil && !g.oracle.AllowPrefix(g.combo, i+1) {
-			continue
-		}
-		g.nodes++
-		cnt := cur.CountAnd(g.inv[i][uint8(v)])
-		if cnt == 0 {
-			continue
-		}
-		c := costSoFar + g.cost.costs[i][v]
-		order = append(order, weightedChild{uint8(v), cnt, float64(cnt) / (c + g.cost.sufMin[i+1])})
-	}
-	if i == d-1 {
-		for _, ch := range order {
-			// The bound at a leaf is the exact ratio.
-			if ch.bound > g.bestRatio {
-				g.bestRatio = ch.bound
-				g.bestHits = ch.count
-				g.combo[i] = ch.value
-				copy(g.best, g.combo)
-			}
-		}
-		return
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].bound != order[b].bound {
-			return order[a].bound > order[b].bound
-		}
-		return order[a].value < order[b].value
-	})
-	for _, ch := range order {
-		if ch.bound <= g.bestRatio {
-			break // no leaf below can beat the incumbent
-		}
-		g.combo[i] = ch.value
-		cur.AndInto(g.inv[i][ch.value], g.levels[i+1])
-		g.search(i+1, costSoFar+g.cost.costs[i][ch.value])
-	}
+	return GreedyWeightedSearch(targets, cards, oracle, cost, SearchOptions{})
 }

@@ -11,6 +11,7 @@
 package pattern
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 )
@@ -123,6 +124,22 @@ func (p Pattern) Equal(q Pattern) bool {
 // they are Equal.
 func (p Pattern) Key() string {
 	return string(p)
+}
+
+// Compare orders patterns canonically: by level, then by raw bytes
+// (which matches the Key() order without allocating). Every sorted
+// pattern list in the module — MUP results, hitting-set targets, the
+// plan cache's MUP-set diffs — uses this one order, so merge passes
+// over two sorted lists may rely on it. Returns -1, 0 or 1.
+func Compare(a, b Pattern) int {
+	la, lb := a.Level(), b.Level()
+	if la != lb {
+		if la < lb {
+			return -1
+		}
+		return 1
+	}
+	return bytes.Compare(a, b)
 }
 
 // FromKey reconstructs the pattern encoded by Key.

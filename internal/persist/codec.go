@@ -213,6 +213,44 @@ func encodeState(st *engine.State) []byte {
 	} {
 		e.varint(c)
 	}
+
+	// v3: the remediation plan-cache sections plus the plan counters,
+	// appended after the v2 payload so older fields keep their offsets.
+	e.uvarint(uint64(len(st.Plans)))
+	for _, p := range st.Plans {
+		e.varint(p.Tau)
+		e.uvarint(uint64(p.MUPMaxLevel))
+		e.uvarint(uint64(p.MaxLevel))
+		e.uvarint(p.MinValueCount)
+		e.str(p.OracleFP)
+		e.str(p.CostFP)
+		e.uvarint(p.Gen)
+		for _, set := range [][]pattern.Pattern{p.BasisMUPs, p.Targets} {
+			e.uvarint(uint64(len(set)))
+			for _, m := range set {
+				e.raw(m)
+			}
+		}
+		e.str(p.Algorithm)
+		e.varint(int64(p.Iterations))
+		e.varint(p.Nodes)
+		e.uvarint(uint64(len(p.Suggestions)))
+		for _, s := range p.Suggestions {
+			e.raw(s.Combo)
+			e.raw(s.Collect)
+			e.uvarint(uint64(len(s.Hits)))
+			for _, h := range s.Hits {
+				e.uvarint(uint64(h))
+			}
+			e.uvarint(math.Float64bits(s.Cost))
+		}
+	}
+	for _, c := range []int64{
+		st.Counters.PlanProbes, st.Counters.PlanHits, st.Counters.PlanBuilds,
+		st.Counters.PlanRepairs, st.Counters.PlanRebuilds,
+	} {
+		e.varint(c)
+	}
 	return e.buf
 }
 
@@ -365,6 +403,63 @@ func decodeState(payload []byte, version uint32) (*engine.State, error) {
 		&st.Counters.BidirectionalRepairs, &st.Counters.CacheHits,
 	} {
 		*p = d.varint()
+	}
+
+	if version >= 3 {
+		nPlans := d.length(1)
+		st.Plans = make([]engine.CachedPlan, 0, nPlans)
+		for i := 0; i < nPlans && d.err == nil; i++ {
+			p := engine.CachedPlan{Tau: d.varint()}
+			ml := d.uvarint()
+			pl := d.uvarint()
+			if ml > math.MaxInt32 || pl > math.MaxInt32 {
+				d.fail("plan entry %d: level bound out of range", i)
+			}
+			p.MUPMaxLevel = int(ml)
+			p.MaxLevel = int(pl)
+			p.MinValueCount = d.uvarint()
+			p.OracleFP = d.str()
+			p.CostFP = d.str()
+			p.Gen = d.uvarint()
+			for _, set := range []*[]pattern.Pattern{&p.BasisMUPs, &p.Targets} {
+				n := d.length(dim)
+				backing := make([]uint8, n*dim)
+				*set = make([]pattern.Pattern, n)
+				for j := 0; j < n && d.err == nil; j++ {
+					q := backing[j*dim : (j+1)*dim : (j+1)*dim]
+					copy(q, d.raw(dim))
+					(*set)[j] = pattern.Pattern(q)
+				}
+			}
+			p.Algorithm = d.str()
+			p.Iterations = int(d.varint())
+			p.Nodes = d.varint()
+			nSug := d.length(2 * dim)
+			p.Suggestions = make([]engine.PlanSuggestion, 0, nSug)
+			for j := 0; j < nSug && d.err == nil; j++ {
+				var s engine.PlanSuggestion
+				s.Combo = append([]uint8(nil), d.raw(dim)...)
+				s.Collect = pattern.Pattern(append([]uint8(nil), d.raw(dim)...))
+				nHits := d.length(1)
+				s.Hits = make([]int, 0, nHits)
+				for h := 0; h < nHits && d.err == nil; h++ {
+					v := d.uvarint()
+					if v > math.MaxInt32 {
+						d.fail("plan entry %d suggestion %d: hit index %d out of range", i, j, v)
+					}
+					s.Hits = append(s.Hits, int(v))
+				}
+				s.Cost = math.Float64frombits(d.uvarint())
+				p.Suggestions = append(p.Suggestions, s)
+			}
+			st.Plans = append(st.Plans, p)
+		}
+		for _, p := range []*int64{
+			&st.Counters.PlanProbes, &st.Counters.PlanHits, &st.Counters.PlanBuilds,
+			&st.Counters.PlanRepairs, &st.Counters.PlanRebuilds,
+		} {
+			*p = d.varint()
+		}
 	}
 
 	if err := d.done(); err != nil {

@@ -1,0 +1,250 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"hash/crc32"
+	"sort"
+	"testing"
+
+	"coverage/internal/engine"
+	"coverage/internal/enhance"
+	"coverage/internal/mup"
+)
+
+// encodeStateV2 replicates the version-2 payload layout byte for byte:
+// everything the current format carries except the remediation
+// plan-cache sections and plan counters. It exists only here, as the
+// fixture generator proving the current reader keeps accepting v2
+// snapshots.
+func encodeStateV2(st *engine.State) []byte {
+	e := &encoder{}
+	dim := len(st.Attrs)
+	e.uvarint(uint64(dim))
+	for _, a := range st.Attrs {
+		e.str(a.Name)
+		e.uvarint(uint64(len(a.Values)))
+		for _, v := range a.Values {
+			e.str(v)
+		}
+	}
+	shardKeys := st.ShardCountKeys
+	if shardKeys == nil {
+		keys := make([]string, 0, len(st.Counts))
+		for k := range st.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		shardKeys = [][]string{keys}
+	}
+	e.uvarint(uint64(len(shardKeys)))
+	for _, keys := range shardKeys {
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.rawString(k)
+			e.varint(st.Counts[k])
+		}
+	}
+	e.varint(st.Rows)
+	e.uvarint(st.Generation)
+	e.uvarint(uint64(st.Window))
+	e.varint(st.Tombstones)
+	e.uvarint(uint64(len(st.WindowLog)))
+	for _, k := range st.WindowLog {
+		e.rawString(k)
+	}
+	pdKeys := make([]string, 0, len(st.PendingDeletes))
+	for k := range st.PendingDeletes {
+		pdKeys = append(pdKeys, k)
+	}
+	sort.Strings(pdKeys)
+	e.uvarint(uint64(len(pdKeys)))
+	for _, k := range pdKeys {
+		e.rawString(k)
+		e.varint(st.PendingDeletes[k])
+	}
+	for _, l := range []engine.MutationLog{st.Removed, st.Added} {
+		e.uvarint(l.Horizon)
+		e.uvarint(uint64(len(l.Recs)))
+		for _, r := range l.Recs {
+			e.uvarint(r.Gen)
+			e.rawString(r.Key)
+			e.varint(r.Count)
+		}
+	}
+	e.uvarint(uint64(len(st.Cache)))
+	for _, c := range st.Cache {
+		e.varint(c.Tau)
+		e.uvarint(uint64(c.MaxLevel))
+		e.uvarint(c.Gen)
+		e.uvarint(uint64(len(c.MUPs)))
+		for _, p := range c.MUPs {
+			e.raw(p)
+		}
+		if c.Cov == nil {
+			e.uvarint(0)
+		} else {
+			e.uvarint(1)
+			for _, v := range c.Cov {
+				e.varint(v)
+			}
+		}
+		e.str(c.Stats.Algorithm)
+		e.varint(c.Stats.CoverageProbes)
+		e.varint(c.Stats.NodesVisited)
+	}
+	for _, c := range []int64{
+		st.Counters.Appends, st.Counters.Deletes, st.Counters.Evictions,
+		st.Counters.Compactions, st.Counters.FullSearches, st.Counters.Repairs,
+		st.Counters.BidirectionalRepairs, st.Counters.CacheHits,
+	} {
+		e.varint(c)
+	}
+	return e.buf
+}
+
+// frameVersion wraps a payload in snapshot framing with an arbitrary
+// version number.
+func frameVersion(version uint32, payload []byte) []byte {
+	header := make([]byte, snapshotHeaderSize)
+	copy(header, snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], version)
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(payload)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(payload, castagnoli))
+	return append(append(header, payload...), trailer[:]...)
+}
+
+// planfulEngine builds a mutated engine whose plan cache is populated
+// (two configurations, one of them weighted).
+func planfulEngine(t testing.TB, seed int64, ops int) *engine.Engine {
+	t.Helper()
+	eng := mutatedEngine(t, seed, ops)
+	ctx := context.Background()
+	if _, err := eng.Plan(ctx, mup.Options{Threshold: 2}, engine.PlanSpec{MaxLevel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cost := enhance.UniformCost(eng.Cards())
+	if _, err := eng.Plan(ctx, mup.Options{Threshold: 3}, engine.PlanSpec{MinValueCount: 4, Cost: cost}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestReadV2Snapshot proves backward compatibility: a version-2
+// (pre-plan-cache) snapshot restores into a query-equivalent engine
+// with an empty plan cache, and the restored engine serves and caches
+// plans afterwards.
+func TestReadV2Snapshot(t *testing.T) {
+	src := mutatedEngine(t, 17, 100)
+	data := frameVersion(snapshotVersionV2, encodeStateV2(src.ExportState()))
+
+	st, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("reading v2 snapshot: %v", err)
+	}
+	if len(st.Plans) != 0 {
+		t.Errorf("v2 decode produced %d cached plans", len(st.Plans))
+	}
+	for _, shards := range []int{1, 4} {
+		restored, err := engine.NewFromState(st, engine.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("restoring v2 state at %d shards: %v", shards, err)
+		}
+		assertEquivalent(t, src, restored)
+		if _, err := restored.Plan(context.Background(), mup.Options{Threshold: 2}, engine.PlanSpec{MaxLevel: 2}); err != nil {
+			t.Fatalf("planning on a v2-restored engine: %v", err)
+		}
+		if got := restored.Stats().CachedPlans; got != 1 {
+			t.Errorf("restored engine cached %d plans, want 1", got)
+		}
+	}
+}
+
+// TestSnapshotCarriesPlanCache pins the v3 sections: cached plans
+// survive snapshot→restore (warm /plan after a covserve restart), the
+// restored engine answers the same configurations as hits, and the
+// round trip is a byte-level fixed point.
+func TestSnapshotCarriesPlanCache(t *testing.T) {
+	src := planfulEngine(t, 23, 80)
+	srcStats := src.Stats()
+	if srcStats.CachedPlans != 2 {
+		t.Fatalf("fixture cached %d plans, want 2", srcStats.CachedPlans)
+	}
+
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, src.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Plans) != 2 {
+		t.Fatalf("decoded %d cached plans, want 2", len(st.Plans))
+	}
+	restored, err := engine.NewFromState(st, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-level fixed point — checked before anything queries either
+	// engine, because queries legitimately advance cache contents and
+	// the persisted hit counters.
+	var buf2 bytes.Buffer
+	if _, err := WriteSnapshot(&buf2, restored.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("snapshot→restore→snapshot with cached plans is not a fixed point")
+	}
+
+	assertEquivalent(t, src, restored)
+	rs := restored.Stats()
+	if rs.CachedPlans != 2 {
+		t.Fatalf("restored cached plans = %d, want 2", rs.CachedPlans)
+	}
+	if rs.PlanBuilds != srcStats.PlanBuilds || rs.PlanProbes != srcStats.PlanProbes {
+		t.Errorf("plan counters not preserved: %+v vs %+v", rs, srcStats)
+	}
+
+	// The restored engine serves the same configuration from cache.
+	before := restored.Stats().PlanHits
+	p, err := restored.Plan(context.Background(), mup.Options{Threshold: 2}, engine.PlanSpec{MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().PlanHits != before+1 {
+		t.Error("restored plan configuration missed the cache")
+	}
+	orig, err := src.Plan(context.Background(), mup.Options{Threshold: 2}, engine.PlanSpec{MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Suggestions) != len(orig.Suggestions) {
+		t.Errorf("restored plan has %d suggestions, original %d", len(p.Suggestions), len(orig.Suggestions))
+	}
+}
+
+// TestSnapshotRejectsCorruptPlanSection extends the corruption suite
+// to the v3 sections: a plan entry whose suggestion hits index outside
+// its target list must fail restore whole.
+func TestSnapshotRejectsCorruptPlanSection(t *testing.T) {
+	src := planfulEngine(t, 29, 60)
+	st := src.ExportState()
+	found := false
+	for i := range st.Plans {
+		if len(st.Plans[i].Suggestions) > 0 {
+			st.Plans[i].Suggestions[0].Hits = []int{len(st.Plans[i].Targets) + 5}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("fixture produced no suggestions to corrupt")
+	}
+	if _, err := engine.NewFromState(st, engine.Options{}); err == nil {
+		t.Error("out-of-range suggestion hit accepted")
+	}
+}

@@ -20,14 +20,18 @@ import (
 //	crc      uint32le  CRC32-C of payload
 var snapshotMagic = [8]byte{'C', 'O', 'V', 'S', 'N', 'A', 'P', 0}
 
-// snapshotVersion is the current snapshot format version: v2 stores
-// the count map as one section per shard core, magnitudes on the
-// mutation-log records and the per-MUP coverage-value caches. Readers
-// also accept snapshotVersionV1 (the single-shard format) for
-// backward compatibility, re-sharding on restore as needed; anything
-// else is rejected with ErrVersion rather than guessed at.
+// snapshotVersion is the current snapshot format version: v3 appends
+// the remediation plan-cache sections (and plan counters) to the v2
+// layout, which stores the count map as one section per shard core,
+// magnitudes on the mutation-log records and the per-MUP
+// coverage-value caches. Readers also accept snapshotVersionV2 and
+// snapshotVersionV1 (the single-shard format) for backward
+// compatibility — older snapshots simply restore with an empty plan
+// cache — re-sharding on restore as needed; anything else is rejected
+// with ErrVersion rather than guessed at.
 const (
-	snapshotVersion   uint32 = 2
+	snapshotVersion   uint32 = 3
+	snapshotVersionV2 uint32 = 2
 	snapshotVersionV1 uint32 = 1
 )
 
@@ -81,8 +85,8 @@ func ReadSnapshotBytes(data []byte) (*engine.State, error) {
 		return nil, ErrBadMagic
 	}
 	version := binary.LittleEndian.Uint32(data[8:])
-	if version != snapshotVersion && version != snapshotVersionV1 {
-		return nil, fmt.Errorf("%w: snapshot version %d, this build reads versions %d and %d",
+	if version < snapshotVersionV1 || version > snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads versions %d through %d",
 			ErrVersion, version, snapshotVersionV1, snapshotVersion)
 	}
 	plen := binary.LittleEndian.Uint64(data[12:])
