@@ -14,6 +14,7 @@
 //	-quick        laptop-scale parameters (n=100000, narrower sweeps)
 //	-apriori      include the APRIORI baseline in fig12 (can take minutes)
 //	-naive        include the naive hitting-set baseline in fig17 (slow)
+//	-check        shard: fail (exit 1) when a multi-core host measures no 4-shard win
 //	-seed int     generator seed (default 42)
 //	-benchout s   JSON output file for the engine experiment (default BENCH_engine.json)
 //	-persistout s JSON output file for the persist experiment (default BENCH_persist.json)
@@ -43,6 +44,7 @@ type config struct {
 	quick      bool
 	apriori    bool
 	naive      bool
+	check      bool
 	seed       int64
 	benchOut   string
 	persistOut string
@@ -84,6 +86,7 @@ func main() {
 	flag.BoolVar(&cfg.quick, "quick", false, "laptop-scale parameters")
 	flag.BoolVar(&cfg.apriori, "apriori", false, "include the APRIORI baseline in fig12")
 	flag.BoolVar(&cfg.naive, "naive", false, "include the naive hitting-set baseline in fig17")
+	flag.BoolVar(&cfg.check, "check", false, "shard experiment: exit 1 when a GOMAXPROCS≥4 host measures speedup_4v1 < 1 for append or mup-search")
 	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_engine.json", "output file for the engine experiment's JSON results")
 	flag.StringVar(&cfg.persistOut, "persistout", "BENCH_persist.json", "output file for the persist experiment's JSON results")

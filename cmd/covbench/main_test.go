@@ -53,7 +53,9 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 
 // TestShardBenchWritesJSON smokes the shard-scaling sweep at toy
 // scale: the report must decode, hold one result per (workload, shard
-// count) cell, and carry the 4-vs-1 speedup summary.
+// count) cell, and carry the honest scaling summary for its regime —
+// per-core speedup curves on a multi-core host, the overhead_only tag
+// and *no* speedups on a single-core one.
 func TestShardBenchWritesJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark runner takes seconds")
@@ -79,9 +81,26 @@ func TestShardBenchWritesJSON(t *testing.T) {
 			t.Errorf("result %q = %+v", r.Name, r)
 		}
 	}
+	if rep.GoMaxProcs == 1 {
+		// Single-core regime: the run measures coordinator overhead
+		// only, so it must say so and must not report speedups at all.
+		if !rep.OverheadOnly {
+			t.Error("GOMAXPROCS=1 run not tagged overhead_only")
+		}
+		if rep.SpeedupVs1 != nil || rep.Speedup4v1 != nil {
+			t.Errorf("GOMAXPROCS=1 run carries speedups: vs1=%v 4v1=%v", rep.SpeedupVs1, rep.Speedup4v1)
+		}
+		return
+	}
+	if rep.OverheadOnly {
+		t.Errorf("GOMAXPROCS=%d run tagged overhead_only", rep.GoMaxProcs)
+	}
 	for _, w := range []string{"append", "mup-search", "mup-repair-delete"} {
 		if rep.Speedup4v1[w] <= 0 {
 			t.Errorf("missing 4-vs-1 speedup for %q", w)
+		}
+		if len(rep.SpeedupVs1[w]) != len(rep.ShardCounts)-1 {
+			t.Errorf("speedup curve for %q = %v, want one point per shard count above 1", w, rep.SpeedupVs1[w])
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"coverage/internal/datagen"
@@ -26,23 +27,27 @@ type shardBenchResult struct {
 // shardBenchReport is the machine-readable shard-scaling tracker: the
 // same append / MUP-search / delete-repair workloads swept across
 // shard counts, so the horizontal-scaling trajectory is diffable
-// across commits. Speedup4v1 summarizes each workload as
-// ns/op(1 shard) ÷ ns/op(4 shards).
+// across commits. SpeedupVs1 holds the per-core speedup curve of each
+// workload (ns/op at 1 shard ÷ ns/op at s shards, keyed by s);
+// Speedup4v1 summarizes the 4-shard point of that curve.
 //
 // The fan-out parallelism is real only when GOMAXPROCS cores exist to
 // run the per-core goroutines; on a single-CPU machine the sweep
-// degenerates to measuring the coordinator's overhead (speedups ≈ 1).
-// GoMaxProcs is recorded so readers can tell which regime a file came
-// from.
+// degenerates to measuring the coordinator's overhead, so such runs
+// are tagged OverheadOnly and carry no speedup summary at all — a
+// single-core file must never read as a parallel-scaling regression
+// (or win). GoMaxProcs records the regime either way.
 type shardBenchReport struct {
-	DatasetRows int                `json:"dataset_rows"`
-	Dimensions  int                `json:"dimensions"`
-	Threshold   int64              `json:"threshold"`
-	GoMaxProcs  int                `json:"gomaxprocs"`
-	GoVersion   string             `json:"go_version"`
-	ShardCounts []int              `json:"shard_counts"`
-	Results     []shardBenchResult `json:"results"`
-	Speedup4v1  map[string]float64 `json:"speedup_4v1"`
+	DatasetRows  int                           `json:"dataset_rows"`
+	Dimensions   int                           `json:"dimensions"`
+	Threshold    int64                         `json:"threshold"`
+	GoMaxProcs   int                           `json:"gomaxprocs"`
+	GoVersion    string                        `json:"go_version"`
+	OverheadOnly bool                          `json:"overhead_only,omitempty"`
+	ShardCounts  []int                         `json:"shard_counts"`
+	Results      []shardBenchResult            `json:"results"`
+	SpeedupVs1   map[string]map[string]float64 `json:"speedup_vs_1,omitempty"`
+	Speedup4v1   map[string]float64            `json:"speedup_4v1,omitempty"`
 }
 
 // shardBench regenerates BENCH_shard.json: the engine's ingest and
@@ -76,7 +81,6 @@ func shardBench(cfg config) {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		GoVersion:   runtime.Version(),
 		ShardCounts: []int{1, 2, 4, 8},
-		Speedup4v1:  map[string]float64{},
 	}
 	nsAt := map[string]map[int]float64{}
 	add := func(workload string, shards, rowsPerOp, mups int, r testing.BenchmarkResult) {
@@ -156,13 +160,32 @@ func shardBench(cfg config) {
 		}
 	}
 
-	for workload, by := range nsAt {
-		if by[4] > 0 {
-			report.Speedup4v1[workload] = by[1] / by[4]
+	if report.GoMaxProcs == 1 {
+		// A single-core run cannot measure the fan-out parallelism —
+		// only its overhead. Tag the file and emit no speedup numbers
+		// at all, so the artifact can never be misread as a scaling
+		// signal.
+		report.OverheadOnly = true
+		fmt.Printf("WARNING: GOMAXPROCS=1 — this run measures coordinator overhead only;\n")
+		fmt.Printf("         no speedups recorded (re-run on a multi-core host for scaling curves)\n")
+	} else {
+		report.SpeedupVs1 = map[string]map[string]float64{}
+		report.Speedup4v1 = map[string]float64{}
+		for workload, by := range nsAt {
+			curve := map[string]float64{}
+			for _, s := range report.ShardCounts[1:] {
+				if by[s] > 0 {
+					curve[strconv.Itoa(s)] = by[1] / by[s]
+				}
+			}
+			report.SpeedupVs1[workload] = curve
+			if by[4] > 0 {
+				report.Speedup4v1[workload] = by[1] / by[4]
+			}
 		}
+		fmt.Printf("speedup at 4 shards vs 1: append %.2fx, mup-search %.2fx, mup-repair-delete %.2fx (GOMAXPROCS=%d)\n",
+			report.Speedup4v1["append"], report.Speedup4v1["mup-search"], report.Speedup4v1["mup-repair-delete"], report.GoMaxProcs)
 	}
-	fmt.Printf("speedup at 4 shards vs 1: append %.2fx, mup-search %.2fx, mup-repair-delete %.2fx (GOMAXPROCS=%d)\n",
-		report.Speedup4v1["append"], report.Speedup4v1["mup-search"], report.Speedup4v1["mup-repair-delete"], report.GoMaxProcs)
 
 	f, err := os.Create(cfg.shardOut)
 	if err != nil {
@@ -175,4 +198,24 @@ func shardBench(cfg config) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", cfg.shardOut)
+
+	if cfg.check {
+		switch {
+		case report.GoMaxProcs < 4:
+			fmt.Printf("-check: host has GOMAXPROCS=%d < 4; multi-core speedup gate not applicable\n", report.GoMaxProcs)
+		default:
+			failed := false
+			for _, w := range []string{"append", "mup-search"} {
+				if s, ok := report.Speedup4v1[w]; !ok || s < 1 {
+					fmt.Fprintf(os.Stderr, "covbench: FAIL: %s speedup_4v1 = %.2fx < 1 on a GOMAXPROCS=%d host — sharding must win with cores available\n",
+						w, s, report.GoMaxProcs)
+					failed = true
+				}
+			}
+			if failed {
+				os.Exit(1)
+			}
+			fmt.Printf("-check: speedup_4v1 ≥ 1 for append and mup-search — sharding wins on this %d-core host\n", report.GoMaxProcs)
+		}
+	}
 }

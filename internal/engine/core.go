@@ -54,25 +54,27 @@ func shardOfRow(row []uint8, n int) int {
 // probe it outside any lock.
 type shardCore struct {
 	schema *dataset.Schema
+	keys   *keyCodec
 	opts   Options
 
 	base     *index.Index
 	pool     *index.Pool
-	counts   map[string]int64 // partition combo→multiplicity (base + delta)
+	counts   map[comboKey]int64 // partition combo→multiplicity (base + delta)
 	delta    []deltaEntry
-	deltaPos map[string]int // combo → position in delta
+	deltaPos map[comboKey]int // combo → position in delta
 	rows     int64
 
 	compactions int64
 }
 
 // newShardCore returns an empty core over the schema.
-func newShardCore(schema *dataset.Schema, opts Options) *shardCore {
+func newShardCore(schema *dataset.Schema, keys *keyCodec, opts Options) *shardCore {
 	c := &shardCore{
 		schema:   schema,
+		keys:     keys,
 		opts:     opts,
-		counts:   make(map[string]int64),
-		deltaPos: make(map[string]int),
+		counts:   make(map[comboKey]int64),
+		deltaPos: make(map[comboKey]int),
 	}
 	c.rebuild()
 	c.compactions = 0 // the initial empty build is not a compaction
@@ -81,19 +83,30 @@ func newShardCore(schema *dataset.Schema, opts Options) *shardCore {
 
 // seed installs the core's partition of a pre-deduplicated dataset and
 // builds the base directly, bypassing the delta (construction path).
-func (c *shardCore) seed(counts map[string]int64) {
+func (c *shardCore) seed(counts map[comboKey]int64) {
 	for k, n := range counts {
 		c.counts[k] = n
 		c.rows += n
 	}
-	c.base = index.BuildFromCounts(c.schema, c.counts)
+	c.base = index.BuildFromCounts(c.schema, c.stringCounts())
 	c.pool = c.base.NewPool()
+}
+
+// stringCounts materializes the live count map in its raw key-string
+// form — the index builder's input. Rebuild-path only; the hot paths
+// never leave the comboKey representation.
+func (c *shardCore) stringCounts() map[string]int64 {
+	m := make(map[string]int64, len(c.counts))
+	for k, n := range c.counts {
+		m[c.keys.str(k)] = n
+	}
+	return m
 }
 
 // applySigned merges one signed multiplicity change into the count map
 // and the delta, pruning the combination from the counts the moment it
 // reaches zero so compaction never rebuilds ghosts.
-func (c *shardCore) applySigned(k string, n int64) {
+func (c *shardCore) applySigned(k comboKey, n int64) {
 	if m := c.counts[k] + n; m == 0 {
 		delete(c.counts, k)
 	} else {
@@ -104,14 +117,14 @@ func (c *shardCore) applySigned(k string, n int64) {
 		return
 	}
 	c.deltaPos[k] = len(c.delta)
-	c.delta = append(c.delta, deltaEntry{combo: pattern.Pattern(k), count: n})
+	c.delta = append(c.delta, deltaEntry{combo: c.keys.pattern(k), count: n})
 }
 
 // applyBatch applies a whole signed mutation map atomically from the
 // coordinator's point of view (the coordinator holds the write lock
 // for the entire cross-core mutation), adjusts the core's row count by
 // the map's sum, and compacts if the delta crossed its threshold.
-func (c *shardCore) applyBatch(muts map[string]int64) {
+func (c *shardCore) applyBatch(muts map[comboKey]int64) {
 	for k, n := range muts {
 		if n == 0 {
 			continue
@@ -123,7 +136,7 @@ func (c *shardCore) applyBatch(muts map[string]int64) {
 }
 
 // multiplicity returns the live count of one combination key.
-func (c *shardCore) multiplicity(k string) int64 { return c.counts[k] }
+func (c *shardCore) multiplicity(k comboKey) int64 { return c.counts[k] }
 
 // maybeCompact rebuilds the base when the accumulated delta crosses
 // the compaction threshold. Thresholds apply per core: each partition
@@ -139,10 +152,10 @@ func (c *shardCore) maybeCompact() {
 // rebuild rebuilds the base oracle from the full count map and clears
 // the delta.
 func (c *shardCore) rebuild() {
-	c.base = index.BuildFromCounts(c.schema, c.counts)
+	c.base = index.BuildFromCounts(c.schema, c.stringCounts())
 	c.pool = c.base.NewPool()
 	c.delta = nil
-	c.deltaPos = make(map[string]int)
+	c.deltaPos = make(map[comboKey]int)
 	c.compactions++
 }
 

@@ -131,6 +131,13 @@ type Options struct {
 	// runs a fresh parallel search instead. 0 means 0.05; values ≥ 1
 	// never fall back.
 	FullSearchRemovedFraction float64
+
+	// stringKeys forces the byte-string combo-key representation even
+	// on schemas that fit pattern.PackedKey — the test hook the
+	// packed-vs-string equivalence suite uses to drive both paths over
+	// one schema. Unexported: external callers always get the cheapest
+	// representation.
+	stringKeys bool
 }
 
 func (o Options) shardCount() int {
@@ -195,9 +202,9 @@ func (o Options) fullSearchRemovedFraction() float64 {
 	return 0.05
 }
 
-// ShardStat describes one shard core: its partition's live rows, the
-// distinct combinations in its base oracle, its pending delta size and
-// how many times it has compacted.
+// ShardStat describes one shard core: its partition's live rows, its
+// live distinct combinations, its pending delta size and how many
+// times it has compacted.
 type ShardStat struct {
 	Rows          int64
 	Distinct      int
@@ -209,11 +216,12 @@ type ShardStat struct {
 type Stats struct {
 	// Rows is the total row count across all shards.
 	Rows int64
-	// Distinct is the number of distinct combinations across the
-	// per-shard base oracles; DeltaDistinct counts combinations
-	// mutated since the owning core's last compaction (a combination
-	// already in a base still gets a delta entry for its additional
-	// multiplicity).
+	// Distinct is the number of live distinct combinations across the
+	// shard cores — base-resident plus delta-resident, minus
+	// combinations whose multiplicity has dropped to zero since the
+	// owning core's last compaction. DeltaDistinct counts combinations
+	// mutated since that compaction (a combination already in a base
+	// still gets a delta entry for its additional multiplicity).
 	Distinct      int
 	DeltaDistinct int
 	// Generation increments on every mutation batch (append, delete or
@@ -299,6 +307,7 @@ type ShardedEngine struct {
 	schema *dataset.Schema
 	cards  []int
 	opts   Options
+	keys   *keyCodec
 	cores  []*shardCore
 
 	// mu scopes every access to the coordinator state and the cores:
@@ -318,7 +327,7 @@ type ShardedEngine struct {
 	// eviction.
 	window         int
 	log            *rowLog
-	pendingDeletes map[string]int64
+	pendingDeletes map[comboKey]int64
 	tombstones     int64
 
 	// removed records combinations whose multiplicity decreased (by
@@ -365,7 +374,7 @@ type Engine = ShardedEngine
 // did not record magnitudes).
 type mutRec struct {
 	gen   uint64
-	key   string
+	key   comboKey
 	count int64
 }
 
@@ -381,7 +390,7 @@ type mutLog struct {
 // record appends one mutation at gen, trimming the oldest half (on
 // whole-generation boundaries, so the horizon stays exact) when the
 // log outgrows max.
-func (l *mutLog) record(gen uint64, k string, count int64, max int) {
+func (l *mutLog) record(gen uint64, k comboKey, count int64, max int) {
 	l.recs = append(l.recs, mutRec{gen: gen, key: k, count: count})
 	if len(l.recs) <= max {
 		return
@@ -401,12 +410,12 @@ func (l *mutLog) record(gen uint64, k string, count int64, max int) {
 // Delta keeps Count 0 = unknown, which still gates repair probes but
 // disables coverage delta-updates). The slice is non-nil whenever ok,
 // so "provably none" and "unknown" stay distinct.
-func (l *mutLog) since(gen uint64) (deltas []mup.Delta, exact, ok bool) {
+func (l *mutLog) since(gen uint64, keys *keyCodec) (deltas []mup.Delta, exact, ok bool) {
 	if gen < l.horizon {
 		return nil, false, false
 	}
-	sums := make(map[string]int64)
-	unknown := make(map[string]bool)
+	sums := make(map[comboKey]int64)
+	unknown := make(map[comboKey]bool)
 	for i := len(l.recs) - 1; i >= 0 && l.recs[i].gen > gen; i-- {
 		r := l.recs[i]
 		if r.count == 0 {
@@ -424,7 +433,7 @@ func (l *mutLog) since(gen uint64) (deltas []mup.Delta, exact, ok bool) {
 			// A known net of zero cannot have changed any coverage.
 			continue
 		}
-		deltas = append(deltas, mup.Delta{Combo: pattern.Pattern(k), Count: n})
+		deltas = append(deltas, mup.Delta{Combo: keys.pattern(k), Count: n})
 	}
 	return deltas, exact, true
 }
@@ -461,12 +470,13 @@ func New(schema *dataset.Schema, opts Options) *Engine {
 		schema:    schema,
 		cards:     schema.Cards(),
 		opts:      opts,
+		keys:      newKeyCodec(schema.Cards(), opts.stringKeys),
 		cores:     make([]*shardCore, n),
 		cache:     make(map[searchKey]*cachedSearch),
 		planCache: make(map[planKey]*cachedPlan),
 	}
 	for i := range e.cores {
-		e.cores[i] = newShardCore(schema, opts)
+		e.cores[i] = newShardCore(schema, e.keys, opts)
 	}
 	return e
 }
@@ -485,18 +495,18 @@ func NewSharded(schema *dataset.Schema, shards int, opts Options) *ShardedEngine
 func NewFromDataset(ds *dataset.Dataset, opts Options) *Engine {
 	e := New(ds.Schema(), opts)
 	n := len(e.cores)
-	parts := make([]map[string]int64, n)
+	parts := make([]map[comboKey]int64, n)
 	for i := range parts {
-		parts[i] = make(map[string]int64)
+		parts[i] = make(map[comboKey]int64)
 	}
 	dd := ds.Distinct()
 	for k, combo := range dd.Combos {
-		parts[shardOfRow(combo, n)][string(combo)] = dd.Counts[k]
+		parts[shardOfRow(combo, n)][e.keys.ofRow(combo)] = dd.Counts[k]
 	}
 	var wg sync.WaitGroup
 	for i, c := range e.cores {
 		wg.Add(1)
-		go func(c *shardCore, part map[string]int64) {
+		go func(c *shardCore, part map[comboKey]int64) {
 			defer wg.Done()
 			c.seed(part)
 		}(c, parts[i])
@@ -563,11 +573,11 @@ func (e *ShardedEngine) Stats() Stats {
 	for i, c := range e.cores {
 		st.Shards[i] = ShardStat{
 			Rows:          c.rows,
-			Distinct:      c.base.NumDistinct(),
+			Distinct:      len(c.counts),
 			DeltaDistinct: len(c.delta),
 			Compactions:   c.compactions,
 		}
-		st.Distinct += c.base.NumDistinct()
+		st.Distinct += len(c.counts)
 		st.DeltaDistinct += len(c.delta)
 		st.Compactions += c.compactions
 	}
@@ -594,44 +604,49 @@ func (e *ShardedEngine) validateRows(rows [][]uint8) error {
 // countBatch counts the batch's combinations into one signed map per
 // core, outside the engine lock. With one core the batch is chunked
 // across workers and merged (the classic parallel count); with many,
-// a single lightweight partition pass routes row references to their
-// cores (a hash and a pointer append per row), then every core's map
-// is built by its own goroutine — the map inserts, which dominate
-// ingest, run fully in parallel with no cross-core merge.
-func (e *ShardedEngine) countBatch(rows [][]uint8) []map[string]int64 {
+// a single lightweight partition pass routes each row to its core as
+// an already-packed comboKey (one hash plus one pack per row, no
+// per-row allocation on the packed path), so every core receives one
+// contiguous key slice and its map is built by its own goroutine —
+// the map inserts, which dominate ingest, run fully in parallel with
+// no cross-core merge and hash two-word keys instead of byte strings.
+func (e *ShardedEngine) countBatch(rows [][]uint8) []map[comboKey]int64 {
 	n := len(e.cores)
 	if n == 1 {
-		shards := shardCounts(rows, e.opts.workers())
+		shards := shardCounts(rows, e.keys, e.opts.workers())
+		if len(shards) == 0 {
+			return []map[comboKey]int64{{}}
+		}
 		merged := shards[0]
 		for _, m := range shards[1:] {
 			for k, c := range m {
 				merged[k] += c
 			}
 		}
-		return []map[string]int64{merged}
+		return []map[comboKey]int64{merged}
 	}
-	parts := make([][][]uint8, n)
+	parts := make([][]comboKey, n)
 	per := len(rows)/n + 16
 	for i := range parts {
-		parts[i] = make([][]uint8, 0, per)
+		parts[i] = make([]comboKey, 0, per)
 	}
 	for _, row := range rows {
 		s := shardOfRow(row, n)
-		parts[s] = append(parts[s], row)
+		parts[s] = append(parts[s], e.keys.ofRow(row))
 	}
-	out := make([]map[string]int64, n)
+	out := make([]map[comboKey]int64, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		if len(parts[i]) == 0 {
-			out[i] = map[string]int64{}
+			out[i] = map[comboKey]int64{}
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m := make(map[string]int64, len(parts[i])/4+16)
-			for _, row := range parts[i] {
-				m[string(row)]++
+			m := make(map[comboKey]int64, len(parts[i])/4+16)
+			for _, k := range parts[i] {
+				m[k]++
 			}
 			out[i] = m
 		}(i)
@@ -641,12 +656,17 @@ func (e *ShardedEngine) countBatch(rows [][]uint8) []map[string]int64 {
 }
 
 // shardCounts partitions rows into contiguous chunks, one per worker,
-// and counts each chunk's combinations into a private map.
-func shardCounts(rows [][]uint8, workers int) []map[string]int64 {
+// and counts each chunk's combinations into a private map. An empty
+// batch (or a non-positive worker count) returns no shards rather
+// than indexing one that does not exist.
+func shardCounts(rows [][]uint8, keys *keyCodec, workers int) []map[comboKey]int64 {
 	if workers > len(rows) {
 		workers = len(rows)
 	}
-	shards := make([]map[string]int64, workers)
+	if workers <= 0 {
+		return nil
+	}
+	shards := make([]map[comboKey]int64, workers)
 	chunk := (len(rows) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -661,9 +681,9 @@ func shardCounts(rows [][]uint8, workers int) []map[string]int64 {
 		wg.Add(1)
 		go func(w int, part [][]uint8) {
 			defer wg.Done()
-			m := make(map[string]int64, len(part)/4+16)
+			m := make(map[comboKey]int64, len(part)/4+16)
 			for _, row := range part {
-				m[string(row)]++
+				m[keys.ofRow(row)]++
 			}
 			shards[w] = m
 		}(w, rows[lo:hi])
@@ -676,7 +696,7 @@ func shardCounts(rows [][]uint8, workers int) []map[string]int64 {
 // cores — in parallel when more than one core has work. Caller holds
 // the write lock, which is what makes the cross-core batch atomic for
 // readers.
-func (e *ShardedEngine) applyCoresLocked(muts []map[string]int64) {
+func (e *ShardedEngine) applyCoresLocked(muts []map[comboKey]int64) {
 	busy := 0
 	last := -1
 	for i, m := range muts {
@@ -696,7 +716,7 @@ func (e *ShardedEngine) applyCoresLocked(muts []map[string]int64) {
 				continue
 			}
 			wg.Add(1)
-			go func(c *shardCore, m map[string]int64) {
+			go func(c *shardCore, m map[comboKey]int64) {
 				defer wg.Done()
 				c.applyBatch(m)
 			}(e.cores[i], m)
@@ -762,7 +782,7 @@ func (e *ShardedEngine) Delete(rows [][]uint8) error {
 		for k, c := range m {
 			if have := e.cores[i].multiplicity(k); have < c {
 				return fmt.Errorf("engine: cannot delete %d row(s) of combination %v: only %d present",
-					c, pattern.Pattern(k), have)
+					c, e.keys.pattern(k), have)
 			}
 		}
 	}
@@ -803,16 +823,16 @@ func (e *ShardedEngine) SetWindow(maxRows int) {
 	e.window = maxRows
 	if e.log == nil {
 		e.log = &rowLog{}
-		e.pendingDeletes = make(map[string]int64)
+		e.pendingDeletes = make(map[comboKey]int64)
 		keys := make([]string, 0, e.distinctLocked())
 		for _, c := range e.cores {
 			for k := range c.counts {
-				keys = append(keys, k)
+				keys = append(keys, e.keys.str(k))
 			}
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			n := e.cores[shardOf(k, len(e.cores))].multiplicity(k)
+			n := e.cores[shardOf(k, len(e.cores))].multiplicity(e.keys.ofString(k))
 			for i := int64(0); i < n; i++ {
 				e.log.push(k)
 			}
@@ -820,9 +840,9 @@ func (e *ShardedEngine) SetWindow(maxRows int) {
 	}
 	if e.rows > int64(e.window) {
 		e.gen++
-		muts := make([]map[string]int64, len(e.cores))
+		muts := make([]map[comboKey]int64, len(e.cores))
 		for i := range muts {
-			muts[i] = make(map[string]int64)
+			muts[i] = make(map[comboKey]int64)
 		}
 		e.evictIntoLocked(muts)
 		e.applyCoresLocked(muts)
@@ -843,7 +863,7 @@ func (e *ShardedEngine) Window() int {
 // each core as one atomic signed batch) and recorded in the removed
 // log with their net counts. Caller holds the write lock with the
 // generation already advanced for this mutation.
-func (e *ShardedEngine) evictIntoLocked(muts []map[string]int64) {
+func (e *ShardedEngine) evictIntoLocked(muts []map[comboKey]int64) {
 	if e.window <= 0 || e.log == nil {
 		return
 	}
@@ -851,11 +871,11 @@ func (e *ShardedEngine) evictIntoLocked(muts []map[string]int64) {
 	evicted := make(map[string]int64)
 	for e.rows > int64(e.window) {
 		k := e.log.pop()
-		if c := e.pendingDeletes[k]; c > 0 {
-			if c == 1 {
-				delete(e.pendingDeletes, k)
+		if ck := e.keys.ofString(k); e.pendingDeletes[ck] > 0 {
+			if e.pendingDeletes[ck] == 1 {
+				delete(e.pendingDeletes, ck)
 			} else {
-				e.pendingDeletes[k] = c - 1
+				e.pendingDeletes[ck]--
 			}
 			e.tombstones--
 			continue
@@ -866,8 +886,9 @@ func (e *ShardedEngine) evictIntoLocked(muts []map[string]int64) {
 	}
 	logSize := e.opts.removedLogSize()
 	for k, c := range evicted {
-		muts[shardOf(k, n)][k] -= c
-		e.removed.record(e.gen, k, -c, logSize)
+		ck := e.keys.ofString(k)
+		muts[shardOf(k, n)][ck] -= c
+		e.removed.record(e.gen, ck, -c, logSize)
 	}
 }
 
@@ -985,7 +1006,7 @@ func (e *ShardedEngine) Index() *index.Index {
 	union := make(map[string]int64, e.distinctLocked())
 	for _, c := range e.cores {
 		for k, n := range c.counts {
-			union[k] = n
+			union[e.keys.str(k)] = n
 		}
 	}
 	return index.BuildFromCounts(e.schema, union)
@@ -1078,9 +1099,9 @@ func (e *ShardedEngine) mupsGen(opts mup.Options) (*mup.Result, uint64, error) {
 		// newly uncovered regions and a full search is required. The
 		// added log is an optimization only — when it has overflowed,
 		// nil tells the repair to assume any coverage may have risen.
-		if rm, _, ok := e.removed.since(c.gen); ok {
+		if rm, _, ok := e.removed.since(c.gen, e.keys); ok {
 			seed, removed = c.res, rm
-			if ad, _, ok := e.added.since(c.gen); ok {
+			if ad, _, ok := e.added.since(c.gen, e.keys); ok {
 				added = ad
 			}
 		}

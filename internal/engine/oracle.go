@@ -66,6 +66,7 @@ func (o *shardOracle) NewCoverageProber() index.CoverageProber {
 type shardProber struct {
 	probers []*index.Prober
 	probes  int64
+	batches int64
 }
 
 func (p *shardProber) Coverage(pat pattern.Pattern) int64 {
@@ -77,6 +78,27 @@ func (p *shardProber) Coverage(pat pattern.Pattern) int64 {
 	return c
 }
 
+// CoverageBatch answers a whole candidate list shard-major: the outer
+// loop walks the shards, the inner one the patterns, so each per-core
+// index (bit vectors, densities, probe buffer) is touched for one
+// contiguous stretch per level instead of being evicted and refetched
+// once per candidate. One level of the MUP descent therefore costs one
+// merged probe pass per shard, not one fan-out per candidate.
+func (p *shardProber) CoverageBatch(ps []pattern.Pattern, out []int64) {
+	p.probes += int64(len(ps))
+	p.batches++
+	for i := range out {
+		out[i] = 0
+	}
+	for _, pr := range p.probers {
+		for i, pat := range ps {
+			out[i] += pr.Coverage(pat)
+		}
+	}
+}
+
 // Probes counts logical probes: one per pattern, not one per shard, so
 // the cost statistics stay comparable across shard counts.
 func (p *shardProber) Probes() int64 { return p.probes }
+
+var _ index.BatchCoverageProber = (*shardProber)(nil)

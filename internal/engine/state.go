@@ -231,11 +231,11 @@ func (e *ShardedEngine) CaptureState() *Capture {
 		Tombstones: e.tombstones,
 		Removed: MutationLog{
 			Horizon: e.removed.horizon,
-			Recs:    exportRecs(e.removed.recs),
+			Recs:    exportRecs(e.removed.recs, e.keys),
 		},
 		Added: MutationLog{
 			Horizon: e.added.horizon,
-			Recs:    exportRecs(e.added.recs),
+			Recs:    exportRecs(e.added.recs, e.keys),
 		},
 		Counters: Counters{
 			Appends:              e.appends,
@@ -258,7 +258,7 @@ func (e *ShardedEngine) CaptureState() *Capture {
 		st.WindowLog = append(st.WindowLog, e.log.keys[e.log.head:]...)
 		st.PendingDeletes = make(map[string]int64, len(e.pendingDeletes))
 		for k, c := range e.pendingDeletes {
-			st.PendingDeletes[k] = c
+			st.PendingDeletes[e.keys.str(k)] = c
 		}
 	}
 	st.Cache = make([]CachedSearch, 0, len(e.cache))
@@ -361,10 +361,10 @@ func (c *Capture) State() *State {
 	return c.st
 }
 
-func exportRecs(recs []mutRec) []MutationRec {
+func exportRecs(recs []mutRec, keys *keyCodec) []MutationRec {
 	out := make([]MutationRec, len(recs))
 	for i, r := range recs {
-		out[i] = MutationRec{Gen: r.gen, Key: r.key, Count: r.count}
+		out[i] = MutationRec{Gen: r.gen, Key: keys.str(r.key), Count: r.count}
 	}
 	return out
 }
@@ -590,10 +590,12 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		n = 1
 	}
 
+	keys := newKeyCodec(cards, opts.stringKeys)
 	e := &ShardedEngine{
 		schema:    schema,
 		cards:     cards,
 		opts:      opts,
+		keys:      keys,
 		cores:     make([]*shardCore, n),
 		cache:     make(map[searchKey]*cachedSearch, len(st.Cache)),
 		planCache: make(map[planKey]*cachedPlan, len(st.Plans)),
@@ -602,11 +604,11 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		window:    st.Window,
 		removed: mutLog{
 			horizon: st.Removed.Horizon,
-			recs:    importRecs(st.Removed.Recs),
+			recs:    importRecs(st.Removed.Recs, keys),
 		},
 		added: mutLog{
 			horizon: st.Added.Horizon,
-			recs:    importRecs(st.Added.Recs),
+			recs:    importRecs(st.Added.Recs, keys),
 		},
 		appends:         st.Counters.Appends,
 		deletes:         st.Counters.Deletes,
@@ -648,18 +650,18 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			core := newShardCore(schema, opts)
+			core := newShardCore(schema, keys, opts)
 			core.compactions = 0
-			keys := shardKeys[i]
+			part := shardKeys[i]
 			dd := &dataset.Distinct{
 				Schema: schema,
-				Combos: make([][]uint8, len(keys)),
-				Counts: make([]int64, len(keys)),
+				Combos: make([][]uint8, len(part)),
+				Counts: make([]int64, len(part)),
 			}
-			for j, k := range keys {
+			for j, k := range part {
 				dd.Combos[j] = []uint8(k)
 				dd.Counts[j] = st.Counts[k]
-				core.counts[k] = st.Counts[k]
+				core.counts[keys.ofString(k)] = st.Counts[k]
 				core.rows += st.Counts[k]
 			}
 			// The key lists are sorted, which is exactly the
@@ -675,9 +677,9 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 
 	if st.Window > 0 {
 		e.log = &rowLog{keys: append([]string(nil), st.WindowLog...)}
-		e.pendingDeletes = make(map[string]int64, len(st.PendingDeletes))
+		e.pendingDeletes = make(map[comboKey]int64, len(st.PendingDeletes))
 		for k, c := range st.PendingDeletes {
-			e.pendingDeletes[k] = c
+			e.pendingDeletes[keys.ofString(k)] = c
 		}
 		e.tombstones = st.Tombstones
 	}
@@ -730,13 +732,13 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-func importRecs(recs []MutationRec) []mutRec {
+func importRecs(recs []MutationRec, keys *keyCodec) []mutRec {
 	if len(recs) == 0 {
 		return nil
 	}
 	out := make([]mutRec, len(recs))
 	for i, r := range recs {
-		out[i] = mutRec{gen: r.Gen, key: r.Key, count: r.Count}
+		out[i] = mutRec{gen: r.Gen, key: keys.ofString(r.Key), count: r.Count}
 	}
 	return out
 }

@@ -209,6 +209,17 @@ func (pr *Prober) Coverage(p pattern.Pattern) int64 {
 	return pr.buf.DotCountsRange(ix.counts, lo, hi)
 }
 
+// CoverageBatch writes cov(ps[i]) into out[i] for every pattern in
+// ps. On a single partition a batch is simply the per-pattern loop
+// (each probe already runs against the one cache-resident index); the
+// method exists so the bare *Index satisfies BatchCoverageProber and
+// search code can batch unconditionally.
+func (pr *Prober) CoverageBatch(ps []pattern.Pattern, out []int64) {
+	for i, p := range ps {
+		out[i] = pr.Coverage(p)
+	}
+}
+
 // Pool is a concurrency-safe front end to repeated coverage probes: it
 // keeps a free list of Probers so concurrent readers neither share a
 // probe buffer nor allocate one per call. Deliberately no shared

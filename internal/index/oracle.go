@@ -42,9 +42,47 @@ type CoverageProber interface {
 	Probes() int64
 }
 
+// BatchCoverageProber is the optional batched extension of
+// CoverageProber: probers that can answer a whole candidate list in
+// one call implement it, and the level-synchronous searches hand them
+// one merged probe per lattice level instead of one call per
+// candidate. The sharded fan-out prober is the implementation that
+// profits — it iterates shard-major (shard outer, candidates inner),
+// touching each shard's cache-resident index once per level rather
+// than once per candidate.
+//
+// Implementations must produce exactly the answers len(ps) individual
+// Coverage calls would, and must count len(ps) logical probes, so the
+// paper's cost metric stays comparable whether or not batching is in
+// play.
+type BatchCoverageProber interface {
+	CoverageProber
+	// CoverageBatch writes cov(ps[i]) into out[i] for every i.
+	// len(out) must equal len(ps).
+	CoverageBatch(ps []pattern.Pattern, out []int64)
+}
+
+// CoverageAll answers every pattern in ps, writing cov(ps[i]) into
+// out[i]: one batched call when the prober supports it, a per-pattern
+// loop otherwise. The searches call this instead of type-asserting at
+// every level.
+func CoverageAll(pr CoverageProber, ps []pattern.Pattern, out []int64) {
+	if len(ps) == 0 {
+		return
+	}
+	if bp, ok := pr.(BatchCoverageProber); ok {
+		bp.CoverageBatch(ps, out)
+		return
+	}
+	for i, p := range ps {
+		out[i] = pr.Coverage(p)
+	}
+}
+
 // NewCoverageProber satisfies Oracle; it is NewProber behind the
 // interface (hot loops holding the concrete *Index keep the direct,
 // devirtualized path).
 func (ix *Index) NewCoverageProber() CoverageProber { return ix.NewProber() }
 
 var _ Oracle = (*Index)(nil)
+var _ BatchCoverageProber = (*Prober)(nil)

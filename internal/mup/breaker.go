@@ -40,10 +40,17 @@ func breakerKeyed[K comparable](ix index.Oracle, opts Options, key func(pattern.
 	// generated (every ancestor of a covered pattern is covered), so
 	// membership in covered is exactly "parent covered".
 	covered := make(map[K]struct{})
+	var live []pattern.Pattern
+	var covs []int64
 
 	for level := 0; level <= bound && len(queue) > 0; level++ {
 		var next []pattern.Pattern
 		coveredNow := make(map[K]struct{})
+		// Pass 1: parent checks, no probes. A candidate with an
+		// uncovered parent is dominated by an uncovered pattern: it is
+		// uncovered but not maximal, and its subtree holds no MUPs
+		// either.
+		live = live[:0]
 		for _, p := range queue {
 			res.Stats.NodesVisited++
 			// Check every parent by flipping one deterministic element
@@ -61,13 +68,21 @@ func breakerKeyed[K comparable](ix index.Oracle, opts Options, key func(pattern.
 					break
 				}
 			}
-			if !allParentsCovered {
-				// p is dominated by an uncovered pattern: it is
-				// uncovered but not maximal, and its subtree holds no
-				// MUPs either.
-				continue
+			if allParentsCovered {
+				live = append(live, p)
 			}
-			if c := pr.Coverage(p); c < opts.Threshold {
+		}
+		// One merged probe for the whole level: a batching prober (the
+		// sharded fan-out) walks its partitions shard-major over the
+		// candidate list instead of fanning out once per candidate.
+		if cap(covs) < len(live) {
+			covs = make([]int64, len(live))
+		}
+		covs = covs[:len(live)]
+		index.CoverageAll(pr, live, covs)
+		// Pass 2: classify.
+		for i, p := range live {
+			if c := covs[i]; c < opts.Threshold {
 				res.MUPs = append(res.MUPs, p)
 				res.Cov = append(res.Cov, c)
 				continue

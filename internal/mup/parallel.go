@@ -92,12 +92,18 @@ func parallelBreakerKeyed[K comparable](ix index.Oracle, popts ParallelOptions, 
 	for w := range probers {
 		probers[w] = ix.NewCoverageProber()
 	}
+	// Per-worker scratch for the level's surviving candidates and their
+	// batched coverage answers, reused across levels.
+	liveBufs := make([][]pattern.Pattern, workers)
+	covBufs := make([][]int64, workers)
 
 	for level := 0; level <= bound && len(queue) > 0; level++ {
 		shards := make([]shard, workers)
 		runChunks(queue, workers, func(w int, part []pattern.Pattern, _ int) {
 			sh := &shards[w]
 			pr := probers[w]
+			// Pass 1: parent checks, no probes.
+			live := liveBufs[w][:0]
 			for _, p := range part {
 				sh.nodes++
 				allParentsCovered := true
@@ -113,10 +119,22 @@ func parallelBreakerKeyed[K comparable](ix index.Oracle, popts ParallelOptions, 
 						break
 					}
 				}
-				if !allParentsCovered {
-					continue
+				if allParentsCovered {
+					live = append(live, p)
 				}
-				if c := pr.Coverage(p); c < opts.Threshold {
+			}
+			// One merged probe for the worker's whole slice of the
+			// level — a batching prober (the sharded fan-out) walks its
+			// partitions shard-major over the candidates.
+			covs := covBufs[w]
+			if cap(covs) < len(live) {
+				covs = make([]int64, len(live))
+			}
+			covs = covs[:len(live)]
+			index.CoverageAll(pr, live, covs)
+			// Pass 2: classify.
+			for i, p := range live {
+				if c := covs[i]; c < opts.Threshold {
 					sh.mups = append(sh.mups, p)
 					sh.covs = append(sh.covs, c)
 					continue
@@ -126,6 +144,7 @@ func parallelBreakerKeyed[K comparable](ix index.Oracle, popts ParallelOptions, 
 					sh.next = p.AppendRule1Children(sh.next, cards)
 				}
 			}
+			liveBufs[w], covBufs[w] = live, covs
 		})
 
 		coveredNow := make(map[K]struct{})

@@ -137,6 +137,111 @@ func TestRepairSkipsUntouchedProbes(t *testing.T) {
 	}
 }
 
+// batchCountingOracle wraps an index.Oracle whose probers batch,
+// counting both the individual coverage computations and the merged
+// batch calls — the meter the per-level batching regression pins.
+type batchCountingOracle struct {
+	index.Oracle
+	probes  atomic.Int64
+	batches atomic.Int64
+}
+
+func (o *batchCountingOracle) NewCoverageProber() index.CoverageProber {
+	return &batchCountingProber{inner: o.Oracle.NewCoverageProber().(index.BatchCoverageProber), o: o}
+}
+
+type batchCountingProber struct {
+	inner index.BatchCoverageProber
+	o     *batchCountingOracle
+}
+
+func (p *batchCountingProber) Coverage(q pattern.Pattern) int64 {
+	p.o.probes.Add(1)
+	return p.inner.Coverage(q)
+}
+
+func (p *batchCountingProber) CoverageBatch(ps []pattern.Pattern, out []int64) {
+	p.o.probes.Add(int64(len(ps)))
+	p.o.batches.Add(1)
+	p.inner.CoverageBatch(ps, out)
+}
+
+func (p *batchCountingProber) Probes() int64 { return p.inner.Probes() }
+
+// TestBreakerBatchesOncePerLevel pins the merged per-level probing of
+// the level-synchronous descent: one batched call per lattice level
+// with surviving candidates — no per-candidate fan-out — while the
+// logical probe count (one per candidate probed) and the result stay
+// exactly what the scalar path produced.
+func TestBreakerBatchesOncePerLevel(t *testing.T) {
+	ix, _ := probeFixture(t)
+
+	// Scalar baseline: a wrapper whose probers hide the batch
+	// interface, forcing CoverageAll onto the per-pattern loop.
+	scalar := &countingOracle{Oracle: ix}
+	want, err := PatternBreaker(scalar, Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bo := &batchCountingOracle{Oracle: ix}
+	got, err := PatternBreaker(bo, Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MUPs) != len(want.MUPs) {
+		t.Fatalf("batched breaker found %d MUPs, scalar %d", len(got.MUPs), len(want.MUPs))
+	}
+	for i := range want.MUPs {
+		if !want.MUPs[i].Equal(got.MUPs[i]) || want.Cov[i] != got.Cov[i] {
+			t.Fatalf("MUPs[%d] = %v cov %d batched, %v cov %d scalar",
+				i, got.MUPs[i], got.Cov[i], want.MUPs[i], want.Cov[i])
+		}
+	}
+	if bo.probes.Load() != scalar.probes.Load() {
+		t.Errorf("batched path issued %d logical probes, scalar %d — the cost metric diverged",
+			bo.probes.Load(), scalar.probes.Load())
+	}
+	if got.Stats.CoverageProbes != want.Stats.CoverageProbes {
+		t.Errorf("reported CoverageProbes = %d batched, %d scalar", got.Stats.CoverageProbes, want.Stats.CoverageProbes)
+	}
+	// The 3×3×3 fixture descends through all four levels with live
+	// candidates on each: exactly one merged batch per level.
+	if b := bo.batches.Load(); b != 4 {
+		t.Errorf("sequential breaker issued %d batch calls, want 4 (one per level)", b)
+	}
+
+	// The parallel breaker batches once per worker chunk per level —
+	// with one worker that is again one batch per level, and the
+	// logical probe count must not depend on batching or workers.
+	bo1 := &batchCountingOracle{Oracle: ix}
+	pres, err := ParallelPatternBreaker(bo1, ParallelOptions{Options: Options{Threshold: 2}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.MUPs) != len(want.MUPs) {
+		t.Fatalf("parallel breaker found %d MUPs, want %d", len(pres.MUPs), len(want.MUPs))
+	}
+	if b := bo1.batches.Load(); b != 4 {
+		t.Errorf("1-worker parallel breaker issued %d batch calls, want 4", b)
+	}
+	bo4 := &batchCountingOracle{Oracle: ix}
+	pres4, err := ParallelPatternBreaker(bo4, ParallelOptions{Options: Options{Threshold: 2}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres4.MUPs) != len(want.MUPs) {
+		t.Fatalf("4-worker parallel breaker found %d MUPs, want %d", len(pres4.MUPs), len(want.MUPs))
+	}
+	if bo4.probes.Load() != scalar.probes.Load() {
+		t.Errorf("4-worker batched path issued %d logical probes, scalar %d", bo4.probes.Load(), scalar.probes.Load())
+	}
+	// At most workers batch calls per level; never per-candidate.
+	if b := bo4.batches.Load(); b < 4 || b > 16 {
+		t.Errorf("4-worker parallel breaker issued %d batch calls, want between 4 and 16", b)
+	}
+}
+
 // comboCountsPlus copies the oracle's combo counts with one
 // combination incremented.
 func comboCountsPlus(ix *index.Index, combo []uint8, n int64) map[string]int64 {

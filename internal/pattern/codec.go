@@ -18,6 +18,7 @@ type Codec struct {
 	shift    []uint
 	word     []uint8
 	xcode    []uint8
+	mask     []uint64
 	packable bool
 }
 
@@ -27,12 +28,14 @@ func NewCodec(cards []int) *Codec {
 		shift: make([]uint, len(cards)),
 		word:  make([]uint8, len(cards)),
 		xcode: make([]uint8, len(cards)),
+		mask:  make([]uint64, len(cards)),
 	}
 	var used [2]uint
 	c.packable = true
 	for i, card := range cards {
 		c.xcode[i] = uint8(card)
 		w := uint(bits.Len(uint(card))) // values 0..card need this many bits
+		c.mask[i] = 1<<w - 1
 		switch {
 		case used[0]+w <= 64:
 			c.shift[i], c.word[i] = used[0], 0
@@ -64,4 +67,53 @@ func (c *Codec) PackedKey(p Pattern) PackedKey {
 		k[c.word[i]] |= code << c.shift[i]
 	}
 	return k
+}
+
+// PackedKeyString is PackedKey over a pattern held as its raw
+// byte-string key (as produced by Pattern.Key), avoiding the []byte
+// copy a string→Pattern conversion would cost. s must have the codec's
+// dimension.
+func (c *Codec) PackedKeyString(s string) PackedKey {
+	var k PackedKey
+	for i := 0; i < len(s); i++ {
+		code := uint64(s[i])
+		if s[i] == Wildcard {
+			code = uint64(c.xcode[i])
+		}
+		k[c.word[i]] |= code << c.shift[i]
+	}
+	return k
+}
+
+// Dim returns the number of attributes the codec packs.
+func (c *Codec) Dim() int { return len(c.shift) }
+
+// Unpack decodes a key produced by PackedKey back into the pattern it
+// encodes. Like PackedKey it must only be called on packable codecs;
+// the key must have been produced by this codec (or one built over the
+// same cardinality vector).
+func (c *Codec) Unpack(k PackedKey) Pattern {
+	p := make(Pattern, len(c.shift))
+	for i := range c.shift {
+		code := uint8(k[c.word[i]] >> c.shift[i] & c.mask[i])
+		if code == c.xcode[i] {
+			code = Wildcard
+		}
+		p[i] = code
+	}
+	return p
+}
+
+// AppendUnpack is Unpack into a caller-provided buffer: it appends the
+// decoded pattern's elements to dst and returns the extended slice.
+// Hot loops reuse one buffer across decodes instead of allocating.
+func (c *Codec) AppendUnpack(dst []uint8, k PackedKey) []uint8 {
+	for i := range c.shift {
+		code := uint8(k[c.word[i]] >> c.shift[i] & c.mask[i])
+		if code == c.xcode[i] {
+			code = Wildcard
+		}
+		dst = append(dst, code)
+	}
+	return dst
 }

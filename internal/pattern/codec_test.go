@@ -51,6 +51,96 @@ func TestCodecWideBinarySchemaStaysPackable(t *testing.T) {
 	}
 }
 
+func TestCodecRandomSchemasInjectiveRoundTrip(t *testing.T) {
+	// Random schemas — dimensions and cardinalities drawn at random,
+	// always including one attribute at the MaxCardinality-1 ceiling —
+	// must give injective packed keys that round-trip exactly through
+	// Unpack, AppendUnpack and PackedKeyString.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		d := 1 + r.Intn(12)
+		cards := make([]int, d)
+		for i := range cards {
+			cards[i] = 2 + r.Intn(20)
+		}
+		cards[r.Intn(d)] = MaxCardinality - 1
+		c := NewCodec(cards)
+		if !c.Packable() {
+			t.Fatalf("trial %d: cards %v should be packable", trial, cards)
+		}
+		if c.Dim() != d {
+			t.Fatalf("trial %d: Dim() = %d, want %d", trial, c.Dim(), d)
+		}
+		seen := make(map[PackedKey]string)
+		var buf []uint8
+		for n := 0; n < 500; n++ {
+			p := quickPattern(r, cards)
+			k := c.PackedKey(p)
+			if prev, dup := seen[k]; dup && prev != p.Key() {
+				t.Fatalf("trial %d: patterns %v and %v share key %v", trial, FromKey(prev), p, k)
+			}
+			seen[k] = p.Key()
+			if got := c.Unpack(k); !got.Equal(p) {
+				t.Fatalf("trial %d: Unpack(PackedKey(%v)) = %v", trial, p, got)
+			}
+			buf = c.AppendUnpack(buf[:0], k)
+			if !Pattern(buf).Equal(p) {
+				t.Fatalf("trial %d: AppendUnpack(PackedKey(%v)) = %v", trial, p, Pattern(buf))
+			}
+			if ks := c.PackedKeyString(p.Key()); ks != k {
+				t.Fatalf("trial %d: PackedKeyString(%q) = %v, PackedKey = %v", trial, p.Key(), ks, k)
+			}
+		}
+	}
+}
+
+func TestCodecMaxCardinalityExactFit(t *testing.T) {
+	// 16 attributes at cardinality MaxCardinality-1 = 254 need 8 bits
+	// each (values 0..253 plus the wildcard code 254): exactly 128
+	// bits, the widest packable schema at that cardinality. One more
+	// attribute must trip the fallback.
+	cards := make([]int, 16)
+	for i := range cards {
+		cards[i] = MaxCardinality - 1
+	}
+	c := NewCodec(cards)
+	if !c.Packable() {
+		t.Fatal("16 attributes of cardinality 254 should pack into exactly 128 bits")
+	}
+	r := rand.New(rand.NewSource(7))
+	for n := 0; n < 2000; n++ {
+		p := quickPattern(r, cards)
+		if got := c.Unpack(c.PackedKey(p)); !got.Equal(p) {
+			t.Fatalf("round trip of %v gave %v", p, got)
+		}
+	}
+	if NewCodec(append(cards, 2)).Packable() {
+		t.Fatal("17th attribute must overflow the 128-bit budget")
+	}
+}
+
+func TestCodecRandomWideSchemasFallBack(t *testing.T) {
+	// Schemas whose field widths sum past 128 bits must consistently
+	// report unpackable, whatever the attribute mix.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		var cards []int
+		bits := 0
+		for bits <= 128 {
+			card := 2 + r.Intn(int(MaxCardinality)-2)
+			w := 1
+			for 1<<w <= card { // ⌈log2(card+1)⌉ via smallest w with 2^w > card
+				w++
+			}
+			cards = append(cards, card)
+			bits += w
+		}
+		if NewCodec(cards).Packable() {
+			t.Fatalf("trial %d: cards %v (%d bits) should not be packable", trial, cards, bits)
+		}
+	}
+}
+
 func TestCodecUnpackableSchema(t *testing.T) {
 	// 70 binary attributes need 140 bits: the codec must report
 	// unpackable so callers fall back to string keys.
