@@ -50,6 +50,7 @@ type config struct {
 	persistOut string
 	shardOut   string
 	planOut    string
+	countsOut  string
 }
 
 func fatal(err error) {
@@ -78,6 +79,7 @@ var experiments = []struct {
 	{"persist", "persistence micro-benchmarks (snapshot write/restore, WAL, warm boot vs rebuild) → JSON", persistBench},
 	{"shard", "shard-scaling sweep (append/MUP-search/repair at 1,2,4,8 shards) → JSON", shardBench},
 	{"plan", "remediation planner: incremental repair vs from-scratch at 1,4 workers → JSON", planBench},
+	{"counts", "count-store layouts (map/flat/dense × append/MUP-search/delete-repair at GOMAXPROCS=1) → JSON", countsBench},
 }
 
 func main() {
@@ -92,6 +94,7 @@ func main() {
 	flag.StringVar(&cfg.persistOut, "persistout", "BENCH_persist.json", "output file for the persist experiment's JSON results")
 	flag.StringVar(&cfg.shardOut, "shardout", "BENCH_shard.json", "output file for the shard experiment's JSON results")
 	flag.StringVar(&cfg.planOut, "planout", "BENCH_plan.json", "output file for the plan experiment's JSON results")
+	flag.StringVar(&cfg.countsOut, "countsout", "BENCH_counts.json", "output file for the counts experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

@@ -22,7 +22,7 @@
 //
 // Usage:
 //
-//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000] [-shards 8]
+//	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000] [-shards 8] [-countstore auto]
 //	covserve -demo compas|airbnb|bluenile [-addr :8080]
 //	covserve -data-dir /var/lib/covserve [-csv data.csv] [-snapshot-interval 5m] [-wal-sync=true]
 //
@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"coverage"
+	"coverage/internal/countstore"
 	"coverage/internal/datagen"
 	"coverage/internal/engine"
 	"coverage/internal/persist"
@@ -80,12 +81,14 @@ func defaultShards() int {
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		csvPath = flag.String("csv", "", "CSV file to serve (first row is the header)")
-		columns = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
-		demo    = flag.String("demo", "", "serve a synthetic demo dataset instead: compas, airbnb or bluenile")
-		window  = flag.Int("window", 0, "sliding window: keep only the newest N rows (0 = unbounded)")
-		shards  = flag.Int("shards", 0, "shard cores to hash-partition the combo space across (0 = one per CPU, capped at 16)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		csvPath    = flag.String("csv", "", "CSV file to serve (first row is the header)")
+		columns    = flag.String("columns", "", "comma-separated attributes of interest (default: all)")
+		demo       = flag.String("demo", "", "serve a synthetic demo dataset instead: compas, airbnb or bluenile")
+		window     = flag.Int("window", 0, "sliding window: keep only the newest N rows (0 = unbounded)")
+		shards     = flag.Int("shards", 0, "shard cores to hash-partition the combo space across (0 = one per CPU, capped at 16)")
+		countStore = flag.String("countstore", "auto",
+			"count-store layout per shard: auto, map, flat or dense (auto picks dense for small packed-key spaces, flat otherwise)")
 
 		dataDir      = flag.String("data-dir", "", "directory for durable state (snapshots + WAL); empty serves in-memory only")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute,
@@ -98,7 +101,12 @@ func main() {
 		*shards = defaultShards()
 	}
 
-	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync, *shards)
+	storeKind, err := countstore.ParseKind(*countStore)
+	if err != nil {
+		fatal(err)
+	}
+
+	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync, *shards, storeKind)
 	if err != nil {
 		fatal(err)
 	}
@@ -141,8 +149,8 @@ func main() {
 // purely in memory. The engine under the analyzer is built with the
 // requested shard count; a recovered snapshot with a different layout
 // is re-partitioned through the hash router on restore.
-func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, shards int) (*coverage.Analyzer, *persist.Store, error) {
-	engOpts := engine.Options{Shards: shards}
+func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, shards int, storeKind countstore.Kind) (*coverage.Analyzer, *persist.Store, error) {
+	engOpts := engine.Options{Shards: shards, CountStore: storeKind}
 	if dataDir == "" {
 		ds, err := loadDataset(csvPath, columns, demo)
 		if err != nil {

@@ -401,6 +401,20 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.CacheHits == 0 {
 		t.Error("repeated /mups query did not hit the cache")
 	}
+	if len(st.Shards) == 0 {
+		t.Fatal("/stats reports no shard blocks")
+	}
+	for i, sh := range st.Shards {
+		if sh.Store == "" {
+			t.Errorf("shard %d reports no count-store layout", i)
+		}
+		if sh.StoreOccupancy < 0 || sh.StoreOccupancy > 1 {
+			t.Errorf("shard %d store occupancy = %v, want in [0,1]", i, sh.StoreOccupancy)
+		}
+		if sh.Distinct > 0 && sh.StoreBytes <= 0 {
+			t.Errorf("shard %d store bytes = %d with %d live combos", i, sh.StoreBytes, sh.Distinct)
+		}
+	}
 }
 
 // TestConcurrentTraffic races /coverage and /mups readers against

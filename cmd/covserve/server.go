@@ -164,12 +164,18 @@ type planCacheJSON struct {
 	CachedPlans   int   `json:"cached_plans"`
 }
 
-// shardJSON is one shard core's counters on /stats.
+// shardJSON is one shard core's counters on /stats. The store block
+// reports the count-store layout the core resolved to ("map", "flat"
+// or "dense"), its slot-fill ratio (0 for the slotless map) and the
+// resident bytes of its backing arrays.
 type shardJSON struct {
-	Rows          int64 `json:"rows"`
-	Distinct      int   `json:"distinct_combinations"`
-	DeltaDistinct int   `json:"delta_combinations"`
-	Compactions   int64 `json:"compactions"`
+	Rows           int64   `json:"rows"`
+	Distinct       int     `json:"distinct_combinations"`
+	DeltaDistinct  int     `json:"delta_combinations"`
+	Compactions    int64   `json:"compactions"`
+	Store          string  `json:"store"`
+	StoreOccupancy float64 `json:"store_occupancy"`
+	StoreBytes     int64   `json:"store_bytes"`
 }
 
 // persistStats is the durability section of /stats.
@@ -219,10 +225,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, sh := range st.Shards {
 		resp.Shards[i] = shardJSON{
-			Rows:          sh.Rows,
-			Distinct:      sh.Distinct,
-			DeltaDistinct: sh.DeltaDistinct,
-			Compactions:   sh.Compactions,
+			Rows:           sh.Rows,
+			Distinct:       sh.Distinct,
+			DeltaDistinct:  sh.DeltaDistinct,
+			Compactions:    sh.Compactions,
+			Store:          sh.Store,
+			StoreOccupancy: sh.StoreOccupancy,
+			StoreBytes:     sh.StoreBytes,
 		}
 	}
 	if s.store != nil {

@@ -1,0 +1,129 @@
+package countstore
+
+import (
+	"fmt"
+
+	"coverage/internal/bitvec"
+	"coverage/internal/pattern"
+)
+
+const (
+	// densePageShift: counts live in lazily-allocated pages of 4096
+	// entries (32 KiB), so a shard that only ever touches a corner of
+	// the key space does not pay for the whole vector.
+	densePageShift = 12
+	densePageSize  = 1 << densePageShift
+	densePageMask  = densePageSize - 1
+)
+
+// Dense is a direct-indexed count vector for schemas whose whole
+// packed-key space fits in one small word: the packed key bits ARE the
+// array index, so a probe is a shift and a load — no hashing, no probe
+// chain. Occupancy rides a bitvec (one bit per possible combo, set iff
+// the count is nonzero), so Range and Len never scan empty pages and a
+// zero-count slot costs one bit, not eight bytes. Count pages allocate
+// lazily on first touch.
+type Dense struct {
+	occ   *bitvec.Vector
+	pages [][]int64
+	space int // key space size, 1 << bits
+	live  int
+	bytes int64 // resident bytes of allocated pages
+}
+
+// NewDense builds a dense vector over a bits-wide one-word key space.
+func NewDense(keyBits int) *Dense {
+	space := 1 << keyBits
+	return &Dense{
+		occ:   bitvec.New(space),
+		pages: make([][]int64, (space+densePageSize-1)/densePageSize),
+		space: space,
+		bytes: int64((space + 7) / 8),
+	}
+}
+
+// idx converts a key to its vector index; keys outside the declared
+// space mean the caller picked Dense for a schema it does not fit,
+// which is a programming error worth failing loudly on.
+func (d *Dense) idx(k pattern.PackedKey) int {
+	if k[1] != 0 || k[0] >= uint64(d.space) {
+		panic(fmt.Sprintf("countstore: packed key %v outside dense key space %d", k, d.space))
+	}
+	return int(k[0])
+}
+
+func (d *Dense) Get(k pattern.PackedKey) int64 {
+	i := d.idx(k)
+	page := d.pages[i>>densePageShift]
+	if page == nil {
+		return 0
+	}
+	return page[i&densePageMask]
+}
+
+func (d *Dense) page(i int) []int64 {
+	p := d.pages[i>>densePageShift]
+	if p == nil {
+		p = make([]int64, densePageSize)
+		d.pages[i>>densePageShift] = p
+		d.bytes += densePageSize * 8
+	}
+	return p
+}
+
+func (d *Dense) Add(k pattern.PackedKey, n int64) int64 {
+	i := d.idx(k)
+	page := d.page(i)
+	old := page[i&densePageMask]
+	m := old + n
+	page[i&densePageMask] = m
+	d.account(i, old, m)
+	return m
+}
+
+func (d *Dense) Set(k pattern.PackedKey, n int64) {
+	i := d.idx(k)
+	if n == 0 && d.pages[i>>densePageShift] == nil {
+		return
+	}
+	page := d.page(i)
+	old := page[i&densePageMask]
+	page[i&densePageMask] = n
+	d.account(i, old, n)
+}
+
+// account maintains the occupancy bit and live counter across a count
+// transition old→now at index i.
+func (d *Dense) account(i int, old, now int64) {
+	switch {
+	case old == 0 && now != 0:
+		d.occ.Set(i)
+		d.live++
+	case old != 0 && now == 0:
+		d.occ.Clear(i)
+		d.live--
+	}
+}
+
+func (d *Dense) Len() int { return d.live }
+
+func (d *Dense) Range(fn func(k pattern.PackedKey, n int64)) {
+	d.occ.ForEach(func(i int) {
+		fn(pattern.PackedKey{uint64(i), 0}, d.pages[i>>densePageShift][i&densePageMask])
+	})
+}
+
+// Reserve is a no-op: the vector is the key space; nothing regrows.
+func (d *Dense) Reserve(int) {}
+
+func (d *Dense) Negate() {
+	for _, page := range d.pages {
+		for i := range page {
+			page[i] = -page[i]
+		}
+	}
+}
+
+func (d *Dense) Mem() Mem {
+	return Mem{Kind: KindDense, Live: d.live, Slots: d.space, Bytes: d.bytes}
+}

@@ -1,0 +1,208 @@
+package countstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"coverage/internal/pattern"
+)
+
+func key(a, b uint64) pattern.PackedKey { return pattern.PackedKey{a, b} }
+
+// checkReachable asserts the core open-addressing invariant: every
+// live entry in the primary table is findable by probing from its home
+// slot, i.e. the probe path home..slot has no empty holes. Backward-
+// shift deletion must preserve this without tombstones.
+func checkReachable(t *testing.T, f *Flat) {
+	t.Helper()
+	for i := range f.slots {
+		if f.slots[i].n == 0 {
+			continue
+		}
+		k := f.slots[i].key
+		home := hashKey(k) & f.mask
+		for j := home; j != uint64(i); j = (j + 1) & f.mask {
+			if f.slots[j].n == 0 {
+				t.Fatalf("key %v at slot %d unreachable: hole at %d on probe path from home %d", k, i, j, home)
+			}
+		}
+		if got := f.Get(k); got != f.slots[i].n {
+			t.Fatalf("Get(%v) = %d, slot holds %d", k, got, f.slots[i].n)
+		}
+	}
+}
+
+func TestFlatBackwardShiftDeletion(t *testing.T) {
+	// Drive a small table through heavy insert/delete churn and check
+	// after every delete that no key became unreachable and no
+	// tombstone-like dead slot lingers (empty slots carry zero keys).
+	f := NewFlat(0)
+	rng := rand.New(rand.NewSource(7))
+	live := map[pattern.PackedKey]int64{}
+	keys := make([]pattern.PackedKey, 0, 64)
+	for step := 0; step < 4000; step++ {
+		if len(keys) == 0 || rng.Intn(3) > 0 {
+			k := key(uint64(rng.Intn(97)), uint64(rng.Intn(3)))
+			n := int64(rng.Intn(5) + 1)
+			f.Add(k, n)
+			if live[k]+n == 0 {
+				delete(live, k)
+			} else {
+				live[k] += n
+			}
+			keys = append(keys, k)
+		} else {
+			k := keys[rng.Intn(len(keys))]
+			if c := live[k]; c != 0 {
+				f.Add(k, -c) // drive to zero: full delete
+				delete(live, k)
+				checkReachable(t, f)
+			}
+		}
+		if f.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d want %d", step, f.Len(), len(live))
+		}
+	}
+	for k, n := range live {
+		if got := f.Get(k); got != n {
+			t.Fatalf("Get(%v)=%d want %d", k, got, n)
+		}
+	}
+	// Every empty slot must be truly empty (no residual keys).
+	for i := range f.slots {
+		if f.slots[i].n == 0 && f.slots[i].key != (pattern.PackedKey{}) {
+			t.Fatalf("slot %d empty but key %v not cleared", i, f.slots[i].key)
+		}
+	}
+}
+
+func TestFlatBackwardShiftWrappedCluster(t *testing.T) {
+	// Force a probe cluster that wraps around the end of the array,
+	// then delete the entry sitting before the wrap point: the shift
+	// must follow the cluster across the boundary.
+	f := NewFlat(0)
+	cap := uint64(len(f.slots))
+	// Find keys hashing to the last slot so their cluster wraps.
+	var ks []pattern.PackedKey
+	for a := uint64(0); len(ks) < 3; a++ {
+		k := key(a, 0)
+		if hashKey(k)&f.mask == cap-1 {
+			ks = append(ks, k)
+		}
+	}
+	for i, k := range ks {
+		f.Add(k, int64(i+1))
+	}
+	// ks[0] sits at cap-1; ks[1], ks[2] wrapped to 0, 1.
+	f.Add(ks[0], -1) // delete → ks[1] must shift into cap-1
+	checkReachable(t, f)
+	if got := f.Get(ks[1]); got != 2 {
+		t.Fatalf("wrapped key lost after delete: Get=%d want 2", got)
+	}
+	if got := f.Get(ks[2]); got != 3 {
+		t.Fatalf("wrapped key lost after delete: Get=%d want 3", got)
+	}
+}
+
+func TestFlatIncrementalRehash(t *testing.T) {
+	// Insert enough keys to trigger growth, then verify: (1) a rehash
+	// actually started, (2) while draining, every key — migrated or
+	// not — resolves through Get, (3) the drain completes within a
+	// bounded number of mutating ops (budget ≥ 2 slots/op guarantees
+	// termination before the next growth), (4) nothing is lost.
+	f := NewFlat(0)
+	want := map[pattern.PackedKey]int64{}
+	n := 0
+	for f.Grows() == 0 {
+		k := key(uint64(n), 1)
+		f.Add(k, int64(n)+1)
+		want[k] = int64(n) + 1
+		n++
+		if n > 1<<20 {
+			t.Fatal("no growth after 1M inserts")
+		}
+	}
+	if !f.Draining() {
+		t.Skip("growth completed synchronously; incremental path not exercised")
+	}
+	// Mid-drain: all keys must resolve.
+	for k, v := range want {
+		if got := f.Get(k); got != v {
+			t.Fatalf("mid-drain Get(%v)=%d want %d", k, got, v)
+		}
+	}
+	// Each further op drains ≥ migrateBudget-…; bound the number of
+	// ops needed to finish the drain by slots/1 (each op examines at
+	// least one slot).
+	oldCap := f.Cap() / 2
+	probe := key(1<<40, 1) // absent key: Add(+1)/Add(-1) churn
+	for ops := 0; f.Draining(); ops++ {
+		f.Add(probe, 1)
+		f.Add(probe, -1)
+		if ops > oldCap {
+			t.Fatalf("rehash not drained after %d ops over old capacity %d", ops, oldCap)
+		}
+	}
+	for k, v := range want {
+		if got := f.Get(k); got != v {
+			t.Fatalf("post-drain Get(%v)=%d want %d", k, got, v)
+		}
+	}
+	if f.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", f.Len(), len(want))
+	}
+}
+
+func TestFlatRehashBudgetBoundsStall(t *testing.T) {
+	// The incremental guarantee: no single Add migrates more than
+	// migrateBudget old slots. Verify structurally — right after a
+	// growth of a table with N live keys, the old table still holds
+	// almost all of them (a stop-the-world copy would hold zero).
+	f := NewFlat(0)
+	i := uint64(0)
+	for f.Grows() < 4 {
+		f.Add(key(i, 2), 1)
+		i++
+	}
+	if !f.Draining() {
+		t.Fatal("expected drain in progress right after growth")
+	}
+	if f.oldLive < migrateBudget {
+		t.Fatalf("old table nearly empty (%d live) immediately after growth: growth stalled to copy", f.oldLive)
+	}
+}
+
+func TestFlatReserveAvoidsMidBatchGrowth(t *testing.T) {
+	f := NewFlat(0)
+	f.Reserve(10_000)
+	grows := f.Grows()
+	for f.Draining() { // let any reserve-triggered rehash finish
+		f.Add(key(1<<41, 3), 1)
+		f.Add(key(1<<41, 3), -1)
+	}
+	grows = f.Grows()
+	for i := uint64(0); i < 10_000; i++ {
+		f.Add(key(i, 3), 1)
+	}
+	if f.Grows() != grows {
+		t.Fatalf("batch of reserved size still grew table: %d growths during batch", f.Grows()-grows)
+	}
+}
+
+func TestFlatSetAndNegate(t *testing.T) {
+	f := NewFlat(4)
+	f.Set(key(1, 0), 5)
+	f.Set(key(2, 0), -3)
+	f.Set(key(1, 0), 7) // overwrite
+	f.Set(key(2, 0), 0) // delete
+	if got := f.Get(key(1, 0)); got != 7 {
+		t.Fatalf("Get=%d want 7", got)
+	}
+	if got, l := f.Get(key(2, 0)), f.Len(); got != 0 || l != 1 {
+		t.Fatalf("after Set 0: Get=%d Len=%d", got, l)
+	}
+	f.Negate()
+	if got := f.Get(key(1, 0)); got != -7 {
+		t.Fatalf("after Negate: Get=%d want -7", got)
+	}
+}

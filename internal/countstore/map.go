@@ -1,0 +1,62 @@
+package countstore
+
+import "coverage/internal/pattern"
+
+// Map is the map[PackedKey]int64 layout the engine shipped with before
+// the flat stores: kept as the benchmark baseline and as a forced
+// layout for comparison runs.
+type Map struct {
+	m map[pattern.PackedKey]int64
+}
+
+// mapEntryBytes approximates the per-entry resident cost of a Go map
+// with a 16-byte key and 8-byte value (bucket slot + overflow/header
+// amortization at typical load).
+const mapEntryBytes = 48
+
+// NewMap builds a map store pre-sized for about hint keys.
+func NewMap(hint int) *Map {
+	return &Map{m: make(map[pattern.PackedKey]int64, hint)}
+}
+
+func (s *Map) Get(k pattern.PackedKey) int64 { return s.m[k] }
+
+func (s *Map) Add(k pattern.PackedKey, n int64) int64 {
+	m := s.m[k] + n
+	if m == 0 {
+		delete(s.m, k)
+		return 0
+	}
+	s.m[k] = m
+	return m
+}
+
+func (s *Map) Set(k pattern.PackedKey, n int64) {
+	if n == 0 {
+		delete(s.m, k)
+		return
+	}
+	s.m[k] = n
+}
+
+func (s *Map) Len() int { return len(s.m) }
+
+func (s *Map) Range(fn func(k pattern.PackedKey, n int64)) {
+	for k, n := range s.m {
+		fn(k, n)
+	}
+}
+
+// Reserve is a no-op: Go maps grow on their own and cannot be resized
+// in place after creation.
+func (s *Map) Reserve(int) {}
+
+func (s *Map) Negate() {
+	for k, n := range s.m {
+		s.m[k] = -n
+	}
+}
+
+func (s *Map) Mem() Mem {
+	return Mem{Kind: KindMap, Live: len(s.m), Bytes: int64(len(s.m)) * mapEntryBytes}
+}

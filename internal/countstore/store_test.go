@@ -1,0 +1,177 @@
+package countstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"coverage/internal/pattern"
+)
+
+// newStores builds one store per layout over the same small one-word
+// key space so all three can run the same schedule.
+func newStores(keyBits int) map[string]Store {
+	return map[string]Store{
+		"map":   NewMap(0),
+		"flat":  NewFlat(0),
+		"dense": NewDense(keyBits),
+	}
+}
+
+func snapshot(s Store) map[pattern.PackedKey]int64 {
+	out := map[pattern.PackedKey]int64{}
+	s.Range(func(k pattern.PackedKey, n int64) {
+		if n == 0 {
+			panic("Range yielded zero count")
+		}
+		out[k] = n
+	})
+	return out
+}
+
+// TestStoreEquivalenceSchedule drives flat and dense through a
+// randomized schedule of signed adds, absolute sets, deletes-to-zero,
+// negations and reserves, comparing Get/Add returns/Len after every
+// step and the full Range contents at the end against the map baseline.
+func TestStoreEquivalenceSchedule(t *testing.T) {
+	const keyBits = 10
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		stores := newStores(keyBits)
+		names := []string{"map", "flat", "dense"}
+		keys := make([]pattern.PackedKey, 64)
+		for i := range keys {
+			keys[i] = pattern.PackedKey{uint64(rng.Intn(1 << keyBits)), 0}
+		}
+		for step := 0; step < 5000; step++ {
+			k := keys[rng.Intn(len(keys))]
+			switch op := rng.Intn(20); {
+			case op < 10: // signed add
+				n := int64(rng.Intn(9) - 4)
+				var got [3]int64
+				for i, name := range names {
+					got[i] = stores[name].Add(k, n)
+				}
+				if got[0] != got[1] || got[0] != got[2] {
+					t.Fatalf("seed %d step %d: Add(%v,%d) returns diverge: map=%d flat=%d dense=%d",
+						seed, step, k, n, got[0], got[1], got[2])
+				}
+			case op < 13: // absolute set
+				n := int64(rng.Intn(5) - 2)
+				for _, name := range names {
+					stores[name].Set(k, n)
+				}
+			case op < 15: // delete to zero
+				c := stores["map"].Get(k)
+				for _, name := range names {
+					stores[name].Add(k, -c)
+				}
+			case op < 16:
+				for _, name := range names {
+					stores[name].Negate()
+				}
+			case op < 17:
+				for _, name := range names {
+					stores[name].Reserve(rng.Intn(200))
+				}
+			default: // read
+				want := stores["map"].Get(k)
+				for _, name := range names[1:] {
+					if got := stores[name].Get(k); got != want {
+						t.Fatalf("seed %d step %d: Get(%v) %s=%d map=%d", seed, step, k, name, got, want)
+					}
+				}
+			}
+			if l0, l1, l2 := stores["map"].Len(), stores["flat"].Len(), stores["dense"].Len(); l0 != l1 || l0 != l2 {
+				t.Fatalf("seed %d step %d: Len diverges map=%d flat=%d dense=%d", seed, step, l0, l1, l2)
+			}
+		}
+		want := snapshot(stores["map"])
+		for _, name := range names[1:] {
+			got := snapshot(stores[name])
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: %s Range yields %d keys, map %d", seed, name, len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("seed %d: %s[%v]=%d want %d", seed, name, k, got[k], n)
+				}
+			}
+			m := stores[name].Mem()
+			if m.Live != len(want) {
+				t.Fatalf("seed %d: %s Mem.Live=%d want %d", seed, name, m.Live, len(want))
+			}
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	low := pattern.NewCodec([]int{3, 3, 3, 3}) // 4×2 bits = 8 ≤ 20 → dense
+	cards := make([]int, 13)
+	for i := range cards {
+		cards[i] = 20 // 13×5 = 65 bits: packable but two words → flat
+	}
+	wide := pattern.NewCodec(cards)
+	cases := []struct {
+		kind  Kind
+		codec *pattern.Codec
+		want  Kind
+	}{
+		{KindAuto, low, KindDense},
+		{KindAuto, wide, KindFlat},
+		{KindDense, wide, KindFlat}, // forced dense degrades
+		{KindDense, low, KindDense},
+		{KindFlat, low, KindFlat},
+		{KindMap, low, KindMap},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.kind, c.codec, 0); got != c.want {
+			t.Errorf("Resolve(%v, bits=%v) = %v want %v", c.kind, c.codec.Dim(), got, c.want)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindAuto, KindMap, KindFlat, KindDense} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded")
+	}
+}
+
+func TestDenseMemAndPaging(t *testing.T) {
+	d := NewDense(16) // 65536 keys, 16 pages
+	base := d.Mem().Bytes
+	if base != 65536/8 {
+		t.Fatalf("empty dense bytes=%d want %d (occupancy bits only)", base, 65536/8)
+	}
+	d.Add(pattern.PackedKey{0, 0}, 1)
+	d.Add(pattern.PackedKey{1, 0}, 1) // same page
+	if got := d.Mem().Bytes; got != base+densePageSize*8 {
+		t.Fatalf("one touched page: bytes=%d want %d", got, base+densePageSize*8)
+	}
+	d.Add(pattern.PackedKey{densePageSize, 0}, 1) // second page
+	if got := d.Mem().Bytes; got != base+2*densePageSize*8 {
+		t.Fatalf("two touched pages: bytes=%d want %d", got, base+2*densePageSize*8)
+	}
+	var seen []uint64
+	d.Range(func(k pattern.PackedKey, n int64) { seen = append(seen, k[0]) })
+	sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != densePageSize {
+		t.Fatalf("Range keys = %v", seen)
+	}
+}
+
+func TestDenseRejectsOutOfSpaceKey(t *testing.T) {
+	d := NewDense(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-space key")
+		}
+	}()
+	d.Add(pattern.PackedKey{1 << 9, 0}, 1)
+}

@@ -55,26 +55,28 @@ func shardOfRow(row []uint8, n int) int {
 type shardCore struct {
 	schema *dataset.Schema
 	keys   *keyCodec
+	tables *tableFactory
 	opts   Options
 
 	base     *index.Index
 	pool     *index.Pool
-	counts   map[comboKey]int64 // partition combo→multiplicity (base + delta)
+	counts   countTable // partition combo→multiplicity (base + delta)
 	delta    []deltaEntry
-	deltaPos map[comboKey]int // combo → position in delta
+	deltaPos countTable // combo → 1+position in delta (0 = absent)
 	rows     int64
 
 	compactions int64
 }
 
 // newShardCore returns an empty core over the schema.
-func newShardCore(schema *dataset.Schema, keys *keyCodec, opts Options) *shardCore {
+func newShardCore(schema *dataset.Schema, keys *keyCodec, tables *tableFactory, opts Options) *shardCore {
 	c := &shardCore{
 		schema:   schema,
 		keys:     keys,
+		tables:   tables,
 		opts:     opts,
-		counts:   make(map[comboKey]int64),
-		deltaPos: make(map[comboKey]int),
+		counts:   tables.newCounts(0),
+		deltaPos: tables.newBatch(0),
 	}
 	c.rebuild()
 	c.compactions = 0 // the initial empty build is not a compaction
@@ -83,60 +85,59 @@ func newShardCore(schema *dataset.Schema, keys *keyCodec, opts Options) *shardCo
 
 // seed installs the core's partition of a pre-deduplicated dataset and
 // builds the base directly, bypassing the delta (construction path).
-func (c *shardCore) seed(counts map[comboKey]int64) {
-	for k, n := range counts {
-		c.counts[k] = n
-		c.rows += n
-	}
-	c.base = index.BuildFromCounts(c.schema, c.stringCounts())
+// The table is adopted, not copied — the caller hands over ownership.
+func (c *shardCore) seed(counts countTable) {
+	c.counts = counts
+	counts.each(func(_ comboKey, n int64) { c.rows += n })
+	c.base = index.BuildFromCountsKind(c.schema, c.stringCounts(), c.tables.indexKind())
 	c.pool = c.base.NewPool()
 }
 
-// stringCounts materializes the live count map in its raw key-string
+// stringCounts materializes the live count table in its raw key-string
 // form — the index builder's input. Rebuild-path only; the hot paths
 // never leave the comboKey representation.
 func (c *shardCore) stringCounts() map[string]int64 {
-	m := make(map[string]int64, len(c.counts))
-	for k, n := range c.counts {
+	m := make(map[string]int64, c.counts.size())
+	c.counts.each(func(k comboKey, n int64) {
 		m[c.keys.str(k)] = n
-	}
+	})
 	return m
 }
 
-// applySigned merges one signed multiplicity change into the count map
-// and the delta, pruning the combination from the counts the moment it
+// applySigned merges one signed multiplicity change into the count
+// table and the delta; the table prunes the combination the moment it
 // reaches zero so compaction never rebuilds ghosts.
 func (c *shardCore) applySigned(k comboKey, n int64) {
-	if m := c.counts[k] + n; m == 0 {
-		delete(c.counts, k)
-	} else {
-		c.counts[k] = m
-	}
-	if pos, ok := c.deltaPos[k]; ok {
-		c.delta[pos].count += n
+	c.counts.add(k, n)
+	if pos := c.deltaPos.get(k); pos > 0 {
+		c.delta[pos-1].count += n
 		return
 	}
-	c.deltaPos[k] = len(c.delta)
 	c.delta = append(c.delta, deltaEntry{combo: c.keys.pattern(k), count: n})
+	c.deltaPos.set(k, int64(len(c.delta)))
 }
 
-// applyBatch applies a whole signed mutation map atomically from the
+// applyBatch applies a whole signed mutation table atomically from the
 // coordinator's point of view (the coordinator holds the write lock
 // for the entire cross-core mutation), adjusts the core's row count by
-// the map's sum, and compacts if the delta crossed its threshold.
-func (c *shardCore) applyBatch(muts map[comboKey]int64) {
-	for k, n := range muts {
+// the table's sum, and compacts if the delta crossed its threshold.
+// The count table is pre-sized for the batch's distinct combos so a
+// flat store never regrows mid-batch.
+func (c *shardCore) applyBatch(muts countTable) {
+	c.counts.reserve(muts.size())
+	c.deltaPos.reserve(muts.size())
+	muts.each(func(k comboKey, n int64) {
 		if n == 0 {
-			continue
+			return
 		}
 		c.applySigned(k, n)
 		c.rows += n
-	}
+	})
 	c.maybeCompact()
 }
 
 // multiplicity returns the live count of one combination key.
-func (c *shardCore) multiplicity(k comboKey) int64 { return c.counts[k] }
+func (c *shardCore) multiplicity(k comboKey) int64 { return c.counts.get(k) }
 
 // maybeCompact rebuilds the base when the accumulated delta crosses
 // the compaction threshold. Thresholds apply per core: each partition
@@ -149,13 +150,13 @@ func (c *shardCore) maybeCompact() {
 	}
 }
 
-// rebuild rebuilds the base oracle from the full count map and clears
-// the delta.
+// rebuild rebuilds the base oracle from the full count table and
+// clears the delta.
 func (c *shardCore) rebuild() {
-	c.base = index.BuildFromCounts(c.schema, c.stringCounts())
+	c.base = index.BuildFromCountsKind(c.schema, c.stringCounts(), c.tables.indexKind())
 	c.pool = c.base.NewPool()
 	c.delta = nil
-	c.deltaPos = make(map[comboKey]int)
+	c.deltaPos = c.tables.newBatch(0)
 	c.compactions++
 }
 

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"coverage/internal/countstore"
+	"coverage/internal/pattern"
+)
+
+// countTable is the engine's uniform view over one combo→count table.
+// On packable schemas it is backed by the flat or dense packed-key
+// stores of internal/countstore (or their map baseline when forced);
+// past the 128-bit packing limit it falls back to the historical
+// map[comboKey]int64. The zero count is never stored — add and set
+// delete a key the moment its count reaches zero, exactly the pruning
+// discipline the signed mutation path already relied on.
+type countTable interface {
+	get(k comboKey) int64
+	// add adds the signed n and returns the new count.
+	add(k comboKey, n int64) int64
+	// set stores the absolute n; 0 deletes.
+	set(k comboKey, n int64)
+	size() int
+	// each calls fn for every live key; mutating the table during
+	// iteration is not allowed.
+	each(fn func(k comboKey, n int64))
+	// reserve pre-sizes for about extra further keys.
+	reserve(extra int)
+	// negate flips every count's sign in place (the delete path builds
+	// a batch of positive needs, validates, then negates it wholesale).
+	negate()
+	mem() countstore.Mem
+}
+
+// tableFactory resolves the engine's store layout once — at
+// construction or restore — and stamps out tables for shard cores,
+// batch accumulators and tombstone sets. kind is the resolved
+// long-lived layout; transient batch accumulators use flat tables on
+// packed schemas regardless (a dense accumulator would pay the whole
+// key-space occupancy bitmap per batch).
+type tableFactory struct {
+	keys      *keyCodec
+	kind      countstore.Kind
+	denseBits int
+}
+
+func newTableFactory(keys *keyCodec, opts Options) *tableFactory {
+	f := &tableFactory{keys: keys, denseBits: opts.denseKeyBits()}
+	if !keys.packed {
+		f.kind = countstore.KindMap
+		return f
+	}
+	f.kind = countstore.Resolve(opts.CountStore, keys.codec, f.denseBits)
+	return f
+}
+
+// newCounts builds a long-lived per-shard count table of the resolved
+// layout.
+func (f *tableFactory) newCounts(hint int) countTable {
+	switch f.kind {
+	case countstore.KindFlat:
+		return flatTable{countstore.NewFlat(hint)}
+	case countstore.KindDense:
+		bits, _ := f.keys.codec.PackedBits()
+		return denseTable{countstore.NewDense(bits)}
+	}
+	return make(comboMap, hint)
+}
+
+// newBatch builds a transient accumulator (batch counting, delta
+// positions, tombstones): flat on packed schemas, map otherwise.
+func (f *tableFactory) newBatch(hint int) countTable {
+	if f.kind == countstore.KindFlat || f.kind == countstore.KindDense {
+		return flatTable{countstore.NewFlat(hint)}
+	}
+	return make(comboMap, hint)
+}
+
+// indexKind is the combo-store layout the base oracles should build
+// with, matching the engine's resolved layout so probes stay on one
+// code path end to end.
+func (f *tableFactory) indexKind() countstore.Kind { return f.kind }
+
+// flatTable adapts countstore.Flat to comboKey (packed representation
+// only — the factory never hands it out on string-keyed engines).
+type flatTable struct{ t *countstore.Flat }
+
+func (f flatTable) get(k comboKey) int64          { return f.t.Get(k.pk) }
+func (f flatTable) add(k comboKey, n int64) int64 { return f.t.Add(k.pk, n) }
+func (f flatTable) set(k comboKey, n int64)       { f.t.Set(k.pk, n) }
+func (f flatTable) size() int                     { return f.t.Len() }
+func (f flatTable) reserve(extra int)             { f.t.Reserve(extra) }
+func (f flatTable) negate()                       { f.t.Negate() }
+func (f flatTable) mem() countstore.Mem           { return f.t.Mem() }
+func (f flatTable) each(fn func(k comboKey, n int64)) {
+	f.t.Range(func(pk pattern.PackedKey, n int64) { fn(comboKey{pk: pk}, n) })
+}
+
+// denseTable adapts countstore.Dense the same way.
+type denseTable struct{ t *countstore.Dense }
+
+func (d denseTable) get(k comboKey) int64          { return d.t.Get(k.pk) }
+func (d denseTable) add(k comboKey, n int64) int64 { return d.t.Add(k.pk, n) }
+func (d denseTable) set(k comboKey, n int64)       { d.t.Set(k.pk, n) }
+func (d denseTable) size() int                     { return d.t.Len() }
+func (d denseTable) reserve(extra int)             { d.t.Reserve(extra) }
+func (d denseTable) negate()                       { d.t.Negate() }
+func (d denseTable) mem() countstore.Mem           { return d.t.Mem() }
+func (d denseTable) each(fn func(k comboKey, n int64)) {
+	d.t.Range(func(pk pattern.PackedKey, n int64) { fn(comboKey{pk: pk}, n) })
+}
+
+// comboMap is the historical map layout: the baseline for forced-map
+// comparison runs and the only layout for >128-bit schemas.
+type comboMap map[comboKey]int64
+
+func (m comboMap) get(k comboKey) int64 { return m[k] }
+
+func (m comboMap) add(k comboKey, n int64) int64 {
+	c := m[k] + n
+	if c == 0 {
+		delete(m, k)
+		return 0
+	}
+	m[k] = c
+	return c
+}
+
+func (m comboMap) set(k comboKey, n int64) {
+	if n == 0 {
+		delete(m, k)
+		return
+	}
+	m[k] = n
+}
+
+func (m comboMap) size() int { return len(m) }
+
+func (m comboMap) each(fn func(k comboKey, n int64)) {
+	for k, n := range m {
+		fn(k, n)
+	}
+}
+
+func (m comboMap) reserve(int) {}
+
+func (m comboMap) negate() {
+	for k, n := range m {
+		m[k] = -n
+	}
+}
+
+// comboMapEntryBytes approximates a map entry's resident cost: the
+// 32-byte comboKey (two packed words plus a string header), the count,
+// and bucket overhead.
+const comboMapEntryBytes = 64
+
+func (m comboMap) mem() countstore.Mem {
+	return countstore.Mem{Kind: countstore.KindMap, Live: len(m), Bytes: int64(len(m)) * comboMapEntryBytes}
+}

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coverage/internal/countstore"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+// TestStoreKindEngineEquivalence drives one randomized mutation
+// schedule into three engines forced onto each count-store layout —
+// the historical map, the open-addressed flat table and the dense
+// direct-indexed vector — over a dense-eligible schema: every
+// statistic, coverage answer, MUP set and exported state must be
+// identical, and each state must restore onto any other layout
+// unchanged. The layout is a memory/speed choice, never a semantic
+// one.
+func TestStoreKindEngineEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cards := []int{3, 4, 2, 3} // 9 packed bits: dense-eligible
+			schema := testSchema(t, cards)
+			kinds := []countstore.Kind{countstore.KindMap, countstore.KindFlat, countstore.KindDense}
+			es := make([]*Engine, len(kinds))
+			for i, k := range kinds {
+				opts := Options{CompactMinDistinct: 2, CompactFraction: 0.2, CountStore: k}
+				es[i] = NewSharded(schema, shards, opts)
+			}
+			for i, k := range kinds {
+				if got := es[i].Stats().Shards[0].Store; got != k.String() {
+					t.Fatalf("forced %v engine reports shard store %q", k, got)
+				}
+			}
+			ref := es[0] // the map engine is the baseline
+			rng := rand.New(rand.NewSource(int64(23 * shards)))
+			const tau = 4
+			for step := 0; step < 25; step++ {
+				switch {
+				case step == 10:
+					for _, e := range es {
+						e.SetWindow(60)
+					}
+				case rng.Intn(3) > 0 || ref.Rows() == 0:
+					batch := randomRows(rng, cards, 5+rng.Intn(20))
+					for _, e := range es {
+						if err := e.Append(batch); err != nil {
+							t.Fatal(err)
+						}
+					}
+				default:
+					batch := drawDeletableEngine(rng, ref, 1+rng.Intn(5))
+					if len(batch) == 0 {
+						continue
+					}
+					for _, e := range es {
+						if err := e.Delete(batch); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				var ps []pattern.Pattern
+				pattern.EnumerateAll(cards, func(p pattern.Pattern) bool {
+					ps = append(ps, p.Clone())
+					return true
+				})
+				want, err := ref.CoverageBatch(ps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wres, err := ref.MUPs(mup.Options{Threshold: tau})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rst := ref.Stats()
+				for i := 1; i < len(es); i++ {
+					est := es[i].Stats()
+					if est.Rows != rst.Rows || est.Distinct != rst.Distinct || est.Tombstones != rst.Tombstones {
+						t.Fatalf("step %d: %v stats diverge: rows/distinct/tombstones %d/%d/%d, map %d/%d/%d",
+							step, kinds[i], est.Rows, est.Distinct, est.Tombstones, rst.Rows, rst.Distinct, rst.Tombstones)
+					}
+					got, err := es[i].CoverageBatch(ps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range ps {
+						if want[j] != got[j] {
+							t.Fatalf("step %d: cov(%v) = %d on %v, %d on map", step, ps[j], got[j], kinds[i], want[j])
+						}
+					}
+					gres, err := es[i].MUPs(mup.Options{Threshold: tau})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(gres.MUPs) != len(wres.MUPs) {
+						t.Fatalf("step %d: %d MUPs on %v, %d on map", step, len(gres.MUPs), kinds[i], len(wres.MUPs))
+					}
+					for j := range wres.MUPs {
+						if !wres.MUPs[j].Equal(gres.MUPs[j]) {
+							t.Fatalf("step %d: MUPs[%d] = %v on %v, %v on map", step, j, gres.MUPs[j], kinds[i], wres.MUPs[j])
+						}
+					}
+				}
+			}
+			// The serialized states agree key for key, and each restores
+			// onto every other layout unchanged (persistence is layout-
+			// blind: the State boundary stays string-keyed).
+			states := make([]*State, len(es))
+			for i, e := range es {
+				states[i] = e.ExportState()
+			}
+			for i := 1; i < len(states); i++ {
+				if len(states[i].Counts) != len(states[0].Counts) {
+					t.Fatalf("exported %d counts on %v, %d on map", len(states[i].Counts), kinds[i], len(states[0].Counts))
+				}
+				for k, c := range states[0].Counts {
+					if states[i].Counts[k] != c {
+						t.Fatalf("exported count of %v: %d on %v, %d on map", pattern.Pattern(k), states[i].Counts[k], kinds[i], c)
+					}
+				}
+			}
+			for i := range kinds {
+				from := states[i]
+				onto := kinds[(i+1)%len(kinds)]
+				restored, err := NewFromState(from, Options{CountStore: onto})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if restored.Rows() != ref.Rows() {
+					t.Fatalf("%v restore of %v state: rows = %d, want %d", onto, kinds[i], restored.Rows(), ref.Rows())
+				}
+				got, err := restored.CoverageBatch([]pattern.Pattern{pattern.All(len(cards))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != ref.Rows() {
+					t.Fatalf("%v restore of %v state: cov(root) = %d, want %d", onto, kinds[i], got[0], ref.Rows())
+				}
+			}
+		})
+	}
+}
+
+// TestStoreKindDenseDegradesToFlat pins the resolution heuristic: a
+// schema whose packed-key space exceeds the dense budget silently
+// degrades a forced (or auto-selected) dense layout to flat rather
+// than allocating the oversized vector.
+func TestStoreKindDenseDegradesToFlat(t *testing.T) {
+	cards := []int{64, 64, 64, 64} // 24 packed bits > the 10-bit budget below
+	schema := testSchema(t, cards)
+	e := NewSharded(schema, 1, Options{CountStore: countstore.KindDense, DenseKeyBits: 10})
+	if got := e.Stats().Shards[0].Store; got != "flat" {
+		t.Fatalf("oversized dense request resolved to %q, want flat", got)
+	}
+	auto := NewSharded(schema, 1, Options{DenseKeyBits: 10})
+	if got := auto.Stats().Shards[0].Store; got != "flat" {
+		t.Fatalf("auto resolution on an oversized key space picked %q, want flat", got)
+	}
+	small := NewSharded(testSchema(t, []int{2, 2, 2}), 1, Options{})
+	if got := small.Stats().Shards[0].Store; got != "dense" {
+		t.Fatalf("auto resolution on a 3-bit key space picked %q, want dense", got)
+	}
+}
+
+// TestStatsStoreFields pins the store observability surface: occupancy
+// stays a ratio in (0,1] for slotted layouts and resident bytes grow
+// with the live set.
+func TestStatsStoreFields(t *testing.T) {
+	cards := []int{4, 4, 4}
+	schema := testSchema(t, cards)
+	e := NewSharded(schema, 2, Options{CountStore: countstore.KindFlat})
+	rng := rand.New(rand.NewSource(7))
+	if err := e.Append(randomRows(rng, cards, 200)); err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range e.Stats().Shards {
+		if sh.Store != "flat" {
+			t.Fatalf("shard %d store = %q, want flat", i, sh.Store)
+		}
+		if sh.Distinct > 0 {
+			if sh.StoreOccupancy <= 0 || sh.StoreOccupancy > 1 {
+				t.Errorf("shard %d occupancy = %v, want in (0,1]", i, sh.StoreOccupancy)
+			}
+			if sh.StoreBytes <= 0 {
+				t.Errorf("shard %d store bytes = %d, want > 0", i, sh.StoreBytes)
+			}
+		}
+	}
+}

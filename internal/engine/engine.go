@@ -51,6 +51,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -58,6 +59,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"coverage/internal/countstore"
 	"coverage/internal/dataset"
 	"coverage/internal/index"
 	"coverage/internal/mup"
@@ -123,6 +125,20 @@ type Options struct {
 	// search, so larger logs tolerate longer gaps between queries on
 	// delete-heavy streams. 0 means 8192.
 	RemovedLogSize int
+	// CountStore selects the layout of the per-shard count stores (and
+	// the base oracles' full-combo tables): countstore.KindAuto (the
+	// default) picks the dense direct-indexed vector when the schema's
+	// whole packed-key space fits DenseKeyBits bits, the open-addressed
+	// flat table otherwise, and the historical map only past the
+	// 128-bit packing limit. KindMap/KindFlat/KindDense force a layout
+	// (kinds the schema cannot support degrade the same way: dense →
+	// flat on wide key spaces, everything → map past 128 bits). All
+	// layouts are observably identical; the forced kinds exist for
+	// benchmark comparisons.
+	CountStore countstore.Kind
+	// DenseKeyBits is the dense layout's key-space budget in bits; 0
+	// means countstore.DefaultDenseBits (20, i.e. 1M combos).
+	DenseKeyBits int
 	// FullSearchRemovedFraction is the bulk-retraction cutoff: when
 	// the distinct combinations removed since a cached MUP set exceed
 	// this fraction of the engine's distinct combinations, the repair
@@ -195,6 +211,13 @@ func (o Options) removedLogSize() int {
 	return 8192
 }
 
+func (o Options) denseKeyBits() int {
+	if o.DenseKeyBits > 0 {
+		return o.DenseKeyBits
+	}
+	return countstore.DefaultDenseBits
+}
+
 func (o Options) fullSearchRemovedFraction() float64 {
 	if o.FullSearchRemovedFraction > 0 {
 		return o.FullSearchRemovedFraction
@@ -203,13 +226,20 @@ func (o Options) fullSearchRemovedFraction() float64 {
 }
 
 // ShardStat describes one shard core: its partition's live rows, its
-// live distinct combinations, its pending delta size and how many
-// times it has compacted.
+// live distinct combinations, its pending delta size, how many times
+// it has compacted, and which count-store layout it runs on.
 type ShardStat struct {
 	Rows          int64
 	Distinct      int
 	DeltaDistinct int
 	Compactions   int64
+	// Store is the core's count-store layout ("map", "flat" or
+	// "dense"); StoreOccupancy is its live-keys/slot-capacity fill
+	// ratio (0 for the slotless map layout) and StoreBytes the
+	// resident bytes of its backing arrays.
+	Store          string
+	StoreOccupancy float64
+	StoreBytes     int64
 }
 
 // Stats is a snapshot of the engine's internal counters.
@@ -308,7 +338,14 @@ type ShardedEngine struct {
 	cards  []int
 	opts   Options
 	keys   *keyCodec
+	tables *tableFactory
 	cores  []*shardCore
+
+	// comboRate is an EWMA of distinct combinations per row measured
+	// over recent mutation batches — the pre-sizing estimate for batch
+	// accumulators and flat-table reserves (float64 bits in an atomic;
+	// batch counting runs outside the engine lock).
+	comboRate atomic.Uint64
 
 	// mu scopes every access to the coordinator state and the cores:
 	// mutations hold the write lock for the whole cross-core batch (so
@@ -327,7 +364,7 @@ type ShardedEngine struct {
 	// eviction.
 	window         int
 	log            *rowLog
-	pendingDeletes map[comboKey]int64
+	pendingDeletes countTable
 	tombstones     int64
 
 	// removed records combinations whose multiplicity decreased (by
@@ -475,8 +512,9 @@ func New(schema *dataset.Schema, opts Options) *Engine {
 		cache:     make(map[searchKey]*cachedSearch),
 		planCache: make(map[planKey]*cachedPlan),
 	}
+	e.tables = newTableFactory(e.keys, opts)
 	for i := range e.cores {
-		e.cores[i] = newShardCore(schema, e.keys, opts)
+		e.cores[i] = newShardCore(schema, e.keys, e.tables, opts)
 	}
 	return e
 }
@@ -495,18 +533,18 @@ func NewSharded(schema *dataset.Schema, shards int, opts Options) *ShardedEngine
 func NewFromDataset(ds *dataset.Dataset, opts Options) *Engine {
 	e := New(ds.Schema(), opts)
 	n := len(e.cores)
-	parts := make([]map[comboKey]int64, n)
-	for i := range parts {
-		parts[i] = make(map[comboKey]int64)
-	}
 	dd := ds.Distinct()
+	parts := make([]countTable, n)
+	for i := range parts {
+		parts[i] = e.tables.newCounts(len(dd.Combos)/n + 1)
+	}
 	for k, combo := range dd.Combos {
-		parts[shardOfRow(combo, n)][e.keys.ofRow(combo)] = dd.Counts[k]
+		parts[shardOfRow(combo, n)].set(e.keys.ofRow(combo), dd.Counts[k])
 	}
 	var wg sync.WaitGroup
 	for i, c := range e.cores {
 		wg.Add(1)
-		go func(c *shardCore, part map[comboKey]int64) {
+		go func(c *shardCore, part countTable) {
 			defer wg.Done()
 			c.seed(part)
 		}(c, parts[i])
@@ -571,13 +609,17 @@ func (e *ShardedEngine) Stats() Stats {
 		Shards:               make([]ShardStat, len(e.cores)),
 	}
 	for i, c := range e.cores {
+		m := c.counts.mem()
 		st.Shards[i] = ShardStat{
-			Rows:          c.rows,
-			Distinct:      len(c.counts),
-			DeltaDistinct: len(c.delta),
-			Compactions:   c.compactions,
+			Rows:           c.rows,
+			Distinct:       c.counts.size(),
+			DeltaDistinct:  len(c.delta),
+			Compactions:    c.compactions,
+			Store:          m.Kind.String(),
+			StoreOccupancy: m.Occupancy(),
+			StoreBytes:     m.Bytes,
 		}
-		st.Distinct += len(c.counts)
+		st.Distinct += c.counts.size()
 		st.DeltaDistinct += len(c.delta)
 		st.Compactions += c.compactions
 	}
@@ -610,20 +652,20 @@ func (e *ShardedEngine) validateRows(rows [][]uint8) error {
 // contiguous key slice and its map is built by its own goroutine —
 // the map inserts, which dominate ingest, run fully in parallel with
 // no cross-core merge and hash two-word keys instead of byte strings.
-func (e *ShardedEngine) countBatch(rows [][]uint8) []map[comboKey]int64 {
+func (e *ShardedEngine) countBatch(rows [][]uint8) []countTable {
 	n := len(e.cores)
 	if n == 1 {
-		shards := shardCounts(rows, e.keys, e.opts.workers())
+		shards := e.shardCounts(rows, e.opts.workers())
 		if len(shards) == 0 {
-			return []map[comboKey]int64{{}}
+			return []countTable{e.tables.newBatch(0)}
 		}
 		merged := shards[0]
+		merged.reserve(len(rows) - merged.size())
 		for _, m := range shards[1:] {
-			for k, c := range m {
-				merged[k] += c
-			}
+			m.each(func(k comboKey, c int64) { merged.add(k, c) })
 		}
-		return []map[comboKey]int64{merged}
+		e.observeRate(merged.size(), len(rows))
+		return []countTable{merged}
 	}
 	parts := make([][]comboKey, n)
 	per := len(rows)/n + 16
@@ -634,39 +676,75 @@ func (e *ShardedEngine) countBatch(rows [][]uint8) []map[comboKey]int64 {
 		s := shardOfRow(row, n)
 		parts[s] = append(parts[s], e.keys.ofRow(row))
 	}
-	out := make([]map[comboKey]int64, n)
+	out := make([]countTable, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		if len(parts[i]) == 0 {
-			out[i] = map[comboKey]int64{}
+			out[i] = e.tables.newBatch(0)
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m := make(map[comboKey]int64, len(parts[i])/4+16)
+			m := e.tables.newBatch(e.batchHint(len(parts[i])))
 			for _, k := range parts[i] {
-				m[k]++
+				m.add(k, 1)
 			}
 			out[i] = m
 		}(i)
 	}
 	wg.Wait()
+	distinct := 0
+	for _, m := range out {
+		distinct += m.size()
+	}
+	e.observeRate(distinct, len(rows))
 	return out
 }
 
+// defaultComboRate seeds the distinct-combos-per-row estimate before
+// any batch has been measured — the historical len/4 pre-sizing guess.
+const defaultComboRate = 0.25
+
+// batchHint sizes an accumulator for a batch slice of rows rows using
+// the measured combos-per-row rate, so flat tables are born at their
+// final capacity instead of rehashing mid-batch.
+func (e *ShardedEngine) batchHint(rows int) int {
+	r := math.Float64frombits(e.comboRate.Load())
+	if !(r > 0 && r <= 1) {
+		r = defaultComboRate
+	}
+	return int(r*float64(rows)) + 16
+}
+
+// observeRate folds one measured batch (distinct combos over rows)
+// into the EWMA. Racing updates may drop one observation; the estimate
+// is advisory, so last-write-wins is fine.
+func (e *ShardedEngine) observeRate(distinct, rows int) {
+	if rows <= 0 {
+		return
+	}
+	obs := float64(distinct) / float64(rows)
+	old := math.Float64frombits(e.comboRate.Load())
+	next := obs
+	if old > 0 {
+		next = 0.5*old + 0.5*obs
+	}
+	e.comboRate.Store(math.Float64bits(next))
+}
+
 // shardCounts partitions rows into contiguous chunks, one per worker,
-// and counts each chunk's combinations into a private map. An empty
+// and counts each chunk's combinations into a private table. An empty
 // batch (or a non-positive worker count) returns no shards rather
 // than indexing one that does not exist.
-func shardCounts(rows [][]uint8, keys *keyCodec, workers int) []map[comboKey]int64 {
+func (e *ShardedEngine) shardCounts(rows [][]uint8, workers int) []countTable {
 	if workers > len(rows) {
 		workers = len(rows)
 	}
 	if workers <= 0 {
 		return nil
 	}
-	shards := make([]map[comboKey]int64, workers)
+	shards := make([]countTable, workers)
 	chunk := (len(rows) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -681,9 +759,9 @@ func shardCounts(rows [][]uint8, keys *keyCodec, workers int) []map[comboKey]int
 		wg.Add(1)
 		go func(w int, part [][]uint8) {
 			defer wg.Done()
-			m := make(map[comboKey]int64, len(part)/4+16)
+			m := e.tables.newBatch(e.batchHint(len(part)))
 			for _, row := range part {
-				m[keys.ofRow(row)]++
+				m.add(e.keys.ofRow(row), 1)
 			}
 			shards[w] = m
 		}(w, rows[lo:hi])
@@ -696,11 +774,11 @@ func shardCounts(rows [][]uint8, keys *keyCodec, workers int) []map[comboKey]int
 // cores — in parallel when more than one core has work. Caller holds
 // the write lock, which is what makes the cross-core batch atomic for
 // readers.
-func (e *ShardedEngine) applyCoresLocked(muts []map[comboKey]int64) {
+func (e *ShardedEngine) applyCoresLocked(muts []countTable) {
 	busy := 0
 	last := -1
 	for i, m := range muts {
-		if len(m) > 0 {
+		if m.size() > 0 {
 			busy++
 			last = i
 		}
@@ -712,11 +790,11 @@ func (e *ShardedEngine) applyCoresLocked(muts []map[comboKey]int64) {
 	default:
 		var wg sync.WaitGroup
 		for i, m := range muts {
-			if len(m) == 0 {
+			if m.size() == 0 {
 				continue
 			}
 			wg.Add(1)
-			go func(c *shardCore, m map[comboKey]int64) {
+			go func(c *shardCore, m countTable) {
 				defer wg.Done()
 				c.applyBatch(m)
 			}(e.cores[i], m)
@@ -746,9 +824,9 @@ func (e *ShardedEngine) Append(rows [][]uint8) error {
 	e.appends++
 	logSize := e.opts.removedLogSize()
 	for _, m := range muts {
-		for k, c := range m {
+		m.each(func(k comboKey, c int64) {
 			e.added.record(e.gen, k, c, logSize)
-		}
+		})
 	}
 	if e.log != nil {
 		for _, row := range rows {
@@ -779,25 +857,34 @@ func (e *ShardedEngine) Delete(rows [][]uint8) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, m := range need {
-		for k, c := range m {
+		var err error
+		m.each(func(k comboKey, c int64) {
+			if err != nil {
+				return
+			}
 			if have := e.cores[i].multiplicity(k); have < c {
-				return fmt.Errorf("engine: cannot delete %d row(s) of combination %v: only %d present",
+				err = fmt.Errorf("engine: cannot delete %d row(s) of combination %v: only %d present",
 					c, e.keys.pattern(k), have)
 			}
+		})
+		if err != nil {
+			return err
 		}
 	}
 	e.gen++
 	e.deletes++
 	logSize := e.opts.removedLogSize()
 	for _, m := range need {
-		for k, c := range m {
+		m.each(func(k comboKey, c int64) {
 			e.removed.record(e.gen, k, -c, logSize)
 			if e.log != nil {
-				e.pendingDeletes[k] += c
+				e.pendingDeletes.add(k, c)
 				e.tombstones += c
 			}
-			m[k] = -c
-		}
+		})
+		// The batch held the positive multiplicities to validate
+		// against; the cores apply it as a retraction.
+		m.negate()
 	}
 	e.rows -= int64(len(rows))
 	e.applyCoresLocked(need)
@@ -823,12 +910,12 @@ func (e *ShardedEngine) SetWindow(maxRows int) {
 	e.window = maxRows
 	if e.log == nil {
 		e.log = &rowLog{}
-		e.pendingDeletes = make(map[comboKey]int64)
+		e.pendingDeletes = e.tables.newBatch(0)
 		keys := make([]string, 0, e.distinctLocked())
 		for _, c := range e.cores {
-			for k := range c.counts {
+			c.counts.each(func(k comboKey, _ int64) {
 				keys = append(keys, e.keys.str(k))
-			}
+			})
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
@@ -840,9 +927,9 @@ func (e *ShardedEngine) SetWindow(maxRows int) {
 	}
 	if e.rows > int64(e.window) {
 		e.gen++
-		muts := make([]map[comboKey]int64, len(e.cores))
+		muts := make([]countTable, len(e.cores))
 		for i := range muts {
-			muts[i] = make(map[comboKey]int64)
+			muts[i] = e.tables.newBatch(0)
 		}
 		e.evictIntoLocked(muts)
 		e.applyCoresLocked(muts)
@@ -863,7 +950,7 @@ func (e *ShardedEngine) Window() int {
 // each core as one atomic signed batch) and recorded in the removed
 // log with their net counts. Caller holds the write lock with the
 // generation already advanced for this mutation.
-func (e *ShardedEngine) evictIntoLocked(muts []map[comboKey]int64) {
+func (e *ShardedEngine) evictIntoLocked(muts []countTable) {
 	if e.window <= 0 || e.log == nil {
 		return
 	}
@@ -871,12 +958,8 @@ func (e *ShardedEngine) evictIntoLocked(muts []map[comboKey]int64) {
 	evicted := make(map[string]int64)
 	for e.rows > int64(e.window) {
 		k := e.log.pop()
-		if ck := e.keys.ofString(k); e.pendingDeletes[ck] > 0 {
-			if e.pendingDeletes[ck] == 1 {
-				delete(e.pendingDeletes, ck)
-			} else {
-				e.pendingDeletes[ck]--
-			}
+		if ck := e.keys.ofString(k); e.pendingDeletes.get(ck) > 0 {
+			e.pendingDeletes.add(ck, -1)
 			e.tombstones--
 			continue
 		}
@@ -887,7 +970,7 @@ func (e *ShardedEngine) evictIntoLocked(muts []map[comboKey]int64) {
 	logSize := e.opts.removedLogSize()
 	for k, c := range evicted {
 		ck := e.keys.ofString(k)
-		muts[shardOf(k, n)][ck] -= c
+		muts[shardOf(k, n)].add(ck, -c)
 		e.removed.record(e.gen, ck, -c, logSize)
 	}
 }
@@ -896,7 +979,7 @@ func (e *ShardedEngine) evictIntoLocked(muts []map[comboKey]int64) {
 func (e *ShardedEngine) distinctLocked() int {
 	n := 0
 	for _, c := range e.cores {
-		n += len(c.counts)
+		n += c.counts.size()
 	}
 	return n
 }
@@ -1005,11 +1088,11 @@ func (e *ShardedEngine) Index() *index.Index {
 	e.foldLocked()
 	union := make(map[string]int64, e.distinctLocked())
 	for _, c := range e.cores {
-		for k, n := range c.counts {
+		c.counts.each(func(k comboKey, n int64) {
 			union[e.keys.str(k)] = n
-		}
+		})
 	}
-	return index.BuildFromCounts(e.schema, union)
+	return index.BuildFromCountsKind(e.schema, union, e.tables.indexKind())
 }
 
 // Oracle folds any pending deltas and returns a coverage oracle over

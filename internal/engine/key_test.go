@@ -60,11 +60,11 @@ func TestStatsDistinctCountsDeltaResident(t *testing.T) {
 // does not exist. countBatch must survive the same input on both the
 // single-core and the routed multi-core path.
 func TestShardCountsEmptyBatch(t *testing.T) {
-	keys := newKeyCodec([]int{2, 3}, false)
-	if got := shardCounts(nil, keys, 8); len(got) != 0 {
+	se := NewSharded(testSchema(t, []int{2, 3}), 1, Options{})
+	if got := se.shardCounts(nil, 8); len(got) != 0 {
 		t.Fatalf("shardCounts(no rows) returned %d shards, want none", len(got))
 	}
-	if got := shardCounts([][]uint8{}, keys, 0); len(got) != 0 {
+	if got := se.shardCounts([][]uint8{}, 0); len(got) != 0 {
 		t.Fatalf("shardCounts(workers=0) returned %d shards, want none", len(got))
 	}
 	for _, shards := range []int{1, 4} {
@@ -74,8 +74,8 @@ func TestShardCountsEmptyBatch(t *testing.T) {
 			t.Fatalf("countBatch(no rows) on %d cores returned %d maps", shards, len(muts))
 		}
 		for i, m := range muts {
-			if len(m) != 0 {
-				t.Fatalf("countBatch(no rows) core %d map has %d entries", i, len(m))
+			if m.size() != 0 {
+				t.Fatalf("countBatch(no rows) core %d map has %d entries", i, m.size())
 			}
 		}
 	}

@@ -256,10 +256,10 @@ func (e *ShardedEngine) CaptureState() *Capture {
 	if e.log != nil {
 		st.WindowLog = make([]string, 0, e.log.len())
 		st.WindowLog = append(st.WindowLog, e.log.keys[e.log.head:]...)
-		st.PendingDeletes = make(map[string]int64, len(e.pendingDeletes))
-		for k, c := range e.pendingDeletes {
+		st.PendingDeletes = make(map[string]int64, e.pendingDeletes.size())
+		e.pendingDeletes.each(func(k comboKey, c int64) {
 			st.PendingDeletes[e.keys.str(k)] = c
-		}
+		})
 	}
 	st.Cache = make([]CachedSearch, 0, len(e.cache))
 	for key, c := range e.cache {
@@ -624,6 +624,7 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 	e.cacheHits.Store(st.Counters.CacheHits)
 	e.planProbes.Store(st.Counters.PlanProbes)
 	e.planHits.Store(st.Counters.PlanHits)
+	e.tables = newTableFactory(keys, opts)
 
 	shardKeys := st.ShardCountKeys
 	switch {
@@ -650,9 +651,10 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			core := newShardCore(schema, keys, opts)
+			core := newShardCore(schema, keys, e.tables, opts)
 			core.compactions = 0
 			part := shardKeys[i]
+			core.counts.reserve(len(part))
 			dd := &dataset.Distinct{
 				Schema: schema,
 				Combos: make([][]uint8, len(part)),
@@ -661,14 +663,14 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 			for j, k := range part {
 				dd.Combos[j] = []uint8(k)
 				dd.Counts[j] = st.Counts[k]
-				core.counts[keys.ofString(k)] = st.Counts[k]
+				core.counts.set(keys.ofString(k), st.Counts[k])
 				core.rows += st.Counts[k]
 			}
 			// The key lists are sorted, which is exactly the
 			// deterministic order BuildFromCounts would sort into —
 			// build the oracle directly and skip the O(n log n)
 			// re-sort.
-			core.base = index.BuildFromDistinct(dd)
+			core.base = index.BuildFromDistinctKind(dd, e.tables.indexKind())
 			core.pool = core.base.NewPool()
 			e.cores[i] = core
 		}(i)
@@ -677,9 +679,9 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 
 	if st.Window > 0 {
 		e.log = &rowLog{keys: append([]string(nil), st.WindowLog...)}
-		e.pendingDeletes = make(map[comboKey]int64, len(st.PendingDeletes))
+		e.pendingDeletes = e.tables.newBatch(len(st.PendingDeletes))
 		for k, c := range st.PendingDeletes {
-			e.pendingDeletes[keys.ofString(k)] = c
+			e.pendingDeletes.set(keys.ofString(k), c)
 		}
 		e.tombstones = st.Tombstones
 	}

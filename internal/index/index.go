@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"coverage/internal/bitvec"
+	"coverage/internal/countstore"
 	"coverage/internal/dataset"
 	"coverage/internal/pattern"
 )
@@ -19,13 +20,22 @@ import (
 // Index is the immutable coverage oracle for one dataset. Build it
 // once; probe it any number of times. Concurrent probes must use
 // separate Probers.
+//
+// The full-combo multiplicity table — hit by every deepest-level probe
+// of the MUP descent — lives in exactly one of three layouts: a flat
+// open-addressed table or dense direct-indexed vector over packed keys
+// (internal/countstore) for packable schemas, or the legacy string map
+// for schemas past 128 bits and KindMap-forced builds.
 type Index struct {
 	schema  *dataset.Schema
 	cards   []int
 	vecs    [][]*bitvec.Vector // [attribute][value] → bits over distinct combos
 	density [][]int            // [attribute][value] → set-bit count of the vector
 	counts  []int64            // multiplicity per distinct combo
-	combos  map[string]int64   // full combo → multiplicity
+	combos  map[string]int64   // full combo → multiplicity (string fallback)
+	flat    *countstore.Flat   // full combo → multiplicity (packed, flat)
+	dense   *countstore.Dense  // full combo → multiplicity (packed, dense)
+	codec   *pattern.Codec     // set iff flat or dense is
 	total   int64
 	nDist   int
 }
@@ -36,17 +46,25 @@ func Build(d *dataset.Dataset) *Index {
 }
 
 // BuildFromDistinct constructs the oracle from an already
-// deduplicated dataset.
+// deduplicated dataset, auto-selecting the combo-store layout.
 func BuildFromDistinct(dd *dataset.Distinct) *Index {
+	return BuildFromDistinctKind(dd, countstore.KindAuto)
+}
+
+// BuildFromDistinctKind is BuildFromDistinct with a forced combo-store
+// layout, so an engine that pinned a per-shard store kind builds its
+// base oracles to match. Kinds the schema cannot support degrade the
+// usual way (dense → flat; everything → string map past 128 bits).
+func BuildFromDistinctKind(dd *dataset.Distinct, kind countstore.Kind) *Index {
 	cards := dd.Schema.Cards()
 	ix := &Index{
 		schema: dd.Schema,
 		cards:  cards,
 		vecs:   make([][]*bitvec.Vector, len(cards)),
 		counts: dd.Counts,
-		combos: make(map[string]int64, len(dd.Combos)),
 		nDist:  len(dd.Combos),
 	}
+	ix.initComboStore(kind, len(dd.Combos))
 	for i, c := range cards {
 		ix.vecs[i] = make([]*bitvec.Vector, c)
 		for v := 0; v < c; v++ {
@@ -57,7 +75,7 @@ func BuildFromDistinct(dd *dataset.Distinct) *Index {
 		for i, v := range combo {
 			ix.vecs[i][v].Set(k)
 		}
-		ix.combos[string(combo)] = dd.Counts[k]
+		ix.setCombo(combo, dd.Counts[k])
 		ix.total += dd.Counts[k]
 	}
 	ix.density = make([][]int, len(cards))
@@ -68,6 +86,64 @@ func BuildFromDistinct(dd *dataset.Distinct) *Index {
 		}
 	}
 	return ix
+}
+
+// initComboStore picks and allocates the full-combo count store.
+func (ix *Index) initComboStore(kind Kind, hint int) {
+	codec := pattern.NewCodec(ix.cards)
+	if !codec.Packable() || kind == countstore.KindMap {
+		ix.combos = make(map[string]int64, hint)
+		return
+	}
+	ix.codec = codec
+	switch countstore.Resolve(kind, codec, 0) {
+	case countstore.KindDense:
+		bits, _ := codec.PackedBits()
+		ix.dense = countstore.NewDense(bits)
+	default:
+		ix.flat = countstore.NewFlat(hint)
+	}
+}
+
+// Kind aliases countstore.Kind for callers forcing a combo-store
+// layout at build time.
+type Kind = countstore.Kind
+
+func (ix *Index) setCombo(combo []uint8, n int64) {
+	switch {
+	case ix.flat != nil:
+		ix.flat.Set(ix.codec.PackedKey(pattern.Pattern(combo)), n)
+	case ix.dense != nil:
+		ix.dense.Set(ix.codec.PackedKey(pattern.Pattern(combo)), n)
+	default:
+		ix.combos[string(combo)] = n
+	}
+}
+
+// fullCount is the full-combo multiplicity lookup backing ComboCount
+// and the deepest-level probe fast path: a packed-key table probe on
+// packable schemas, a string-map lookup otherwise.
+func (ix *Index) fullCount(p pattern.Pattern) int64 {
+	switch {
+	case ix.flat != nil:
+		return ix.flat.Get(ix.codec.PackedKey(p))
+	case ix.dense != nil:
+		return ix.dense.Get(ix.codec.PackedKey(p))
+	}
+	return ix.combos[string(p)]
+}
+
+// ComboStoreKind reports which layout holds the full-combo counts
+// (KindMap covers both forced-map builds and the >128-bit string
+// fallback).
+func (ix *Index) ComboStoreKind() Kind {
+	switch {
+	case ix.flat != nil:
+		return countstore.KindFlat
+	case ix.dense != nil:
+		return countstore.KindDense
+	}
+	return countstore.KindMap
 }
 
 // BuildFromCounts constructs the oracle from a combo→multiplicity map
@@ -82,6 +158,12 @@ func BuildFromDistinct(dd *dataset.Distinct) *Index {
 // occupy a bit-vector column, or NumDistinct and the probe windows
 // would keep paying for rows that no longer exist.
 func BuildFromCounts(schema *dataset.Schema, counts map[string]int64) *Index {
+	return BuildFromCountsKind(schema, counts, countstore.KindAuto)
+}
+
+// BuildFromCountsKind is BuildFromCounts with a forced combo-store
+// layout (see BuildFromDistinctKind).
+func BuildFromCountsKind(schema *dataset.Schema, counts map[string]int64, kind countstore.Kind) *Index {
 	keys := make([]string, 0, len(counts))
 	for k, c := range counts {
 		if c <= 0 {
@@ -99,7 +181,7 @@ func BuildFromCounts(schema *dataset.Schema, counts map[string]int64) *Index {
 		dd.Combos[i] = []uint8(k)
 		dd.Counts[i] = counts[k]
 	}
-	return BuildFromDistinct(dd)
+	return BuildFromDistinctKind(dd, kind)
 }
 
 // Schema returns the schema the oracle was built over.
@@ -119,7 +201,7 @@ func (ix *Index) NumDistinct() int { return ix.nDist }
 // (zero if absent). This is the level-d fast path used by the
 // bottom-up algorithm.
 func (ix *Index) ComboCount(combo []uint8) int64 {
-	return ix.combos[string(combo)]
+	return ix.fullCount(pattern.Pattern(combo))
 }
 
 // Coverage returns cov(P). It allocates a probe buffer per call; hot
@@ -135,8 +217,23 @@ func (ix *Index) Coverage(p pattern.Pattern) int64 {
 // concurrently with probes — this is how the engine snapshots its bulk
 // state without copying the combo map under a lock.
 func (ix *Index) Range(fn func(combo string, count int64)) {
-	for k, c := range ix.combos {
-		fn(k, c)
+	switch {
+	case ix.flat != nil:
+		buf := make([]uint8, 0, len(ix.cards))
+		ix.flat.Range(func(k pattern.PackedKey, c int64) {
+			buf = ix.codec.AppendUnpack(buf[:0], k)
+			fn(string(buf), c)
+		})
+	case ix.dense != nil:
+		buf := make([]uint8, 0, len(ix.cards))
+		ix.dense.Range(func(k pattern.PackedKey, c int64) {
+			buf = ix.codec.AppendUnpack(buf[:0], k)
+			fn(string(buf), c)
+		})
+	default:
+		for k, c := range ix.combos {
+			fn(k, c)
+		}
 	}
 }
 
@@ -181,7 +278,7 @@ func (pr *Prober) Coverage(p pattern.Pattern) int64 {
 	case 0:
 		return ix.total // root pattern matches everything
 	case len(p):
-		return ix.combos[string(p)]
+		return ix.fullCount(p)
 	}
 	// Sparsest vector first (insertion sort; the list is tiny).
 	for a := 1; a < len(pr.det); a++ {

@@ -251,6 +251,61 @@ func comboCountsPlus(ix *index.Index, combo []uint8, n int64) map[string]int64 {
 	return counts
 }
 
+// TestRepairBidirectionalBatchesPerLevel pins the merged probing of
+// the bidirectional repair: every probe a seed wave needs goes through
+// a handful of CoverageAll batches per wave (classification, parent
+// maximality, covFill) and the frontier descent batches once per level
+// per worker — never one oracle fan-out per pattern.
+func TestRepairBidirectionalBatchesPerLevel(t *testing.T) {
+	ix, old := probeFixture(t)
+	opts := ParallelOptions{Options: Options{Threshold: 2}, Workers: 1}
+
+	// Retract every row of one covered combination: the frontier pass
+	// must descend to the newly uncovered {0,0,0} and emit it.
+	after := index.BuildFromCounts(ix.Schema(), comboCountsPlus(ix, []uint8{0, 0, 0}, -3))
+	bo := &batchCountingOracle{Oracle: after}
+	res, err := RepairBidirectional(bo, old, []Delta{{Combo: pattern.Pattern{0, 0, 0}, Count: -3}}, []Delta{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyResult(after, 2, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MUPs) != len(old.MUPs)+1 {
+		t.Fatalf("full retraction found %d MUPs, want %d (old set plus {0,0,0})", len(res.MUPs), len(old.MUPs)+1)
+	}
+	// One worker, exact deltas: the seed wave classifies probe-free and
+	// needs a single parent-maximality batch (the shared root); the
+	// frontier descends through all four levels of the removal-touched
+	// cone with one batch each. 1 + 4 = 5 merged batches.
+	if b := bo.batches.Load(); b != 5 {
+		t.Errorf("single-delete repair issued %d merged batches, want 5 (1 seed wave + 4 frontier levels)", b)
+	}
+	// The logical probe count stays what the scalar path paid: the
+	// mutated cone (8 ancestors of {0,0,0}) plus the seeds' shared root
+	// check.
+	if got := bo.probes.Load(); got > 16 {
+		t.Errorf("single-delete repair issued %d logical probes, want ≤ 16 (the mutated cone)", got)
+	}
+
+	// No mutations at all: classification is probe-free, there is no
+	// frontier, and no empty batch may be issued.
+	bo = &batchCountingOracle{Oracle: ix}
+	res, err = RepairBidirectional(bo, old, []Delta{}, []Delta{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyResult(ix, 2, res); err != nil {
+		t.Fatal(err)
+	}
+	if b := bo.batches.Load(); b != 0 {
+		t.Errorf("no-op repair issued %d merged batches, want 0 (no pending probes, no batch)", b)
+	}
+	if got := bo.probes.Load(); got != 0 {
+		t.Errorf("no-op repair issued %d probes, want 0", got)
+	}
+}
+
 // TestRepairBidirectionalDeltaProbes pins the bidirectional analog: a
 // delete touching some MUPs repairs with probes bounded by the
 // mutated cone (seed classification is probe-free given exact deltas

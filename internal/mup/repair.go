@@ -475,53 +475,146 @@ func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, remove
 			out := &outs[w]
 			out.probed = make(map[K]int64)
 			pr := probers[w]
-			coverage := func(p pattern.Pattern) int64 {
-				k := key(p)
+			dom := domProbers[w]
+
+			// The wave is processed in phases so every probe the wave
+			// needs is issued through a handful of merged CoverageAll
+			// batches instead of one oracle fan-out per pattern: a
+			// batching prober (the sharded engine's) then walks its
+			// partitions shard-major once per batch. Batch membership
+			// is deduplicated against the cross-wave memo (covGlobal +
+			// out.probed) and within the pending batch itself.
+			var batchPats []pattern.Pattern
+			var batchKeys []K
+			var batchCovs []int64
+			queued := make(map[K]struct{})
+			lookup := func(k K) (int64, bool) {
 				if c, ok := covGlobal[k]; ok {
-					return c
+					return c, true
 				}
-				if c, ok := out.probed[k]; ok {
-					return c
-				}
-				c := pr.Coverage(p)
-				out.probed[k] = c
-				return c
+				c, ok := out.probed[k]
+				return c, ok
 			}
-			for _, n := range part {
+			collect := func(p pattern.Pattern) {
+				k := key(p)
+				if _, ok := lookup(k); ok {
+					return
+				}
+				if _, ok := queued[k]; ok {
+					return
+				}
+				queued[k] = struct{}{}
+				batchPats = append(batchPats, p.Clone())
+				batchKeys = append(batchKeys, k)
+			}
+			flush := func() {
+				if len(batchPats) == 0 {
+					return // no pending probes: no batch issued
+				}
+				if cap(batchCovs) < len(batchPats) {
+					batchCovs = make([]int64, len(batchPats))
+				}
+				batchCovs = batchCovs[:len(batchPats)]
+				index.CoverageAll(pr, batchPats, batchCovs)
+				for i, k := range batchKeys {
+					out.probed[k] = batchCovs[i]
+				}
+				batchPats, batchKeys = batchPats[:0], batchKeys[:0]
+				clear(queued)
+			}
+
+			// Phase A — classify each node: still/again uncovered, and
+			// its coverage if it can be had without a probe. Nodes whose
+			// verdict needs the oracle contribute to the first batch.
+			type nodeState struct {
+				c        int64
+				covKnown bool
+				uncNow   bool
+			}
+			states := make([]nodeState, len(part))
+			for i := range part {
+				n := part[i]
 				p := n.p
 				out.nodes++
-				lvl := p.Level()
+				st := &states[i]
 				isSeed := n.seed >= 0
-
-				// Classify: still/again uncovered, and its coverage if
-				// it can be had without a probe.
-				var c int64
-				covKnown := false
 				switch {
 				case isSeed && exact:
-					c = oldCov[n.seed] + add.delta(p) - rem.delta(p)
-					covKnown = true
+					st.c = oldCov[n.seed] + add.delta(p) - rem.delta(p)
+					st.covKnown = true
 				case isSeed && oldCov != nil && !add.touched(p) && rem.exact:
 					// Nothing matching p was added, so the only change
 					// is the removed matches.
-					c = oldCov[n.seed] - rem.delta(p)
-					covKnown = true
-				}
-				var uncNow bool
-				switch {
-				case covKnown:
-					uncNow = c < opts.Threshold
+					st.c = oldCov[n.seed] - rem.delta(p)
+					st.covKnown = true
 				case !add.touched(p):
 					// Coverage cannot have risen: an old MUP (or an
 					// old-uncovered expansion node) is still uncovered.
-					uncNow = true
+					st.uncNow = true
 				default:
-					c = coverage(p)
-					covKnown = true
-					uncNow = c < opts.Threshold
+					collect(p)
 				}
+			}
+			flush()
+			for i := range part {
+				st := &states[i]
+				if st.uncNow {
+					continue // probe-free verdict, coverage unknown
+				}
+				if !st.covKnown {
+					st.c, _ = lookup(key(part[i].p))
+					st.covKnown = true
+				}
+				st.uncNow = st.c < opts.Threshold
+			}
 
-				if !uncNow {
+			// Phase B — collect the parent probes the uncovered nodes'
+			// maximality checks need. An old MUP's parents were all
+			// covered, so only removal-touched ones can have dropped;
+			// an expansion node's parents carry no such guarantee and
+			// fall back to the dominance index.
+			for i := range part {
+				if !states[i].uncNow {
+					continue
+				}
+				n := part[i]
+				p := n.p
+				isSeed := n.seed >= 0
+				for j, v := range p {
+					if v == pattern.Wildcard {
+						continue
+					}
+					p[j] = pattern.Wildcard
+					need := false
+					switch {
+					case !isSeed && dom.DominatedBy(p):
+						// Uncovered in the old state: a probe decides
+						// only if an append could have lifted it.
+						need = add.touched(p)
+					case !rem.touched(p):
+						// Was covered, could not have dropped: no probe.
+					default:
+						need = true
+					}
+					if need {
+						collect(p)
+					}
+					p[j] = v
+				}
+			}
+			flush()
+
+			// Phase C — resolve maximality from the memo, expand the
+			// covered nodes, emit the maximal ones. Emitted patterns
+			// whose coverage is still unknown (probe-free verdicts
+			// under covFill) form one last small batch.
+			var emitPend []int
+			for i := range part {
+				n := part[i]
+				p := n.p
+				st := &states[i]
+				lvl := p.Level()
+				if !st.uncNow {
 					// Became covered: new MUPs under it sit strictly
 					// below.
 					if lvl < bound {
@@ -529,11 +622,7 @@ func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, remove
 					}
 					continue
 				}
-				// Still (or again) uncovered: re-check maximality. An
-				// old MUP's parents were all covered, so only
-				// removal-touched ones can have dropped; an expansion
-				// node's parents carry no such guarantee and fall back
-				// to the dominance index.
+				isSeed := n.seed >= 0
 				maximal := true
 				for j, v := range p {
 					if v == pattern.Wildcard {
@@ -542,14 +631,18 @@ func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, remove
 					p[j] = pattern.Wildcard
 					var qUnc bool
 					switch {
-					case !isSeed && domProbers[w].DominatedBy(p):
-						// Uncovered in the old state: still uncovered
-						// unless an append could have lifted it.
-						qUnc = !add.touched(p) || coverage(p) < opts.Threshold
+					case !isSeed && dom.DominatedBy(p):
+						if !add.touched(p) {
+							qUnc = true
+						} else {
+							c, _ := lookup(key(p))
+							qUnc = c < opts.Threshold
+						}
 					case !rem.touched(p):
-						qUnc = false // was covered, could not have dropped
+						qUnc = false
 					default:
-						qUnc = coverage(p) < opts.Threshold
+						c, _ := lookup(key(p))
+						qUnc = c < opts.Threshold
 					}
 					p[j] = v
 					if qUnc {
@@ -562,13 +655,21 @@ func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, remove
 						break
 					}
 				}
-				if maximal && lvl <= bound {
-					if !covKnown && covFill {
-						c = coverage(p)
-						covKnown = true
-					}
-					out.emit(p, c, covKnown)
+				if !maximal || lvl > bound {
+					continue
 				}
+				if !st.covKnown && covFill {
+					collect(p)
+					emitPend = append(emitPend, i)
+					continue
+				}
+				out.emit(p, st.c, st.covKnown)
+			}
+			flush()
+			for _, i := range emitPend {
+				p := part[i].p
+				c, _ := lookup(key(p))
+				out.emit(p, c, true)
 			}
 		})
 
@@ -602,12 +703,12 @@ func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, remove
 			runChunks(level, workers, func(w int, part []pattern.Pattern, _ int) {
 				out := &outs[w]
 				pr := probers[w]
-				var childBuf []pattern.Pattern
+				// Pass 1: parent pre-checks, no probes. Every parent is
+				// touched (the touched region is closed under parents),
+				// so each was a candidate in the previous round.
+				live := make([]pattern.Pattern, 0, len(part))
 				for _, p := range part {
 					out.nodes++
-					// Maximality pre-check: every parent is touched
-					// (the touched region is closed under parents), so
-					// each was a candidate in the previous round.
 					ok := true
 					for j, v := range p {
 						if v == pattern.Wildcard {
@@ -621,13 +722,19 @@ func repairBidirectionalKeyed[K comparable](ix index.Oracle, old *Result, remove
 							break
 						}
 					}
-					if !ok {
-						continue
+					if ok {
+						live = append(live, p)
 					}
-					// The candidate is probed directly: each reaches
-					// this point once, so the seed pass's memo map
-					// would only add hash traffic.
-					if c := pr.Coverage(p); c < opts.Threshold {
+				}
+				// One merged probe for the worker's level slice. Each
+				// candidate reaches this point once, so the seed pass's
+				// memo map would only add hash traffic.
+				covs := make([]int64, len(live))
+				index.CoverageAll(pr, live, covs)
+				// Pass 2: classify.
+				var childBuf []pattern.Pattern
+				for i, p := range live {
+					if c := covs[i]; c < opts.Threshold {
 						out.emit(p, c, true) // uncovered with all parents covered: a MUP
 						continue
 					}

@@ -54,6 +54,26 @@ func NewCodec(cards []int) *Codec {
 // Packable reports whether PackedKey may be used for this schema.
 func (c *Codec) Packable() bool { return c.packable }
 
+// PackedBits returns the total packed field width in bits and whether
+// every field landed in the first of the two key words. A one-word
+// layout means the whole key lives in PackedKey[0], so the key space is
+// exactly [0, 1<<bits) — the precondition for direct-indexed (dense)
+// count stores. Only meaningful on packable codecs.
+func (c *Codec) PackedBits() (bits int, oneWord bool) {
+	oneWord = true
+	for i := range c.shift {
+		w := bits2(c.mask[i])
+		bits += w
+		if c.word[i] != 0 {
+			oneWord = false
+		}
+	}
+	return bits, oneWord
+}
+
+// bits2 returns the width of a low-bit mask (mask = 1<<w - 1).
+func bits2(mask uint64) int { return bits.Len64(mask) }
+
 // PackedKey returns the packed key of p without allocating. It must
 // only be called on packable codecs; p must use the codec's
 // cardinality vector.
