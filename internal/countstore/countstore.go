@@ -73,6 +73,12 @@ func ParseKind(s string) (Kind, error) {
 // direct-indexed vector under KindAuto.
 const DefaultDenseBits = 20
 
+// MaxDenseBits is the hard ceiling on the dense budget: 2^28 combos
+// means a 32 MiB occupancy bitvec per store, already generous. Resolve
+// clamps larger requests so a config typo (say 40 bits ≈ 137 GB of
+// occupancy alone) degrades to the flat table instead of an OOM.
+const MaxDenseBits = 28
+
 // Store is a signed multiplicity table over packed combination keys.
 // Implementations are not safe for concurrent mutation; the engine
 // serializes access per shard core exactly as it did for its maps.
@@ -123,10 +129,11 @@ func (m Mem) Occupancy() float64 {
 // Resolve turns a requested kind into the concrete layout a schema can
 // support: KindAuto picks Dense when the codec packs every field into
 // one word of at most denseBits bits (denseBits <= 0 means
-// DefaultDenseBits), Flat otherwise; a forced KindDense quietly
-// degrades to Flat when the key space does not fit. The codec must be
-// packable — non-packable schemas stay on the caller's string-keyed
-// fallback and never reach this package.
+// DefaultDenseBits; values above MaxDenseBits are clamped to it), Flat
+// otherwise; a forced KindDense quietly degrades to Flat when the key
+// space does not fit. The codec must be packable — non-packable
+// schemas stay on the caller's string-keyed fallback and never reach
+// this package.
 func Resolve(kind Kind, codec *pattern.Codec, denseBits int) Kind {
 	switch kind {
 	case KindMap, KindFlat:
@@ -134,6 +141,8 @@ func Resolve(kind Kind, codec *pattern.Codec, denseBits int) Kind {
 	}
 	if denseBits <= 0 {
 		denseBits = DefaultDenseBits
+	} else if denseBits > MaxDenseBits {
+		denseBits = MaxDenseBits
 	}
 	bits, oneWord := codec.PackedBits()
 	if oneWord && bits <= denseBits {

@@ -192,11 +192,16 @@ func (f *Flat) insert(k pattern.PackedKey, n int64) {
 }
 
 // grow starts an incremental rehash into a table sized for want keys at
-// half load. Any previous rehash is drained to completion first (it is
-// nearly done by construction: the migration budget outpaces inserts).
+// half load. Any previous rehash is drained to completion first —
+// fully, not on the per-op budget: Reserve can force growth while a
+// prior drain has barely started, and reassigning old below would
+// silently drop whatever entries remain in it. One migrate pass over
+// the old table costs at most one step per slot scanned plus one per
+// live entry removed, so len(old)+oldLive covers a full drain; the
+// loop guards the bound rather than assuming it.
 func (f *Flat) grow(want int) {
-	if f.old != nil {
-		f.migrate(len(f.old))
+	for f.old != nil {
+		f.migrate(len(f.old) + f.oldLive)
 	}
 	f.old, f.oldMask, f.oldLive = f.slots, f.mask, f.live
 	f.oldScan = 0

@@ -189,6 +189,38 @@ func TestFlatReserveAvoidsMidBatchGrowth(t *testing.T) {
 	}
 }
 
+func TestFlatGrowMidDrainKeepsAllEntries(t *testing.T) {
+	// Regression: grow() used to drain a prior in-progress rehash with
+	// a budget of only len(old) slots — short by up to oldLive steps,
+	// since a full drain pays one step per scanned slot plus one per
+	// removal — then overwrite f.old, silently dropping whatever
+	// remained. Reserve right after a growth starts (old table still
+	// nearly full) hit exactly that window.
+	f := NewFlat(0)
+	want := map[pattern.PackedKey]int64{}
+	for i := uint64(0); !f.Draining(); i++ {
+		f.Add(key(i, 9), int64(i)+1)
+		want[key(i, 9)] = int64(i) + 1
+	}
+	f.Reserve(1000)
+	if f.Len() != len(want) {
+		t.Fatalf("Len=%d after Reserve mid-drain, want %d", f.Len(), len(want))
+	}
+	for k, v := range want {
+		if got := f.Get(k); got != v {
+			t.Fatalf("Get(%v)=%d want %d: entry dropped by mid-drain growth", k, got, v)
+		}
+	}
+	// A second forced growth while the first Reserve's rehash may still
+	// be draining must preserve everything too.
+	f.Reserve(100_000)
+	for k, v := range want {
+		if got := f.Get(k); got != v {
+			t.Fatalf("after chained Reserve: Get(%v)=%d want %d", k, got, v)
+		}
+	}
+}
+
 func TestFlatSetAndNegate(t *testing.T) {
 	f := NewFlat(4)
 	f.Set(key(1, 0), 5)

@@ -131,6 +131,32 @@ func TestResolve(t *testing.T) {
 	}
 }
 
+func TestResolveClampsDenseBits(t *testing.T) {
+	// 5×7-bit fields pack to 35 one-word bits: above the MaxDenseBits
+	// ceiling, so even a config budget that nominally admits them must
+	// resolve flat — NewDense(35) would size its occupancy bitvec and
+	// page directory from the budgeted key space (~4 GiB of occupancy).
+	wide := pattern.NewCodec([]int{64, 64, 64, 64, 64})
+	if got := Resolve(KindAuto, wide, 40); got != KindFlat {
+		t.Errorf("Resolve(auto, 35-bit codec, budget 40) = %v, want flat", got)
+	}
+	if got := Resolve(KindDense, wide, 1<<20); got != KindFlat {
+		t.Errorf("Resolve(dense, 35-bit codec, huge budget) = %v, want flat", got)
+	}
+	// Schemas at or under the ceiling still go dense, oversized budget
+	// or not; budgets between the default and the ceiling are honored.
+	within := pattern.NewCodec([]int{64, 64, 64}) // 21 bits
+	if got := Resolve(KindAuto, within, 40); got != KindDense {
+		t.Errorf("Resolve(auto, 21-bit codec, budget 40) = %v, want dense", got)
+	}
+	if got := Resolve(KindAuto, within, 24); got != KindDense {
+		t.Errorf("Resolve(auto, 21-bit codec, budget 24) = %v, want dense", got)
+	}
+	if got := Resolve(KindAuto, within, 0); got != KindFlat {
+		t.Errorf("Resolve(auto, 21-bit codec, default budget) = %v, want flat", got)
+	}
+}
+
 func TestKindRoundTrip(t *testing.T) {
 	for _, k := range []Kind{KindAuto, KindMap, KindFlat, KindDense} {
 		got, err := ParseKind(k.String())

@@ -89,7 +89,7 @@ func newShardCore(schema *dataset.Schema, keys *keyCodec, tables *tableFactory, 
 func (c *shardCore) seed(counts countTable) {
 	c.counts = counts
 	counts.each(func(_ comboKey, n int64) { c.rows += n })
-	c.base = index.BuildFromCountsKind(c.schema, c.stringCounts(), c.tables.indexKind())
+	c.base = index.BuildFromCountsKind(c.schema, c.stringCounts(), c.tables.indexKind(), c.tables.denseBits)
 	c.pool = c.base.NewPool()
 }
 
@@ -153,7 +153,7 @@ func (c *shardCore) maybeCompact() {
 // rebuild rebuilds the base oracle from the full count table and
 // clears the delta.
 func (c *shardCore) rebuild() {
-	c.base = index.BuildFromCountsKind(c.schema, c.stringCounts(), c.tables.indexKind())
+	c.base = index.BuildFromCountsKind(c.schema, c.stringCounts(), c.tables.indexKind(), c.tables.denseBits)
 	c.pool = c.base.NewPool()
 	c.delta = nil
 	c.deltaPos = c.tables.newBatch(0)

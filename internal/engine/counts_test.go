@@ -164,6 +164,46 @@ func TestStoreKindDenseDegradesToFlat(t *testing.T) {
 	}
 }
 
+// TestBaseOracleMatchesShardStoreKind pins the end-to-end layout
+// consistency the tentpole promised: the base oracles build their
+// full-combo tables on the same layout the shard stores resolved to.
+// Regression: the index builder used to hardcode the default dense
+// budget, so an engine whose DenseKeyBits admitted the schema above 20
+// bits ran dense shard stores over flat base oracles.
+func TestBaseOracleMatchesShardStoreKind(t *testing.T) {
+	cards := []int{64, 64, 64} // 21 packed bits: dense only above the default budget
+	schema := testSchema(t, cards)
+	e := NewSharded(schema, 2, Options{DenseKeyBits: 24, CompactMinDistinct: 1, CompactFraction: 0.01})
+	if got := e.Stats().Shards[0].Store; got != "dense" {
+		t.Fatalf("shard store = %q, want dense under a 24-bit budget", got)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := e.Append(randomRows(rng, cards, 200)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range e.cores {
+		if got := c.base.ComboStoreKind(); got != countstore.KindDense {
+			t.Fatalf("core %d base oracle combo store = %v, want dense to match the shard store", i, got)
+		}
+	}
+	// The budget clamp end to end: a 35-bit schema is past the 28-bit
+	// ceiling, so even an absurd budget degrades to flat everywhere
+	// instead of sizing dense vectors from the raw config value.
+	wideCards := []int{64, 64, 64, 64, 64}
+	wide := NewSharded(testSchema(t, wideCards), 1, Options{DenseKeyBits: 60, CompactMinDistinct: 1, CompactFraction: 0.01})
+	if got := wide.Stats().Shards[0].Store; got != "flat" {
+		t.Fatalf("35-bit schema under clamped budget: shard store = %q, want flat", got)
+	}
+	if err := wide.Append(randomRows(rng, wideCards, 50)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range wide.cores {
+		if got := c.base.ComboStoreKind(); got != countstore.KindFlat {
+			t.Fatalf("core %d base oracle combo store = %v, want flat under the clamp", i, got)
+		}
+	}
+}
+
 // TestStatsStoreFields pins the store observability surface: occupancy
 // stays a ratio in (0,1] for slotted layouts and resident bytes grow
 // with the live set.

@@ -137,7 +137,10 @@ type Options struct {
 	// benchmark comparisons.
 	CountStore countstore.Kind
 	// DenseKeyBits is the dense layout's key-space budget in bits; 0
-	// means countstore.DefaultDenseBits (20, i.e. 1M combos).
+	// means countstore.DefaultDenseBits (20, i.e. 1M combos). Values
+	// above countstore.MaxDenseBits (28) are clamped to it — the dense
+	// vector sizes its occupancy bitmap as 1<<bits, so an unbounded
+	// budget would be an OOM footgun.
 	DenseKeyBits int
 	// FullSearchRemovedFraction is the bulk-retraction cutoff: when
 	// the distinct combinations removed since a cached MUP set exceed
@@ -212,6 +215,9 @@ func (o Options) removedLogSize() int {
 }
 
 func (o Options) denseKeyBits() int {
+	if o.DenseKeyBits > countstore.MaxDenseBits {
+		return countstore.MaxDenseBits
+	}
 	if o.DenseKeyBits > 0 {
 		return o.DenseKeyBits
 	}
@@ -1092,7 +1098,7 @@ func (e *ShardedEngine) Index() *index.Index {
 			union[e.keys.str(k)] = n
 		})
 	}
-	return index.BuildFromCountsKind(e.schema, union, e.tables.indexKind())
+	return index.BuildFromCountsKind(e.schema, union, e.tables.indexKind(), e.tables.denseBits)
 }
 
 // Oracle folds any pending deltas and returns a coverage oracle over

@@ -670,7 +670,7 @@ func NewFromState(st *State, opts Options) (*Engine, error) {
 			// deterministic order BuildFromCounts would sort into —
 			// build the oracle directly and skip the O(n log n)
 			// re-sort.
-			core.base = index.BuildFromDistinctKind(dd, e.tables.indexKind())
+			core.base = index.BuildFromDistinctKind(dd, e.tables.indexKind(), e.tables.denseBits)
 			core.pool = core.base.NewPool()
 			e.cores[i] = core
 		}(i)

@@ -48,14 +48,17 @@ func Build(d *dataset.Dataset) *Index {
 // BuildFromDistinct constructs the oracle from an already
 // deduplicated dataset, auto-selecting the combo-store layout.
 func BuildFromDistinct(dd *dataset.Distinct) *Index {
-	return BuildFromDistinctKind(dd, countstore.KindAuto)
+	return BuildFromDistinctKind(dd, countstore.KindAuto, 0)
 }
 
 // BuildFromDistinctKind is BuildFromDistinct with a forced combo-store
 // layout, so an engine that pinned a per-shard store kind builds its
-// base oracles to match. Kinds the schema cannot support degrade the
-// usual way (dense → flat; everything → string map past 128 bits).
-func BuildFromDistinctKind(dd *dataset.Distinct, kind countstore.Kind) *Index {
+// base oracles to match. denseBits is the dense layout's key-space
+// budget (0 means countstore.DefaultDenseBits) — engines thread their
+// resolved budget through so the oracle picks the same layout as the
+// shard stores. Kinds the schema cannot support degrade the usual way
+// (dense → flat; everything → string map past 128 bits).
+func BuildFromDistinctKind(dd *dataset.Distinct, kind countstore.Kind, denseBits int) *Index {
 	cards := dd.Schema.Cards()
 	ix := &Index{
 		schema: dd.Schema,
@@ -64,7 +67,7 @@ func BuildFromDistinctKind(dd *dataset.Distinct, kind countstore.Kind) *Index {
 		counts: dd.Counts,
 		nDist:  len(dd.Combos),
 	}
-	ix.initComboStore(kind, len(dd.Combos))
+	ix.initComboStore(kind, denseBits, len(dd.Combos))
 	for i, c := range cards {
 		ix.vecs[i] = make([]*bitvec.Vector, c)
 		for v := 0; v < c; v++ {
@@ -89,14 +92,14 @@ func BuildFromDistinctKind(dd *dataset.Distinct, kind countstore.Kind) *Index {
 }
 
 // initComboStore picks and allocates the full-combo count store.
-func (ix *Index) initComboStore(kind Kind, hint int) {
+func (ix *Index) initComboStore(kind Kind, denseBits, hint int) {
 	codec := pattern.NewCodec(ix.cards)
 	if !codec.Packable() || kind == countstore.KindMap {
 		ix.combos = make(map[string]int64, hint)
 		return
 	}
 	ix.codec = codec
-	switch countstore.Resolve(kind, codec, 0) {
+	switch countstore.Resolve(kind, codec, denseBits) {
 	case countstore.KindDense:
 		bits, _ := codec.PackedBits()
 		ix.dense = countstore.NewDense(bits)
@@ -158,12 +161,12 @@ func (ix *Index) ComboStoreKind() Kind {
 // occupy a bit-vector column, or NumDistinct and the probe windows
 // would keep paying for rows that no longer exist.
 func BuildFromCounts(schema *dataset.Schema, counts map[string]int64) *Index {
-	return BuildFromCountsKind(schema, counts, countstore.KindAuto)
+	return BuildFromCountsKind(schema, counts, countstore.KindAuto, 0)
 }
 
 // BuildFromCountsKind is BuildFromCounts with a forced combo-store
-// layout (see BuildFromDistinctKind).
-func BuildFromCountsKind(schema *dataset.Schema, counts map[string]int64, kind countstore.Kind) *Index {
+// layout and dense-budget (see BuildFromDistinctKind).
+func BuildFromCountsKind(schema *dataset.Schema, counts map[string]int64, kind countstore.Kind, denseBits int) *Index {
 	keys := make([]string, 0, len(counts))
 	for k, c := range counts {
 		if c <= 0 {
@@ -181,7 +184,7 @@ func BuildFromCountsKind(schema *dataset.Schema, counts map[string]int64, kind c
 		dd.Combos[i] = []uint8(k)
 		dd.Counts[i] = counts[k]
 	}
-	return BuildFromDistinctKind(dd, kind)
+	return BuildFromDistinctKind(dd, kind, denseBits)
 }
 
 // Schema returns the schema the oracle was built over.
