@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|shard|plan|all
+//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|shard|plan|counts|registry|all
 //
 // Flags:
 //
@@ -48,9 +48,10 @@ type config struct {
 	seed       int64
 	benchOut   string
 	persistOut string
-	shardOut   string
-	planOut    string
-	countsOut  string
+	shardOut    string
+	planOut     string
+	countsOut   string
+	registryOut string
 }
 
 func fatal(err error) {
@@ -80,6 +81,7 @@ var experiments = []struct {
 	{"shard", "shard-scaling sweep (append/MUP-search/repair at 1,2,4,8 shards) → JSON", shardBench},
 	{"plan", "remediation planner: incremental repair vs from-scratch at 1,4 workers → JSON", planBench},
 	{"counts", "count-store layouts (map/flat/dense × append/MUP-search/delete-repair at GOMAXPROCS=1) → JSON", countsBench},
+	{"registry", "multi-tenant registry (lease, park/restore, create/drop, pooled search) → JSON", registryBench},
 }
 
 func main() {
@@ -95,6 +97,7 @@ func main() {
 	flag.StringVar(&cfg.shardOut, "shardout", "BENCH_shard.json", "output file for the shard experiment's JSON results")
 	flag.StringVar(&cfg.planOut, "planout", "BENCH_plan.json", "output file for the plan experiment's JSON results")
 	flag.StringVar(&cfg.countsOut, "countsout", "BENCH_counts.json", "output file for the counts experiment's JSON results")
+	flag.StringVar(&cfg.registryOut, "registryout", "BENCH_registry.json", "output file for the registry experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

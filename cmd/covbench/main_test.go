@@ -46,8 +46,8 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 17 {
-		t.Errorf("%d experiments registered, want 17 (one per figure/table, plus engine, persist, shard, plan and counts)", len(seen))
+	if len(seen) != 18 {
+		t.Errorf("%d experiments registered, want 18 (one per figure/table, plus engine, persist, shard, plan, counts and registry)", len(seen))
 	}
 }
 
@@ -102,6 +102,50 @@ func TestCountsBenchWritesJSON(t *testing.T) {
 		if r.Ns <= 0 {
 			t.Errorf("ratio %s/%s has non-positive ns ratio %v", r.Schema, r.Workload, r.Ns)
 		}
+	}
+}
+
+// TestRegistryBenchWritesJSON smokes the multi-tenant registry
+// benchmark at toy scale: the report must decode and hold one result
+// per workload, each with a positive ns/op.
+func TestRegistryBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	old := registryBenchReps
+	registryBenchReps = 1
+	defer func() { registryBenchReps = old }()
+	out := filepath.Join(t.TempDir(), "BENCH_registry.json")
+	registryBench(config{n: 10000, seed: 42, registryOut: out})
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep registryBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if rep.Tenants != 4 || rep.RowsPerTenant != 500 {
+		t.Errorf("report header = %+v", rep)
+	}
+	want := []string{"acquire-release", "lease-probe", "lease-mup-search", "park-restore", "create-drop"}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(rep.Results), len(want))
+	}
+	for i, r := range rep.Results {
+		if r.Workload != want[i] {
+			t.Errorf("result %d = %q, want %q", i, r.Workload, want[i])
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("result %q = %+v", r.Name, r)
+		}
+	}
+	// The tenancy tax ordering the design promises: leasing a warm
+	// tenant is orders of magnitude cheaper than a park/restore round
+	// trip.
+	if rep.Results[0].NsPerOp >= rep.Results[3].NsPerOp {
+		t.Errorf("acquire-release (%.0f ns) not cheaper than park-restore (%.0f ns)",
+			rep.Results[0].NsPerOp, rep.Results[3].NsPerOp)
 	}
 }
 

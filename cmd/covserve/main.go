@@ -20,17 +20,36 @@
 // record the shard layout and re-partition on restore when -shards
 // changes across a restart.
 //
+// covserve is multi-tenant: one process hosts many named datasets.
+// PUT /datasets/{id} creates a tenant from a schema; every dataset
+// endpoint is then available under /datasets/{id}/... — and the
+// legacy unprefixed routes keep working against the "default" tenant
+// (the dataset booted from -csv/-demo/-data-dir). With -data-dir,
+// tenants persist under <dir>/tenants/<id>; cold tenants are parked
+// to disk when the shared -max-resident-mb budget is exceeded and
+// restored lazily on their next request. A shared -search-slots pool
+// caps cross-tenant search parallelism, and per-tenant token-bucket
+// budgets (-tenant-rps, or per-tenant via the create body) answer
+// 429 + Retry-After when exceeded.
+//
 // Usage:
 //
 //	covserve -csv data.csv [-columns sex,age,race] [-addr :8080] [-window 100000] [-shards 8] [-countstore auto]
 //	covserve -demo compas|airbnb|bluenile [-addr :8080]
 //	covserve -data-dir /var/lib/covserve [-csv data.csv] [-snapshot-interval 5m] [-wal-sync=true]
+//	covserve -data-dir /var/lib/covserve [-max-resident-mb 512] [-search-slots 8] [-tenant-rps 50]
 //
 // On a data dir that already holds state, -csv/-demo are ignored and
-// the dataset is recovered from disk.
+// the dataset is recovered from disk. Without any dataset flags the
+// process boots registry-only: no default tenant, datasets are
+// created over HTTP.
 //
-// Endpoints:
+// Endpoints (unprefixed forms serve the default tenant; all are also
+// available as /datasets/{id}/...):
 //
+//	GET    /datasets                       list tenants + registry counters
+//	PUT    /datasets/{id} {"attributes":[...]} create a dataset (409 on schema conflict)
+//	DELETE /datasets/{id}                  drop a dataset and its files
 //	GET  /healthz                          liveness + row count
 //	GET  /stats                            engine counters (compactions, repairs, window, persistence)
 //	POST /coverage {"patterns":["X1X"]}    batch coverage probes
@@ -63,6 +82,7 @@ import (
 	"coverage/internal/datagen"
 	"coverage/internal/engine"
 	"coverage/internal/persist"
+	"coverage/internal/registry"
 )
 
 // defaultShards derives the shard-core count from the machine: one
@@ -95,6 +115,19 @@ func main() {
 			"background snapshot cadence with -data-dir (0 disables; POST /snapshot still works)")
 		walSync = flag.Bool("wal-sync", true,
 			"fsync the WAL after every acknowledged mutation (survives power loss, not just process death)")
+
+		maxResidentMB = flag.Int64("max-resident-mb", 0,
+			"shared budget for warm tenants' count stores in MiB; coldest tenants park to disk past it (0 = unlimited)")
+		searchSlots = flag.Int("search-slots", 0,
+			"shared worker-slot cap on cross-tenant search/plan parallelism (0 = GOMAXPROCS)")
+		tenantRPS = flag.Float64("tenant-rps", 0,
+			"default per-tenant admission budget for search-class requests, in requests/sec (0 = unlimited)")
+		tenantBurst = flag.Float64("tenant-burst", 0,
+			"default per-tenant admission burst (0 = same as -tenant-rps)")
+		maxBodyMB = flag.Int64("max-body-mb", 0,
+			"default per-tenant cap on JSON request bodies in MiB; oversize requests get 413 (0 = 8 MiB)")
+		maxStreamMB = flag.Int64("max-stream-mb", 0,
+			"default per-tenant cap on NDJSON streaming bodies in MiB (0 = 1 GiB)")
 	)
 	flag.Parse()
 	if *shards <= 0 {
@@ -105,34 +138,60 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	engOpts := engine.Options{Shards: *shards, CountStore: storeKind}
 
-	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync, *shards, storeKind)
+	reg, err := registry.Open(registry.Options{
+		Dir:              *dataDir,
+		MaxResidentBytes: *maxResidentMB << 20,
+		SearchSlots:      *searchSlots,
+		SyncWAL:          *walSync,
+		Engine:           engOpts,
+		Budget:           registry.BudgetConfig{PerSec: *tenantRPS, Burst: *tenantBurst},
+		MaxBodyBytes:     *maxBodyMB << 20,
+		MaxStreamBytes:   *maxStreamMB << 20,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("covserve: %d shard core(s)", an.Engine().Shards())
-	if *window > 0 {
-		if store != nil {
-			if err := store.SetWindow(*window); err != nil {
-				fatal(err)
+
+	an, store, err := buildAnalyzer(*dataDir, *csvPath, *columns, *demo, *walSync, engOpts)
+	switch {
+	case errors.Is(err, errNoDataset):
+		// Registry-only boot: no default tenant; datasets arrive over
+		// PUT /datasets/{id}.
+		log.Printf("covserve: no default dataset; %d registered tenant(s)", len(reg.List()))
+	case err != nil:
+		fatal(err)
+	default:
+		log.Printf("covserve: %d shard core(s)", an.Engine().Shards())
+		if *window > 0 {
+			if store != nil {
+				if err := store.SetWindow(*window); err != nil {
+					fatal(err)
+				}
+			} else {
+				an.SetWindow(*window)
 			}
-		} else {
-			an.SetWindow(*window)
+			log.Printf("covserve: sliding window of %d rows", *window)
 		}
-		log.Printf("covserve: sliding window of %d rows", *window)
+		if err := reg.Adopt(registry.DefaultTenant, an.Engine(), store,
+			registry.TenantOptions{Engine: engOpts, Window: *window}); err != nil {
+			fatal(err)
+		}
+		log.Printf("covserve: serving %d rows × %d attributes as dataset %q",
+			an.NumRows(), an.Dataset().Dim(), registry.DefaultTenant)
 	}
-	if store != nil && *snapInterval > 0 {
-		go snapshotLoop(store, *snapInterval)
+	if *snapInterval > 0 {
+		go snapshotLoop(reg, *snapInterval)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("covserve: serving %d rows × %d attributes", an.NumRows(), an.Dataset().Dim())
 	log.Printf("covserve: listening on %s", ln.Addr())
 	srv := &http.Server{
-		Handler:           newServer(an, store),
+		Handler:           newGateway(reg),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -149,8 +208,7 @@ func main() {
 // purely in memory. The engine under the analyzer is built with the
 // requested shard count; a recovered snapshot with a different layout
 // is re-partitioned through the hash router on restore.
-func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, shards int, storeKind countstore.Kind) (*coverage.Analyzer, *persist.Store, error) {
-	engOpts := engine.Options{Shards: shards, CountStore: storeKind}
+func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, engOpts engine.Options) (*coverage.Analyzer, *persist.Store, error) {
 	if dataDir == "" {
 		ds, err := loadDataset(csvPath, columns, demo)
 		if err != nil {
@@ -181,6 +239,10 @@ func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, shards 
 	case errors.Is(err, persist.ErrNoState):
 		ds, err := loadDataset(csvPath, columns, demo)
 		if err != nil {
+			store.Close()
+			if errors.Is(err, errNoDataset) {
+				return nil, nil, err
+			}
 			return nil, nil, fmt.Errorf("%w (the data dir %s is empty, so a dataset is required)", err, dataDir)
 		}
 		an := coverage.NewAnalyzerFromDataset(ds, engOpts)
@@ -194,22 +256,20 @@ func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, shards 
 	}
 }
 
-// snapshotLoop takes a snapshot every interval while mutations keep
-// arriving; idle ticks are skipped without touching the disk.
-func snapshotLoop(store *persist.Store, interval time.Duration) {
+// snapshotLoop sweeps every resident persistent tenant on the
+// interval, snapshotting the ones with acknowledged mutations since
+// their last snapshot; idle ticks touch nothing and parked tenants
+// are never woken.
+func snapshotLoop(reg *registry.Registry, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for range t.C {
-		if !store.Dirty() {
-			continue
-		}
-		res, err := store.Snapshot()
-		switch {
-		case err != nil:
+		taken, err := reg.SnapshotDirty()
+		if err != nil {
 			log.Printf("covserve: background snapshot failed: %v", err)
-		case !res.Skipped:
-			log.Printf("covserve: snapshot generation %d (%d bytes in %s)",
-				res.Generation, res.Bytes, res.Duration.Round(time.Millisecond))
+		}
+		if taken > 0 {
+			log.Printf("covserve: background snapshot of %d tenant(s)", taken)
 		}
 	}
 }
@@ -239,9 +299,13 @@ func loadDataset(csvPath, columns, demo string) (*coverage.Dataset, error) {
 	case demo != "":
 		return nil, fmt.Errorf("unknown demo %q; use compas, airbnb or bluenile", demo)
 	default:
-		return nil, fmt.Errorf("a -csv file or -demo dataset is required")
+		return nil, errNoDataset
 	}
 }
+
+// errNoDataset means no -csv/-demo was given and no state recovered:
+// covserve boots registry-only, with no default tenant.
+var errNoDataset = errors.New("a -csv file or -demo dataset is required")
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "covserve:", err)

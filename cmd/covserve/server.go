@@ -5,13 +5,32 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"coverage"
 	"coverage/internal/persist"
+	"coverage/internal/registry"
 )
+
+// serverConfig carries the per-tenant knobs a registry-managed server
+// runs under. The zero value — used by the legacy single-dataset
+// constructor — means no admission budget, no shared search pool and
+// the package-default body caps.
+type serverConfig struct {
+	// budget admission-controls search-class requests (nil =
+	// unlimited); pool caps cross-tenant search parallelism (nil = no
+	// cap) and weight is how many slots this tenant's searches take.
+	budget *registry.Budget
+	pool   *registry.Pool
+	weight int
+	// maxBody / maxStream override the JSON and NDJSON body caps
+	// (0 = the package defaults).
+	maxBody   int64
+	maxStream int64
+}
 
 // server wires the coverage analyzer's engine into HTTP handlers. All
 // endpoints are safe for concurrent use: reads take the engine's read
@@ -21,11 +40,16 @@ import (
 type server struct {
 	an    *coverage.Analyzer
 	store *persist.Store // nil when running without -data-dir
+	cfg   serverConfig
 	mux   *http.ServeMux
 }
 
 func newServer(an *coverage.Analyzer, store *persist.Store) *server {
-	s := &server{an: an, store: store, mux: http.NewServeMux()}
+	return newServerWith(an, store, serverConfig{})
+}
+
+func newServerWith(an *coverage.Analyzer, store *persist.Store, cfg serverConfig) *server {
+	s := &server{an: an, store: store, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /coverage", s.handleCoverage)
@@ -102,14 +126,68 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // be split into batches, not buffered wholesale.
 const maxRequestBytes = 8 << 20
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+// bodyLimit and streamLimit are the effective per-server caps.
+func (s *server) bodyLimit() int64 {
+	if s.cfg.maxBody > 0 {
+		return s.cfg.maxBody
+	}
+	return maxRequestBytes
+}
+
+func (s *server) streamLimit() int64 {
+	if s.cfg.maxStream > 0 {
+		return s.cfg.maxStream
+	}
+	return maxStreamBytes
+}
+
+// bodyStatus distinguishes "you sent too much" from "you sent
+// garbage": a tripped MaxBytesReader is 413, anything else 400.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		writeError(w, bodyStatus(err), fmt.Errorf("decoding request body: %w", err))
 		return false
 	}
 	return true
+}
+
+// admit charges the tenant's search budget; on exhaustion it writes
+// the 429 with a Retry-After and reports false.
+func (s *server) admit(w http.ResponseWriter) bool {
+	retry, ok := s.cfg.budget.Take()
+	if ok {
+		return true
+	}
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("dataset search budget exhausted; retry in %ds", secs))
+	return false
+}
+
+// acquireSlots takes the tenant's weight from the shared search pool,
+// blocking while other tenants' searches drain. A client that
+// disconnects while queued gets the usual 499.
+func (s *server) acquireSlots(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	release, err := s.cfg.pool.Acquire(r.Context(), s.cfg.weight)
+	if err != nil {
+		writeError(w, statusClientClosedRequest, fmt.Errorf("canceled while queued for search slots: %w", err))
+		return nil, false
+	}
+	return release, true
 }
 
 type healthResponse struct {
@@ -299,11 +377,14 @@ type coverageResponse struct {
 
 func (s *server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	var req coverageRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Patterns) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("patterns must be non-empty"))
+		return
+	}
+	if !s.admit(w) {
 		return
 	}
 	schema := s.an.Dataset().Schema()
@@ -382,6 +463,14 @@ func (s *server) handleMUPs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.admit(w) {
+		return
+	}
+	release, ok := s.acquireSlots(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	rep, err := s.an.FindMUPs(opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -439,7 +528,7 @@ func (s *server) rowFromLabels(n int, labels []string) ([]uint8, error) {
 // statuses for genuine state conflicts.
 func (s *server) decodeMutateBatch(w http.ResponseWriter, r *http.Request, verb string) ([][]uint8, bool) {
 	var req mutateRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return nil, false
 	}
 	schema := s.an.Dataset().Schema()
@@ -490,7 +579,7 @@ const maxStreamBytes = 1 << 30
 // ([1,2]), fed to the engine in batches. Rows accepted before a
 // malformed line remain appended; the error response reports how many.
 func (s *server) appendNDJSON(w http.ResponseWriter, r *http.Request) {
-	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxStreamBytes))
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.streamLimit()))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	batch := make([][]uint8, 0, ndjsonBatchRows)
 	appended := 0
@@ -506,7 +595,7 @@ func (s *server) appendNDJSON(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}
 	fail := func(err error) {
-		writeError(w, mutationStatus(err, http.StatusBadRequest),
+		writeError(w, mutationStatus(err, bodyStatus(err)),
 			fmt.Errorf("%w (%d rows appended before the error)", err, appended))
 	}
 	line := 0
@@ -620,7 +709,7 @@ func (s *server) handleWindowGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleWindowSet(w http.ResponseWriter, r *http.Request) {
 	var req windowRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.MaxRows < 0 {
@@ -672,9 +761,17 @@ const statusClientClosedRequest = 499
 
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	if !s.admit(w) {
+		return
+	}
+	release, ok := s.acquireSlots(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	rep, err := s.an.FindMUPs(coverage.FindOptions{Threshold: req.Tau, ThresholdRate: req.Rate})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

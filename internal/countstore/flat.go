@@ -46,6 +46,12 @@ type Flat struct {
 	oldScan uint64 // slots of old examined so far
 	oldHome uint64 // scan origin: an empty slot of old
 
+	// drain, when above migrateBudget, is a temporarily raised per-op
+	// drain budget set by ExpectInserts so an in-progress rehash
+	// retires within an announced batch. Reset when the old array
+	// empties.
+	drain int
+
 	grows int64
 }
 
@@ -121,7 +127,7 @@ func (f *Flat) Get(k pattern.PackedKey) int64 {
 }
 
 func (f *Flat) Add(k pattern.PackedKey, n int64) int64 {
-	f.migrate(migrateBudget)
+	f.migrate(f.drainBudget())
 	if i, ok := findIn(f.slots, f.mask, k); ok {
 		m := f.slots[i].n + n
 		if m == 0 {
@@ -153,7 +159,7 @@ func (f *Flat) Add(k pattern.PackedKey, n int64) int64 {
 }
 
 func (f *Flat) Set(k pattern.PackedKey, n int64) {
-	f.migrate(migrateBudget)
+	f.migrate(f.drainBudget())
 	if i, ok := findIn(f.slots, f.mask, k); ok {
 		if n == 0 {
 			removeAt(f.slots, f.mask, i)
@@ -254,7 +260,17 @@ func (f *Flat) migrate(budget int) {
 	}
 	if f.oldLive == 0 {
 		f.old = nil
+		f.drain = 0
 	}
+}
+
+// drainBudget is the per-op incremental-rehash budget: the default, or
+// the raised rate ExpectInserts computed for an announced batch.
+func (f *Flat) drainBudget() int {
+	if f.drain > migrateBudget {
+		return f.drain
+	}
+	return migrateBudget
 }
 
 func (f *Flat) Len() int { return f.live + f.oldLive }
@@ -275,6 +291,25 @@ func (f *Flat) Range(fn func(k pattern.PackedKey, n int64)) {
 func (f *Flat) Reserve(extra int) {
 	if (f.live+f.oldLive+extra)*4 > len(f.slots)*3 {
 		f.grow(f.live + f.oldLive + extra)
+	}
+}
+
+// ExpectInserts announces that about n mutating operations are about
+// to stream in, without allocating anything. Unlike Reserve — which
+// sizes a whole new slot array for the announced keys even when most
+// of them turn out to already be present — it only raises the
+// incremental-rehash drain budget so any in-progress (or soon to
+// start) rehash retires its old array within the announced batch.
+// Growth itself stays insert-driven: the table doubles only when live
+// load actually crosses 3/4, so a batch that mostly updates existing
+// keys allocates nothing at all.
+func (f *Flat) ExpectInserts(n int) {
+	if n <= 0 || f.old == nil {
+		return
+	}
+	per := (len(f.old)+f.oldLive)/n + 1
+	if per > f.drain {
+		f.drain = per
 	}
 }
 

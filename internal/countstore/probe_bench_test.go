@@ -1,0 +1,72 @@
+package countstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"coverage/internal/pattern"
+)
+
+// probe benchmark fixtures shaped like the airbnb-d13 counts bench:
+// ~18k distinct 13-byte combos, raw byte-aligned packed keys, probed
+// with an all-hit access pattern.
+func probeFixture(n int) (keys []pattern.PackedKey, strs []string) {
+	rng := rand.New(rand.NewSource(3))
+	c := pattern.NewRawCodec(13)
+	seen := make(map[string]bool, n)
+	for len(keys) < n {
+		b := make([]uint8, 13)
+		for i := range b {
+			b[i] = uint8(rng.Intn(6))
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		keys = append(keys, c.PackedKey(b))
+		strs = append(strs, string(b))
+	}
+	return keys, strs
+}
+
+func BenchmarkProbeFlat(b *testing.B) {
+	keys, _ := probeFixture(18000)
+	f := NewFlat(len(keys))
+	for i, k := range keys {
+		f.Set(k, int64(i+1))
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += f.Get(keys[i%len(keys)])
+	}
+	_ = sink
+}
+
+func BenchmarkProbeStringMap(b *testing.B) {
+	_, strs := probeFixture(18000)
+	m := make(map[string]int64, len(strs))
+	for i, s := range strs {
+		m[s] = int64(i + 1)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += m[strs[i%len(strs)]]
+	}
+	_ = sink
+}
+
+func BenchmarkProbePackedMap(b *testing.B) {
+	keys, _ := probeFixture(18000)
+	m := make(map[pattern.PackedKey]int64, len(keys))
+	for i, k := range keys {
+		m[k] = int64(i + 1)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += m[keys[i%len(keys)]]
+	}
+	_ = sink
+}

@@ -121,8 +121,13 @@ func (c *shardCore) applySigned(k comboKey, n int64) {
 // coordinator's point of view (the coordinator holds the write lock
 // for the entire cross-core mutation), adjusts the core's row count by
 // the table's sum, and compacts if the delta crossed its threshold.
-// The count table is pre-sized for the batch's distinct combos so a
-// flat store never regrows mid-batch.
+// The batch's measured distinct-combo count (itself the engine's
+// combos-per-row EWMA made concrete for this batch) is announced to
+// the count tables as an incremental-rehash drain budget rather than
+// reserved as whole slot arrays: most batch combos usually already
+// exist, so up-front sizing for all of them systematically
+// over-allocated, while the announced budget just guarantees any
+// in-progress rehash retires within the batch.
 func (c *shardCore) applyBatch(muts countTable) {
 	c.counts.reserve(muts.size())
 	c.deltaPos.reserve(muts.size())

@@ -22,7 +22,9 @@ type countTable interface {
 	// each calls fn for every live key; mutating the table during
 	// iteration is not allowed.
 	each(fn func(k comboKey, n int64))
-	// reserve pre-sizes for about extra further keys.
+	// reserve announces about extra upcoming mutations. Layouts with
+	// incremental rehash use it to pace their drain (no allocation —
+	// growth stays insert-driven); the rest ignore it.
 	reserve(extra int)
 	// negate flips every count's sign in place (the delete path builds
 	// a batch of positive needs, validates, then negates it wholesale).
@@ -49,6 +51,17 @@ func newTableFactory(keys *keyCodec, opts Options) *tableFactory {
 		return f
 	}
 	f.kind = countstore.Resolve(opts.CountStore, keys.codec, f.denseBits)
+	if f.kind != countstore.KindDense {
+		// Hashed layouts (flat, map) never index by key bits, so the
+		// bit-compact codec buys nothing; the byte-aligned raw codec
+		// packs row bytes with two word loads instead of a
+		// per-attribute loop. Dense keeps the compact layout — its key
+		// space is the packed bit range. Resolved once here, before any
+		// core exists, so every comboKey in the engine uses one layout.
+		if raw := pattern.NewRawCodec(keys.codec.Dim()); raw.Packable() {
+			keys.codec = raw
+		}
+	}
 	return f
 }
 
@@ -87,7 +100,7 @@ func (f flatTable) get(k comboKey) int64          { return f.t.Get(k.pk) }
 func (f flatTable) add(k comboKey, n int64) int64 { return f.t.Add(k.pk, n) }
 func (f flatTable) set(k comboKey, n int64)       { f.t.Set(k.pk, n) }
 func (f flatTable) size() int                     { return f.t.Len() }
-func (f flatTable) reserve(extra int)             { f.t.Reserve(extra) }
+func (f flatTable) reserve(extra int)             { f.t.ExpectInserts(extra) }
 func (f flatTable) negate()                       { f.t.Negate() }
 func (f flatTable) mem() countstore.Mem           { return f.t.Mem() }
 func (f flatTable) each(fn func(k comboKey, n int64)) {

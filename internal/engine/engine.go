@@ -632,6 +632,21 @@ func (e *ShardedEngine) Stats() Stats {
 	return st
 }
 
+// ResidentBytes reports the engine's resident count-store footprint:
+// the per-shard count tables plus pending delta-position tables — the
+// same per-shard store-bytes accounting Stats reports, summed without
+// materializing the full Stats block. Registries use it as the signal
+// for LRU byte-budget eviction across tenants.
+func (e *ShardedEngine) ResidentBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var b int64
+	for _, c := range e.cores {
+		b += c.counts.mem().Bytes + c.deltaPos.mem().Bytes
+	}
+	return b
+}
+
 // validateRows checks every row against the schema before any
 // mutation, so a rejected batch leaves the engine untouched.
 func (e *ShardedEngine) validateRows(rows [][]uint8) error {

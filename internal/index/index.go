@@ -33,9 +33,10 @@ type Index struct {
 	density [][]int            // [attribute][value] → set-bit count of the vector
 	counts  []int64            // multiplicity per distinct combo
 	combos  map[string]int64   // full combo → multiplicity (string fallback)
-	flat    *countstore.Flat   // full combo → multiplicity (packed, flat)
+	flat    *countstore.Probe  // full combo → multiplicity (packed, flat family)
 	dense   *countstore.Dense  // full combo → multiplicity (packed, dense)
 	codec   *pattern.Codec     // set iff flat or dense is
+	rawKeys bool               // flat uses the raw byte-aligned codec
 	total   int64
 	nDist   int
 }
@@ -98,13 +99,22 @@ func (ix *Index) initComboStore(kind Kind, denseBits, hint int) {
 		ix.combos = make(map[string]int64, hint)
 		return
 	}
-	ix.codec = codec
 	switch countstore.Resolve(kind, codec, denseBits) {
 	case countstore.KindDense:
+		ix.codec = codec
 		bits, _ := codec.PackedBits()
 		ix.dense = countstore.NewDense(bits)
 	default:
-		ix.flat = countstore.NewFlat(hint)
+		// The flat table only hashes its keys, so it trades the
+		// bit-compact layout for the byte-aligned raw one when the
+		// schema fits: every deepest-level probe then packs with two
+		// word loads instead of a per-attribute shift-and-mask loop.
+		if raw := pattern.NewRawCodec(len(ix.cards)); raw.Packable() {
+			codec = raw
+			ix.rawKeys = true
+		}
+		ix.codec = codec
+		ix.flat = countstore.NewProbe(hint)
 	}
 }
 
@@ -129,6 +139,9 @@ func (ix *Index) setCombo(combo []uint8, n int64) {
 func (ix *Index) fullCount(p pattern.Pattern) int64 {
 	switch {
 	case ix.flat != nil:
+		if ix.rawKeys {
+			return ix.flat.GetRaw(p)
+		}
 		return ix.flat.Get(ix.codec.PackedKey(p))
 	case ix.dense != nil:
 		return ix.dense.Get(ix.codec.PackedKey(p))

@@ -1,6 +1,9 @@
 package pattern
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // PackedKey is a compact, comparable map key for patterns: two machine
 // words that hash and compare in a handful of instructions, versus the
@@ -20,6 +23,10 @@ type Codec struct {
 	xcode    []uint8
 	mask     []uint64
 	packable bool
+	// raw marks the byte-aligned layout of NewRawCodec: every field is
+	// one whole byte, so PackedKey degenerates to two little-endian
+	// word loads of the pattern's raw bytes.
+	raw bool
 }
 
 // NewCodec builds a codec for the cardinality vector.
@@ -51,8 +58,44 @@ func NewCodec(cards []int) *Codec {
 	return c
 }
 
+// RawKeyDim is the widest schema the byte-aligned raw layout can
+// carry: 16 one-byte fields fill the two key words exactly.
+const RawKeyDim = 16
+
+// NewRawCodec builds the byte-aligned codec for a dim-attribute
+// schema: each field occupies one whole byte (shift 8·(i mod 8), word
+// i/8) and the wildcard keeps its raw 0xFF encoding, so the packed key
+// of a pattern is literally its bytes loaded little-endian into the
+// two key words — PackedKey costs two word loads instead of a
+// per-attribute shift-and-mask loop. The layout spends 8 bits per
+// field no matter the cardinality, so it suits hashed stores (flat,
+// map), never the dense direct-indexed vector, and only schemas of at
+// most RawKeyDim attributes are packable this way.
+func NewRawCodec(dim int) *Codec {
+	c := &Codec{
+		shift: make([]uint, dim),
+		word:  make([]uint8, dim),
+		xcode: make([]uint8, dim),
+		mask:  make([]uint64, dim),
+	}
+	if dim > RawKeyDim {
+		return c
+	}
+	c.packable, c.raw = true, true
+	for i := 0; i < dim; i++ {
+		c.shift[i] = uint(8 * (i % 8))
+		c.word[i] = uint8(i / 8)
+		c.xcode[i] = Wildcard
+		c.mask[i] = 0xFF
+	}
+	return c
+}
+
 // Packable reports whether PackedKey may be used for this schema.
 func (c *Codec) Packable() bool { return c.packable }
+
+// Raw reports whether this is the byte-aligned raw layout.
+func (c *Codec) Raw() bool { return c.raw }
 
 // PackedBits returns the total packed field width in bits and whether
 // every field landed in the first of the two key words. A one-word
@@ -78,6 +121,9 @@ func bits2(mask uint64) int { return bits.Len64(mask) }
 // only be called on packable codecs; p must use the codec's
 // cardinality vector.
 func (c *Codec) PackedKey(p Pattern) PackedKey {
+	if c.raw {
+		return rawKeyBytes(p)
+	}
 	var k PackedKey
 	for i, v := range p {
 		code := uint64(v)
@@ -89,11 +135,81 @@ func (c *Codec) PackedKey(p Pattern) PackedKey {
 	return k
 }
 
+// rawKeyBytes loads a pattern's raw bytes little-endian into the two
+// key words — the raw layout's whole packing step. Tails shorter than
+// a word are assembled from overlapping narrower loads where the
+// length allows; the wildcard byte 0xFF passes through unchanged (it
+// is its own xcode). Identical to the generic field loop over
+// NewRawCodec's layout, just without the per-attribute work.
+func rawKeyBytes(b []uint8) PackedKey {
+	var k PackedKey
+	switch {
+	case len(b) > 8:
+		k[0] = binary.LittleEndian.Uint64(b)
+		if len(b) == 16 {
+			k[1] = binary.LittleEndian.Uint64(b[8:])
+		} else {
+			// Overlapping load: bytes d-8..d-1, shifted so the bytes
+			// before position 8 fall off.
+			k[1] = binary.LittleEndian.Uint64(b[len(b)-8:]) >> (8 * (16 - uint(len(b))))
+		}
+	case len(b) == 8:
+		k[0] = binary.LittleEndian.Uint64(b)
+	case len(b) >= 4:
+		lo := uint64(binary.LittleEndian.Uint32(b))
+		hi := uint64(binary.LittleEndian.Uint32(b[len(b)-4:]))
+		k[0] = lo | hi<<(8*(uint(len(b))-4))
+	default:
+		for i := len(b) - 1; i >= 0; i-- {
+			k[0] = k[0]<<8 | uint64(b[i])
+		}
+	}
+	return k
+}
+
+// rawKeyString is rawKeyBytes over a string. The explicit byte ORs
+// compile to the same fused word loads on little-endian targets.
+func rawKeyString(s string) PackedKey {
+	var k PackedKey
+	switch {
+	case len(s) > 8:
+		k[0] = le64s(s)
+		if len(s) == 16 {
+			k[1] = le64s(s[8:])
+		} else {
+			k[1] = le64s(s[len(s)-8:]) >> (8 * (16 - uint(len(s))))
+		}
+	case len(s) == 8:
+		k[0] = le64s(s)
+	case len(s) >= 4:
+		k[0] = le32s(s) | le32s(s[len(s)-4:])<<(8*(uint(len(s))-4))
+	default:
+		for i := len(s) - 1; i >= 0; i-- {
+			k[0] = k[0]<<8 | uint64(s[i])
+		}
+	}
+	return k
+}
+
+func le64s(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+
+func le32s(s string) uint64 {
+	_ = s[3]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24
+}
+
 // PackedKeyString is PackedKey over a pattern held as its raw
 // byte-string key (as produced by Pattern.Key), avoiding the []byte
 // copy a string→Pattern conversion would cost. s must have the codec's
 // dimension.
 func (c *Codec) PackedKeyString(s string) PackedKey {
+	if c.raw {
+		return rawKeyString(s)
+	}
 	var k PackedKey
 	for i := 0; i < len(s); i++ {
 		code := uint64(s[i])

@@ -1,0 +1,35 @@
+package persist
+
+import (
+	"testing"
+
+	"coverage/internal/engine"
+)
+
+// Bridges for the external persist_test package (which can import the
+// registry without a cycle): legacy-format fixture snapshots, the
+// on-disk snapshot name, and the shared engine fixtures/assertions.
+
+// EncodeSnapshotV1ForTest frames a version-1 fixture snapshot.
+func EncodeSnapshotV1ForTest(st *engine.State) []byte {
+	return frameV1(encodeStateV1(st))
+}
+
+// EncodeSnapshotV2ForTest frames a version-2 fixture snapshot.
+func EncodeSnapshotV2ForTest(st *engine.State) []byte {
+	return frameVersion(snapshotVersionV2, encodeStateV2(st))
+}
+
+// SnapshotNameForTest is the on-disk name of generation gen's snapshot.
+func SnapshotNameForTest(gen uint64) string { return snapshotName(gen) }
+
+// MutatedEngineForTest builds the standard randomized-history engine.
+func MutatedEngineForTest(t testing.TB, seed int64, ops int) *engine.Engine {
+	return mutatedEngine(t, seed, ops)
+}
+
+// AssertEquivalentForTest checks two engines answer every coverage and
+// MUP query identically.
+func AssertEquivalentForTest(t testing.TB, want, got *engine.Engine) {
+	assertEquivalent(t, want, got)
+}

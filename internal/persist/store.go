@@ -549,3 +549,21 @@ func (s *Store) Close() error {
 	s.wal = nil
 	return err
 }
+
+// Park makes the directory self-contained and releases the store: a
+// snapshot captures any acknowledged mutation past the last one, then
+// the WAL handle is closed. After Park the directory alone
+// reconstructs the engine through Open+Recover — the cold-tenant path
+// a registry takes when it evicts a dataset from memory. The store is
+// unusable afterwards even when the snapshot fails; the WAL still
+// holds the tail in that case, so no acknowledged state is lost.
+func (s *Store) Park() error {
+	var snapErr error
+	if s.Dirty() {
+		_, snapErr = s.Snapshot()
+	}
+	if err := s.Close(); err != nil && snapErr == nil {
+		snapErr = err
+	}
+	return snapErr
+}

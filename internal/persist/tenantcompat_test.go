@@ -1,0 +1,82 @@
+package persist_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coverage/internal/engine"
+	"coverage/internal/persist"
+	"coverage/internal/registry"
+)
+
+// TestLegacySnapshotsUnderTenantDirs proves the registry's per-tenant
+// directory layout restores snapshot fixtures of every supported
+// format version: a v1, v2 or v3 snapshot dropped into
+// <dir>/tenants/<id> is discovered at registry open, lazily restored
+// on first acquire, answer-identical to the engine it was encoded
+// from, and accepts mutations afterwards.
+func TestLegacySnapshotsUnderTenantDirs(t *testing.T) {
+	encoders := []struct {
+		id     string
+		encode func(*engine.State) []byte
+	}{
+		{"legacy-v1", persist.EncodeSnapshotV1ForTest},
+		{"legacy-v2", persist.EncodeSnapshotV2ForTest},
+		{"current-v3", func(st *engine.State) []byte {
+			var buf bytes.Buffer
+			if _, err := persist.WriteSnapshot(&buf, st); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}},
+	}
+
+	dir := t.TempDir()
+	shadows := make(map[string]*engine.Engine, len(encoders))
+	for i, enc := range encoders {
+		shadow := persist.MutatedEngineForTest(t, int64(31+i), 80)
+		st := shadow.ExportState()
+		tdir := filepath.Join(dir, "tenants", enc.id)
+		if err := os.MkdirAll(tdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		name := persist.SnapshotNameForTest(st.Generation)
+		if err := os.WriteFile(filepath.Join(tdir, name), enc.encode(st), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		shadows[enc.id] = shadow
+	}
+
+	reg, err := registry.Open(registry.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if got := len(reg.List()); got != len(encoders) {
+		t.Fatalf("registry found %d tenants, want %d", got, len(encoders))
+	}
+
+	for _, enc := range encoders {
+		t.Run(enc.id, func(t *testing.T) {
+			h, err := reg.Acquire(enc.id)
+			if err != nil {
+				t.Fatalf("acquiring %q: %v", enc.id, err)
+			}
+			defer h.Release()
+			persist.AssertEquivalentForTest(t, shadows[enc.id], h.Engine())
+			// The restored tenant keeps mutating through its WAL.
+			rng := rand.New(rand.NewSource(7))
+			cards := h.Engine().Cards()
+			row := make([]uint8, len(cards))
+			for i, c := range cards {
+				row[i] = uint8(rng.Intn(c))
+			}
+			if err := h.Store().Append([][]uint8{row}); err != nil {
+				t.Fatalf("appending to restored %q: %v", enc.id, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package registry
+
+import (
+	"sync"
+	"time"
+)
+
+// BudgetConfig bounds how fast one tenant may issue search-class work
+// (MUP searches, plans, coverage probes). The zero value means
+// unlimited.
+type BudgetConfig struct {
+	// PerSec is the sustained admissions per second; 0 disables the
+	// budget entirely.
+	PerSec float64
+	// Burst is the bucket depth — how many admissions can arrive
+	// back-to-back after an idle stretch; 0 means PerSec (one second
+	// of headroom), with a floor of 1.
+	Burst float64
+}
+
+func (c BudgetConfig) limited() bool { return c.PerSec > 0 }
+
+func (c BudgetConfig) burst() float64 {
+	b := c.Burst
+	if b <= 0 {
+		b = c.PerSec
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Budget is a token bucket charging one token per admitted request.
+// A nil *Budget admits everything — memory-only and unconfigured
+// tenants skip the accounting entirely.
+type Budget struct {
+	mu     sync.Mutex
+	cfg    BudgetConfig
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test clock
+}
+
+// NewBudget builds a budget over cfg, or nil when cfg is unlimited.
+func NewBudget(cfg BudgetConfig) *Budget {
+	if !cfg.limited() {
+		return nil
+	}
+	return &Budget{cfg: cfg, tokens: cfg.burst(), now: time.Now}
+}
+
+// Take admits one request if a token is available. When the bucket is
+// empty it returns (retry, false) where retry is how long until a
+// token accrues — the Retry-After the HTTP layer should surface with
+// its 429.
+func (b *Budget) Take() (retry time.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	if !b.last.IsZero() {
+		b.tokens += t.Sub(b.last).Seconds() * b.cfg.PerSec
+		if max := b.cfg.burst(); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration(float64(time.Second) * (1 - b.tokens) / b.cfg.PerSec), false
+}

@@ -1,0 +1,73 @@
+package registry
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is the registry's shared worker-slot pool: a weighted
+// semaphore capping how much MUP-search and plan parallelism all
+// tenants may run at once. One covserve process hosting N tenants
+// would otherwise let each engine fan out to GOMAXPROCS workers
+// simultaneously — N× oversubscription the moment two tenants search
+// together. A nil *Pool admits everything (single-tenant embedding).
+type Pool struct {
+	cap int
+	// acq serializes whole acquisitions so a heavy request takes its
+	// slots atomically — two requests interleaving partial holds on
+	// the channel could deadlock waiting on each other's remainder.
+	acq sync.Mutex
+	sem chan struct{}
+}
+
+// NewPool builds a pool of n slots; n <= 0 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{cap: n, sem: make(chan struct{}, n)}
+}
+
+// Cap is the pool's slot count.
+func (p *Pool) Cap() int {
+	if p == nil {
+		return 0
+	}
+	return p.cap
+}
+
+// Acquire takes n slots (clamped to [1, cap]), blocking until they
+// are free or ctx is done. On success the returned release function
+// must be called exactly once.
+func (p *Pool) Acquire(ctx context.Context, n int) (release func(), err error) {
+	if p == nil {
+		return func() {}, nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > p.cap {
+		n = p.cap
+	}
+	p.acq.Lock()
+	defer p.acq.Unlock()
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			for ; i > 0; i-- {
+				<-p.sem
+			}
+			return nil, ctx.Err()
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := 0; i < n; i++ {
+				<-p.sem
+			}
+		})
+	}, nil
+}

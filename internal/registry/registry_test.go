@@ -1,0 +1,441 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"coverage/internal/dataset"
+	"coverage/internal/engine"
+	"coverage/internal/mup"
+	"coverage/internal/pattern"
+)
+
+func smallSchema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "sex", Values: []string{"female", "male"}},
+		{Name: "race", Values: []string{"black", "other", "white"}},
+		{Name: "age", Values: []string{"lt25", "25to45", "gt45"}},
+	})
+}
+
+func otherSchema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "country", Values: []string{"us", "uk"}},
+		{Name: "tier", Values: []string{"free", "pro", "team", "org"}},
+	})
+}
+
+func appendRows(t testing.TB, eng *engine.Engine, seed int64, n int) [][]uint8 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cards := eng.Cards()
+	rows := make([][]uint8, n)
+	for i := range rows {
+		row := make([]uint8, len(cards))
+		for j, c := range cards {
+			row[j] = uint8(rng.Intn(c))
+		}
+		rows[i] = row
+	}
+	if err := eng.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestValidateID(t *testing.T) {
+	for _, id := range []string{"a", "default", "Tenant-2.v1", "x_y", "0day"} {
+		if err := ValidateID(id); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", id, err)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, id := range []string{"", ".", "-x", "_x", "a/b", "a b", "é", "a\x00b", string(long)} {
+		if err := ValidateID(id); !errors.Is(err, ErrBadID) {
+			t.Errorf("ValidateID(%q) = %v, want ErrBadID", id, err)
+		}
+	}
+}
+
+func TestBudgetTokenBucket(t *testing.T) {
+	if b := NewBudget(BudgetConfig{}); b != nil {
+		t.Fatal("unlimited config should build a nil budget")
+	}
+	var nilB *Budget
+	if _, ok := nilB.Take(); !ok {
+		t.Fatal("nil budget must admit everything")
+	}
+
+	now := time.Unix(1000, 0)
+	b := NewBudget(BudgetConfig{PerSec: 2, Burst: 3})
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Take(); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	retry, ok := b.Take()
+	if ok {
+		t.Fatal("take past burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 1s] at 2/sec", retry)
+	}
+	// Half a second accrues one token at 2/sec.
+	now = now.Add(500 * time.Millisecond)
+	if _, ok := b.Take(); !ok {
+		t.Fatal("token accrued over 500ms at 2/sec refused")
+	}
+	if _, ok := b.Take(); ok {
+		t.Fatal("second immediate take admitted with an empty bucket")
+	}
+	// A long idle stretch refills to the burst cap, no further.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Take(); !ok {
+			t.Fatalf("take %d after refill refused", i)
+		}
+	}
+	if _, ok := b.Take(); ok {
+		t.Fatal("burst cap not enforced after idle refill")
+	}
+}
+
+func TestPool(t *testing.T) {
+	var nilP *Pool
+	release, err := nilP.Acquire(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	p := NewPool(2)
+	if p.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2", p.Cap())
+	}
+	// A request wider than the pool clamps instead of deadlocking.
+	r1, err := p.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool is now full: a bounded-context acquire times out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquire on a full pool = %v, want deadline exceeded", err)
+	}
+	r1()
+	r1() // double release is a no-op, not a slot leak
+	r2, err := p.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+}
+
+func TestMemoryOnlyLifecycle(t *testing.T) {
+	reg, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, err := reg.Ensure("mem", smallSchema(), TenantOptions{})
+	if err != nil || !created {
+		t.Fatalf("Ensure = (%v, %v), want (true, nil)", created, err)
+	}
+	created, err = reg.Ensure("mem", smallSchema(), TenantOptions{})
+	if err != nil || created {
+		t.Fatalf("re-Ensure same schema = (%v, %v), want (false, nil)", created, err)
+	}
+	if _, err := reg.Ensure("mem", otherSchema(), TenantOptions{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("Ensure with different schema = %v, want ErrExists", err)
+	}
+	if _, err := reg.Ensure("bad/id", smallSchema(), TenantOptions{}); !errors.Is(err, ErrBadID) {
+		t.Fatalf("Ensure with bad id = %v, want ErrBadID", err)
+	}
+
+	h, err := reg.Acquire("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, h.Engine(), 1, 20)
+	if h.Store() != nil {
+		t.Fatal("memory-only tenant has a store")
+	}
+	h.Release()
+
+	if err := reg.Drop("mem"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Acquire("mem"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Acquire after Drop = %v, want ErrNotFound", err)
+	}
+	if err := reg.Drop("mem"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Drop = %v, want ErrNotFound", err)
+	}
+}
+
+// TestEvictionRestore is the tentpole invariant: a tenant parked by
+// the resident-byte budget and lazily restored answers every query
+// exactly like a shadow engine that was never evicted.
+func TestEvictionRestore(t *testing.T) {
+	dir := t.TempDir()
+	// A 1-byte budget makes every idle persistent tenant evictable the
+	// moment its last handle is released.
+	reg, err := Open(Options{Dir: dir, MaxResidentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	shadow := engine.New(smallSchema(), engine.Options{})
+	if _, err := reg.Ensure("cold", smallSchema(), TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := reg.Acquire("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := h.Gen()
+	rows := appendRows(t, h.Engine(), 2, 60)
+	if err := shadow.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	h.Release() // budget enforcement parks the tenant here
+
+	for _, info := range reg.List() {
+		if info.ID == "cold" && info.Resident {
+			t.Fatal("tenant still resident after release under a 1-byte budget")
+		}
+	}
+	if st := reg.Stats(); st.Evictions == 0 {
+		t.Fatalf("Stats().Evictions = 0 after park, stats: %+v", st)
+	}
+
+	h2, err := reg.Acquire("cold")
+	if err != nil {
+		t.Fatalf("acquire after eviction: %v", err)
+	}
+	defer h2.Release()
+	if h2.Gen() == gen0 {
+		t.Fatal("restore did not bump the residency generation")
+	}
+	if st := reg.Stats(); st.Restores == 0 {
+		t.Fatalf("Stats().Restores = 0 after lazy restore, stats: %+v", st)
+	}
+
+	cards := shadow.Cards()
+	var walk func(p pattern.Pattern, i int)
+	probe := make(pattern.Pattern, len(cards))
+	walk = func(p pattern.Pattern, i int) {
+		if i == len(cards) {
+			w, err1 := shadow.Coverage(p)
+			g, err2 := h2.Engine().Coverage(p)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("coverage errors: %v / %v", err1, err2)
+			}
+			if w != g {
+				t.Fatalf("cov(%v): restored %d, shadow %d", p, g, w)
+			}
+			return
+		}
+		p[i] = pattern.Wildcard
+		walk(p, i+1)
+		for v := 0; v < cards[i]; v++ {
+			p[i] = uint8(v)
+			walk(p, i+1)
+		}
+	}
+	walk(probe, 0)
+	w, err := shadow.MUPs(mup.Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := h2.Engine().MUPs(mup.Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.MUPs) != len(g.MUPs) {
+		t.Fatalf("MUPs after restore: %d, shadow %d", len(g.MUPs), len(w.MUPs))
+	}
+}
+
+// TestEnsureVerifiesParkedSchema: Ensure over a parked tenant restores
+// it to compare schemas rather than trusting the id.
+func TestEnsureVerifiesParkedSchema(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(Options{Dir: dir, MaxResidentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.Ensure("t", smallSchema(), TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Acquire("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release() // parked now
+	if _, err := reg.Ensure("t", otherSchema(), TenantOptions{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("Ensure over parked tenant with different schema = %v, want ErrExists", err)
+	}
+	if created, err := reg.Ensure("t", smallSchema(), TenantOptions{}); err != nil || created {
+		t.Fatalf("Ensure over parked tenant with same schema = (%v, %v), want (false, nil)", created, err)
+	}
+}
+
+// TestDropDeletesDirectory: dropping a registry-created tenant removes
+// its directory; an adopted tenant is protected.
+func TestDropDeletesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.Ensure("doomed", smallSchema(), TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tdir := filepath.Join(dir, "tenants", "doomed")
+	if _, err := os.Stat(tdir); err != nil {
+		t.Fatalf("tenant dir missing before drop: %v", err)
+	}
+
+	// Drop while a handle is outstanding: deletion waits for release.
+	h, err := reg.Acquire("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Drop("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tdir); err != nil {
+		t.Fatal("tenant dir deleted while a handle was outstanding")
+	}
+	h.Release()
+	if _, err := os.Stat(tdir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tenant dir after last release: %v, want ErrNotExist", err)
+	}
+
+	adoptedEng := engine.New(smallSchema(), engine.Options{})
+	if err := reg.Adopt("default", adoptedEng, nil, TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Drop("default"); !errors.Is(err, ErrProtected) {
+		t.Fatalf("Drop adopted = %v, want ErrProtected", err)
+	}
+}
+
+// TestReopenFindsParkedTenants: a second registry over the same dir
+// sees the first one's tenants.
+func TestReopenFindsParkedTenants(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ensure("kept", smallSchema(), TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Acquire("kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, h.Engine(), 3, 25)
+	rows := h.Engine().Rows()
+	h.Release()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	h2, err := reg2.Acquire("kept")
+	if err != nil {
+		t.Fatalf("acquire after reopen: %v", err)
+	}
+	defer h2.Release()
+	if got := h2.Engine().Rows(); got != rows {
+		t.Fatalf("reopened tenant has %d rows, want %d", got, rows)
+	}
+}
+
+// TestConcurrentAcquireEvict hammers acquire/mutate/release on two
+// tenants under a 1-byte budget so parks, restores and leases race;
+// run under -race this is the registry's locking proof. Row counts
+// must come out exact.
+func TestConcurrentAcquireEvict(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(Options{Dir: dir, MaxResidentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ids := []string{"alpha", "beta"}
+	for _, id := range ids {
+		if _, err := reg.Ensure(id, smallSchema(), TenantOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers, iters = 4, 15
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(ids))
+	for w := 0; w < workers; w++ {
+		for _, id := range ids {
+			wg.Add(1)
+			go func(w int, id string) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < iters; i++ {
+					h, err := reg.Acquire(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					cards := h.Engine().Cards()
+					row := make([]uint8, len(cards))
+					for j, c := range cards {
+						row[j] = uint8(rng.Intn(c))
+					}
+					if err := h.Store().Append([][]uint8{row}); err != nil {
+						errs <- err
+					}
+					h.Release()
+				}
+			}(w, id)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		h, err := reg.Acquire(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.Engine().Rows(); got != workers*iters {
+			t.Fatalf("%s: %d rows after concurrent churn, want %d", id, got, workers*iters)
+		}
+		h.Release()
+	}
+	if st := reg.Stats(); st.Evictions == 0 || st.Restores == 0 {
+		t.Fatalf("expected churn to evict and restore, stats: %+v", st)
+	}
+}
