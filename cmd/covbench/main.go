@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|shard|plan|counts|registry|all
+//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|shard|plan|counts|registry|replica|all
 //
 // Flags:
 //
@@ -40,18 +40,19 @@ import (
 )
 
 type config struct {
-	n          int
-	quick      bool
-	apriori    bool
-	naive      bool
-	check      bool
-	seed       int64
-	benchOut   string
-	persistOut string
+	n           int
+	quick       bool
+	apriori     bool
+	naive       bool
+	check       bool
+	seed        int64
+	benchOut    string
+	persistOut  string
 	shardOut    string
 	planOut     string
 	countsOut   string
 	registryOut string
+	replicaOut  string
 }
 
 func fatal(err error) {
@@ -82,6 +83,7 @@ var experiments = []struct {
 	{"plan", "remediation planner: incremental repair vs from-scratch at 1,4 workers → JSON", planBench},
 	{"counts", "count-store layouts (map/flat/dense × append/MUP-search/delete-repair at GOMAXPROCS=1) → JSON", countsBench},
 	{"registry", "multi-tenant registry (lease, park/restore, create/drop, pooled search) → JSON", registryBench},
+	{"replica", "delta snapshots + WAL-feed replication (delta vs full write, follower catch-up, bounded-staleness reads) → JSON", replicaBench},
 }
 
 func main() {
@@ -98,6 +100,7 @@ func main() {
 	flag.StringVar(&cfg.planOut, "planout", "BENCH_plan.json", "output file for the plan experiment's JSON results")
 	flag.StringVar(&cfg.countsOut, "countsout", "BENCH_counts.json", "output file for the counts experiment's JSON results")
 	flag.StringVar(&cfg.registryOut, "registryout", "BENCH_registry.json", "output file for the registry experiment's JSON results")
+	flag.StringVar(&cfg.replicaOut, "replicaout", "BENCH_replica.json", "output file for the replica experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

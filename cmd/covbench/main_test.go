@@ -46,8 +46,8 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 18 {
-		t.Errorf("%d experiments registered, want 18 (one per figure/table, plus engine, persist, shard, plan, counts and registry)", len(seen))
+	if len(seen) != 19 {
+		t.Errorf("%d experiments registered, want 19 (one per figure/table, plus engine, persist, shard, plan, counts, registry and replica)", len(seen))
 	}
 }
 
@@ -270,6 +270,47 @@ func TestPersistBenchWritesJSON(t *testing.T) {
 	if last.RestoreNs >= last.RebuildNs {
 		t.Errorf("n=%d: snapshot restore (%.0f ns) is not faster than a from-scratch rebuild (%.0f ns)",
 			last.Rows, last.RestoreNs, last.RebuildNs)
+	}
+}
+
+// TestReplicaBenchWritesJSON smokes the replication benchmark at toy
+// scale: the report must decode, hold one point per delta size, carry
+// a positive catch-up throughput, and show the headline property — a
+// delta snapshot of a small batch is cheaper than a full image of the
+// whole state, in both time and bytes.
+func TestReplicaBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	rep := replicaBenchSmoke(t.TempDir())
+	if len(rep.Series) != 2 {
+		t.Fatalf("%d series points, want 2 (small and large delta)", len(rep.Series))
+	}
+	for _, pt := range rep.Series {
+		if pt.BaseRows <= 0 || pt.DeltaRows <= 0 || pt.FullBytes <= 0 || pt.DeltaBytes <= 0 {
+			t.Errorf("series point = %+v", pt)
+		}
+		if pt.FullWriteNs <= 0 || pt.DeltaWriteNs <= 0 {
+			t.Errorf("non-positive timings: %+v", pt)
+		}
+	}
+	if rep.CatchupRows <= 0 || rep.CatchupRowsPerSec <= 0 || rep.BoundedReadNs <= 0 {
+		t.Errorf("catch-up section = %+v", rep)
+	}
+	if rep.SummaryDeltaRows != rep.Series[0].DeltaRows {
+		t.Errorf("summary delta rows %d, want the smallest point %d", rep.SummaryDeltaRows, rep.Series[0].DeltaRows)
+	}
+	// The O(changes) property. The race detector skews both paths, so
+	// the timing claim only runs uninstrumented; the size claim always
+	// holds.
+	small := rep.Series[0]
+	if small.SizeRatio <= 1 {
+		t.Errorf("delta of %d rows (%d bytes) not smaller than the full image (%d bytes)",
+			small.DeltaRows, small.DeltaBytes, small.FullBytes)
+	}
+	if !raceEnabled && small.WriteSpeedup <= 1 {
+		t.Errorf("delta write (%.0f ns) not faster than a full snapshot (%.0f ns)",
+			small.DeltaWriteNs, small.FullWriteNs)
 	}
 }
 

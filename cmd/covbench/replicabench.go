@@ -1,0 +1,342 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"coverage/internal/datagen"
+	"coverage/internal/engine"
+	"coverage/internal/mup"
+	"coverage/internal/persist"
+)
+
+// replicaBenchPoint compares a full snapshot against a delta snapshot
+// of the same engine state: a 100k-row base plus DeltaRows appended
+// rows. The delta's cost must track the batch, not the base.
+type replicaBenchPoint struct {
+	BaseRows  int `json:"base_rows"`
+	DeltaRows int `json:"delta_rows"`
+	// FullWriteNs covers CaptureState + encode + checksum of the whole
+	// engine (no disk); DeltaWriteNs covers CaptureDelta + encode of
+	// the changes since the base image.
+	FullWriteNs  float64 `json:"full_snapshot_write_ns"`
+	FullBytes    int64   `json:"full_snapshot_bytes"`
+	DeltaWriteNs float64 `json:"delta_snapshot_write_ns"`
+	DeltaBytes   int64   `json:"delta_snapshot_bytes"`
+	WriteSpeedup float64 `json:"delta_write_speedup"`
+	SizeRatio    float64 `json:"full_to_delta_size_ratio"`
+}
+
+// replicaBenchReport is BENCH_replica.json: the delta-vs-full snapshot
+// series, follower catch-up throughput over a decoded WAL feed, and
+// the read latency of a staleness-bounded query on a caught-up
+// replica. The Summary* fields surface the acceptance ratios at the
+// smallest delta so CI can grep one number.
+type replicaBenchReport struct {
+	BaseRows   int                 `json:"base_rows"`
+	Dimensions int                 `json:"dimensions"`
+	Threshold  int64               `json:"threshold"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoVersion  string              `json:"go_version"`
+	Series     []replicaBenchPoint `json:"series"`
+
+	// Follower catch-up: restore the leader's base image, then decode
+	// and apply a WALSince feed of CatchupRecords batches
+	// (CatchupRows rows). CatchupApplyNs is the feed part alone (the
+	// restore is measured separately and subtracted).
+	CatchupRecords    int     `json:"catchup_wal_records"`
+	CatchupRows       int     `json:"catchup_rows"`
+	CatchupApplyNs    float64 `json:"catchup_apply_ns"`
+	CatchupRowsPerSec float64 `json:"catchup_rows_per_sec"`
+	// BoundedReadNs is a warm cached-MUP read on the caught-up replica
+	// behind the generation-lag admission check (an integer compare).
+	BoundedReadNs float64 `json:"bounded_staleness_read_ns"`
+
+	SummaryDeltaRows    int     `json:"summary_delta_rows"`
+	SummaryWriteSpeedup float64 `json:"summary_delta_write_speedup"`
+	SummarySizeRatio    float64 `json:"summary_delta_size_ratio"`
+}
+
+// replicaBench regenerates BENCH_replica.json.
+func replicaBench(cfg config) {
+	n := 100000
+	deltas := []int{1000, 10000}
+	if cfg.quick {
+		n = 20000
+		deltas = []int{200, 2000}
+	}
+	if n > cfg.n {
+		n = cfg.n
+		deltas = []int{n / 100, n / 10}
+		if deltas[0] < 10 {
+			deltas[0] = 10
+		}
+	}
+	const d = 13
+	tau := int64(0.001 * float64(n))
+	if tau < 2 {
+		tau = 2
+	}
+	report := replicaBenchReport{
+		BaseRows:   n,
+		Dimensions: d,
+		Threshold:  tau,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	ds := datagen.AirBnB(n, d, cfg.seed)
+	dim := ds.Dim()
+	// The mutation logs must reach back past the largest delta, or
+	// CaptureDelta's horizon check forces the full-snapshot fallback.
+	logSize := 2 * deltas[len(deltas)-1]
+	eng := engine.NewFromDataset(ds, engine.Options{RemovedLogSize: logSize})
+	// Warm one MUP cache so snapshots carry a realistic payload (the
+	// delta references it by generation instead of re-encoding it).
+	if _, err := eng.MUPs(mup.Options{Threshold: tau}); err != nil {
+		fatal(err)
+	}
+	base := eng.CaptureState().Baseline()
+
+	appended := 0
+	for _, dr := range deltas {
+		for appended < dr {
+			k := dr - appended
+			if k > 500 {
+				k = 500
+			}
+			rows := make([][]uint8, k)
+			for i := range rows {
+				rows[i] = ds.Row((appended + i) % ds.NumRows())
+			}
+			if err := eng.Append(rows); err != nil {
+				fatal(err)
+			}
+			appended += k
+		}
+
+		fw := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := persist.WriteSnapshot(io.Discard, eng.ExportState()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		var fbuf bytes.Buffer
+		if _, err := persist.WriteSnapshot(&fbuf, eng.ExportState()); err != nil {
+			fatal(err)
+		}
+
+		dw := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dl, _, ok := eng.CaptureDelta(base)
+				if !ok {
+					b.Fatal("delta not expressible: mutation log trimmed past the base")
+				}
+				if _, err := persist.WriteDelta(io.Discard, dl, dim); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		dl, _, ok := eng.CaptureDelta(base)
+		if !ok {
+			fatal(fmt.Errorf("delta not expressible at %d rows", dr))
+		}
+		var dbuf bytes.Buffer
+		if _, err := persist.WriteDelta(&dbuf, dl, dim); err != nil {
+			fatal(err)
+		}
+
+		pt := replicaBenchPoint{
+			BaseRows:     n,
+			DeltaRows:    dr,
+			FullWriteNs:  float64(fw.NsPerOp()),
+			FullBytes:    int64(fbuf.Len()),
+			DeltaWriteNs: float64(dw.NsPerOp()),
+			DeltaBytes:   int64(dbuf.Len()),
+		}
+		if pt.DeltaWriteNs > 0 {
+			pt.WriteSpeedup = pt.FullWriteNs / pt.DeltaWriteNs
+		}
+		if pt.DeltaBytes > 0 {
+			pt.SizeRatio = float64(pt.FullBytes) / float64(pt.DeltaBytes)
+		}
+		report.Series = append(report.Series, pt)
+		fmt.Printf("base=%-7d delta=%-6d full %9.0f µs / %8d bytes   delta %8.0f µs / %7d bytes   (%.1fx faster, %.1fx smaller)\n",
+			n, dr, pt.FullWriteNs/1e3, pt.FullBytes, pt.DeltaWriteNs/1e3, pt.DeltaBytes, pt.WriteSpeedup, pt.SizeRatio)
+	}
+	first := report.Series[0]
+	report.SummaryDeltaRows = first.DeltaRows
+	report.SummaryWriteSpeedup = first.WriteSpeedup
+	report.SummarySizeRatio = first.SizeRatio
+
+	measureCatchup(cfg, &report, tau)
+
+	out := cfg.replicaOut
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// measureCatchup times a follower consuming a WALSince feed: restore
+// the leader's base image, decode the feed, apply every record. The
+// restore is benchmarked alone and subtracted, so the reported
+// throughput is the tail-replay part a live follower pays per poll.
+func measureCatchup(cfg config, report *replicaBenchReport, tau int64) {
+	baseRows := report.BaseRows / 10
+	if baseRows < 1000 {
+		baseRows = 1000
+	}
+	const tailBatches = 40
+	const batchRows = 100
+	ds := datagen.AirBnB(baseRows, report.Dimensions, cfg.seed+1)
+	dim := ds.Dim()
+
+	dir, err := os.MkdirTemp("", "covbench-replica-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	leader := engine.NewFromDataset(ds, engine.Options{})
+	if err := store.Attach(leader); err != nil {
+		fatal(err)
+	}
+	startGen := leader.Generation()
+	var baseBuf bytes.Buffer
+	if _, err := persist.WriteSnapshot(&baseBuf, leader.ExportState()); err != nil {
+		fatal(err)
+	}
+	baseImage := baseBuf.Bytes()
+
+	rows := make([][]uint8, batchRows)
+	for i := 0; i < tailBatches; i++ {
+		for j := range rows {
+			rows[j] = ds.Row((i*batchRows + j) % ds.NumRows())
+		}
+		if err := store.Append(rows); err != nil {
+			fatal(err)
+		}
+	}
+	feed, _, err := store.WALSince(startGen, 0)
+	if err != nil {
+		fatal(err)
+	}
+	recs, complete := persist.DecodeWALStream(feed, dim)
+	if !complete || len(recs) != tailBatches {
+		fatal(fmt.Errorf("feed decode: %d records, complete=%v; want %d complete", len(recs), complete, tailBatches))
+	}
+
+	restore := func() *engine.Engine {
+		st, err := persist.ReadSnapshotBytes(baseImage)
+		if err != nil {
+			fatal(err)
+		}
+		fe, err := engine.NewFromState(st, engine.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		return fe
+	}
+	apply := func(fe *engine.Engine) {
+		for _, rec := range recs {
+			var err error
+			switch rec.Op {
+			case persist.WALOpAppend:
+				err = fe.Append(rec.Rows)
+			case persist.WALOpDelete:
+				err = fe.Delete(rec.Rows)
+			case persist.WALOpWindow:
+				fe.SetWindow(rec.MaxRows)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	rb := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			restore()
+		}
+	})
+	cb := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fe := restore()
+			got, ok := persist.DecodeWALStream(feed, dim)
+			if !ok || len(got) != tailBatches {
+				b.Fatal("feed decode diverged")
+			}
+			apply(fe)
+		}
+	})
+	applyNs := float64(cb.NsPerOp()) - float64(rb.NsPerOp())
+	if applyNs <= 0 {
+		applyNs = float64(cb.NsPerOp())
+	}
+	report.CatchupRecords = tailBatches
+	report.CatchupRows = tailBatches * batchRows
+	report.CatchupApplyNs = applyNs
+	report.CatchupRowsPerSec = float64(report.CatchupRows) / (applyNs / 1e9)
+
+	// Staleness-bounded read: the replica's admission gate is a
+	// generation compare in front of the (cached, repaired) query.
+	fe := restore()
+	apply(fe)
+	leaderGen := leader.Generation()
+	localGen := fe.Generation()
+	if localGen != leaderGen {
+		fatal(fmt.Errorf("follower at generation %d, leader at %d", localGen, leaderGen))
+	}
+	if _, err := fe.MUPs(mup.Options{Threshold: tau}); err != nil {
+		fatal(err)
+	}
+	const maxLag = 0
+	sr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if leaderGen-localGen > maxLag {
+				b.Fatal("stale replica would be refused")
+			}
+			if _, err := fe.MUPs(mup.Options{Threshold: tau}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.BoundedReadNs = float64(sr.NsPerOp())
+
+	fmt.Printf("catch-up: %d records / %d rows in %.0f µs (%.0f rows/s)   bounded read %.0f ns\n",
+		report.CatchupRecords, report.CatchupRows, applyNs/1e3, report.CatchupRowsPerSec, report.BoundedReadNs)
+}
+
+// replicaBenchSmoke is the reduced-scale run used by the tests.
+func replicaBenchSmoke(dir string) replicaBenchReport {
+	out := filepath.Join(dir, "BENCH_replica.json")
+	replicaBench(config{n: 20000, quick: true, seed: 42, replicaOut: out})
+	var rep replicaBenchReport
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(err)
+	}
+	return rep
+}

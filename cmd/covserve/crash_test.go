@@ -75,8 +75,11 @@ func TestDurableServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.SnapshotGeneration != snap.Generation || info.Replayed != 1 {
-		t.Errorf("recovery info = %+v, want snapshot gen %d + 1 replayed record", info, snap.Generation)
+	// The on-demand snapshot was a delta against the attach image, so
+	// recovery restores the full base, layers that delta, and replays
+	// only the post-snapshot WAL tail (the delete).
+	if info.SnapshotGeneration != 0 || info.DeltasApplied != 1 || info.Replayed != 1 {
+		t.Errorf("recovery info = %+v, want base gen 0 + 1 delta + 1 replayed record", info)
 	}
 	s2 := newServer(coverage.NewAnalyzerFromEngine(eng), store2)
 	for _, target := range []string{"XX", "0X", "10"} {
@@ -437,6 +440,240 @@ func verifyAgainstShadow(t *testing.T, c *harnessClient, shadow *coverage.Analyz
 				t.Fatalf("τ=%d: shadow MUP %v missing from server response %+v", tau, p, mupResp.MUPs)
 			}
 		}
+	}
+}
+
+// startCovserveFollower launches the binary as a read replica of the
+// leader at leaderBase, polling fast so schedules converge quickly.
+func startCovserveFollower(t *testing.T, bin, dataDir, leaderBase string) *covserveProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-follow", leaderBase,
+		"-data-dir", dataDir,
+		"-addr", "127.0.0.1:0",
+		"-follow-poll", "25ms",
+		"-wal-sync=false",
+		"-snapshot-interval", "0",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &covserveProc{cmd: cmd, base: "http://" + addr}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("covserve follower did not report a listening address within 15s")
+		return nil
+	}
+}
+
+// waitForCatchup polls the replica's /stats until its generation
+// reaches want.
+func waitForCatchup(t *testing.T, c *harnessClient, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var st statsResponse
+		err := c.getJSON("/stats", &st)
+		if err == nil && st.Generation >= want {
+			if st.Generation > want {
+				t.Fatalf("replica at generation %d, past the leader's %d", st.Generation, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reached generation %d (last: %+v, err=%v)", want, st, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFollowerCrashHarness SIGKILLs a tailing read replica
+// mid-workload and requires the restarted replica — recovering from
+// its own data dir, then resuming the tail — to answer /coverage and
+// /mups exactly as the shadow that lived through every leader-side
+// mutation.
+func TestFollowerCrashHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness skipped in -short mode")
+	}
+	bin := buildCovserveBinary(t)
+	csv := harnessCSV(t, t.TempDir())
+	f, err := os.Open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := coverage.ReadCSV(f, coverage.CSVOptions{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const schedules = 3
+	for sched := 0; sched < schedules; sched++ {
+		sched := sched
+		t.Run(fmt.Sprintf("schedule%02d", sched), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(sched)*31337 + 5))
+			base := t.TempDir()
+			shadow := coverage.NewAnalyzer(ds.Clone())
+			cards := ds.Cards()
+
+			leader := startCovserve(t, bin, csv, filepath.Join(base, "leader"))
+			defer leader.kill()
+			lc := newHarnessClient(leader.base)
+
+			folDir := filepath.Join(base, "follower")
+			fol := startCovserveFollower(t, bin, folDir, leader.base)
+			defer fol.kill()
+			fc := newHarnessClient(fol.base)
+
+			// Phase 1: mutate the leader while the replica tails live.
+			for i := 0; i < 10+rng.Intn(6); i++ {
+				op := randomOp(rng, shadow, cards)
+				if _, err := sendOp(lc, op); err != nil {
+					t.Fatalf("leader op %d (%s): %v", i, op.kind, err)
+				}
+				op.applyToShadow(t, shadow)
+			}
+			waitForCatchup(t, fc, shadow.Engine().Generation())
+			verifyAgainstShadow(t, fc, shadow, rng, cards)
+
+			// The replica refuses writes with a leader redirect.
+			resp, err := http.Post(fol.base+"/append", "application/json",
+				strings.NewReader(`{"codes": [[0, 0, 0]]}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusForbidden {
+				t.Fatalf("replica accepted a write: status %d", resp.StatusCode)
+			}
+			if loc := resp.Header.Get("Location"); loc != leader.base+"/append" {
+				t.Fatalf("replica redirect Location = %q, want %q", loc, leader.base+"/append")
+			}
+
+			// Phase 2: SIGKILL the replica, keep mutating the leader.
+			fol.kill()
+			for i := 0; i < 6+rng.Intn(6); i++ {
+				op := randomOp(rng, shadow, cards)
+				if _, err := sendOp(lc, op); err != nil {
+					t.Fatalf("leader op after replica death (%s): %v", op.kind, err)
+				}
+				op.applyToShadow(t, shadow)
+			}
+
+			// Phase 3: the restarted replica recovers locally and tails
+			// the gap (resyncing from the chain if a leader snapshot
+			// pruned past its position).
+			fol2 := startCovserveFollower(t, bin, folDir, leader.base)
+			defer fol2.kill()
+			fc2 := newHarnessClient(fol2.base)
+			waitForCatchup(t, fc2, shadow.Engine().Generation())
+			verifyAgainstShadow(t, fc2, shadow, rng, cards)
+
+			var st statsResponse
+			if err := fc2.getJSON("/stats", &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Replica == nil {
+				t.Fatal("restarted replica /stats lacks the replica section")
+			}
+			if st.Replica.Leader != leader.base || st.Replica.GenerationLag != 0 {
+				t.Errorf("replica stats = %+v", st.Replica)
+			}
+		})
+	}
+}
+
+// TestFollowerPromotion kills the leader and restarts the replica's
+// data dir as a plain durable covserve — the promoted process must
+// hold the full replicated state and accept writes.
+func TestFollowerPromotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness skipped in -short mode")
+	}
+	bin := buildCovserveBinary(t)
+	csv := harnessCSV(t, t.TempDir())
+	f, err := os.Open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := coverage.ReadCSV(f, coverage.CSVOptions{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const schedules = 3
+	for sched := 0; sched < schedules; sched++ {
+		sched := sched
+		t.Run(fmt.Sprintf("schedule%02d", sched), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(sched)*86243 + 11))
+			base := t.TempDir()
+			shadow := coverage.NewAnalyzer(ds.Clone())
+			cards := ds.Cards()
+
+			leader := startCovserve(t, bin, csv, filepath.Join(base, "leader"))
+			defer leader.kill()
+			lc := newHarnessClient(leader.base)
+
+			folDir := filepath.Join(base, "follower")
+			fol := startCovserveFollower(t, bin, folDir, leader.base)
+			defer fol.kill()
+			fc := newHarnessClient(fol.base)
+
+			for i := 0; i < 12+rng.Intn(8); i++ {
+				op := randomOp(rng, shadow, cards)
+				if _, err := sendOp(lc, op); err != nil {
+					t.Fatalf("leader op %d (%s): %v", i, op.kind, err)
+				}
+				op.applyToShadow(t, shadow)
+			}
+			waitForCatchup(t, fc, shadow.Engine().Generation())
+
+			// The leader dies; the replica is stopped and its data dir
+			// is promoted to a plain durable covserve.
+			leader.kill()
+			fol.kill()
+			promoted := startCovserve(t, bin, csv, folDir)
+			defer promoted.kill()
+			pc := newHarnessClient(promoted.base)
+
+			verifyAgainstShadow(t, pc, shadow, rng, cards)
+
+			// The promoted process is a leader: it accepts writes.
+			for i := 0; i < 5; i++ {
+				op := randomOp(rng, shadow, cards)
+				if _, err := sendOp(pc, op); err != nil {
+					t.Fatalf("promoted op %d (%s): %v", i, op.kind, err)
+				}
+				op.applyToShadow(t, shadow)
+			}
+			verifyAgainstShadow(t, pc, shadow, rng, cards)
+		})
 	}
 }
 

@@ -1,0 +1,393 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coverage"
+	"coverage/internal/persist"
+)
+
+// maxLagHeader lets a read request bound its staleness: the follower
+// rejects the request with 503 when its generation lag behind the
+// leader exceeds the header's value, instead of silently serving stale
+// data. Absent, reads are served at whatever generation the follower
+// has reached.
+const maxLagHeader = "X-Max-Lag"
+
+// follower tails a leader covserve: it bootstraps its own data
+// directory from the leader's snapshot chain, then polls GET /wal and
+// replays the records through its own persist.Store — so every applied
+// mutation is durable locally and the follower survives restarts (and
+// promotion to leader) like any covserve.
+//
+// Reads are served from the local engine at a bounded, observable
+// staleness; mutations are refused with 403 and a Location pointing at
+// the leader.
+type follower struct {
+	leader    *url.URL
+	client    *http.Client
+	pollEvery time.Duration
+	dataDir   string
+	opts      persist.Options
+
+	// mu guards the store/server pair, which is rebuilt wholesale on a
+	// resync (the leader pruned past our generation, so the local state
+	// is re-derived from a fresh snapshot chain).
+	mu    sync.RWMutex
+	store *persist.Store
+	an    *coverage.Analyzer
+	srv   *server
+
+	leaderGen atomic.Uint64
+	applied   atomic.Int64
+	polls     atomic.Int64
+	resyncs   atomic.Int64
+	lastErr   atomic.Value // string
+}
+
+// newFollower boots a follower for the given leader URL: recover the
+// local data directory if it holds state, otherwise bootstrap from the
+// leader's snapshot chain.
+func newFollower(dataDir, leaderURL string, pollEvery time.Duration, opts persist.Options) (*follower, error) {
+	u, err := url.Parse(leaderURL)
+	if err != nil {
+		return nil, fmt.Errorf("bad leader URL %q: %w", leaderURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("leader URL %q needs a scheme and host", leaderURL)
+	}
+	f := &follower{
+		leader:    u,
+		client:    &http.Client{Timeout: time.Minute},
+		pollEvery: pollEvery,
+		dataDir:   dataDir,
+		opts:      opts,
+	}
+	f.lastErr.Store("")
+	if err := f.open(true); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// open (re)builds the store/analyzer/server triple from the data
+// directory, bootstrapping the snapshot chain from the leader when the
+// directory is empty (or when resync forces a fresh fetch).
+func (f *follower) open(allowBootstrap bool) error {
+	store, err := persist.Open(f.dataDir, f.opts)
+	if err != nil {
+		return err
+	}
+	eng, _, err := store.Recover()
+	if errors.Is(err, persist.ErrNoState) && allowBootstrap {
+		if err := f.fetchChain(); err != nil {
+			store.Close()
+			return fmt.Errorf("bootstrapping from %s: %w", f.leader, err)
+		}
+		eng, _, err = store.Recover()
+	}
+	if err != nil {
+		store.Close()
+		return err
+	}
+	an := coverage.NewAnalyzerFromEngine(eng)
+	srv := newServer(an, store)
+	srv.replica = f.replicaStats
+
+	f.mu.Lock()
+	f.store, f.an, f.srv = store, an, srv
+	f.mu.Unlock()
+	return nil
+}
+
+// fetchChain downloads the leader's snapshot chain files into the data
+// directory (temp file + rename, so a torn transfer never leaves a
+// half-written chain file). Files already present by name are assumed
+// identical — chain names embed the generation.
+func (f *follower) fetchChain() error {
+	resp, err := f.client.Get(f.leader.JoinPath("/chain").String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("leader /chain: %s", resp.Status)
+	}
+	var chain chainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&chain); err != nil {
+		return fmt.Errorf("decoding leader /chain: %w", err)
+	}
+	if len(chain.Files) == 0 {
+		return fmt.Errorf("leader has no snapshot chain to bootstrap from")
+	}
+	for _, cf := range chain.Files {
+		if !chainFileName(cf.Name) {
+			return fmt.Errorf("leader offered suspicious chain file %q", cf.Name)
+		}
+		dst := filepath.Join(f.dataDir, cf.Name)
+		if _, err := os.Stat(dst); err == nil {
+			continue
+		}
+		if err := f.downloadChainFile(cf.Name, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *follower) downloadChainFile(name, dst string) error {
+	resp, err := f.client.Get(f.leader.JoinPath("/chain/" + name).String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("leader /chain/%s: %s", name, resp.Status)
+	}
+	tmp, err := os.CreateTemp(f.dataDir, "fetch-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}
+
+// engineGen is the follower's local generation.
+func (f *follower) engineGen() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.an.Engine().Generation()
+}
+
+// pollOnce fetches and applies one round of the leader's WAL tail.
+// Gaps in the feed and a pruned tail (410) trigger a resync from the
+// snapshot chain. It returns the number of records applied.
+func (f *follower) pollOnce() (int, error) {
+	f.polls.Add(1)
+	n, err := f.tailOnce()
+	if err != nil {
+		f.lastErr.Store(err.Error())
+	} else {
+		f.lastErr.Store("")
+	}
+	return n, err
+}
+
+// errResync marks feed states only a chain resync can repair.
+var errResync = errors.New("follower: WAL feed unusable from this generation")
+
+func (f *follower) tailOnce() (int, error) {
+	f.mu.RLock()
+	store := f.store
+	dim := f.an.Dataset().Dim()
+	gen := f.an.Engine().Generation()
+	f.mu.RUnlock()
+
+	u := f.leader.JoinPath("/wal")
+	q := u.Query()
+	q.Set("from", strconv.FormatUint(gen, 10))
+	u.RawQuery = q.Encode()
+	resp, err := f.client.Get(u.String())
+	if err != nil {
+		return 0, err
+	}
+	data, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusGone:
+		return f.resync()
+	case resp.StatusCode != http.StatusOK:
+		return 0, fmt.Errorf("leader /wal: %s", resp.Status)
+	case readErr != nil:
+		// A transfer torn mid-record is fine — the decoder keeps the
+		// intact prefix and the next poll re-requests the rest.
+		data = data[:0]
+	}
+	if lg, err := strconv.ParseUint(resp.Header.Get(generationHeader), 10, 64); err == nil {
+		f.leaderGen.Store(lg)
+	}
+
+	// complete=false means the stream ended mid-record (the leader was
+	// appending, or the transfer tore): apply the intact prefix and
+	// re-request from the new position next poll.
+	recs, _ := persist.DecodeWALStream(data, dim)
+	applied := 0
+	for _, rec := range recs {
+		cur := f.engineGen()
+		if rec.Gen <= cur {
+			continue
+		}
+		if rec.Gen != cur+1 {
+			// A hole in the feed: the leader no longer serves the
+			// records between us and rec. Resync from the chain.
+			n, err := f.resync()
+			return applied + n, err
+		}
+		switch rec.Op {
+		case persist.WALOpAppend:
+			err = store.Append(rec.Rows)
+		case persist.WALOpDelete:
+			err = store.Delete(rec.Rows)
+		case persist.WALOpWindow:
+			err = store.SetWindow(rec.MaxRows)
+		default:
+			err = fmt.Errorf("%w: unknown op %d at generation %d", errResync, rec.Op, rec.Gen)
+		}
+		if err != nil {
+			return applied, fmt.Errorf("applying generation %d: %w", rec.Gen, err)
+		}
+		applied++
+		f.applied.Add(1)
+	}
+	return applied, nil
+}
+
+// resync rebuilds the local state from the leader's current snapshot
+// chain: the old store is closed, the chain files are fetched, and the
+// store/analyzer/server triple is swapped wholesale. The old WAL
+// segments predate the new base, so recovery skips them; the next
+// local snapshot prunes them.
+func (f *follower) resync() (int, error) {
+	f.resyncs.Add(1)
+	f.mu.Lock()
+	old := f.store
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if err := f.fetchChain(); err != nil {
+		return 0, fmt.Errorf("%w: fetching chain: %v", errResync, err)
+	}
+	if err := f.open(false); err != nil {
+		return 0, fmt.Errorf("%w: reopening after chain fetch: %v", errResync, err)
+	}
+	return 0, nil
+}
+
+// run polls the leader until stop closes. Errors are recorded in
+// /stats and retried on the next tick — a follower outliving a leader
+// restart simply resumes.
+func (f *follower) run(stop <-chan struct{}) {
+	t := time.NewTicker(f.pollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			f.pollOnce()
+		}
+	}
+}
+
+// snapshotLoop checkpoints the follower's own store — delta snapshots,
+// retention and compaction run exactly as on a leader, so a follower
+// restart recovers locally instead of re-bootstrapping.
+func (f *follower) snapshotLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			f.mu.RLock()
+			store := f.store
+			f.mu.RUnlock()
+			if store != nil && store.Dirty() {
+				store.Snapshot()
+			}
+		}
+	}
+}
+
+func (f *follower) replicaStats() *replicaJSON {
+	local := f.engineGen()
+	leader := f.leaderGen.Load()
+	var lag uint64
+	if leader > local {
+		lag = leader - local
+	}
+	lastErr, _ := f.lastErr.Load().(string)
+	return &replicaJSON{
+		Leader:           f.leader.String(),
+		LocalGeneration:  local,
+		LeaderGeneration: leader,
+		GenerationLag:    lag,
+		AppliedRecords:   f.applied.Load(),
+		Polls:            f.polls.Load(),
+		Resyncs:          f.resyncs.Load(),
+		LastError:        lastErr,
+	}
+}
+
+// followerWrites lists the routes a follower refuses: every mutation,
+// plus the manual snapshot trigger (the follower checkpoints on its
+// own schedule; POST /snapshot on a replica is almost always a
+// misdirected client).
+var followerWrites = map[string]bool{
+	"POST /append":   true,
+	"POST /delete":   true,
+	"POST /window":   true,
+	"POST /snapshot": true,
+}
+
+// ServeHTTP serves reads from the local engine with the generation
+// stamped on the response, refuses writes with a leader redirect, and
+// enforces the X-Max-Lag staleness bound.
+func (f *follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if followerWrites[r.Method+" "+r.URL.Path] {
+		w.Header().Set("Location", f.leader.JoinPath(r.URL.Path).String())
+		writeError(w, http.StatusForbidden,
+			fmt.Errorf("this covserve is a read replica; send %s %s to the leader at %s", r.Method, r.URL.Path, f.leader))
+		return
+	}
+
+	local := f.engineGen()
+	leader := f.leaderGen.Load()
+	var lag uint64
+	if leader > local {
+		lag = leader - local
+	}
+	w.Header().Set(generationHeader, strconv.FormatUint(local, 10))
+	if v := r.Header.Get(maxLagHeader); v != "" {
+		maxLag, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s %q: %w", maxLagHeader, v, err))
+			return
+		}
+		if lag > maxLag {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("replica is %d generation(s) behind the leader, request allows %d", lag, maxLag))
+			return
+		}
+	}
+
+	f.mu.RLock()
+	srv := f.srv
+	f.mu.RUnlock()
+	srv.ServeHTTP(w, r)
+}

@@ -116,6 +116,11 @@ func main() {
 		walSync = flag.Bool("wal-sync", true,
 			"fsync the WAL after every acknowledged mutation (survives power loss, not just process death)")
 
+		follow = flag.String("follow", "",
+			"run as a read replica of the leader covserve at this URL (requires -data-dir; mutations are refused with a leader redirect)")
+		followPoll = flag.Duration("follow-poll", 200*time.Millisecond,
+			"WAL tail poll interval when following a leader")
+
 		maxResidentMB = flag.Int64("max-resident-mb", 0,
 			"shared budget for warm tenants' count stores in MiB; coldest tenants park to disk past it (0 = unlimited)")
 		searchSlots = flag.Int("search-slots", 0,
@@ -139,6 +144,15 @@ func main() {
 		fatal(err)
 	}
 	engOpts := engine.Options{Shards: *shards, CountStore: storeKind}
+
+	if *follow != "" {
+		if *dataDir == "" {
+			fatal(errors.New("-follow requires -data-dir (the replica persists what it tails)"))
+		}
+		runFollower(*addr, *dataDir, *follow, *followPoll, *snapInterval,
+			persist.Options{SyncWAL: *walSync, Engine: engOpts})
+		return
+	}
 
 	reg, err := registry.Open(registry.Options{
 		Dir:              *dataDir,
@@ -203,6 +217,38 @@ func main() {
 	}
 }
 
+// runFollower boots and serves a read replica: bootstrap or recover
+// the local data directory, tail the leader's WAL on the poll
+// interval, checkpoint locally on the snapshot interval, and serve
+// reads (writes are refused with a leader redirect).
+func runFollower(addr, dataDir, leaderURL string, pollEvery, snapEvery time.Duration, opts persist.Options) {
+	f, err := newFollower(dataDir, leaderURL, pollEvery, opts)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("covserve: following %s at generation %d (poll every %s)", leaderURL, f.engineGen(), pollEvery)
+	stop := make(chan struct{})
+	go f.run(stop)
+	if snapEvery > 0 {
+		go f.snapshotLoop(snapEvery, stop)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("covserve: replica listening on %s", ln.Addr())
+	srv := &http.Server{
+		Handler:           f,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
 // buildAnalyzer resolves the three boot paths: recover durable state
 // from the data dir, start fresh-and-durable from a dataset, or serve
 // purely in memory. The engine under the analyzer is built with the
@@ -227,8 +273,8 @@ func buildAnalyzer(dataDir, csvPath, columns, demo string, walSync bool, engOpts
 		if csvPath != "" || demo != "" {
 			log.Printf("covserve: ignoring -csv/-demo: recovering existing state from %s", dataDir)
 		}
-		log.Printf("covserve: recovered snapshot generation %d + %d WAL record(s) in %s",
-			info.SnapshotGeneration, info.Replayed, info.Duration.Round(time.Millisecond))
+		log.Printf("covserve: recovered snapshot generation %d + %d delta(s) + %d WAL record(s) in %s",
+			info.SnapshotGeneration, info.DeltasApplied, info.Replayed, info.Duration.Round(time.Millisecond))
 		for _, skipped := range info.SkippedSnapshots {
 			log.Printf("covserve: WARNING: skipped unreadable snapshot %s", skipped)
 		}

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -42,6 +45,10 @@ type server struct {
 	store *persist.Store // nil when running without -data-dir
 	cfg   serverConfig
 	mux   *http.ServeMux
+	// replica, when set, contributes the replication section of
+	// /stats — a WAL-tailing follower installs it; leaders leave it
+	// nil.
+	replica func() *replicaJSON
 }
 
 func newServer(an *coverage.Analyzer, store *persist.Store) *server {
@@ -60,9 +67,15 @@ func newServerWith(an *coverage.Analyzer, store *persist.Store, cfg serverConfig
 	s.mux.HandleFunc("POST /window", s.handleWindowSet)
 	s.mux.HandleFunc("POST /plan", s.handlePlan)
 	if store != nil {
-		// The endpoint exists only when the server is durable; without
-		// -data-dir there is nothing to snapshot and the route 404s.
+		// These endpoints exist only when the server is durable; without
+		// -data-dir there is nothing to snapshot or replicate and the
+		// routes 404. /wal and /chain are the replication feed: a
+		// follower bootstraps from the snapshot chain and then tails the
+		// write-ahead log.
 		s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+		s.mux.HandleFunc("GET /wal", s.handleWALFeed)
+		s.mux.HandleFunc("GET /chain", s.handleChainList)
+		s.mux.HandleFunc("GET /chain/{name}", s.handleChainFile)
 	}
 	return s
 }
@@ -227,6 +240,22 @@ type statsResponse struct {
 	PlanCache planCacheJSON `json:"plan_cache"`
 	// Persist reports the durability layer; absent without -data-dir.
 	Persist *persistStats `json:"persist,omitempty"`
+	// Replica reports the WAL-tailing follower loop; absent on leaders.
+	Replica *replicaJSON `json:"replica,omitempty"`
+}
+
+// replicaJSON is the replication section of a follower's /stats: where
+// it follows, how far behind it stands and how the tailing loop has
+// fared.
+type replicaJSON struct {
+	Leader           string `json:"leader"`
+	LocalGeneration  uint64 `json:"local_generation"`
+	LeaderGeneration uint64 `json:"leader_generation"`
+	GenerationLag    uint64 `json:"generation_lag"`
+	AppliedRecords   int64  `json:"applied_records"`
+	Polls            int64  `json:"polls"`
+	Resyncs          int64  `json:"resyncs"`
+	LastError        string `json:"last_error,omitempty"`
 }
 
 // planCacheJSON is the remediation-plan cache section of /stats:
@@ -270,6 +299,11 @@ type persistStats struct {
 	RecoveredSnapshotGeneration uint64 `json:"recovered_snapshot_generation"`
 	ReplayedWALRecords          int64  `json:"replayed_wal_records"`
 	TornWALTailDropped          bool   `json:"torn_wal_tail_dropped"`
+	// DeltaSnapshots counts snapshots written as deltas against the
+	// previous one; DeltaChainLength is how many deltas currently
+	// stack on the newest full image.
+	DeltaSnapshots   int64 `json:"delta_snapshots"`
+	DeltaChainLength int   `json:"delta_chain_length"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -325,6 +359,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayedWALRecords:          ps.ReplayedRecords,
 			TornWALTailDropped:          ps.TornTailDropped,
 		}
+		resp.Persist.DeltaSnapshots = ps.DeltaSnapshots
+		resp.Persist.DeltaChainLength = ps.DeltaChainLength
+	}
+	if s.replica != nil {
+		resp.Replica = s.replica()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -810,4 +849,124 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// Replication feed. A follower bootstraps by downloading the snapshot
+// chain (GET /chain, GET /chain/{name}) into its own data directory,
+// recovering from it, and then tailing GET /wal?from=<gen> — the raw
+// framed, per-record-CRC WAL stream persist.DecodeWALStream parses.
+
+// walFeedMaxBytes caps one /wal response; the follower resumes from
+// the generation of the last record it received.
+const walFeedMaxBytes = 4 << 20
+
+// generationHeader carries the serving engine's generation on
+// replication responses (and the follower's local generation on its
+// read responses).
+const generationHeader = "X-Coverage-Generation"
+
+func (s *server) handleWALFeed(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q: %w", v, err))
+			return
+		}
+		from = parsed
+	}
+	data, gen, err := s.store.WALSince(from, walFeedMaxBytes)
+	if err != nil {
+		if errors.Is(err, persist.ErrGone) {
+			// The tail was pruned by snapshot retention: the follower
+			// must resync from the snapshot chain.
+			writeError(w, http.StatusGone, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(generationHeader, strconv.FormatUint(gen, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// chainFileName reports whether name is a well-formed snapshot-chain
+// file name (snap-<16 hex digits>.snap or .delta) — the only files
+// /chain/{name} will serve, so the route cannot traverse paths.
+func chainFileName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "snap-")
+	if !ok {
+		return false
+	}
+	switch {
+	case strings.HasSuffix(rest, ".snap"):
+		rest = strings.TrimSuffix(rest, ".snap")
+	case strings.HasSuffix(rest, ".delta"):
+		rest = strings.TrimSuffix(rest, ".delta")
+	default:
+		return false
+	}
+	if len(rest) != 16 {
+		return false
+	}
+	for _, c := range rest {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type chainFileJSON struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+}
+
+type chainResponse struct {
+	Generation uint64          `json:"generation"`
+	Files      []chainFileJSON `json:"files"`
+}
+
+func (s *server) handleChainList(w http.ResponseWriter, r *http.Request) {
+	entries, err := os.ReadDir(s.store.Dir())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := chainResponse{Generation: s.an.Engine().Generation(), Files: []chainFileJSON{}}
+	for _, e := range entries {
+		if !chainFileName(e.Name()) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		resp.Files = append(resp.Files, chainFileJSON{Name: e.Name(), Bytes: info.Size()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleChainFile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !chainFileName(name) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%q is not a snapshot chain file", name))
+		return
+	}
+	f, err := os.Open(filepath.Join(s.store.Dir(), name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Pruned between the chain listing and this fetch; the
+			// follower re-requests the listing.
+			writeError(w, http.StatusNotFound, fmt.Errorf("chain file %s no longer retained", name))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
 }

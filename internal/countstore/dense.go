@@ -16,6 +16,20 @@ const (
 	densePageMask  = densePageSize - 1
 )
 
+// PageSize is the dense layout's page granularity in key-space slots —
+// the unit PageOf partitions packed keys into and PageLive reports
+// occupancy for.
+const PageSize = densePageSize
+
+// PageOf maps a packed key to its dense page index. It is a pure
+// function of the key alone (not of any store's layout), so callers can
+// group combos by page — e.g. to order window eviction by page
+// occupancy — without holding a Dense store, and the grouping agrees
+// with Dense.PageLive whenever one exists.
+func PageOf(k pattern.PackedKey) uint64 {
+	return k[0]>>densePageShift | k[1]<<(64-densePageShift)
+}
+
 // Dense is a direct-indexed count vector for schemas whose whole
 // packed-key space fits in one small word: the packed key bits ARE the
 // array index, so a probe is a shift and a load — no hashing, no probe
@@ -26,19 +40,26 @@ const (
 type Dense struct {
 	occ   *bitvec.Vector
 	pages [][]int64
-	space int // key space size, 1 << bits
-	live  int
-	bytes int64 // resident bytes of allocated pages
+	// pageLive counts the live (nonzero-count) keys per page — the
+	// occupancy signal window eviction ordering consumes: a page's
+	// count funds deciding which key-space segments to reconcile
+	// first without scanning the occupancy bitvec.
+	pageLive []int32
+	space    int // key space size, 1 << bits
+	live     int
+	bytes    int64 // resident bytes of allocated pages
 }
 
 // NewDense builds a dense vector over a bits-wide one-word key space.
 func NewDense(keyBits int) *Dense {
 	space := 1 << keyBits
+	nPages := (space + densePageSize - 1) / densePageSize
 	return &Dense{
-		occ:   bitvec.New(space),
-		pages: make([][]int64, (space+densePageSize-1)/densePageSize),
-		space: space,
-		bytes: int64((space + 7) / 8),
+		occ:      bitvec.New(space),
+		pages:    make([][]int64, nPages),
+		pageLive: make([]int32, nPages),
+		space:    space,
+		bytes:    int64((space+7)/8) + int64(nPages)*4,
 	}
 }
 
@@ -92,20 +113,34 @@ func (d *Dense) Set(k pattern.PackedKey, n int64) {
 	d.account(i, old, n)
 }
 
-// account maintains the occupancy bit and live counter across a count
-// transition old→now at index i.
+// account maintains the occupancy bit and the global and per-page live
+// counters across a count transition old→now at index i.
 func (d *Dense) account(i int, old, now int64) {
 	switch {
 	case old == 0 && now != 0:
 		d.occ.Set(i)
 		d.live++
+		d.pageLive[i>>densePageShift]++
 	case old != 0 && now == 0:
 		d.occ.Clear(i)
 		d.live--
+		d.pageLive[i>>densePageShift]--
 	}
 }
 
 func (d *Dense) Len() int { return d.live }
+
+// NumPages is the number of pages the key space divides into.
+func (d *Dense) NumPages() int { return len(d.pageLive) }
+
+// PageLive reports the number of live keys on one page (PageSize
+// consecutive key-space slots). Pages outside the key space report 0.
+func (d *Dense) PageLive(page int) int {
+	if page < 0 || page >= len(d.pageLive) {
+		return 0
+	}
+	return int(d.pageLive[page])
+}
 
 func (d *Dense) Range(fn func(k pattern.PackedKey, n int64)) {
 	d.occ.ForEach(func(i int) {

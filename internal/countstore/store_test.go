@@ -172,8 +172,8 @@ func TestKindRoundTrip(t *testing.T) {
 func TestDenseMemAndPaging(t *testing.T) {
 	d := NewDense(16) // 65536 keys, 16 pages
 	base := d.Mem().Bytes
-	if base != 65536/8 {
-		t.Fatalf("empty dense bytes=%d want %d (occupancy bits only)", base, 65536/8)
+	if want := int64(65536/8 + 16*4); base != want {
+		t.Fatalf("empty dense bytes=%d want %d (occupancy bits + page-live counters)", base, want)
 	}
 	d.Add(pattern.PackedKey{0, 0}, 1)
 	d.Add(pattern.PackedKey{1, 0}, 1) // same page

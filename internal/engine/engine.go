@@ -367,11 +367,19 @@ type ShardedEngine struct {
 	// Sliding-window state. log records live rows in arrival order
 	// (only while window > 0); pendingDeletes holds tombstones for rows
 	// deleted by value whose log entries are reconciled lazily on
-	// eviction.
+	// eviction. windowEvicted counts every log-entry pop (tombstone
+	// consumptions included), so it is the absolute index of the log's
+	// current head since the log was created — the coordinate delta
+	// snapshots use to express "drop the first k entries of the
+	// baseline's log". windowEpoch bumps whenever the log is created or
+	// dropped; a baseline from another epoch cannot be expressed as a
+	// drop/append pair and forces a full snapshot.
 	window         int
 	log            *rowLog
 	pendingDeletes countTable
 	tombstones     int64
+	windowEvicted  uint64
+	windowEpoch    uint64
 
 	// removed records combinations whose multiplicity decreased (by
 	// delete or eviction) and added those whose multiplicity grew —
@@ -916,29 +924,47 @@ func (e *ShardedEngine) Delete(rows [][]uint8) error {
 // rows beyond it are evicted oldest-first on every subsequent append.
 // maxRows <= 0 removes the window (and drops the row log). Rows already
 // present when the window is first enabled have no recorded arrival
-// order; they are treated as oldest, evicted in sorted combination
-// order, before any row appended afterwards.
+// order; they are treated as oldest — ordered by ascending dense-page
+// occupancy (sparsest key-space pages evict first, emptying near-empty
+// count-store pages fastest; ties by page then combination), or in
+// plain sorted combination order on schemas too wide to pack — and
+// evicted before any row appended afterwards. The ordering is a pure
+// function of the schema and the live combination set, so it is
+// identical across shard counts, store layouts and key
+// representations.
+//
+// Every SetWindow call advances the generation, whether or not it
+// evicts: window changes are logged mutations, and a unique generation
+// per WAL record is what lets replication replay gate them
+// idempotently.
 func (e *ShardedEngine) SetWindow(maxRows int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.gen++
 	if maxRows <= 0 {
 		e.window = 0
+		if e.log != nil {
+			e.windowEpoch++
+		}
 		e.log = nil
 		e.pendingDeletes = nil
 		e.tombstones = 0
+		e.windowEvicted = 0
 		return
 	}
 	e.window = maxRows
 	if e.log == nil {
 		e.log = &rowLog{}
 		e.pendingDeletes = e.tables.newBatch(0)
+		e.windowEpoch++
+		e.windowEvicted = 0
 		keys := make([]string, 0, e.distinctLocked())
 		for _, c := range e.cores {
 			c.counts.each(func(k comboKey, _ int64) {
 				keys = append(keys, e.keys.str(k))
 			})
 		}
-		sort.Strings(keys)
+		e.orderInitialWindow(keys)
 		for _, k := range keys {
 			n := e.cores[shardOf(k, len(e.cores))].multiplicity(e.keys.ofString(k))
 			for i := int64(0); i < n; i++ {
@@ -947,7 +973,6 @@ func (e *ShardedEngine) SetWindow(maxRows int) {
 		}
 	}
 	if e.rows > int64(e.window) {
-		e.gen++
 		muts := make([]countTable, len(e.cores))
 		for i := range muts {
 			muts[i] = e.tables.newBatch(0)
@@ -955,6 +980,70 @@ func (e *ShardedEngine) SetWindow(maxRows int) {
 		e.evictIntoLocked(muts)
 		e.applyCoresLocked(muts)
 	}
+}
+
+// orderInitialWindow sorts the initial window log's distinct keys into
+// eviction order: ascending live-combo count of each key's dense page
+// (the per-page occupancy the dense count store maintains; tallied in
+// one pass on other layouts), ties broken by page then raw key. On
+// schemas whose canonical packed form does not exist the order is the
+// historical sorted one. The canonical compact codec — not the
+// engine's resolved key codec, which flat layouts swap for a raw
+// byte-aligned one — keys the pages, so every layout computes the same
+// order.
+func (e *ShardedEngine) orderInitialWindow(keys []string) {
+	canon := pattern.NewCodec(e.cards)
+	if !canon.Packable() {
+		sort.Strings(keys)
+		return
+	}
+	live := make(map[uint64]int, len(keys)/countstore.PageSize+1)
+	if !e.sumDensePages(live) {
+		for _, k := range keys {
+			live[countstore.PageOf(canon.PackedKeyString(k))]++
+		}
+	}
+	type entry struct {
+		page uint64
+		key  string
+	}
+	entries := make([]entry, len(keys))
+	for i, k := range keys {
+		entries[i] = entry{page: countstore.PageOf(canon.PackedKeyString(k)), key: k}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if la, lb := live[a.page], live[b.page]; la != lb {
+			return la < lb
+		}
+		if a.page != b.page {
+			return a.page < b.page
+		}
+		return a.key < b.key
+	})
+	for i := range entries {
+		keys[i] = entries[i].key
+	}
+}
+
+// sumDensePages sums the per-page live counters of the cores' dense
+// count stores into live, reporting whether every core had one. Dense
+// stores index by the canonical compact codec, so their page counters
+// are exactly the canonical tally — summed across shards because each
+// shard's store covers the whole key space for its disjoint partition.
+func (e *ShardedEngine) sumDensePages(live map[uint64]int) bool {
+	for _, c := range e.cores {
+		dt, ok := c.counts.(denseTable)
+		if !ok {
+			return false
+		}
+		for p := 0; p < dt.t.NumPages(); p++ {
+			if n := dt.t.PageLive(p); n > 0 {
+				live[uint64(p)] += n
+			}
+		}
+	}
+	return true
 }
 
 // Window returns the configured sliding-window bound (0 = unbounded).
@@ -979,6 +1068,7 @@ func (e *ShardedEngine) evictIntoLocked(muts []countTable) {
 	evicted := make(map[string]int64)
 	for e.rows > int64(e.window) {
 		k := e.log.pop()
+		e.windowEvicted++
 		if ck := e.keys.ofString(k); e.pendingDeletes.get(ck) > 0 {
 			e.pendingDeletes.add(ck, -1)
 			e.tombstones--

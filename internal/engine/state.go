@@ -199,6 +199,12 @@ type coreSnapshot struct {
 type Capture struct {
 	st    *State
 	cores []coreSnapshot
+	// windowEvicted and windowEpoch pin the window log's coordinates at
+	// capture time — the anchor Baseline carries so the next CaptureDelta
+	// can express the log as a drop/append pair (they are not part of
+	// State: a restored engine restarts both at zero).
+	windowEvicted uint64
+	windowEpoch   uint64
 }
 
 // ExportState captures and materializes the engine's full state for
@@ -218,10 +224,8 @@ func (e *ShardedEngine) ExportState() *State {
 func (e *ShardedEngine) CaptureState() *Capture {
 	e.mu.RLock()
 	cores := make([]coreSnapshot, len(e.cores))
-	var compactions int64
 	for i, c := range e.cores {
 		cores[i] = coreSnapshot{base: c.base, delta: append([]deltaEntry(nil), c.delta...)}
-		compactions += c.compactions
 	}
 	st := &State{
 		Shards:     len(e.cores),
@@ -237,22 +241,9 @@ func (e *ShardedEngine) CaptureState() *Capture {
 			Horizon: e.added.horizon,
 			Recs:    exportRecs(e.added.recs, e.keys),
 		},
-		Counters: Counters{
-			Appends:              e.appends,
-			Deletes:              e.deletes,
-			Evictions:            e.evictions,
-			Compactions:          e.compactionsBase + compactions,
-			FullSearches:         e.fullSearches,
-			Repairs:              e.repairs,
-			BidirectionalRepairs: e.bidirRepairs,
-			CacheHits:            e.cacheHits.Load(),
-			PlanProbes:           e.planProbes.Load(),
-			PlanHits:             e.planHits.Load(),
-			PlanBuilds:           e.planBuilds,
-			PlanRepairs:          e.planRepairs,
-			PlanRebuilds:         e.planRebuilds,
-		},
+		Counters: e.countersLocked(),
 	}
+	windowEvicted, windowEpoch := e.windowEvicted, e.windowEpoch
 	if e.log != nil {
 		st.WindowLog = make([]string, 0, e.log.len())
 		st.WindowLog = append(st.WindowLog, e.log.keys[e.log.head:]...)
@@ -278,39 +269,11 @@ func (e *ShardedEngine) CaptureState() *Capture {
 	for key, c := range e.planCache {
 		// Cached plans and their bases are immutable once stored, so
 		// the pattern and suggestion slices are shared, not copied.
-		cp := CachedPlan{
-			Tau:           key.tau,
-			MUPMaxLevel:   key.mupMaxLevel,
-			MaxLevel:      key.maxLevel,
-			MinValueCount: key.minValueCount,
-			OracleFP:      key.oracleFP,
-			CostFP:        key.costFP,
-			Gen:           c.gen,
-			BasisMUPs:     c.basis,
-			Targets:       c.plan.Targets,
-			Algorithm:     c.plan.Stats.Algorithm,
-			Iterations:    c.plan.Stats.Iterations,
-			Nodes:         c.plan.Stats.NodesExplored,
-			Suggestions:   make([]PlanSuggestion, 0, len(c.plan.Suggestions)),
-		}
-		for _, s := range c.plan.Suggestions {
-			cp.Suggestions = append(cp.Suggestions, PlanSuggestion{
-				Combo:   s.Combo,
-				Collect: s.Collect,
-				Hits:    s.Hits,
-				Cost:    s.Cost,
-			})
-		}
-		st.Plans = append(st.Plans, cp)
+		st.Plans = append(st.Plans, exportPlan(key, c))
 	}
 	e.mu.RUnlock()
 
-	sort.Slice(st.Cache, func(i, j int) bool {
-		if st.Cache[i].Tau != st.Cache[j].Tau {
-			return st.Cache[i].Tau < st.Cache[j].Tau
-		}
-		return st.Cache[i].MaxLevel < st.Cache[j].MaxLevel
-	})
+	sortSearches(st.Cache)
 	sort.Slice(st.Plans, func(i, j int) bool { return st.Plans[i].keyLess(st.Plans[j]) })
 
 	attrs := make([]dataset.Attribute, e.schema.Dim())
@@ -318,7 +281,28 @@ func (e *ShardedEngine) CaptureState() *Capture {
 		attrs[i] = e.schema.Attr(i)
 	}
 	st.Attrs = attrs
-	return &Capture{st: st, cores: cores}
+	return &Capture{st: st, cores: cores, windowEvicted: windowEvicted, windowEpoch: windowEpoch}
+}
+
+// Baseline derives the DeltaBaseline describing the captured state —
+// the anchor a later CaptureDelta expresses its changes against. The
+// persistence layer calls it after writing a full snapshot.
+func (c *Capture) Baseline() *DeltaBaseline {
+	b := &DeltaBaseline{
+		Generation:    c.st.Generation,
+		WindowEpoch:   c.windowEpoch,
+		WindowEvicted: c.windowEvicted,
+		WindowLen:     len(c.st.WindowLog),
+		Cache:         make([]CachedSearchRef, 0, len(c.st.Cache)),
+		Plans:         make([]CachedPlanRef, 0, len(c.st.Plans)),
+	}
+	for _, s := range c.st.Cache {
+		b.Cache = append(b.Cache, searchRefOf(s))
+	}
+	for _, p := range c.st.Plans {
+		b.Plans = append(b.Plans, planRefOf(p))
+	}
+	return b
 }
 
 // State completes the capture: each core's base and delta are merged

@@ -173,18 +173,47 @@ func encodeState(st *engine.State) []byte {
 		e.varint(st.PendingDeletes[k])
 	}
 
-	for _, l := range []engine.MutationLog{st.Removed, st.Added} {
-		e.uvarint(l.Horizon)
-		e.uvarint(uint64(len(l.Recs)))
-		for _, r := range l.Recs {
-			e.uvarint(r.Gen)
-			e.rawString(r.Key)
-			e.varint(r.Count)
-		}
+	encodeLog(e, st.Removed)
+	encodeLog(e, st.Added)
+	encodeSearches(e, st.Cache)
+
+	for _, c := range []int64{
+		st.Counters.Appends, st.Counters.Deletes, st.Counters.Evictions,
+		st.Counters.Compactions, st.Counters.FullSearches, st.Counters.Repairs,
+		st.Counters.BidirectionalRepairs, st.Counters.CacheHits,
+	} {
+		e.varint(c)
 	}
 
-	e.uvarint(uint64(len(st.Cache)))
-	for _, c := range st.Cache {
+	// v3: the remediation plan-cache sections plus the plan counters,
+	// appended after the v2 payload so older fields keep their offsets.
+	encodePlans(e, st.Plans)
+	for _, c := range []int64{
+		st.Counters.PlanProbes, st.Counters.PlanHits, st.Counters.PlanBuilds,
+		st.Counters.PlanRepairs, st.Counters.PlanRebuilds,
+	} {
+		e.varint(c)
+	}
+	return e.buf
+}
+
+// encodeLog emits one mutation-log section: horizon, then the records
+// in log order.
+func encodeLog(e *encoder, l engine.MutationLog) {
+	e.uvarint(l.Horizon)
+	e.uvarint(uint64(len(l.Recs)))
+	for _, r := range l.Recs {
+		e.uvarint(r.Gen)
+		e.rawString(r.Key)
+		e.varint(r.Count)
+	}
+}
+
+// encodeSearches emits the cached-search section in the current (v2+)
+// layout; the entries must already be in (Tau, MaxLevel) order.
+func encodeSearches(e *encoder, cs []engine.CachedSearch) {
+	e.uvarint(uint64(len(cs)))
+	for _, c := range cs {
 		e.varint(c.Tau)
 		e.uvarint(uint64(c.MaxLevel))
 		e.uvarint(c.Gen)
@@ -205,19 +234,13 @@ func encodeState(st *engine.State) []byte {
 		e.varint(c.Stats.CoverageProbes)
 		e.varint(c.Stats.NodesVisited)
 	}
+}
 
-	for _, c := range []int64{
-		st.Counters.Appends, st.Counters.Deletes, st.Counters.Evictions,
-		st.Counters.Compactions, st.Counters.FullSearches, st.Counters.Repairs,
-		st.Counters.BidirectionalRepairs, st.Counters.CacheHits,
-	} {
-		e.varint(c)
-	}
-
-	// v3: the remediation plan-cache sections plus the plan counters,
-	// appended after the v2 payload so older fields keep their offsets.
-	e.uvarint(uint64(len(st.Plans)))
-	for _, p := range st.Plans {
+// encodePlans emits the cached-plan section in the v3 layout; the
+// entries must already be in configuration-key order.
+func encodePlans(e *encoder, ps []engine.CachedPlan) {
+	e.uvarint(uint64(len(ps)))
+	for _, p := range ps {
 		e.varint(p.Tau)
 		e.uvarint(uint64(p.MUPMaxLevel))
 		e.uvarint(uint64(p.MaxLevel))
@@ -245,13 +268,6 @@ func encodeState(st *engine.State) []byte {
 			e.uvarint(math.Float64bits(s.Cost))
 		}
 	}
-	for _, c := range []int64{
-		st.Counters.PlanProbes, st.Counters.PlanHits, st.Counters.PlanBuilds,
-		st.Counters.PlanRepairs, st.Counters.PlanRebuilds,
-	} {
-		e.varint(c)
-	}
-	return e.buf
 }
 
 // decodeState parses a snapshot payload back into an engine.State.
@@ -338,26 +354,58 @@ func decodeState(payload []byte, version uint32) (*engine.State, error) {
 		}
 	}
 
-	for _, l := range []*engine.MutationLog{&st.Removed, &st.Added} {
-		l.Horizon = d.uvarint()
-		n := d.length(dim + 1)
-		if n > 0 {
-			l.Recs = make([]engine.MutationRec, n)
-			for i := 0; i < n && d.err == nil; i++ {
-				l.Recs[i].Gen = d.uvarint()
-				l.Recs[i].Key = d.rawString(dim)
-				if version >= 2 {
-					l.Recs[i].Count = d.varint()
-				}
-				// v1 records carried no magnitudes; Count stays 0
-				// ("unknown"), which gates repairs but disables
-				// coverage delta-updates for the affected spans.
-			}
+	st.Removed = decodeLog(d, dim, version)
+	st.Added = decodeLog(d, dim, version)
+	st.Cache = decodeSearches(d, dim, version)
+
+	for _, p := range []*int64{
+		&st.Counters.Appends, &st.Counters.Deletes, &st.Counters.Evictions,
+		&st.Counters.Compactions, &st.Counters.FullSearches, &st.Counters.Repairs,
+		&st.Counters.BidirectionalRepairs, &st.Counters.CacheHits,
+	} {
+		*p = d.varint()
+	}
+
+	if version >= 3 {
+		st.Plans = decodePlans(d, dim)
+		for _, p := range []*int64{
+			&st.Counters.PlanProbes, &st.Counters.PlanHits, &st.Counters.PlanBuilds,
+			&st.Counters.PlanRepairs, &st.Counters.PlanRebuilds,
+		} {
+			*p = d.varint()
 		}
 	}
 
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// decodeLog parses one mutation-log section. v1 records carried no
+// magnitudes; Count stays 0 ("unknown"), which gates repairs but
+// disables coverage delta-updates for the affected spans.
+func decodeLog(d *decoder, dim int, version uint32) engine.MutationLog {
+	var l engine.MutationLog
+	l.Horizon = d.uvarint()
+	n := d.length(dim + 1)
+	if n > 0 {
+		l.Recs = make([]engine.MutationRec, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			l.Recs[i].Gen = d.uvarint()
+			l.Recs[i].Key = d.rawString(dim)
+			if version >= 2 {
+				l.Recs[i].Count = d.varint()
+			}
+		}
+	}
+	return l
+}
+
+// decodeSearches parses the cached-search section.
+func decodeSearches(d *decoder, dim int, version uint32) []engine.CachedSearch {
 	nCache := d.length(1)
-	st.Cache = make([]engine.CachedSearch, 0, nCache)
+	cache := make([]engine.CachedSearch, 0, nCache)
 	for i := 0; i < nCache && d.err == nil; i++ {
 		c := engine.CachedSearch{Tau: d.varint()}
 		ml := d.uvarint()
@@ -394,76 +442,231 @@ func decodeState(payload []byte, version uint32) (*engine.State, error) {
 			CoverageProbes: d.varint(),
 			NodesVisited:   d.varint(),
 		}
-		st.Cache = append(st.Cache, c)
+		cache = append(cache, c)
+	}
+	return cache
+}
+
+// decodePlans parses the cached-plan section (v3 layout).
+func decodePlans(d *decoder, dim int) []engine.CachedPlan {
+	nPlans := d.length(1)
+	plans := make([]engine.CachedPlan, 0, nPlans)
+	for i := 0; i < nPlans && d.err == nil; i++ {
+		p := engine.CachedPlan{Tau: d.varint()}
+		ml := d.uvarint()
+		pl := d.uvarint()
+		if ml > math.MaxInt32 || pl > math.MaxInt32 {
+			d.fail("plan entry %d: level bound out of range", i)
+		}
+		p.MUPMaxLevel = int(ml)
+		p.MaxLevel = int(pl)
+		p.MinValueCount = d.uvarint()
+		p.OracleFP = d.str()
+		p.CostFP = d.str()
+		p.Gen = d.uvarint()
+		for _, set := range []*[]pattern.Pattern{&p.BasisMUPs, &p.Targets} {
+			n := d.length(dim)
+			backing := make([]uint8, n*dim)
+			*set = make([]pattern.Pattern, n)
+			for j := 0; j < n && d.err == nil; j++ {
+				q := backing[j*dim : (j+1)*dim : (j+1)*dim]
+				copy(q, d.raw(dim))
+				(*set)[j] = pattern.Pattern(q)
+			}
+		}
+		p.Algorithm = d.str()
+		p.Iterations = int(d.varint())
+		p.Nodes = d.varint()
+		nSug := d.length(2 * dim)
+		p.Suggestions = make([]engine.PlanSuggestion, 0, nSug)
+		for j := 0; j < nSug && d.err == nil; j++ {
+			var s engine.PlanSuggestion
+			s.Combo = append([]uint8(nil), d.raw(dim)...)
+			s.Collect = pattern.Pattern(append([]uint8(nil), d.raw(dim)...))
+			nHits := d.length(1)
+			s.Hits = make([]int, 0, nHits)
+			for h := 0; h < nHits && d.err == nil; h++ {
+				v := d.uvarint()
+				if v > math.MaxInt32 {
+					d.fail("plan entry %d suggestion %d: hit index %d out of range", i, j, v)
+				}
+				s.Hits = append(s.Hits, int(v))
+			}
+			s.Cost = math.Float64frombits(d.uvarint())
+			p.Suggestions = append(p.Suggestions, s)
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// encodeDelta serializes a StateDelta deterministically. dim is the
+// schema dimension (raw keys carry no per-key length); it is stored in
+// the payload so a reader needs no side channel.
+func encodeDelta(dl *engine.StateDelta, dim int) []byte {
+	e := &encoder{buf: make([]byte, 0, 128+len(dl.CountKeys)*(dim+2))}
+	e.uvarint(uint64(dim))
+	e.uvarint(dl.FromGeneration)
+	e.uvarint(dl.Generation)
+	e.varint(dl.Rows)
+
+	e.uvarint(uint64(len(dl.CountKeys)))
+	for _, k := range dl.CountKeys {
+		e.rawString(k)
+		e.varint(dl.Counts[k])
+	}
+
+	e.uvarint(uint64(dl.Window))
+	e.uvarint(uint64(dl.WindowDrop))
+	e.uvarint(uint64(len(dl.WindowAppend)))
+	for _, k := range dl.WindowAppend {
+		e.rawString(k)
+	}
+	pdKeys := make([]string, 0, len(dl.PendingDeletes))
+	for k := range dl.PendingDeletes {
+		pdKeys = append(pdKeys, k)
+	}
+	sort.Strings(pdKeys)
+	e.uvarint(uint64(len(pdKeys)))
+	for _, k := range pdKeys {
+		e.rawString(k)
+		e.varint(dl.PendingDeletes[k])
+	}
+	e.varint(dl.Tombstones)
+
+	encodeLog(e, dl.Removed)
+	encodeLog(e, dl.Added)
+
+	encodeSearches(e, dl.Cache)
+	e.uvarint(uint64(len(dl.CacheKept)))
+	for _, r := range dl.CacheKept {
+		e.varint(r.Tau)
+		e.uvarint(uint64(r.MaxLevel))
+		e.uvarint(r.Gen)
+	}
+	encodePlans(e, dl.Plans)
+	e.uvarint(uint64(len(dl.PlansKept)))
+	for _, r := range dl.PlansKept {
+		e.varint(r.Tau)
+		e.uvarint(uint64(r.MUPMaxLevel))
+		e.uvarint(uint64(r.MaxLevel))
+		e.uvarint(r.MinValueCount)
+		e.str(r.OracleFP)
+		e.str(r.CostFP)
+		e.uvarint(r.Gen)
+	}
+
+	for _, c := range []int64{
+		dl.Counters.Appends, dl.Counters.Deletes, dl.Counters.Evictions,
+		dl.Counters.Compactions, dl.Counters.FullSearches, dl.Counters.Repairs,
+		dl.Counters.BidirectionalRepairs, dl.Counters.CacheHits,
+		dl.Counters.PlanProbes, dl.Counters.PlanHits, dl.Counters.PlanBuilds,
+		dl.Counters.PlanRepairs, dl.Counters.PlanRebuilds,
+	} {
+		e.varint(c)
+	}
+	return e.buf
+}
+
+// decodeDelta parses a delta payload. The returned dim is the schema
+// dimension the delta was encoded for; callers verify it against the
+// base state before applying.
+func decodeDelta(payload []byte) (*engine.StateDelta, int, error) {
+	d := &decoder{b: payload}
+	dl := &engine.StateDelta{}
+
+	dim64 := d.uvarint()
+	if d.err == nil && dim64 > uint64(len(d.b)) {
+		d.fail("dimension %d exceeds payload", dim64)
+	}
+	dim := int(dim64)
+	dl.FromGeneration = d.uvarint()
+	dl.Generation = d.uvarint()
+	dl.Rows = d.varint()
+
+	nCounts := d.length(dim + 1)
+	dl.Counts = make(map[string]int64, nCounts)
+	dl.CountKeys = make([]string, 0, nCounts)
+	for i := 0; i < nCounts && d.err == nil; i++ {
+		k := d.rawString(dim)
+		dl.Counts[k] = d.varint()
+		dl.CountKeys = append(dl.CountKeys, k)
+	}
+
+	window := d.uvarint()
+	if window > math.MaxInt32 {
+		d.fail("window %d out of range", window)
+	}
+	dl.Window = int(window)
+	drop := d.uvarint()
+	if drop > math.MaxInt32 {
+		d.fail("window drop %d out of range", drop)
+	}
+	dl.WindowDrop = int(drop)
+	nAppend := d.length(dim)
+	if nAppend > 0 {
+		dl.WindowAppend = make([]string, nAppend)
+		for i := 0; i < nAppend && d.err == nil; i++ {
+			dl.WindowAppend[i] = d.rawString(dim)
+		}
+	}
+	nPD := d.length(dim + 1)
+	if dl.Window > 0 || nPD > 0 {
+		dl.PendingDeletes = make(map[string]int64, nPD)
+		for i := 0; i < nPD && d.err == nil; i++ {
+			k := d.rawString(dim)
+			dl.PendingDeletes[k] = d.varint()
+		}
+	}
+	dl.Tombstones = d.varint()
+
+	dl.Removed = decodeLog(d, dim, snapshotVersion)
+	dl.Added = decodeLog(d, dim, snapshotVersion)
+
+	dl.Cache = decodeSearches(d, dim, snapshotVersion)
+	nKept := d.length(1)
+	dl.CacheKept = make([]engine.CachedSearchRef, 0, nKept)
+	for i := 0; i < nKept && d.err == nil; i++ {
+		r := engine.CachedSearchRef{Tau: d.varint()}
+		ml := d.uvarint()
+		if ml > math.MaxInt32 {
+			d.fail("kept cache ref %d: max level %d out of range", i, ml)
+		}
+		r.MaxLevel = int(ml)
+		r.Gen = d.uvarint()
+		dl.CacheKept = append(dl.CacheKept, r)
+	}
+	dl.Plans = decodePlans(d, dim)
+	nPKept := d.length(1)
+	dl.PlansKept = make([]engine.CachedPlanRef, 0, nPKept)
+	for i := 0; i < nPKept && d.err == nil; i++ {
+		r := engine.CachedPlanRef{Tau: d.varint()}
+		ml := d.uvarint()
+		pl := d.uvarint()
+		if ml > math.MaxInt32 || pl > math.MaxInt32 {
+			d.fail("kept plan ref %d: level bound out of range", i)
+		}
+		r.MUPMaxLevel = int(ml)
+		r.MaxLevel = int(pl)
+		r.MinValueCount = d.uvarint()
+		r.OracleFP = d.str()
+		r.CostFP = d.str()
+		r.Gen = d.uvarint()
+		dl.PlansKept = append(dl.PlansKept, r)
 	}
 
 	for _, p := range []*int64{
-		&st.Counters.Appends, &st.Counters.Deletes, &st.Counters.Evictions,
-		&st.Counters.Compactions, &st.Counters.FullSearches, &st.Counters.Repairs,
-		&st.Counters.BidirectionalRepairs, &st.Counters.CacheHits,
+		&dl.Counters.Appends, &dl.Counters.Deletes, &dl.Counters.Evictions,
+		&dl.Counters.Compactions, &dl.Counters.FullSearches, &dl.Counters.Repairs,
+		&dl.Counters.BidirectionalRepairs, &dl.Counters.CacheHits,
+		&dl.Counters.PlanProbes, &dl.Counters.PlanHits, &dl.Counters.PlanBuilds,
+		&dl.Counters.PlanRepairs, &dl.Counters.PlanRebuilds,
 	} {
 		*p = d.varint()
 	}
 
-	if version >= 3 {
-		nPlans := d.length(1)
-		st.Plans = make([]engine.CachedPlan, 0, nPlans)
-		for i := 0; i < nPlans && d.err == nil; i++ {
-			p := engine.CachedPlan{Tau: d.varint()}
-			ml := d.uvarint()
-			pl := d.uvarint()
-			if ml > math.MaxInt32 || pl > math.MaxInt32 {
-				d.fail("plan entry %d: level bound out of range", i)
-			}
-			p.MUPMaxLevel = int(ml)
-			p.MaxLevel = int(pl)
-			p.MinValueCount = d.uvarint()
-			p.OracleFP = d.str()
-			p.CostFP = d.str()
-			p.Gen = d.uvarint()
-			for _, set := range []*[]pattern.Pattern{&p.BasisMUPs, &p.Targets} {
-				n := d.length(dim)
-				backing := make([]uint8, n*dim)
-				*set = make([]pattern.Pattern, n)
-				for j := 0; j < n && d.err == nil; j++ {
-					q := backing[j*dim : (j+1)*dim : (j+1)*dim]
-					copy(q, d.raw(dim))
-					(*set)[j] = pattern.Pattern(q)
-				}
-			}
-			p.Algorithm = d.str()
-			p.Iterations = int(d.varint())
-			p.Nodes = d.varint()
-			nSug := d.length(2 * dim)
-			p.Suggestions = make([]engine.PlanSuggestion, 0, nSug)
-			for j := 0; j < nSug && d.err == nil; j++ {
-				var s engine.PlanSuggestion
-				s.Combo = append([]uint8(nil), d.raw(dim)...)
-				s.Collect = pattern.Pattern(append([]uint8(nil), d.raw(dim)...))
-				nHits := d.length(1)
-				s.Hits = make([]int, 0, nHits)
-				for h := 0; h < nHits && d.err == nil; h++ {
-					v := d.uvarint()
-					if v > math.MaxInt32 {
-						d.fail("plan entry %d suggestion %d: hit index %d out of range", i, j, v)
-					}
-					s.Hits = append(s.Hits, int(v))
-				}
-				s.Cost = math.Float64frombits(d.uvarint())
-				p.Suggestions = append(p.Suggestions, s)
-			}
-			st.Plans = append(st.Plans, p)
-		}
-		for _, p := range []*int64{
-			&st.Counters.PlanProbes, &st.Counters.PlanHits, &st.Counters.PlanBuilds,
-			&st.Counters.PlanRepairs, &st.Counters.PlanRebuilds,
-		} {
-			*p = d.varint()
-		}
-	}
-
 	if err := d.done(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return st, nil
+	return dl, dim, nil
 }

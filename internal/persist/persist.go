@@ -74,6 +74,11 @@ var (
 	// ErrNoState is returned by Recover when the directory holds no
 	// snapshot to recover from.
 	ErrNoState = errors.New("persist: no persisted state")
+	// ErrGone is returned by WALSince when the requested generation
+	// predates every retained WAL segment — the tail was pruned by
+	// cleanup, so a follower at that generation must resync from a
+	// snapshot chain instead of the feed.
+	ErrGone = errors.New("persist: requested WAL generation no longer retained")
 	// ErrUnavailable wraps mutation failures that are the store's
 	// fault, not the request's: a WAL write failed (disk full, I/O
 	// error), so the mutation may be applied in memory but is not

@@ -33,6 +33,12 @@ const (
 	snapshotVersion   uint32 = 3
 	snapshotVersionV2 uint32 = 2
 	snapshotVersionV1 uint32 = 1
+	// snapshotVersionDelta marks a delta file: the same framing, but
+	// the payload is a StateDelta (codec.go) expressed against an
+	// earlier snapshot, not a full state. Full-snapshot readers keep
+	// rejecting it with ErrVersion — a delta is meaningless without its
+	// chain, so it must never restore alone.
+	snapshotVersionDelta uint32 = 4
 )
 
 const snapshotHeaderSize = 8 + 4 + 8
@@ -146,6 +152,100 @@ func readSnapshotFile(path string) (*engine.State, error) {
 	return ReadSnapshotBytes(data)
 }
 
+// WriteDelta encodes a state delta to w using the snapshot framing
+// with the delta version. dim is the schema dimension the delta's raw
+// keys are cut at. It returns the number of bytes written.
+func WriteDelta(w io.Writer, dl *engine.StateDelta, dim int) (int64, error) {
+	payload := encodeDelta(dl, dim)
+	header := make([]byte, snapshotHeaderSize)
+	copy(header, snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], snapshotVersionDelta)
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(payload)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(payload, castagnoli))
+
+	var n int64
+	for _, chunk := range [][]byte{header, payload, trailer[:]} {
+		m, err := w.Write(chunk)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadDeltaBytes parses a delta file image, returning the decoded
+// delta and the schema dimension it was encoded for.
+func ReadDeltaBytes(data []byte) (*engine.StateDelta, int, error) {
+	if len(data) < snapshotHeaderSize {
+		if len(data) >= 8 && [8]byte(data[:8]) != snapshotMagic {
+			return nil, 0, ErrBadMagic
+		}
+		return nil, 0, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrTruncated, len(data), snapshotHeaderSize)
+	}
+	if [8]byte(data[:8]) != snapshotMagic {
+		return nil, 0, ErrBadMagic
+	}
+	if version := binary.LittleEndian.Uint32(data[8:]); version != snapshotVersionDelta {
+		return nil, 0, fmt.Errorf("%w: delta file declares snapshot version %d, want %d", ErrVersion, version, snapshotVersionDelta)
+	}
+	plen := binary.LittleEndian.Uint64(data[12:])
+	if plen != uint64(len(data)-snapshotHeaderSize-4) {
+		return nil, 0, fmt.Errorf("%w: header declares %d payload bytes, file holds %d", ErrTruncated, plen, len(data)-snapshotHeaderSize-4)
+	}
+	payload := data[snapshotHeaderSize : snapshotHeaderSize+int(plen)]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("%w: delta payload CRC %08x, trailer says %08x", ErrChecksum, got, want)
+	}
+	return decodeDelta(payload)
+}
+
+// writeDeltaFile durably writes the delta to dir/snap-<gen>.delta with
+// the same temp-fsync-rename discipline as writeSnapshotFile. The
+// "snap-" prefix keeps delta temporaries under the existing
+// snap-*.tmp cleanup in Open.
+func writeDeltaFile(dir string, dl *engine.StateDelta, dim int) (path string, bytes int64, err error) {
+	path = filepath.Join(dir, deltaName(dl.Generation))
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if bytes, err = WriteDelta(tmp, dl, dim); err != nil {
+		return "", 0, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return "", 0, err
+	}
+	if err = tmp.Close(); err != nil {
+		return "", 0, err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", 0, err
+	}
+	if err = syncDir(dir); err != nil {
+		return "", 0, err
+	}
+	return path, bytes, nil
+}
+
+// readDeltaFile loads and decodes one delta file.
+func readDeltaFile(path string) (*engine.StateDelta, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ReadDeltaBytes(data)
+}
+
 // syncDir fsyncs a directory so a just-renamed or just-created entry
 // survives power loss.
 func syncDir(dir string) error {
@@ -158,4 +258,5 @@ func syncDir(dir string) error {
 }
 
 func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%016x.snap", gen) }
+func deltaName(gen uint64) string    { return fmt.Sprintf("snap-%016x.delta", gen) }
 func walName(gen uint64) string      { return fmt.Sprintf("wal-%016x.wal", gen) }

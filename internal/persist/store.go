@@ -21,17 +21,40 @@ type Options struct {
 	// data still reaches the kernel per record (a killed process loses
 	// nothing) but an OS crash can drop the un-synced tail.
 	SyncWAL bool
+	// DisableDeltaSnapshots forces every snapshot to be a full image.
+	// By default Snapshot writes a generation-stamped delta against the
+	// previous snapshot whenever the engine can express one, making the
+	// steady-state checkpoint cost O(changes) instead of O(state).
+	DisableDeltaSnapshots bool
+	// MaxDeltaChain bounds how many deltas may stack on one full base
+	// before Snapshot compacts the chain back to a fresh full image
+	// (recovery applies the whole chain, so its length is a recovery
+	// latency knob). 0 means the default of 8.
+	MaxDeltaChain int
 	// Engine configures engines built by Recover.
 	Engine engine.Options
+}
+
+// maxDeltaChain resolves the chain bound.
+func (o Options) maxDeltaChain() int {
+	if o.MaxDeltaChain > 0 {
+		return o.MaxDeltaChain
+	}
+	return 8
 }
 
 // Stats is a snapshot of the store's persistence counters.
 type Stats struct {
 	// Dir is the data directory.
 	Dir string
-	// Snapshots counts snapshots written since the store was opened;
+	// Snapshots counts snapshots written since the store was opened
+	// (full images and deltas alike); DeltaSnapshots counts the deltas
+	// among them. DeltaChainLength is the number of deltas currently
+	// stacked on the newest full base.
 	// LastSnapshotGeneration / LastSnapshotBytes describe the newest.
 	Snapshots              int64
+	DeltaSnapshots         int64
+	DeltaChainLength       int
 	LastSnapshotGeneration uint64
 	LastSnapshotBytes      int64
 	LastSnapshotDurationNs int64
@@ -40,8 +63,9 @@ type Stats struct {
 	WALRecords int64
 	WALBytes   int64
 	// RecoveredSnapshotGeneration and ReplayedRecords describe the
-	// boot: the snapshot generation restored from (0 for a fresh
-	// start) and how many WAL records were replayed on top of it.
+	// boot: the newest persisted generation restored (the full base
+	// plus any delta chain; 0 for a fresh start) and how many WAL
+	// records were replayed on top of it.
 	RecoveredSnapshotGeneration uint64
 	ReplayedRecords             int64
 	// TornTailDropped reports whether recovery truncated a torn WAL
@@ -59,6 +83,9 @@ type RecoverInfo struct {
 	// (checksum, version, corruption) and were passed over for an
 	// older one.
 	SkippedSnapshots []string
+	// DeltasApplied is the number of delta files layered onto the base
+	// snapshot before WAL replay.
+	DeltasApplied int
 	// Segments is the number of WAL segments replayed; Replayed and
 	// Skipped count their records (skipped records were already
 	// reflected in the snapshot).
@@ -75,8 +102,11 @@ type RecoverInfo struct {
 // SnapshotResult describes one snapshot attempt.
 type SnapshotResult struct {
 	// Skipped is true when the engine generation has not advanced
-	// since the last snapshot, so no file was written.
+	// since the last snapshot, so no file was written. Delta is true
+	// when the file written was a delta against the previous snapshot
+	// rather than a full image.
 	Skipped    bool
+	Delta      bool
 	Path       string
 	Generation uint64
 	Bytes      int64
@@ -99,12 +129,21 @@ type Store struct {
 	wal    *walWriter
 
 	snapshots        int64
+	deltaSnapshots   int64
 	lastSnapGen      uint64
 	lastSnapBytes    int64
 	lastSnapDuration time.Duration
 	recoveredGen     uint64
 	replayed         int64
 	tornDropped      bool
+
+	// baseline anchors the next delta snapshot: the exact coordinates
+	// of the last written snapshot (full or delta). chainLen counts the
+	// deltas stacked on the newest full base; at maxDeltaChain the next
+	// snapshot compacts back to a full image. Guarded by mu; snapMu
+	// serializes the read-modify-write across a snapshot.
+	baseline *engine.DeltaBaseline
+	chainLen int
 
 	// broken is the sticky failure set when a WAL append fails after
 	// the engine already accepted the mutation: the in-memory state is
@@ -225,6 +264,53 @@ func (s *Store) Recover() (*engine.Engine, *RecoverInfo, error) {
 	}
 	info.SnapshotGeneration = snapGen
 
+	// Layer the delta chain: every delta past the base generation, in
+	// ascending order, as long as each link's from-generation matches
+	// the state built so far. An unreadable delta is quarantined like a
+	// damaged snapshot; a delta that merely fails to chain (its parent
+	// was the quarantined one, or it predates the base) is skipped
+	// intact — Apply rejects before mutating, so the state stays
+	// whole and the WAL replay below covers the unapplied tail.
+	deltas, deltaGens, err := s.genFiles("snap-", ".delta")
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, path := range deltas {
+		if deltaGens[i] <= snapGen {
+			continue
+		}
+		dl, dim, derr := readDeltaFile(path)
+		if derr != nil {
+			info.SkippedSnapshots = append(info.SkippedSnapshots, fmt.Sprintf("%s: %v", filepath.Base(path), derr))
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		if dim != len(st.Attrs) {
+			info.SkippedSnapshots = append(info.SkippedSnapshots, fmt.Sprintf("%s: delta dimension %d, snapshot has %d", filepath.Base(path), dim, len(st.Attrs)))
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		if dl.FromGeneration != st.Generation {
+			continue
+		}
+		if dl.Generation != deltaGens[i] {
+			info.SkippedSnapshots = append(info.SkippedSnapshots, fmt.Sprintf("%s: holds generation %d", filepath.Base(path), dl.Generation))
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		if derr := dl.Apply(st); derr != nil {
+			info.SkippedSnapshots = append(info.SkippedSnapshots, fmt.Sprintf("%s: %v", filepath.Base(path), derr))
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		info.DeltasApplied++
+	}
+
+	// The newest persisted generation: base plus applied deltas. The
+	// WAL below may carry the engine past it; the delta baseline is
+	// only valid when it does not.
+	lastPersistGen := st.Generation
+
 	eng, err := engine.NewFromState(st, s.opts.Engine)
 	if err != nil {
 		return nil, nil, fmt.Errorf("persist: restoring %s: %w", info.SnapshotPath, err)
@@ -297,10 +383,26 @@ func (s *Store) Recover() (*engine.Engine, *RecoverInfo, error) {
 	s.mu.Lock()
 	s.eng = eng
 	s.wal = wal
-	s.lastSnapGen = snapGen
-	s.recoveredGen = snapGen
+	s.lastSnapGen = lastPersistGen
+	// The recovered generation reported on Stats is the newest
+	// persisted state restored — the full base plus its delta chain —
+	// not the base alone, so "did the restart pick up the latest
+	// checkpoint" stays answerable when that checkpoint was a delta.
+	s.recoveredGen = lastPersistGen
 	s.replayed = int64(info.Replayed)
 	s.tornDropped = info.TornTailDropped
+	// Re-anchor the delta chain only when the engine stands exactly at
+	// the newest persisted snapshot (the clean park→restore shape): a
+	// replayed WAL tail means the disk chain is behind the engine, and
+	// a delta against an unpersisted baseline could never be applied —
+	// the next snapshot compacts to a full image instead.
+	if eng.Generation() == lastPersistGen {
+		s.baseline = eng.CaptureState().Baseline()
+		s.chainLen = info.DeltasApplied
+	} else {
+		s.baseline = nil
+		s.chainLen = 0
+	}
 	s.mu.Unlock()
 	return eng, info, nil
 }
@@ -322,7 +424,8 @@ func (s *Store) Attach(eng *engine.Engine) error {
 		return fmt.Errorf("persist: data dir %s already holds state; use Recover", s.dir)
 	}
 	start := time.Now()
-	st := eng.ExportState()
+	capture := eng.CaptureState()
+	st := capture.State()
 	_, bytes, err := writeSnapshotFile(s.dir, st)
 	if err != nil {
 		return err
@@ -338,6 +441,8 @@ func (s *Store) Attach(eng *engine.Engine) error {
 	s.lastSnapGen = st.Generation
 	s.lastSnapBytes = bytes
 	s.lastSnapDuration = time.Since(start)
+	s.baseline = capture.Baseline()
+	s.chainLen = 0
 	s.mu.Unlock()
 	return nil
 }
@@ -411,6 +516,14 @@ func (s *Store) failedErr() error {
 // that capture plus the segment rotation, so mutations stall for the
 // capture, not for the disk writes. When the generation has not
 // advanced since the last snapshot the call is a no-op.
+//
+// The file written is a delta against the previous snapshot whenever
+// the engine can express one (an O(changes) capture and encode) — a
+// full image is written on the first snapshot, when the delta chain
+// reaches Options.MaxDeltaChain (compaction), when the engine cannot
+// derive the changes (mutation-log horizon passed the baseline, window
+// log created or dropped), after a WAL failure (the full image is what
+// re-establishes a durable root), or when deltas are disabled.
 func (s *Store) Snapshot() (*SnapshotResult, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
@@ -429,13 +542,19 @@ func (s *Store) Snapshot() (*SnapshotResult, error) {
 		s.mu.Unlock()
 		return &SnapshotResult{Skipped: true, Generation: gen}, nil
 	}
+	var delta *engine.StateDelta
+	var nextBaseline *engine.DeltaBaseline
+	if !s.opts.DisableDeltaSnapshots && s.broken == nil && s.chainLen < s.opts.maxDeltaChain() {
+		delta, nextBaseline, _ = s.eng.CaptureDelta(s.baseline)
+	}
+	dim := len(s.eng.Schema().Cards())
 	// Rotate unless the current segment already starts at this
 	// generation (recovery can leave it that way); its records, if
 	// any, replay idempotently on top of the new snapshot.
 	var oldWal *walWriter
 	wasBroken := s.broken != nil
 	if s.wal.gen != gen {
-		newWal, err := createWALSegment(s.dir, gen, len(s.eng.Schema().Cards()), s.opts.SyncWAL)
+		newWal, err := createWALSegment(s.dir, gen, dim, s.opts.SyncWAL)
 		if err != nil {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("persist: rotating WAL: %w", err)
@@ -453,34 +572,55 @@ func (s *Store) Snapshot() (*SnapshotResult, error) {
 			return nil, fmt.Errorf("persist: closing rotated WAL: %w", err)
 		}
 	}
-	st := capture.State()
-	path, bytes, err := writeSnapshotFile(s.dir, st)
-	if err != nil {
-		// The snapshot failed but the rotated segment is already
-		// taking writes; recovery still works from the previous
-		// snapshot across both segments.
-		return nil, fmt.Errorf("persist: writing snapshot: %w", err)
+
+	var path string
+	var bytes int64
+	var err error
+	if delta != nil {
+		path, bytes, err = writeDeltaFile(s.dir, delta, dim)
+		if err != nil {
+			// The delta failed but the rotated segment is already
+			// taking writes; recovery still works from the previous
+			// snapshot across both segments.
+			return nil, fmt.Errorf("persist: writing delta snapshot: %w", err)
+		}
+	} else {
+		st := capture.State()
+		path, bytes, err = writeSnapshotFile(s.dir, st)
+		if err != nil {
+			return nil, fmt.Errorf("persist: writing snapshot: %w", err)
+		}
+		nextBaseline = capture.Baseline()
 	}
 	dur := time.Since(start)
 
 	s.mu.Lock()
 	s.snapshots++
-	s.lastSnapGen = st.Generation
+	if delta != nil {
+		s.deltaSnapshots++
+		s.chainLen++
+	} else {
+		s.chainLen = 0
+		// A durable full-state snapshot supersedes whatever the WAL
+		// failed to log; the store can accept mutations again.
+		s.broken = nil
+	}
+	s.baseline = nextBaseline
+	s.lastSnapGen = gen
 	s.lastSnapBytes = bytes
 	s.lastSnapDuration = dur
-	// A durable full-state snapshot supersedes whatever the WAL
-	// failed to log; the store can accept mutations again.
-	s.broken = nil
 	s.mu.Unlock()
 
-	s.cleanup(st.Generation)
-	return &SnapshotResult{Path: path, Generation: st.Generation, Bytes: bytes, Duration: dur}, nil
+	s.cleanup(gen)
+	return &SnapshotResult{Path: path, Delta: delta != nil, Generation: gen, Bytes: bytes, Duration: dur}, nil
 }
 
 // cleanup prunes old files after a successful snapshot at gen: the
-// two newest snapshots are kept (the older as a fallback against
-// at-rest damage of the newer), plus every WAL segment at or after
-// the oldest kept snapshot.
+// two newest full snapshots are kept (the older as a fallback against
+// at-rest damage of the newer), plus every delta and WAL segment at or
+// after the oldest kept full image. Deltas between the two kept fulls
+// stay because they are the older full's chain — a base is never
+// pruned out from under a delta that still names it, and vice versa.
 func (s *Store) cleanup(gen uint64) {
 	snaps, snapGens, err := s.genFiles("snap-", ".snap")
 	if err != nil {
@@ -496,6 +636,15 @@ func (s *Store) cleanup(gen uint64) {
 		}
 		os.Remove(snaps[i])
 	}
+	deltas, deltaGens, err := s.genFiles("snap-", ".delta")
+	if err != nil {
+		return
+	}
+	for i, d := range deltas {
+		if deltaGens[i] < keepFrom {
+			os.Remove(d)
+		}
+	}
 	wals, walGens, err := s.genFiles("wal-", ".wal")
 	if err != nil {
 		return
@@ -505,6 +654,69 @@ func (s *Store) cleanup(gen uint64) {
 			os.Remove(w)
 		}
 	}
+}
+
+// WALSince collects the raw framed WAL records with generations past
+// fromGen, in order, concatenated — the byte stream `GET /wal` serves
+// and DecodeWALStream parses. maxBytes (0 = unbounded) caps the
+// response at a record boundary once at least that many bytes have
+// accumulated; the follower re-requests from its new position. The
+// returned generation is the engine's current one, read after the
+// collection so it bounds every record served. ErrGone means fromGen
+// predates every retained segment and the follower must resync from
+// the snapshot chain.
+func (s *Store) WALSince(fromGen uint64, maxBytes int) ([]byte, uint64, error) {
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	if eng == nil {
+		return nil, 0, fmt.Errorf("persist: store not attached to an engine")
+	}
+	dim := len(eng.Schema().Cards())
+
+	wals, walGens, err := s.genFiles("wal-", ".wal")
+	if err != nil {
+		return nil, 0, err
+	}
+	// The record at fromGen+1 lives in the newest segment that starts
+	// at or before fromGen; all segments after it carry later records.
+	start := -1
+	for i := range walGens {
+		if walGens[i] <= fromGen {
+			start = i
+		}
+	}
+	if start < 0 {
+		return nil, 0, fmt.Errorf("%w: generation %d predates the oldest retained segment", ErrGone, fromGen)
+	}
+
+	var out []byte
+	for i := start; i < len(wals) && (maxBytes <= 0 || len(out) < maxBytes); i++ {
+		data, err := os.ReadFile(wals[i])
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(data) < walHeaderSize {
+			continue // segment being created concurrently
+		}
+		// The tail record may be mid-append under a concurrent writer;
+		// the parse simply stops there and the follower re-requests.
+		off := int64(walHeaderSize)
+		for {
+			rec, next, ok := parseWALRecord(data, off, dim)
+			if !ok {
+				break
+			}
+			if rec.gen > fromGen {
+				out = append(out, data[off:next]...)
+			}
+			off = next
+			if maxBytes > 0 && len(out) >= maxBytes {
+				break
+			}
+		}
+	}
+	return out, eng.Generation(), nil
 }
 
 // Dirty reports whether the engine has mutated past the last
@@ -523,6 +735,8 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Dir:                         s.dir,
 		Snapshots:                   s.snapshots,
+		DeltaSnapshots:              s.deltaSnapshots,
+		DeltaChainLength:            s.chainLen,
 		LastSnapshotGeneration:      s.lastSnapGen,
 		LastSnapshotBytes:           s.lastSnapBytes,
 		LastSnapshotDurationNs:      s.lastSnapDuration.Nanoseconds(),

@@ -245,37 +245,75 @@ func parseWALRecord(data []byte, off int64, dim int) (rec walRecord, next int64,
 	return rec, off + 8 + plen, true
 }
 
-// replaySegment applies a segment's records to the engine. Append and
-// delete records are applied only when they advance the generation by
-// exactly one (replay is idempotent: records already reflected in the
-// snapshot are skipped); window records are idempotent and always
-// applied. A generation gap means the log and snapshot disagree and
-// recovery aborts rather than restoring a silently divergent engine.
+// Exported WAL op codes, mirrored from the internal ones — the
+// follower's tailing loop switches on them to route each feed record
+// through its own store's mutation path.
+const (
+	WALOpAppend byte = opAppend
+	WALOpDelete byte = opDelete
+	WALOpWindow byte = opWindow
+)
+
+// WALRecord is the exported form of one WAL record, as handed to a
+// feed consumer by DecodeWALStream.
+type WALRecord struct {
+	Op      byte
+	Gen     uint64
+	Rows    [][]uint8 // WALOpAppend / WALOpDelete
+	MaxRows int       // WALOpWindow
+}
+
+// DecodeWALStream decodes a headerless stream of framed WAL records —
+// the byte shape WALSince serves over `GET /wal`. complete reports
+// whether the stream ended exactly on a record boundary; a false means
+// the tail was torn (the leader was mid-append, or the transfer was
+// cut) and the consumer should keep the intact prefix and re-request
+// from its new position.
+func DecodeWALStream(data []byte, dim int) (recs []WALRecord, complete bool) {
+	off := int64(0)
+	for off < int64(len(data)) {
+		rec, next, ok := parseWALRecord(data, off, dim)
+		if !ok {
+			return recs, false
+		}
+		recs = append(recs, WALRecord{Op: rec.op, Gen: rec.gen, Rows: rec.rows, MaxRows: rec.maxRows})
+		off = next
+	}
+	return recs, true
+}
+
+// replaySegment applies a segment's records to the engine. Every
+// mutation — append, delete and window change alike — advances the
+// engine's generation by exactly one, so replay gates each record on
+// its stamped generation: a record at or below the engine's current
+// generation is already reflected (in the snapshot, or by an earlier
+// replay) and is skipped, which makes replay idempotent end to end —
+// the property the WAL-tailing follower leans on when it re-reads a
+// feed from an older generation. A generation gap means the log and
+// snapshot disagree and recovery aborts rather than restoring a
+// silently divergent engine.
 func replaySegment(eng *engine.Engine, recs []walRecord) (applied, skipped int, err error) {
 	for i, rec := range recs {
+		gen := eng.Generation()
+		if rec.gen <= gen {
+			skipped++
+			continue
+		}
+		if rec.gen != gen+1 {
+			return applied, skipped, fmt.Errorf("%w: WAL record %d jumps from generation %d to %d", ErrCorrupt, i, gen, rec.gen)
+		}
 		switch rec.op {
-		case opAppend, opDelete:
-			gen := eng.Generation()
-			if rec.gen <= gen {
-				skipped++
-				continue
-			}
-			if rec.gen != gen+1 {
-				return applied, skipped, fmt.Errorf("%w: WAL record %d jumps from generation %d to %d", ErrCorrupt, i, gen, rec.gen)
-			}
-			if rec.op == opAppend {
-				err = eng.Append(rec.rows)
-			} else {
-				err = eng.Delete(rec.rows)
-			}
-			if err != nil {
-				return applied, skipped, fmt.Errorf("persist: replaying WAL record %d: %w", i, err)
-			}
-			applied++
+		case opAppend:
+			err = eng.Append(rec.rows)
+		case opDelete:
+			err = eng.Delete(rec.rows)
 		case opWindow:
 			eng.SetWindow(rec.maxRows)
-			applied++
 		}
+		if err != nil {
+			return applied, skipped, fmt.Errorf("persist: replaying WAL record %d: %w", i, err)
+		}
+		applied++
 	}
 	return applied, skipped, nil
 }
