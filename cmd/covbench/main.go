@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|shard|plan|counts|registry|replica|all
+//	covbench [flags] fig6|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|compas-mups|compas-enhance|engine|persist|shard|plan|counts|registry|replica|wal|all
 //
 // Flags:
 //
@@ -53,6 +53,7 @@ type config struct {
 	countsOut   string
 	registryOut string
 	replicaOut  string
+	walOut      string
 }
 
 func fatal(err error) {
@@ -84,6 +85,7 @@ var experiments = []struct {
 	{"counts", "count-store layouts (map/flat/dense × append/MUP-search/delete-repair at GOMAXPROCS=1) → JSON", countsBench},
 	{"registry", "multi-tenant registry (lease, park/restore, create/drop, pooled search) → JSON", registryBench},
 	{"replica", "delta snapshots + WAL-feed replication (delta vs full write, follower catch-up, bounded-staleness reads) → JSON", replicaBench},
+	{"wal", "group-commit write pipeline (grouped vs per-record fsync by writer count, streamed vs polled replication lag) → JSON", walBench},
 }
 
 func main() {
@@ -92,7 +94,7 @@ func main() {
 	flag.BoolVar(&cfg.quick, "quick", false, "laptop-scale parameters")
 	flag.BoolVar(&cfg.apriori, "apriori", false, "include the APRIORI baseline in fig12")
 	flag.BoolVar(&cfg.naive, "naive", false, "include the naive hitting-set baseline in fig17")
-	flag.BoolVar(&cfg.check, "check", false, "shard experiment: exit 1 when a GOMAXPROCS≥4 host measures speedup_4v1 < 1 for append or mup-search")
+	flag.BoolVar(&cfg.check, "check", false, "shard/wal experiments: exit 1 when a GOMAXPROCS≥4 host misses the concurrency gates (shard: speedup_4v1 ≥ 1; wal: grouped ≥ 3× per-record at 8 writers and streamed lag p50 ≤ poll/10)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
 	flag.StringVar(&cfg.benchOut, "benchout", "BENCH_engine.json", "output file for the engine experiment's JSON results")
 	flag.StringVar(&cfg.persistOut, "persistout", "BENCH_persist.json", "output file for the persist experiment's JSON results")
@@ -101,6 +103,7 @@ func main() {
 	flag.StringVar(&cfg.countsOut, "countsout", "BENCH_counts.json", "output file for the counts experiment's JSON results")
 	flag.StringVar(&cfg.registryOut, "registryout", "BENCH_registry.json", "output file for the registry experiment's JSON results")
 	flag.StringVar(&cfg.replicaOut, "replicaout", "BENCH_replica.json", "output file for the replica experiment's JSON results")
+	flag.StringVar(&cfg.walOut, "walout", "BENCH_wal.json", "output file for the wal experiment's JSON results")
 	flag.Parse()
 	if cfg.quick && cfg.n == 1000000 {
 		cfg.n = 100000

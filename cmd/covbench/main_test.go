@@ -46,8 +46,8 @@ func TestExperimentRegistryNamesAreUnique(t *testing.T) {
 		}
 		seen[e.name] = true
 	}
-	if len(seen) != 19 {
-		t.Errorf("%d experiments registered, want 19 (one per figure/table, plus engine, persist, shard, plan, counts, registry and replica)", len(seen))
+	if len(seen) != 20 {
+		t.Errorf("%d experiments registered, want 20 (one per figure/table, plus engine, persist, shard, plan, counts, registry, replica and wal)", len(seen))
 	}
 }
 
@@ -341,5 +341,43 @@ func TestEngineBenchWritesJSON(t *testing.T) {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 {
 			t.Errorf("result %q has ns/op %v over %d iterations", r.Name, r.NsPerOp, r.Iterations)
 		}
+	}
+}
+
+// TestWALBenchWritesJSON smokes the group-commit benchmark at toy
+// scale: the report must decode, hold one point per writer count with
+// positive timings, and carry both lag distributions. The headline
+// speedup and lag ratios are asserted only by `-check` on multi-core
+// CI hosts — a loaded single-core test runner cannot pin them.
+func TestWALBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark runner takes seconds")
+	}
+	rep := walBenchSmoke(t.TempDir())
+	if len(rep.Series) != 4 {
+		t.Fatalf("%d series points, want 4 (writers 1/4/8/16)", len(rep.Series))
+	}
+	for i, want := range []int{1, 4, 8, 16} {
+		pt := rep.Series[i]
+		if pt.Writers != want {
+			t.Errorf("series[%d].Writers = %d, want %d", i, pt.Writers, want)
+		}
+		if pt.PerRecordNs <= 0 || pt.GroupedNs <= 0 || pt.Appends <= 0 {
+			t.Errorf("series point = %+v", pt)
+		}
+		if pt.AppendsPerSync < 1 {
+			t.Errorf("writers=%d: %.2f appends per fsync, want >= 1", pt.Writers, pt.AppendsPerSync)
+		}
+	}
+	if rep.SummarySpeedup8 != rep.Series[2].Speedup {
+		t.Errorf("summary speedup %.2f, want the 8-writer point %.2f", rep.SummarySpeedup8, rep.Series[2].Speedup)
+	}
+	if rep.LagSamples <= 0 || rep.PolledLagP50Ms <= 0 || rep.StreamedLagP50Ms < 0 {
+		t.Errorf("lag section = %+v", rep)
+	}
+	// The streamed path is commit-driven; even on a noisy runner its
+	// median must beat a ticker that can only fire every 200 ms.
+	if rep.StreamedLagP50Ms >= rep.PolledLagP50Ms {
+		t.Errorf("streamed lag p50 %.2f ms not below polled p50 %.2f ms", rep.StreamedLagP50Ms, rep.PolledLagP50Ms)
 	}
 }

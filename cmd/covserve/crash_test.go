@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -180,19 +181,10 @@ type covserveProc struct {
 	base string // http://127.0.0.1:port
 }
 
-// startCovserve launches the binary against the data dir and waits
-// for its "listening on" line. -wal-sync=false: SIGKILL only tests
-// process death, and every record is written to the kernel before the
-// mutation is acknowledged.
-func startCovserve(t *testing.T, bin, csv, dataDir string) *covserveProc {
+// awaitListening starts the prepared covserve command and waits for
+// its "listening on" line.
+func awaitListening(t *testing.T, cmd *exec.Cmd, what string) *covserveProc {
 	t.Helper()
-	cmd := exec.Command(bin,
-		"-csv", csv,
-		"-data-dir", dataDir,
-		"-addr", "127.0.0.1:0",
-		"-wal-sync=false",
-		"-snapshot-interval", "0",
-	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -220,9 +212,36 @@ func startCovserve(t *testing.T, bin, csv, dataDir string) *covserveProc {
 	case <-time.After(15 * time.Second):
 		cmd.Process.Kill()
 		cmd.Wait()
-		t.Fatal("covserve did not report a listening address within 15s")
+		t.Fatalf("%s did not report a listening address within 15s", what)
 		return nil
 	}
+}
+
+// startCovserve launches the binary against the data dir.
+// -wal-sync=false: SIGKILL only tests process death, and every record
+// is written to the kernel before the mutation is acknowledged.
+func startCovserve(t *testing.T, bin, csv, dataDir string) *covserveProc {
+	t.Helper()
+	return awaitListening(t, exec.Command(bin,
+		"-csv", csv,
+		"-data-dir", dataDir,
+		"-addr", "127.0.0.1:0",
+		"-wal-sync=false",
+		"-snapshot-interval", "0",
+	), "covserve")
+}
+
+// startCovserveSync is startCovserve with real fsyncs: acknowledgments
+// only after the group commit is durable on disk.
+func startCovserveSync(t *testing.T, bin, csv, dataDir string) *covserveProc {
+	t.Helper()
+	return awaitListening(t, exec.Command(bin,
+		"-csv", csv,
+		"-data-dir", dataDir,
+		"-addr", "127.0.0.1:0",
+		"-wal-sync=true",
+		"-snapshot-interval", "0",
+	), "covserve")
 }
 
 func (p *covserveProc) kill() {
@@ -447,44 +466,14 @@ func verifyAgainstShadow(t *testing.T, c *harnessClient, shadow *coverage.Analyz
 // leader at leaderBase, polling fast so schedules converge quickly.
 func startCovserveFollower(t *testing.T, bin, dataDir, leaderBase string) *covserveProc {
 	t.Helper()
-	cmd := exec.Command(bin,
+	return awaitListening(t, exec.Command(bin,
 		"-follow", leaderBase,
 		"-data-dir", dataDir,
 		"-addr", "127.0.0.1:0",
 		"-follow-poll", "25ms",
 		"-wal-sync=false",
 		"-snapshot-interval", "0",
-	)
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	cmd.Stdout = io.Discard
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				select {
-				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
-				default:
-				}
-			}
-		}
-	}()
-	select {
-	case addr := <-addrCh:
-		return &covserveProc{cmd: cmd, base: "http://" + addr}
-	case <-time.After(15 * time.Second):
-		cmd.Process.Kill()
-		cmd.Wait()
-		t.Fatal("covserve follower did not report a listening address within 15s")
-		return nil
-	}
+	), "covserve follower")
 }
 
 // waitForCatchup polls the replica's /stats until its generation
@@ -833,5 +822,112 @@ func TestCrashRecoveryHarness(t *testing.T) {
 			}
 			verifyAgainstShadow(t, client2, shadow, rng, cards)
 		})
+	}
+}
+
+// TestGroupCommitCrashHarness hammers a fsyncing covserve with
+// concurrent appenders, SIGKILLs it mid-flight, and requires the
+// restarted process to serve every row whose append was acknowledged:
+// group commit may share fsyncs, but an ack must still mean durable.
+func TestGroupCommitCrashHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness skipped in -short mode")
+	}
+	bin := buildCovserveBinary(t)
+	csv := harnessCSV(t, t.TempDir())
+	f, err := os.Open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := coverage.ReadCSV(f, coverage.CSVOptions{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each writer appends its own code combo, so per-writer ack counts
+	// translate directly into exact-pattern coverage floors after the
+	// restart. With cards 2/3/4, (w mod 2, w mod 3, w mod 4) is
+	// distinct for all six writers.
+	const writers = 6
+	cards := ds.Cards()
+	combos := make([][]uint8, writers)
+	base := make([]int64, writers)
+	shadow := coverage.NewAnalyzer(ds.Clone())
+	for w := range combos {
+		combos[w] = []uint8{uint8(w % cards[0]), uint8(w % cards[1]), uint8(w % cards[2])}
+		if base[w], err = shadow.Coverage(coverage.Pattern(combos[w])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dataDir := filepath.Join(t.TempDir(), "state")
+	proc := startCovserveSync(t, bin, csv, dataDir)
+	defer proc.kill()
+
+	var acked [writers]int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := newHarnessClient(proc.base)
+			for {
+				if err := c.postJSON("/append", map[string]any{"codes": [][]uint8{combos[w]}}, nil); err != nil {
+					return // the kill landed
+				}
+				atomic.AddInt64(&acked[w], 1)
+			}
+		}()
+	}
+
+	// Let the writers race until the pipeline has committed several
+	// groups and acknowledged a real workload, then SIGKILL mid-flight.
+	sc := newHarnessClient(proc.base)
+	deadline := time.Now().Add(30 * time.Second)
+	var grouped, groupedRecords int64
+	for time.Now().Before(deadline) {
+		var st statsResponse
+		if err := sc.getJSON("/stats", &st); err == nil && st.Persist != nil {
+			grouped = st.Persist.WALGroupCommits
+			groupedRecords = st.Persist.WALGroupRecords
+			var total int64
+			for w := range acked {
+				total += atomic.LoadInt64(&acked[w])
+			}
+			if grouped >= 3 && total >= 30 {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	proc.cmd.Process.Kill()
+	wg.Wait()
+	proc.cmd.Wait()
+	if grouped == 0 {
+		t.Fatal("no group commits observed before the kill")
+	}
+	t.Logf("pre-kill: %d records over %d group commits, acked %v", groupedRecords, grouped, acked)
+
+	// Restart on the same data dir: every acknowledged row must be
+	// served. Coverage may exceed the floor (rows whose ack was lost
+	// to the kill may still have committed) but never undershoot it.
+	proc2 := startCovserve(t, bin, csv, dataDir)
+	defer proc2.kill()
+	patterns := make([]string, writers)
+	for w := range combos {
+		patterns[w] = coverage.Pattern(combos[w]).String()
+	}
+	var covResp coverageResponse
+	if err := newHarnessClient(proc2.base).postJSON("/coverage", map[string]any{"patterns": patterns}, &covResp); err != nil {
+		t.Fatal(err)
+	}
+	for w := range combos {
+		want := base[w] + atomic.LoadInt64(&acked[w])
+		if got := covResp.Results[w].Coverage; got < want {
+			t.Errorf("combo %v: restarted coverage %d < %d acked (group commit acked a row the restart cannot serve)",
+				combos[w], got, want)
+		}
 	}
 }

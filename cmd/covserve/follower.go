@@ -38,6 +38,14 @@ type follower struct {
 	leader    *url.URL
 	client    *http.Client
 	pollEvery time.Duration
+	// waitFor, when positive, turns each tail request into a long poll:
+	// the leader parks it until a commit moves the WAL past our
+	// generation (or waitFor elapses), cutting replication lag from
+	// O(poll interval) to O(RTT). Against a leader that ignores the
+	// wait parameter the follower detects the missing capability header
+	// and falls back to the plain pollEvery cadence.
+	waitFor   time.Duration
+	replicaID string
 	dataDir   string
 	opts      persist.Options
 
@@ -52,14 +60,18 @@ type follower struct {
 	leaderGen atomic.Uint64
 	applied   atomic.Int64
 	polls     atomic.Int64
+	streamed  atomic.Int64
 	resyncs   atomic.Int64
+	longPoll  atomic.Bool  // the leader honored our last wait request
 	lastErr   atomic.Value // string
 }
 
 // newFollower boots a follower for the given leader URL: recover the
 // local data directory if it holds state, otherwise bootstrap from the
-// leader's snapshot chain.
-func newFollower(dataDir, leaderURL string, pollEvery time.Duration, opts persist.Options) (*follower, error) {
+// leader's snapshot chain. waitFor > 0 requests long-poll streaming
+// (see the field comment); replicaID, when non-empty, identifies this
+// replica to the leader's /topology.
+func newFollower(dataDir, leaderURL string, pollEvery, waitFor time.Duration, replicaID string, opts persist.Options) (*follower, error) {
 	u, err := url.Parse(leaderURL)
 	if err != nil {
 		return nil, fmt.Errorf("bad leader URL %q: %w", leaderURL, err)
@@ -67,10 +79,18 @@ func newFollower(dataDir, leaderURL string, pollEvery time.Duration, opts persis
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("leader URL %q needs a scheme and host", leaderURL)
 	}
+	// The HTTP timeout must outlast a full long-poll park, or every
+	// idle wait would be cut off as a client error.
+	timeout := time.Minute
+	if waitFor+30*time.Second > timeout {
+		timeout = waitFor + 30*time.Second
+	}
 	f := &follower{
 		leader:    u,
-		client:    &http.Client{Timeout: time.Minute},
+		client:    &http.Client{Timeout: timeout},
 		pollEvery: pollEvery,
+		waitFor:   waitFor,
+		replicaID: replicaID,
 		dataDir:   dataDir,
 		opts:      opts,
 	}
@@ -208,8 +228,27 @@ func (f *follower) tailOnce() (int, error) {
 	u := f.leader.JoinPath("/wal")
 	q := u.Query()
 	q.Set("from", strconv.FormatUint(gen, 10))
+	if f.waitFor > 0 {
+		// An old leader ignores the unknown parameter and answers
+		// immediately, without the capability header — detected below.
+		q.Set("wait", f.waitFor.String())
+	}
 	u.RawQuery = q.Encode()
-	resp, err := f.client.Get(u.String())
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return 0, err
+	}
+	if f.replicaID != "" {
+		req.Header.Set(replicaIDHeader, f.replicaID)
+		// The contact cadence the leader should expect: the long-poll
+		// wait when streaming, otherwise the poll interval.
+		interval := f.pollEvery
+		if f.waitFor > 0 && f.longPoll.Load() {
+			interval = f.waitFor
+		}
+		req.Header.Set(replicaIntervalHeader, interval.String())
+	}
+	resp, err := f.client.Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -227,6 +266,13 @@ func (f *follower) tailOnce() (int, error) {
 	}
 	if lg, err := strconv.ParseUint(resp.Header.Get(generationHeader), 10, 64); err == nil {
 		f.leaderGen.Store(lg)
+	}
+	if f.waitFor > 0 {
+		honored := resp.Header.Get(walWaitHeader) != ""
+		f.longPoll.Store(honored)
+		if honored {
+			f.streamed.Add(1)
+		}
 	}
 
 	// complete=false means the stream ended mid-record (the leader was
@@ -286,18 +332,28 @@ func (f *follower) resync() (int, error) {
 	return 0, nil
 }
 
-// run polls the leader until stop closes. Errors are recorded in
-// /stats and retried on the next tick — a follower outliving a leader
-// restart simply resumes.
+// run tails the leader until stop closes. In streaming mode (waitFor
+// set and the leader honoring it) each request long-polls on the
+// leader, so the loop re-issues immediately — lag is one RTT, and an
+// idle leader holds the request instead of being hammered. Against an
+// old leader, or after any error, the loop falls back to the plain
+// pollEvery cadence; errors are recorded in /stats and retried — a
+// follower outliving a leader restart simply resumes.
 func (f *follower) run(stop <-chan struct{}) {
-	t := time.NewTicker(f.pollEvery)
-	defer t.Stop()
 	for {
 		select {
 		case <-stop:
 			return
-		case <-t.C:
-			f.pollOnce()
+		default:
+		}
+		_, err := f.pollOnce()
+		if err == nil && f.waitFor > 0 && f.longPoll.Load() {
+			continue
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(f.pollEvery):
 		}
 	}
 }
@@ -333,11 +389,14 @@ func (f *follower) replicaStats() *replicaJSON {
 	lastErr, _ := f.lastErr.Load().(string)
 	return &replicaJSON{
 		Leader:           f.leader.String(),
+		ReplicaID:        f.replicaID,
 		LocalGeneration:  local,
 		LeaderGeneration: leader,
 		GenerationLag:    lag,
 		AppliedRecords:   f.applied.Load(),
 		Polls:            f.polls.Load(),
+		StreamedPolls:    f.streamed.Load(),
+		LongPolling:      f.longPoll.Load(),
 		Resyncs:          f.resyncs.Load(),
 		LastError:        lastErr,
 	}

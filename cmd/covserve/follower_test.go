@@ -43,10 +43,11 @@ func startLeader(t *testing.T, dir string, opts persist.Options) (*server, *http
 }
 
 // startFollower bootstraps a follower of ts into its own directory.
-// The poll interval is huge: tests drive pollOnce explicitly.
+// The poll interval is huge and the long-poll wait is zero: tests
+// drive pollOnce explicitly and idle polls must return immediately.
 func startFollower(t *testing.T, ts *httptest.Server) *follower {
 	t.Helper()
-	f, err := newFollower(t.TempDir(), ts.URL, time.Hour, persist.Options{})
+	f, err := newFollower(t.TempDir(), ts.URL, time.Hour, 0, "", persist.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestFollowerRestartRecoversLocally(t *testing.T) {
 	gen := f.engineGen()
 	f.store.Close()
 
-	f2, err := newFollower(f.dataDir, ts.URL, time.Hour, persist.Options{})
+	f2, err := newFollower(f.dataDir, ts.URL, time.Hour, 0, "", persist.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

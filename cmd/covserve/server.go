@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"coverage"
 	"coverage/internal/persist"
@@ -49,6 +50,9 @@ type server struct {
 	// /stats — a WAL-tailing follower installs it; leaders leave it
 	// nil.
 	replica func() *replicaJSON
+	// topo tracks followers seen on the WAL feed (identified by their
+	// X-Replica-ID header) for GET /topology; built only with a store.
+	topo *topology
 }
 
 func newServer(an *coverage.Analyzer, store *persist.Store) *server {
@@ -76,6 +80,8 @@ func newServerWith(an *coverage.Analyzer, store *persist.Store, cfg serverConfig
 		s.mux.HandleFunc("GET /wal", s.handleWALFeed)
 		s.mux.HandleFunc("GET /chain", s.handleChainList)
 		s.mux.HandleFunc("GET /chain/{name}", s.handleChainFile)
+		s.topo = newTopology()
+		s.mux.HandleFunc("GET /topology", s.handleTopology)
 	}
 	return s
 }
@@ -249,13 +255,19 @@ type statsResponse struct {
 // fared.
 type replicaJSON struct {
 	Leader           string `json:"leader"`
+	ReplicaID        string `json:"replica_id,omitempty"`
 	LocalGeneration  uint64 `json:"local_generation"`
 	LeaderGeneration uint64 `json:"leader_generation"`
 	GenerationLag    uint64 `json:"generation_lag"`
 	AppliedRecords   int64  `json:"applied_records"`
 	Polls            int64  `json:"polls"`
-	Resyncs          int64  `json:"resyncs"`
-	LastError        string `json:"last_error,omitempty"`
+	// StreamedPolls counts feed requests the leader long-polled
+	// (honored our wait parameter); LongPolling reports whether the
+	// last contact was one.
+	StreamedPolls int64  `json:"streamed_polls"`
+	LongPolling   bool   `json:"long_polling"`
+	Resyncs       int64  `json:"resyncs"`
+	LastError     string `json:"last_error,omitempty"`
 }
 
 // planCacheJSON is the remediation-plan cache section of /stats:
@@ -304,6 +316,16 @@ type persistStats struct {
 	// stack on the newest full image.
 	DeltaSnapshots   int64 `json:"delta_snapshots"`
 	DeltaChainLength int   `json:"delta_chain_length"`
+	// The commit pipeline: coalesced write+fsync calls, the records
+	// they carried (records ÷ commits = group size), append requests
+	// merged into a groupmate's engine batch, the newest durably
+	// logged generation, and feed long-pollers currently parked on
+	// the commit hub.
+	WALGroupCommits   int64  `json:"wal_group_commits"`
+	WALGroupRecords   int64  `json:"wal_grouped_records"`
+	CoalescedAppends  int64  `json:"coalesced_appends"`
+	DurableGeneration uint64 `json:"durable_generation"`
+	FeedWaiters       int64  `json:"feed_waiters"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -361,6 +383,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Persist.DeltaSnapshots = ps.DeltaSnapshots
 		resp.Persist.DeltaChainLength = ps.DeltaChainLength
+		resp.Persist.WALGroupCommits = ps.WALGroupCommits
+		resp.Persist.WALGroupRecords = ps.WALGroupRecords
+		resp.Persist.CoalescedAppends = ps.CoalescedAppends
+		resp.Persist.DurableGeneration = ps.DurableGeneration
+		resp.Persist.FeedWaiters = ps.FeedWaiters
 	}
 	if s.replica != nil {
 		resp.Replica = s.replica()
@@ -865,6 +892,27 @@ const walFeedMaxBytes = 4 << 20
 // read responses).
 const generationHeader = "X-Coverage-Generation"
 
+// walWaitHeader is set on /wal responses from servers that honor the
+// `wait` query parameter. An old leader ignores unknown parameters and
+// answers immediately without the header; the follower reads its
+// absence as "long-polling unsupported" and falls back to its plain
+// poll cadence.
+const walWaitHeader = "X-Coverage-Wait"
+
+// replicaIDHeader and replicaIntervalHeader identify a follower on its
+// feed requests: a stable replica name, and how often the leader
+// should expect to hear from it (its wait or poll interval) — the TTL
+// base for /topology expiry.
+const (
+	replicaIDHeader       = "X-Replica-ID"
+	replicaIntervalHeader = "X-Replica-Interval"
+)
+
+// maxWALWait caps how long one /wal long-poll may park, so a follower
+// asking for an hour still re-contacts (and re-registers in the
+// topology) at a bounded cadence.
+const maxWALWait = 30 * time.Second
+
 func (s *server) handleWALFeed(w http.ResponseWriter, r *http.Request) {
 	var from uint64
 	if v := r.URL.Query().Get("from"); v != "" {
@@ -875,7 +923,34 @@ func (s *server) handleWALFeed(w http.ResponseWriter, r *http.Request) {
 		}
 		from = parsed
 	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: %w", v, err))
+			return
+		}
+		if parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: must be >= 0", v))
+			return
+		}
+		wait = min(parsed, maxWALWait)
+		w.Header().Set(walWaitHeader, wait.String())
+	}
+	s.observeReplica(r, from)
+
 	data, gen, err := s.store.WALSince(from, walFeedMaxBytes)
+	if err == nil && len(data) == 0 && wait > 0 {
+		// Long poll: park on the commit hub until a commit moves the
+		// durable generation past the follower's position, the wait
+		// elapses, or the client goes away — then re-collect. A commit
+		// landing between the WALSince above and the park is not lost:
+		// AwaitGeneration returns immediately when the watermark is
+		// already past from.
+		if woke := s.store.AwaitGeneration(r.Context(), from, wait); woke > from {
+			data, gen, err = s.store.WALSince(from, walFeedMaxBytes)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, persist.ErrGone) {
 			// The tail was pruned by snapshot retention: the follower
@@ -890,6 +965,29 @@ func (s *server) handleWALFeed(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(generationHeader, strconv.FormatUint(gen, 10))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// observeReplica records a feed request in the topology when the
+// caller identifies itself as a replica.
+func (s *server) observeReplica(r *http.Request, from uint64) {
+	if s.topo == nil {
+		return
+	}
+	id := r.Header.Get(replicaIDHeader)
+	if id == "" {
+		return
+	}
+	var interval time.Duration
+	if v := r.Header.Get(replicaIntervalHeader); v != "" {
+		if parsed, err := time.ParseDuration(v); err == nil && parsed > 0 {
+			interval = parsed
+		}
+	}
+	s.topo.observe(id, r.RemoteAddr, from, interval)
+}
+
+func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.topo.snapshot(s.an.Engine().Generation()))
 }
 
 // chainFileName reports whether name is a well-formed snapshot-chain

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// topology tracks the replicas a leader has heard from on its WAL
+// feed. Followers identify themselves with X-Replica-ID (and their
+// contact interval with X-Replica-Interval); an entry that misses a
+// few expected contacts expires, so /topology only names replicas a
+// load balancer could actually route bounded-staleness reads to.
+
+// replicaTTLFactor is how many missed contact intervals a replica may
+// skip before its entry expires.
+const replicaTTLFactor = 3
+
+// Bounds on one entry's TTL: a very chatty follower still gets a
+// grace period, and a follower polling hourly does not squat in the
+// topology for half a day after dying. defaultReplicaTTL covers
+// followers that do not declare an interval.
+const (
+	minReplicaTTL     = time.Second
+	maxReplicaTTL     = 5 * time.Minute
+	defaultReplicaTTL = 30 * time.Second
+)
+
+// replicaContact is the live record for one follower.
+type replicaContact struct {
+	id       string
+	addr     string
+	gen      uint64 // the from= position of its last feed request
+	lastSeen time.Time
+	ttl      time.Duration
+}
+
+type topology struct {
+	mu       sync.Mutex
+	replicas map[string]*replicaContact
+	now      func() time.Time // swapped in tests
+}
+
+func newTopology() *topology {
+	return &topology{replicas: make(map[string]*replicaContact), now: time.Now}
+}
+
+// observe records one feed contact. interval is the cadence the
+// follower declared (its wait or poll interval); 0 means undeclared.
+func (t *topology) observe(id, addr string, gen uint64, interval time.Duration) {
+	ttl := defaultReplicaTTL
+	if interval > 0 {
+		ttl = min(max(replicaTTLFactor*interval, minReplicaTTL), maxReplicaTTL)
+	}
+	t.mu.Lock()
+	t.replicas[id] = &replicaContact{id: id, addr: addr, gen: gen, lastSeen: t.now(), ttl: ttl}
+	t.mu.Unlock()
+}
+
+// topologyReplicaJSON is one replica row of /topology.
+type topologyReplicaJSON struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr"`
+	Generation uint64 `json:"generation"`
+	// Lag is the leader's generation minus the replica's last reported
+	// feed position — an upper bound on its staleness, since the
+	// replica may have applied records since it last asked.
+	Lag           uint64 `json:"lag"`
+	LastContactMs int64  `json:"last_contact_ms"`
+}
+
+type topologyResponse struct {
+	Generation uint64                `json:"generation"`
+	Replicas   []topologyReplicaJSON `json:"replicas"`
+}
+
+// snapshot prunes expired entries and renders the rest against the
+// leader's current generation.
+func (t *topology) snapshot(leaderGen uint64) topologyResponse {
+	now := t.now()
+	resp := topologyResponse{Generation: leaderGen, Replicas: []topologyReplicaJSON{}}
+	t.mu.Lock()
+	for id, rc := range t.replicas {
+		if now.Sub(rc.lastSeen) > rc.ttl {
+			delete(t.replicas, id)
+			continue
+		}
+		var lag uint64
+		if leaderGen > rc.gen {
+			lag = leaderGen - rc.gen
+		}
+		resp.Replicas = append(resp.Replicas, topologyReplicaJSON{
+			ID:            rc.id,
+			Addr:          rc.addr,
+			Generation:    rc.gen,
+			Lag:           lag,
+			LastContactMs: now.Sub(rc.lastSeen).Milliseconds(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(resp.Replicas, func(i, j int) bool { return resp.Replicas[i].ID < resp.Replicas[j].ID })
+	return resp
+}

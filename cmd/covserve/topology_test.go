@@ -1,0 +1,96 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"coverage/internal/persist"
+)
+
+// TestTopologyEndpoint: replicas that identify themselves on the feed
+// show up under /topology with their lag; anonymous pollers do not.
+func TestTopologyEndpoint(t *testing.T) {
+	leaderSrv, ts := startLeader(t, t.TempDir(), persist.Options{})
+	gen := leaderSrv.an.Engine().Generation()
+
+	// Two identified replicas at different positions, one anonymous.
+	feedGet(t, ts.URL+"/wal?from=0", map[string]string{
+		replicaIDHeader: "r-behind", replicaIntervalHeader: "200ms",
+	})
+	feedGet(t, ts.URL+"/wal?from="+itoa(gen), map[string]string{
+		replicaIDHeader: "r-current",
+	})
+	feedGet(t, ts.URL+"/wal?from=0", nil)
+
+	w := do(t, leaderSrv, "GET", "/topology", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	resp := decode[topologyResponse](t, w)
+	if resp.Generation != gen {
+		t.Fatalf("topology generation %d, want %d", resp.Generation, gen)
+	}
+	if len(resp.Replicas) != 2 {
+		t.Fatalf("%d replicas listed, want 2 (anonymous pollers excluded)", len(resp.Replicas))
+	}
+	if resp.Replicas[0].ID != "r-behind" || resp.Replicas[1].ID != "r-current" {
+		t.Fatalf("replica order %q, %q", resp.Replicas[0].ID, resp.Replicas[1].ID)
+	}
+	if resp.Replicas[0].Lag != gen {
+		t.Fatalf("r-behind lag %d, want %d", resp.Replicas[0].Lag, gen)
+	}
+	if resp.Replicas[1].Lag != 0 {
+		t.Fatalf("r-current lag %d, want 0", resp.Replicas[1].Lag)
+	}
+
+	// A fresh contact replaces the stale position rather than adding a
+	// second row.
+	feedGet(t, ts.URL+"/wal?from="+itoa(gen), map[string]string{replicaIDHeader: "r-behind"})
+	resp = decode[topologyResponse](t, do(t, leaderSrv, "GET", "/topology", ""))
+	if len(resp.Replicas) != 2 || resp.Replicas[0].Lag != 0 {
+		t.Fatalf("after re-contact: %+v", resp.Replicas)
+	}
+}
+
+// TestTopologyExpiry: an entry that misses replicaTTLFactor contact
+// intervals is pruned, and the TTL is clamped to its bounds.
+func TestTopologyExpiry(t *testing.T) {
+	topo := newTopology()
+	now := time.Unix(1000, 0)
+	topo.now = func() time.Time { return now }
+
+	topo.observe("fast", "10.0.0.1:1", 5, 200*time.Millisecond) // ttl = 1s (min clamp)
+	topo.observe("slow", "10.0.0.2:1", 5, time.Hour)            // ttl = 5m (max clamp)
+	topo.observe("mute", "10.0.0.3:1", 5, 0)                    // ttl = 30s default
+
+	if got := topo.snapshot(5).Replicas; len(got) != 3 {
+		t.Fatalf("%d replicas, want 3", len(got))
+	}
+
+	now = now.Add(2 * time.Second) // past fast's TTL only
+	if got := topo.snapshot(5).Replicas; len(got) != 2 ||
+		got[0].ID != "mute" || got[1].ID != "slow" {
+		t.Fatalf("after 2s: %+v", got)
+	}
+
+	now = now.Add(time.Minute) // past mute's 30s default
+	if got := topo.snapshot(5).Replicas; len(got) != 1 || got[0].ID != "slow" {
+		t.Fatalf("after 62s: %+v", got)
+	}
+
+	now = now.Add(10 * time.Minute) // past the 5m max clamp
+	if got := topo.snapshot(5).Replicas; len(got) != 0 {
+		t.Fatalf("after 11m: %+v", got)
+	}
+
+	// Pruned entries are gone from the map, not just hidden.
+	topo.mu.Lock()
+	defer topo.mu.Unlock()
+	if len(topo.replicas) != 0 {
+		t.Fatalf("%d entries still resident after pruning", len(topo.replicas))
+	}
+}
+
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -773,14 +773,15 @@ func (e *ShardedEngine) shardCounts(rows [][]uint8, workers int) []countTable {
 	if workers <= 0 {
 		return nil
 	}
-	shards := make([]countTable, workers)
 	chunk := (len(rows) + workers - 1) / workers
+	// Rounding chunk up can leave the last workers without rows; size
+	// the shard slice by the chunks actually spawned so every entry is
+	// a live table (the merge in countBatch iterates them all).
+	nChunks := (len(rows) + chunk - 1) / chunk
+	shards := make([]countTable, nChunks)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < nChunks; w++ {
 		lo := w * chunk
-		if lo >= len(rows) {
-			break
-		}
 		hi := lo + chunk
 		if hi > len(rows) {
 			hi = len(rows)

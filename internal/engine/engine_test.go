@@ -985,3 +985,25 @@ func TestIndexSnapshot(t *testing.T) {
 		t.Errorf("delta not folded by Index(): %d entries", st.DeltaDistinct)
 	}
 }
+
+// TestAppendSmallBatchManyWorkers pins the shardCounts chunk rounding:
+// with more workers than ceil(rows/chunk) chunks (say 5 rows across 4
+// workers), the trailing workers get no rows and their count tables
+// must not enter the merge as nils.
+func TestAppendSmallBatchManyWorkers(t *testing.T) {
+	for rows := 1; rows <= 9; rows++ {
+		for workers := 1; workers <= 8; workers++ {
+			e := New(testSchema(t, []int{2, 3, 4}), Options{Workers: workers})
+			batch := make([][]uint8, rows)
+			for i := range batch {
+				batch[i] = []uint8{uint8(i % 2), uint8(i % 3), uint8(i % 4)}
+			}
+			if err := e.Append(batch); err != nil {
+				t.Fatalf("rows=%d workers=%d: %v", rows, workers, err)
+			}
+			if got := e.Stats().Rows; got != int64(rows) {
+				t.Fatalf("rows=%d workers=%d: engine holds %d rows", rows, workers, got)
+			}
+		}
+	}
+}

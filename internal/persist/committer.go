@@ -1,0 +1,104 @@
+package persist
+
+import "sync"
+
+// commitReq is one queued mutation awaiting the commit pipeline. errc
+// is buffered so the committer never blocks on a slow requester.
+type commitReq struct {
+	op      byte
+	rows    [][]uint8
+	maxRows int
+	errc    chan error
+}
+
+// walCommitter is the group-commit loop: concurrent mutators enqueue
+// requests and park on their errc while a single goroutine drains the
+// queue, applies the batch, and writes every accepted record with one
+// coalesced write+fsync. Acknowledgement still means durable — the
+// committer answers only after writeGroup returns — but N writers
+// landing during one fsync share the next one instead of queueing
+// N fsyncs back to back.
+type walCommitter struct {
+	s *Store
+
+	mu     sync.Mutex
+	queue  []*commitReq
+	closed bool
+
+	kick chan struct{} // 1-buffered doorbell
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newWALCommitter(s *Store) *walCommitter {
+	c := &walCommitter{
+		s:    s,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// enqueue adds a request to the pending group. It reports false when
+// the committer has shut down, in which case the caller must commit
+// the request itself (or fail it).
+func (c *walCommitter) enqueue(req *commitReq) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.queue = append(c.queue, req)
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// drain takes the whole pending queue: everything that accumulated
+// while the previous group was fsyncing commits as the next group.
+func (c *walCommitter) drain() []*commitReq {
+	c.mu.Lock()
+	batch := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	return batch
+}
+
+func (c *walCommitter) run() {
+	for {
+		select {
+		case <-c.kick:
+			for {
+				batch := c.drain()
+				if len(batch) == 0 {
+					break
+				}
+				c.s.commitGroup(batch)
+			}
+		case <-c.stop:
+			c.mu.Lock()
+			c.closed = true
+			batch := c.queue
+			c.queue = nil
+			c.mu.Unlock()
+			if len(batch) > 0 {
+				c.s.commitGroup(batch)
+			}
+			close(c.done)
+			return
+		}
+	}
+}
+
+// shutdown stops the loop after committing anything already queued.
+// Requests that race past the closed flag fall back to the caller's
+// inline commit path, so nothing is silently dropped.
+func (c *walCommitter) shutdown() {
+	close(c.stop)
+	<-c.done
+}

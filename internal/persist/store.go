@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coverage/internal/engine"
@@ -31,6 +33,12 @@ type Options struct {
 	// (recovery applies the whole chain, so its length is a recovery
 	// latency knob). 0 means the default of 8.
 	MaxDeltaChain int
+	// DisableGroupCommit turns off the commit pipeline: every mutation
+	// applies and logs inline under the store lock, paying its own
+	// write (and fsync, with SyncWAL) instead of sharing a group. This
+	// is the pre-pipeline behavior, kept as a benchmark baseline and an
+	// escape hatch.
+	DisableGroupCommit bool
 	// Engine configures engines built by Recover.
 	Engine engine.Options
 }
@@ -62,6 +70,21 @@ type Stats struct {
 	// segment since the last rotation.
 	WALRecords int64
 	WALBytes   int64
+	// WALGroupCommits counts coalesced write+sync calls made by the
+	// commit pipeline since the store was opened; WALGroupRecords
+	// counts the records they carried, so records-per-fsync is their
+	// ratio. CoalescedAppends counts append requests that were merged
+	// into a groupmate's engine batch (and WAL record) instead of
+	// paying their own.
+	WALGroupCommits  int64
+	WALGroupRecords  int64
+	CoalescedAppends int64
+	// DurableGeneration is the newest generation whose WAL record has
+	// been written (and, with SyncWAL, fsynced); FeedWaiters is the
+	// number of long-poll feed callers currently parked on the commit
+	// notification hub.
+	DurableGeneration uint64
+	FeedWaiters       int64
 	// RecoveredSnapshotGeneration and ReplayedRecords describe the
 	// boot: the newest persisted generation restored (the full base
 	// plus any delta chain; 0 for a fresh start) and how many WAL
@@ -127,6 +150,26 @@ type Store struct {
 	mu     sync.Mutex
 	eng    *engine.Engine
 	wal    *walWriter
+
+	// committer is the group-commit loop (nil before Attach/Recover,
+	// with DisableGroupCommit, and after Close — mutations then commit
+	// inline as groups of one). Atomic so submit can enqueue while a
+	// group commit holds s.mu through its fsync: waiting writers piling
+	// into the queue during the sync IS the batching.
+	committer atomic.Pointer[walCommitter]
+
+	// The commit-notification hub. commitGen is the newest durably
+	// logged generation; commitCh is closed and replaced on every
+	// commit so parked feed waiters wake without the hub tracking
+	// them individually. feedWaiters is a gauge of parked waiters.
+	hubMu       sync.Mutex
+	commitGen   uint64
+	commitCh    chan struct{}
+	feedWaiters int64
+
+	groupCommits     int64
+	groupRecords     int64
+	coalescedAppends int64
 
 	snapshots        int64
 	deltaSnapshots   int64
@@ -403,8 +446,22 @@ func (s *Store) Recover() (*engine.Engine, *RecoverInfo, error) {
 		s.baseline = nil
 		s.chainLen = 0
 	}
+	s.startPipelineLocked(eng.Generation())
 	s.mu.Unlock()
 	return eng, info, nil
+}
+
+// startPipelineLocked seeds the commit-notification hub at the given
+// generation (everything at or below it is already durable) and spawns
+// the group committer. Caller holds s.mu.
+func (s *Store) startPipelineLocked(gen uint64) {
+	s.hubMu.Lock()
+	s.commitGen = gen
+	s.commitCh = make(chan struct{})
+	s.hubMu.Unlock()
+	if !s.opts.DisableGroupCommit {
+		s.committer.Store(newWALCommitter(s))
+	}
 }
 
 // Attach starts persistence for a freshly built engine: it writes the
@@ -443,6 +500,7 @@ func (s *Store) Attach(eng *engine.Engine) error {
 	s.lastSnapDuration = time.Since(start)
 	s.baseline = capture.Baseline()
 	s.chainLen = 0
+	s.startPipelineLocked(st.Generation)
 	s.mu.Unlock()
 	return nil
 }
@@ -454,56 +512,209 @@ func (s *Store) Engine() *engine.Engine {
 	return s.eng
 }
 
-// Append applies an append batch to the engine and logs it. The WAL
-// record is written only after the engine accepts the batch, so a
-// rejected batch leaves no trace; mutations are serialized so the log
-// order is the apply order.
+// Append applies an append batch to the engine and durably logs it.
+// The WAL record is written only after the engine accepts the batch,
+// so a rejected batch leaves no trace; mutations are serialized so the
+// log order is the apply order. The call returns once the record's
+// group has committed — acknowledgement means durable.
 func (s *Store) Append(rows [][]uint8) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken != nil {
-		return s.failedErr()
-	}
-	if err := s.eng.Append(rows); err != nil {
-		return err
-	}
-	return s.logLocked(opAppend, rows, 0)
+	return <-s.AppendAsync(rows)
 }
 
-// Delete applies a delete batch to the engine and logs it.
+// AppendAsync queues an append batch on the commit pipeline and
+// returns the channel that will deliver its outcome: nil once the
+// batch is applied and its WAL record is durably written, or the
+// per-request error (engine rejection, WAL failure). Batches from
+// concurrent callers landing in the same group are merged into one
+// engine batch and one WAL record — one write-lock acquisition, one
+// fsync — while each caller still hears about its own rows.
+func (s *Store) AppendAsync(rows [][]uint8) <-chan error {
+	return s.submit(&commitReq{op: opAppend, rows: rows, errc: make(chan error, 1)})
+}
+
+// Delete applies a delete batch to the engine and durably logs it.
 func (s *Store) Delete(rows [][]uint8) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken != nil {
-		return s.failedErr()
-	}
-	if err := s.eng.Delete(rows); err != nil {
-		return err
-	}
-	return s.logLocked(opDelete, rows, 0)
+	return <-s.submit(&commitReq{op: opDelete, rows: rows, errc: make(chan error, 1)})
 }
 
-// SetWindow reconfigures the sliding window and logs it.
+// SetWindow reconfigures the sliding window and durably logs it.
 func (s *Store) SetWindow(maxRows int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken != nil {
-		return s.failedErr()
-	}
-	s.eng.SetWindow(maxRows)
-	return s.logLocked(opWindow, nil, maxRows)
+	return <-s.submit(&commitReq{op: opWindow, maxRows: maxRows, errc: make(chan error, 1)})
 }
 
-// logLocked writes one mutation record. A write failure after the
-// engine mutation already applied trips the sticky broken state: the
-// WAL must not advance past the gap, so the store fails stop until a
-// snapshot re-establishes a durable root. Caller holds s.mu.
-func (s *Store) logLocked(op byte, rows [][]uint8, maxRows int) error {
-	if err := s.wal.appendRecord(op, s.eng.Generation(), rows, maxRows); err != nil {
-		s.broken = err
-		return fmt.Errorf("%w: %w (mutation applied in memory but not logged; store refuses further mutations until a snapshot succeeds)", ErrUnavailable, err)
+// submit routes one mutation into the commit pipeline. Without a
+// committer (group commit disabled, store closed, or the committer
+// shut down mid-flight) the request commits inline as a group of one —
+// the exact pre-pipeline behavior.
+func (s *Store) submit(req *commitReq) <-chan error {
+	c := s.committer.Load()
+	if c == nil || !c.enqueue(req) {
+		s.commitGroup([]*commitReq{req})
 	}
-	return nil
+	return req.errc
+}
+
+// Per-request commit status inside a group.
+const (
+	reqPending  byte = iota // not reached (a groupmate broke the store first)
+	reqRejected             // engine refused it; no record, store intact
+	reqFramed               // applied and encoded into the group write
+	reqStranded             // applied but its record could not be framed
+)
+
+// commitGroup commits one group: every request's engine apply, one
+// coalesced WAL write, one fsync. Runs of consecutive append requests
+// are merged into a single engine batch and a single record (one
+// generation covers them all); deletes and window changes commit
+// individually, in arrival order, so the log order equals the apply
+// order. A WAL write failure after any engine apply trips the sticky
+// broken state, exactly like the single-record path did: the log must
+// not advance past the gap, so the store fails stop until a snapshot
+// re-establishes a durable root.
+func (s *Store) commitGroup(batch []*commitReq) {
+	s.mu.Lock()
+	if s.eng == nil || s.wal == nil {
+		s.mu.Unlock()
+		for _, req := range batch {
+			req.errc <- fmt.Errorf("%w: store is not attached to an engine", ErrUnavailable)
+		}
+		return
+	}
+	if s.broken != nil {
+		err := s.failedErr()
+		s.mu.Unlock()
+		for _, req := range batch {
+			req.errc <- err
+		}
+		return
+	}
+
+	status := make([]byte, len(batch))
+	rejections := make([]error, len(batch))
+	buf := s.wal.scratch[:0]
+	nrecs := 0
+	var maxLogged uint64
+	var frameErr error // first encode failure; poisons the rest of the group
+
+	frame := func(op byte, rows [][]uint8, maxRows int) bool {
+		prev := len(buf)
+		next, err := s.wal.encodeRecord(buf, op, s.eng.Generation(), rows, maxRows)
+		if err != nil {
+			buf = next[:prev]
+			frameErr = err
+			s.broken = err
+			return false
+		}
+		buf = next
+		nrecs++
+		maxLogged = s.eng.Generation()
+		return true
+	}
+
+	for i := 0; i < len(batch) && frameErr == nil; {
+		req := batch[i]
+		j := i + 1
+		if req.op == opAppend {
+			for j < len(batch) && batch[j].op == opAppend {
+				j++
+			}
+		}
+		switch {
+		case req.op == opAppend && j-i > 1:
+			total := 0
+			for k := i; k < j; k++ {
+				total += len(batch[k].rows)
+			}
+			merged := make([][]uint8, 0, total)
+			for k := i; k < j; k++ {
+				merged = append(merged, batch[k].rows...)
+			}
+			if err := s.eng.Append(merged); err != nil {
+				// The merged batch was refused — one requester's bad
+				// rows must not fail its groupmates, so fall back to
+				// per-request applies.
+				for k := i; k < j && frameErr == nil; k++ {
+					if aerr := s.eng.Append(batch[k].rows); aerr != nil {
+						status[k] = reqRejected
+						rejections[k] = aerr
+						continue
+					}
+					if frame(opAppend, batch[k].rows, 0) {
+						status[k] = reqFramed
+					} else {
+						status[k] = reqStranded
+					}
+				}
+			} else {
+				s.coalescedAppends += int64(j - i - 1)
+				ok := frame(opAppend, merged, 0)
+				for k := i; k < j; k++ {
+					if ok {
+						status[k] = reqFramed
+					} else {
+						status[k] = reqStranded
+					}
+				}
+			}
+		default:
+			var err error
+			switch req.op {
+			case opAppend:
+				err = s.eng.Append(req.rows)
+			case opDelete:
+				err = s.eng.Delete(req.rows)
+			case opWindow:
+				s.eng.SetWindow(req.maxRows)
+			}
+			if err != nil {
+				status[i] = reqRejected
+				rejections[i] = err
+			} else if frame(req.op, req.rows, req.maxRows) {
+				status[i] = reqFramed
+			} else {
+				status[i] = reqStranded
+			}
+		}
+		i = j
+	}
+
+	var werr error
+	if nrecs > 0 {
+		werr = s.wal.writeGroup(buf, nrecs)
+		if werr != nil {
+			s.broken = werr
+		}
+		s.groupCommits++
+		s.groupRecords += int64(nrecs)
+	}
+	s.wal.scratch = buf[:0]
+	unavailable := s.broken != nil
+	var brokenErr error
+	if unavailable {
+		brokenErr = s.failedErr()
+	}
+	s.mu.Unlock()
+
+	if nrecs > 0 && werr == nil {
+		s.notifyCommit(maxLogged)
+	}
+
+	for k, req := range batch {
+		switch status[k] {
+		case reqRejected:
+			req.errc <- rejections[k]
+		case reqFramed:
+			if werr != nil {
+				req.errc <- fmt.Errorf("%w: %w (mutation applied in memory but not logged; store refuses further mutations until a snapshot succeeds)", ErrUnavailable, werr)
+			} else {
+				req.errc <- nil
+			}
+		case reqStranded:
+			req.errc <- fmt.Errorf("%w: %w (mutation applied in memory but not logged; store refuses further mutations until a snapshot succeeds)", ErrUnavailable, frameErr)
+		default: // reqPending: a groupmate broke the store before this one ran
+			req.errc <- brokenErr
+		}
+	}
 }
 
 func (s *Store) failedErr() error {
@@ -719,6 +930,78 @@ func (s *Store) WALSince(fromGen uint64, maxBytes int) ([]byte, uint64, error) {
 	return out, eng.Generation(), nil
 }
 
+// notifyCommit advances the durable-generation watermark and wakes
+// every parked feed waiter by closing the current notification
+// channel. Waiters behind gen return with data; waiters already at or
+// past it re-park on the replacement channel.
+func (s *Store) notifyCommit(gen uint64) {
+	s.hubMu.Lock()
+	if gen > s.commitGen {
+		s.commitGen = gen
+		if s.commitCh != nil {
+			close(s.commitCh)
+		}
+		s.commitCh = make(chan struct{})
+	}
+	s.hubMu.Unlock()
+}
+
+// commitSignal reads the hub: the durable generation and the channel
+// that closes on the next commit past it.
+func (s *Store) commitSignal() (uint64, <-chan struct{}) {
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
+	if s.commitCh == nil {
+		s.commitCh = make(chan struct{})
+	}
+	return s.commitGen, s.commitCh
+}
+
+// DurableGeneration returns the newest generation whose WAL record has
+// been written (and, with SyncWAL, fsynced).
+func (s *Store) DurableGeneration() uint64 {
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
+	return s.commitGen
+}
+
+// AwaitGeneration parks until a commit advances the durable generation
+// past from, the wait elapses, or ctx is done — the long-poll feed's
+// wait primitive. It returns the durable generation at wake-up; the
+// caller re-collects when it moved. Idle waiters cost one parked
+// goroutine and zero work per unrelated commit.
+func (s *Store) AwaitGeneration(ctx context.Context, from uint64, wait time.Duration) uint64 {
+	gen, ch := s.commitSignal()
+	if gen > from || wait <= 0 {
+		return gen
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	s.hubMu.Lock()
+	s.feedWaiters++
+	s.hubMu.Unlock()
+	defer func() {
+		s.hubMu.Lock()
+		s.feedWaiters--
+		s.hubMu.Unlock()
+	}()
+	for {
+		select {
+		case <-ch:
+		case <-timer.C:
+			gen, _ = s.commitSignal()
+			return gen
+		case <-ctx.Done():
+			gen, _ = s.commitSignal()
+			return gen
+		}
+		gen, ch = s.commitSignal()
+		if gen > from {
+			return gen
+		}
+	}
+}
+
 // Dirty reports whether the engine has mutated past the last
 // snapshot — the background scheduler's "is a snapshot worth taking"
 // check.
@@ -731,7 +1014,6 @@ func (s *Store) Dirty() bool {
 // Stats returns the store's persistence counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
 		Dir:                         s.dir,
 		Snapshots:                   s.snapshots,
@@ -744,16 +1026,31 @@ func (s *Store) Stats() Stats {
 		ReplayedRecords:             s.replayed,
 		TornTailDropped:             s.tornDropped,
 	}
+	st.WALGroupCommits = s.groupCommits
+	st.WALGroupRecords = s.groupRecords
+	st.CoalescedAppends = s.coalescedAppends
 	if s.wal != nil {
 		st.WALRecords = s.wal.records
 		st.WALBytes = s.wal.bytes
 	}
+	s.mu.Unlock()
+	s.hubMu.Lock()
+	st.DurableGeneration = s.commitGen
+	st.FeedWaiters = s.feedWaiters
+	s.hubMu.Unlock()
 	return st
 }
 
-// Close flushes and closes the current WAL segment. The store is
-// unusable afterwards.
+// Close drains the commit pipeline, then flushes and closes the
+// current WAL segment. Queued mutations commit before the segment
+// closes; anything submitted afterwards fails with ErrUnavailable.
+// The store is unusable afterwards.
 func (s *Store) Close() error {
+	if c := s.committer.Swap(nil); c != nil {
+		// Outside s.mu: the final drain commits through commitGroup,
+		// which needs the lock.
+		c.shutdown()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {

@@ -63,6 +63,10 @@ type walWriter struct {
 	dim     int
 	records int64
 	bytes   int64
+	// scratch is the reusable encode buffer: every record (and every
+	// group of records) is framed into it before the single write call,
+	// so the steady-state append path allocates nothing.
+	scratch []byte
 }
 
 // createWALSegment creates dir/wal-<gen>.wal, writes its header and
@@ -110,40 +114,64 @@ func openWALSegment(path string, gen uint64, dim int, goodSize int64, sync bool)
 	return &walWriter{f: f, path: path, gen: gen, sync: sync, dim: dim}, nil
 }
 
-// appendRecord encodes and durably appends one mutation record.
-func (w *walWriter) appendRecord(op byte, gen uint64, rows [][]uint8, maxRows int) error {
-	payload := make([]byte, 0, 16+len(rows)*w.dim)
-	payload = append(payload, op)
-	payload = binary.AppendUvarint(payload, gen)
+// encodeRecord frames one record — length, CRC, payload — onto buf and
+// returns the extended slice. On error buf may carry a truncated frame;
+// the caller must discard back to the pre-call length.
+func (w *walWriter) encodeRecord(buf []byte, op byte, gen uint64, rows [][]uint8, maxRows int) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + CRC, backfilled
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, gen)
 	switch op {
 	case opAppend, opDelete:
-		payload = binary.AppendUvarint(payload, uint64(len(rows)))
+		buf = binary.AppendUvarint(buf, uint64(len(rows)))
 		for _, row := range rows {
 			if len(row) != w.dim {
-				return fmt.Errorf("persist: WAL row has %d values, segment dimension is %d", len(row), w.dim)
+				return buf, fmt.Errorf("persist: WAL row has %d values, segment dimension is %d", len(row), w.dim)
 			}
-			payload = append(payload, row...)
+			buf = append(buf, row...)
 		}
 	case opWindow:
-		payload = binary.AppendUvarint(payload, uint64(maxRows))
+		buf = binary.AppendUvarint(buf, uint64(maxRows))
 	default:
-		return fmt.Errorf("persist: unknown WAL op %d", op)
+		return buf, fmt.Errorf("persist: unknown WAL op %d", op)
 	}
-	rec := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
-	copy(rec[8:], payload)
-	if _, err := w.f.Write(rec); err != nil {
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// writeGroup durably appends pre-framed bytes carrying n records with
+// one write call and (when the segment syncs) one fsync — the group
+// commit: every record in the group shares the same durability point.
+func (w *walWriter) writeGroup(buf []byte, n int) error {
+	if n == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("persist: appending WAL record: %w", err)
 	}
-	w.records++
-	w.bytes += int64(len(rec))
+	w.records += int64(n)
+	w.bytes += int64(len(buf))
 	if w.sync {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("persist: syncing WAL: %w", err)
 		}
 	}
 	return nil
+}
+
+// appendRecord encodes and durably appends one mutation record — a
+// group of one. The encode runs through the reusable scratch buffer,
+// so the steady state allocates nothing per record.
+func (w *walWriter) appendRecord(op byte, gen uint64, rows [][]uint8, maxRows int) error {
+	buf, err := w.encodeRecord(w.scratch[:0], op, gen, rows, maxRows)
+	w.scratch = buf[:0]
+	if err != nil {
+		return err
+	}
+	return w.writeGroup(buf, 1)
 }
 
 // close flushes and closes the segment.
